@@ -1,0 +1,57 @@
+"""Shared utilities for the per-figure/table benches.
+
+Every bench regenerates one table or figure of the paper: it computes
+the experiment's data (functional simulation, count-space evaluation,
+or analytic model — see DESIGN.md's per-experiment index), prints the
+same rows/series the paper reports, asserts the qualitative shape
+(who wins, where crossovers fall, what fails), and times its dominant
+computation through pytest-benchmark.
+
+Printed tables also land in ``benchmarks/out/<name>.txt`` so that
+EXPERIMENTS.md can be assembled after a run without scraping pytest
+output.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from pathlib import Path
+
+OUT_DIR = Path(__file__).parent / "out"
+
+#: Paper weak-scaling shape: 400 MB (1e8 x 4-byte records) per process.
+PAPER_N_PER_RANK = 100_000_000
+PAPER_RECORD_BYTES = 4
+PAPER_P_LIST = [512, 1024, 2048, 4096, 8192, 16384, 32768, 65536, 131072]
+
+#: Functional (thread-engine) scale used alongside the models.
+FUNC_P = 64
+FUNC_N = 2000
+
+
+def emit(name: str, lines: list[str]) -> None:
+    """Print a table and persist it under benchmarks/out/."""
+    text = "\n".join(lines)
+    print(f"\n=== {name} ===\n{text}\n")
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def fmt_time(t: float) -> str:
+    if math.isinf(t):
+        return "inf"
+    if t >= 100:
+        return f"{t:.0f}"
+    if t >= 1:
+        return f"{t:.2f}"
+    return f"{t:.4f}"
+
+
+def fmt_rdfa(r: float) -> str:
+    return "inf (OOM)" if math.isinf(r) else f"{r:.4f}"
+
+
+def quick() -> bool:
+    """Shrink functional scales when REPRO_BENCH_QUICK is set."""
+    return bool(os.environ.get("REPRO_BENCH_QUICK"))

@@ -1,0 +1,53 @@
+"""Ablation: k-way merge strategies (loser tree vs vectorised pairwise).
+
+The cost model charges ``n log2(k)`` comparisons per k-way merge; the
+LoserTree reference does exactly that count element-wise, while the
+production path uses a balanced tree of vectorised two-way merges.
+This bench verifies they agree and measures the (large) constant-factor
+gap that justifies the vectorised default in a numpy codebase — the
+Python-level analogue of the guides' "vectorise your inner loops".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kernels import LoserTree, kway_merge
+
+K = 16
+N_VEC = 1 << 16     # per chunk, vectorised path
+N_LOSER = 1 << 8    # per chunk, element-wise reference
+
+
+def _chunks(n, k, seed=0):
+    rng = np.random.default_rng(seed)
+    return [np.sort(rng.random(n)) for _ in range(k)]
+
+
+def test_ablation_strategies_agree(benchmark):
+    chunks = _chunks(N_LOSER, K)
+    got = benchmark.pedantic(lambda: LoserTree(chunks).drain(),
+                             rounds=1, iterations=1)
+    assert np.array_equal(got, kway_merge(chunks))
+
+
+def test_ablation_vectorised_kway(benchmark):
+    chunks = _chunks(N_VEC, K)
+    out = benchmark(lambda: kway_merge(chunks))
+    assert len(out) == N_VEC * K
+
+
+def test_ablation_loser_tree(benchmark):
+    chunks = _chunks(N_LOSER, K)
+    out = benchmark(lambda: LoserTree(chunks).drain())
+    assert len(out) == N_LOSER * K
+
+
+@pytest.mark.parametrize("k", [2, 8, 64])
+def test_ablation_kway_fanout(benchmark, k):
+    """Wall time vs fan-out at constant total volume: the log2(k)
+    growth the cost model assumes."""
+    total = 1 << 17
+    chunks = _chunks(total // k, k)
+    benchmark(lambda: kway_merge(chunks))

@@ -1,0 +1,57 @@
+"""Extension: communication volume across algorithm families.
+
+The paper's related-work claim (Section 5): non-sampling sorts like
+bitonic "need a significant amount of communication and data exchange,
+which are expensive operations on parallel systems", which is why the
+PSS family (one all-to-all) wins on distributed memory.  The engine
+counts every byte each algorithm actually moves — this bench turns the
+claim into numbers: bitonic re-exchanges all data ``~log2(p)(log2(p)+1)/2``
+times while samplesort-family algorithms move each record about once
+(HykSort: once per k-way level).
+"""
+
+from __future__ import annotations
+
+from repro.runner import run_sort
+from repro.workloads import uniform
+
+from _helpers import emit, quick
+
+P = 16
+N = 1000
+
+
+def test_ext_comm_volume(benchmark):
+    p = 8 if quick() else P
+
+    def compute():
+        out = {}
+        for alg in ("sds", "psrs", "hyksort", "bitonic", "radix"):
+            opts = ({"node_merge_enabled": False, "tau_o": 0}
+                    if alg.startswith("sds") else None)
+            out[alg] = run_sort(alg, uniform(), n_per_rank=N, p=p,
+                                mem_factor=None, algo_opts=opts, seed=7)
+        return out
+
+    res = benchmark.pedantic(compute, rounds=1, iterations=1)
+    data_bytes = res["sds"].total_bytes
+    rows = [f"uniform, p={p}, n={N}/rank; dataset = {data_bytes:,} B:",
+            f"{'algorithm':>9s} {'bytes moved':>13s} {'x dataset':>10s}"]
+    passes = {}
+    for alg, r in res.items():
+        moved = int(r.extras["bytes_sent"])
+        passes[alg] = moved / data_bytes
+        rows.append(f"{alg:>9s} {moved:>13,d} {passes[alg]:>10.2f}")
+    emit("ext_comm_volume", rows)
+
+    assert all(r.ok for r in res.values())
+    # the PSS family moves each record about once (plus pivot traffic)
+    assert passes["sds"] < 2.0
+    assert passes["psrs"] < 2.0
+    assert passes["radix"] < 2.0
+    # bitonic re-exchanges everything per compare-exchange stage:
+    # log2(16) phases -> 10 stages of full-volume sendrecv
+    assert passes["bitonic"] > 5.0
+    assert passes["bitonic"] > 3 * passes["sds"]
+    # HykSort moves data once per level (p=16, k=128 -> one level)
+    assert passes["hyksort"] < 2.5

@@ -1,0 +1,71 @@
+"""Extension: sort-benchmark.org style records (paper future work).
+
+The conclusion plans "more tests with well-known sorting benchmarks";
+GraySort-style records (10-byte uniform keys, 90-byte opaque payload,
+~100 bytes/record) are the canonical one.  Wide payloads shift the
+balance toward the exchange: keys are cheap to compare but every record
+drags 96 bytes through the network — throughput in TB/min rises even as
+records/second falls.
+"""
+
+from __future__ import annotations
+
+from repro.machine import EDISON
+from repro.runner import run_sort
+from repro.simfast import UniverseModel, weak_scaling_point
+from repro.workloads import graysort, uniform
+
+from _helpers import emit, fmt_time, quick
+
+
+def test_ext_graysort_functional(benchmark):
+    p = 8 if quick() else 32
+
+    def compute():
+        out = {}
+        for alg in ("sds", "sds-stable", "hyksort", "radix"):
+            opts = ({"node_merge_enabled": False, "tau_o": 0}
+                    if alg.startswith("sds") else None)
+            out[alg] = run_sort(alg, graysort(), n_per_rank=800, p=p,
+                                machine=EDISON, algo_opts=opts, seed=6)
+        return out
+
+    res = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = [f"graysort records (96 B), functional p={p}:"]
+    for alg, r in res.items():
+        rows.append(f"  {alg:10s} ok={r.ok} t={fmt_time(r.elapsed)}s "
+                    f"rdfa={r.rdfa:.3f}")
+    emit("ext_graysort_functional", rows)
+    assert all(r.ok for r in res.values())
+    # distinct uniform keys: everyone balances
+    for r in res.values():
+        assert r.rdfa < 1.5
+
+
+def test_ext_graysort_payload_shifts_balance(benchmark):
+    """Model at paper scale: with 96-byte records the exchange term
+    dominates where the 4-byte-record runs were sort-bound."""
+    model = UniverseModel.uniform()
+
+    def compute():
+        thin = weak_scaling_point("sds", model, 100_000_000, 8192,
+                                  machine=EDISON, record_bytes=4)
+        # same record *count* per rank, 24x wider records
+        wide = weak_scaling_point("sds", model, 100_000_000, 8192,
+                                  machine=EDISON, record_bytes=96)
+        return thin, wide
+
+    thin, wide = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = [
+        "SDS at p=8192, 1e8 records/rank:",
+        f"  4 B records: total={thin.total:6.2f}s exchange={thin.exchange:6.2f}s"
+        f"  ({thin.throughput_tb_min():7.1f} TB/min)",
+        f"  96 B records: total={wide.total:6.2f}s exchange={wide.exchange:6.2f}s"
+        f"  ({wide.throughput_tb_min():7.1f} TB/min)",
+    ]
+    emit("ext_graysort_model", rows)
+    # wide records: more absolute time, higher byte-throughput, and the
+    # exchange share grows sharply
+    assert wide.total > thin.total
+    assert wide.throughput_tb_min() > thin.throughput_tb_min()
+    assert wide.exchange / wide.total > 2 * (thin.exchange / thin.total)

@@ -1,0 +1,83 @@
+"""Extension: adaptive local-ordering kernels head to head.
+
+Section 2.7's premise — partially ordered data sorts faster than
+``n log n`` — rests on [9] (patience-style sorting).  This bench races
+the three local-ordering kernels on four input shapes with *real* wall
+time: numpy introsort (the non-adaptive baseline), natural merge sort
+(run-detecting), and the patience run sort.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.kernels import natural_merge_sort, patience_sort, run_pool_count
+
+N = 1 << 15
+
+
+def _inputs(rng):
+    return {
+        "sorted": np.arange(N, dtype=np.float64),
+        "8-runs": np.concatenate([np.sort(rng.random(N // 8))
+                                  for _ in range(8)]),
+        "random": rng.random(N),
+        "reverse": np.arange(N, dtype=np.float64)[::-1].copy(),
+    }
+
+
+def _best_of(fn, arr, reps=3):
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn(arr)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_ext_patience_adaptivity(benchmark):
+    from _helpers import emit
+
+    rng = np.random.default_rng(0)
+    data = _inputs(rng)
+
+    def compute():
+        table = {}
+        for shape, arr in data.items():
+            table[shape] = {
+                "np.sort": _best_of(lambda a: np.sort(a), arr),
+                "natural": _best_of(natural_merge_sort, arr),
+                "patience": _best_of(patience_sort, arr),
+                "runs": run_pool_count(arr),
+            }
+        return table
+
+    table = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = [f"{'input':>8s} {'np.sort(ms)':>12s} {'natural(ms)':>12s} "
+            f"{'patience(ms)':>13s} {'run pool':>9s}"]
+    for shape, r in table.items():
+        rows.append(f"{shape:>8s} {r['np.sort'] * 1e3:>12.2f} "
+                    f"{r['natural'] * 1e3:>12.2f} "
+                    f"{r['patience'] * 1e3:>13.2f} {r['runs']:>9d}")
+    emit("ext_patience", rows)
+
+    # adaptivity: both adaptive kernels beat their own random-input
+    # time on sorted input by a wide margin
+    assert table["sorted"]["natural"] < table["random"]["natural"] / 3
+    assert table["sorted"]["patience"] < table["random"]["patience"] / 3
+    # on sorted input the adaptive kernels do ~O(n) work and are
+    # competitive with (or beat) a full introsort
+    assert table["sorted"]["natural"] < 3 * table["sorted"]["np.sort"]
+    # run counts track disorder
+    assert table["sorted"]["runs"] == 1
+    assert table["reverse"]["runs"] == N
+
+
+@pytest.mark.parametrize("shape", ["sorted", "8-runs", "random"])
+def test_ext_patience_kernels(benchmark, shape):
+    rng = np.random.default_rng(1)
+    arr = _inputs(rng)[shape]
+    benchmark(lambda: patience_sort(arr))

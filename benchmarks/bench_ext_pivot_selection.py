@@ -1,0 +1,95 @@
+"""Extension: pivot-selection strategies head to head (Section 2.4).
+
+The paper argues bitonic selection over (a) gathering all p(p-1)
+samples on one rank (memory blow-up at large p) and (b) histogram
+sorting (struggles to separate duplicated values).  This bench
+quantifies all three on the functional engine — pivot *quality* (how
+balanced the resulting partition is) and modelled *selection cost* —
+plus the rank-0 memory footprint that rules gathering out at scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.machine import EDISON, CostModel
+from repro.metrics import rdfa
+from repro.runner import run_sort
+from repro.workloads import uniform, zipf
+
+from _helpers import emit, quick
+
+METHODS = ["bitonic", "gather", "histogram"]
+
+
+def test_ext_pivot_quality(benchmark):
+    p = 16 if quick() else 64
+
+    def compute():
+        table = {}
+        for wl_name, wl in (("uniform", uniform()), ("zipf1.4", zipf(1.4))):
+            for method in METHODS:
+                r = run_sort("sds", wl, n_per_rank=1200, p=p, seed=4,
+                             mem_factor=None,
+                             algo_opts={"node_merge_enabled": False,
+                                        "tau_o": 0,
+                                        "pivot_method": method})
+                table[(wl_name, method)] = r
+        return table
+
+    table = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = [f"{'workload':>9s} {'method':>10s} {'RDFA':>8s} {'pivot t(s)':>11s}"]
+    for (wl_name, method), r in table.items():
+        rows.append(f"{wl_name:>9s} {method:>10s} {r.rdfa:>8.3f} "
+                    f"{r.phase_times.get('pivot_selection', 0):>11.6f}")
+    emit("ext_pivot_selection", rows)
+
+    for key, r in table.items():
+        assert r.ok, f"{key} failed"
+    # all three methods keep the skew-aware partition balanced — the
+    # histogram method works *because* duplicated pivots are handled
+    for method in METHODS:
+        assert table[("zipf1.4", method)].rdfa < 3.0
+
+
+def test_ext_gather_memory_blowup(benchmark):
+    """Why the paper rejects gather-based selection at scale: rank 0
+    must hold p*(p-1) samples — ~128 GB at 131,072 ranks."""
+    def compute():
+        rows = []
+        for p in (512, 8192, 131072):
+            nbytes = p * (p - 1) * 8
+            rows.append((p, nbytes))
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    lines = [f"{'p':>8s} {'gathered samples on rank 0':>28s}"]
+    for p, nbytes in rows:
+        lines.append(f"{p:>8d} {nbytes / 2**30:>25.2f} GB")
+    lines.append(f"(rank memory budget on Edison: "
+                 f"{EDISON.mem_per_rank / 2**30:.2f} GB)")
+    emit("ext_gather_memory", lines)
+    assert rows[-1][1] > EDISON.mem_per_rank  # 128K: gather impossible
+
+
+def test_ext_selection_cost_model(benchmark):
+    """Modelled selection cost: bitonic's log^2(p) stages vs the
+    gather's serial sort of p(p-1) samples."""
+    cost = CostModel(EDISON)
+
+    def compute():
+        out = []
+        for p in (512, 4096, 32768):
+            bitonic = cost.bitonic_sort_time(p, p - 1)
+            gather = (cost.tree_collective_time(p, (p - 1) * 8)
+                      + cost.sort_time(p * (p - 1)))
+            out.append((p, bitonic, gather))
+        return out
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    lines = [f"{'p':>8s} {'bitonic(s)':>12s} {'gather(s)':>12s}"]
+    for p, b, g in rows:
+        lines.append(f"{p:>8d} {b:>12.4f} {g:>12.4f}")
+    emit("ext_selection_cost", lines)
+    # gathering loses badly at large p (serial p^2 log sort on rank 0)
+    assert rows[-1][2] > rows[-1][1]

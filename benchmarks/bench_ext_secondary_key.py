@@ -1,0 +1,55 @@
+"""Extension: quantify the secondary-sort-key workaround (Section 4.1.2).
+
+The paper: "Using external values or rank of replicated values to
+distinct the replicated one can turn HykSort to allocate replicated
+values among processes.  But, it requires extra overhead to store,
+exchange, and process external values."  We implemented that variant
+(``hyksort-sk``: composite (key, rank, position) keys) — this bench
+measures the overhead SDS-Sort avoids while matching the balance.
+"""
+
+from __future__ import annotations
+
+from repro.runner import run_sort
+from repro.workloads import zipf
+
+from _helpers import emit, fmt_rdfa, fmt_time, quick
+
+ALGS = ["hyksort", "hyksort-sk", "sds", "sds-stable"]
+
+
+def test_ext_secondary_key(benchmark):
+    p = 16 if quick() else 64
+    n = 1000
+
+    def compute():
+        out = {}
+        for alg in ALGS:
+            opts = ({"node_merge_enabled": False, "tau_o": 0}
+                    if alg.startswith("sds") else None)
+            out[alg] = run_sort(alg, zipf(1.4), n_per_rank=n, p=p,
+                                mem_factor=None, algo_opts=opts, seed=3)
+        return out
+
+    res = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = [f"zipf(1.4) delta=32%, p={p}, memory uncapped:",
+            f"{'algorithm':>12s} {'time(s)':>9s} {'RDFA':>10s} {'stable?':>8s}"]
+    stable = {"hyksort": "no", "hyksort-sk": "yes", "sds": "no",
+              "sds-stable": "yes"}
+    for alg in ALGS:
+        r = res[alg]
+        rows.append(f"{alg:>12s} {fmt_time(r.elapsed):>9s} "
+                    f"{fmt_rdfa(r.rdfa):>10s} {stable[alg]:>8s}")
+    sk, sds = res["hyksort-sk"], res["sds"]
+    rows.append("")
+    rows.append(f"composite keys restore balance "
+                f"({fmt_rdfa(res['hyksort'].rdfa)} -> {fmt_rdfa(sk.rdfa)}) "
+                f"but cost {sk.elapsed / sds.elapsed:.1f}x SDS-Sort's time")
+    emit("ext_secondary_key", rows)
+
+    assert all(r.ok for r in res.values())
+    # the workaround fixes the balance...
+    assert sk.rdfa < 2.5 < res["hyksort"].rdfa
+    # ...but the widened records cost real time vs both SDS variants
+    assert sk.elapsed > sds.elapsed
+    assert sk.elapsed > res["sds-stable"].elapsed

@@ -1,0 +1,49 @@
+"""Extension: strong scaling (fixed N, growing p) — paper future work.
+
+The paper evaluates weak scaling only.  Strong scaling exposes the
+serial floors: per-rank sorting shrinks with 1/p while pivot selection
+and per-message overheads grow with p, so speedup saturates — and the
+saturation point moves earlier for HykSort (per-level k-way exchanges)
+than for SDS-Sort.
+"""
+
+from __future__ import annotations
+
+from repro.machine import EDISON
+from repro.simfast import UniverseModel, fmt_p, strong_scaling_series
+
+from _helpers import emit, fmt_time
+
+N_TOTAL = 512 * 100_000_000   # the paper's 512-rank weak-scaling dataset
+PS = [512, 1024, 2048, 4096, 8192, 16384, 32768]
+
+
+def test_ext_strong_scaling(benchmark):
+    model = UniverseModel.uniform()
+
+    def compute():
+        return {
+            alg: strong_scaling_series(alg, model, N_TOTAL, PS,
+                                       machine=EDISON)
+            for alg in ("sds", "hyksort")
+        }
+
+    series = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = [f"{'p':>6s} {'SDS(s)':>9s} {'speedup':>8s} {'HykSort(s)':>11s}"]
+    base = series["sds"][0].total
+    for i, p in enumerate(PS):
+        sds_t = series["sds"][i].total
+        rows.append(f"{fmt_p(p):>6s} {fmt_time(sds_t):>9s} "
+                    f"{base / sds_t:>7.1f}x "
+                    f"{fmt_time(series['hyksort'][i].total):>11s}")
+    emit("ext_strong_scaling", rows)
+
+    sds = [pt.total for pt in series["sds"]]
+    # strong scaling helps at first...
+    assert sds[1] < sds[0]
+    assert sds[2] < sds[0] / 1.5
+    # ...but the speedup is sub-linear by 64x more cores
+    assert sds[0] / sds[-1] < PS[-1] / PS[0]
+    # parallel efficiency decays monotonically past the early points
+    eff = [sds[0] / (sds[i] * (PS[i] / PS[0])) for i in range(len(PS))]
+    assert eff[-1] < eff[1]

@@ -1,0 +1,51 @@
+"""Figure 5a: all-to-all exchange with vs without node-level merging.
+
+Paper: x = data per node (4 MB .. 4 GB); merging wins below ~160 MB
+(amortised message overhead), loses above (a single rank cannot
+saturate the Aries NIC).  tau_m is set at the crossover.
+
+Regenerated from the calibrated Edison cost model; the functional
+engine exercises the same decision through SdsParams.tau_m_bytes (see
+tests/test_sdssort.py::TestNodeMerging).
+"""
+
+from __future__ import annotations
+
+from repro.machine import EDISON, EDISON_SLOW_NET
+from repro.simfast import crossover, fig5a_merging
+
+from _helpers import emit, fmt_time
+
+MB = 2**20
+SIZES = [4, 16, 64, 128, 160, 192, 256, 512, 1024, 4096]
+
+
+def test_fig5a_merging(benchmark):
+    pts = benchmark(lambda: fig5a_merging(EDISON, [s * MB for s in SIZES]))
+    rows = [f"{'data/node':>10s} {'merged(s)':>12s} {'unmerged(s)':>12s}"]
+    for pt in pts:
+        rows.append(f"{pt.x / MB:>8.0f}MB {fmt_time(pt.a):>12s} "
+                    f"{fmt_time(pt.b):>12s}")
+    x = crossover(pts)
+    rows.append(f"crossover (tau_m): {x / MB:.0f} MB   (paper: ~160 MB)")
+    emit("fig5a_merging", rows)
+
+    # shape: merging wins only for small exchanges
+    assert pts[0].a < pts[0].b          # 4 MB
+    assert pts[-1].a > pts[-1].b        # 4 GB
+    assert x is not None and 100 * MB < x < 250 * MB
+
+
+def test_fig5a_slow_network_ablation(benchmark):
+    """On a slow-network machine the crossover moves far right: node
+    merging stays profitable much longer (the Section 2.3 motivation
+    for making the choice adaptive rather than hard-coded)."""
+    pts = benchmark(lambda: fig5a_merging(EDISON_SLOW_NET,
+                                          [s * MB for s in SIZES]))
+    x_slow = crossover(pts)
+    x_fast = crossover(fig5a_merging(EDISON, [s * MB for s in SIZES]))
+    emit("fig5a_slow_net_ablation", [
+        f"edison crossover:   {x_fast / MB:.0f} MB",
+        f"slow-net crossover: {'none (merging always wins)' if x_slow is None else f'{x_slow / MB:.0f} MB'}",
+    ])
+    assert x_slow is None or x_slow > x_fast

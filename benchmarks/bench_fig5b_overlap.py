@@ -1,0 +1,33 @@
+"""Figure 5b: overlapping the exchange with local ordering vs not.
+
+Paper: weak scaling at 400 MB/process; overlap wins below ~4096
+processes, then the nonblocking progress overhead swamps the benefit.
+tau_o is set at the crossover.
+"""
+
+from __future__ import annotations
+
+from repro.machine import EDISON
+from repro.simfast import crossover, fig5b_overlap, fmt_p
+
+from _helpers import PAPER_N_PER_RANK, emit, fmt_time
+
+PS = [512, 1024, 2048, 4096, 8192, 16384, 32768, 65536]
+
+
+def test_fig5b_overlap(benchmark):
+    pts = benchmark(lambda: fig5b_overlap(EDISON, PS,
+                                          n_per_rank=PAPER_N_PER_RANK))
+    rows = [f"{'p':>6s} {'overlap(s)':>12s} {'no-overlap(s)':>14s}"]
+    for pt in pts:
+        rows.append(f"{fmt_p(int(pt.x)):>6s} {fmt_time(pt.a):>12s} "
+                    f"{fmt_time(pt.b):>14s}")
+    x = crossover(pts)
+    rows.append(f"crossover (tau_o): {x:.0f} processes   (paper: ~4096)")
+    emit("fig5b_overlap", rows)
+
+    assert pts[0].a < pts[0].b       # overlap wins at 512
+    assert pts[-1].a > pts[-1].b     # and loses at 64K
+    assert x is not None and 2000 < x < 8000
+    # both series grow with p (weak scaling)
+    assert pts[-1].b > pts[0].b

@@ -1,0 +1,110 @@
+"""Figure 5c: final local ordering by k-way merging vs sorting.
+
+Paper: merging p received runs costs O(m log p) and rises sharply with
+p; sorting the concatenation is nearly flat (and slightly decreasing).
+They cross near p = 4000, which sets tau_s.
+
+Two reproductions: the calibrated model at paper scale (1e8 records),
+and a *real* measurement of the two kernels at laptop scale showing the
+same divergence in p.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.kernels import kway_merge, natural_merge_sort
+from repro.machine import EDISON
+from repro.simfast import crossover, fig5c_local_order, fmt_p
+
+from _helpers import PAPER_N_PER_RANK, emit, fmt_time
+
+PS = [512, 1024, 2048, 4096, 8192, 16384, 32768, 65536]
+
+
+def test_fig5c_model(benchmark):
+    pts = benchmark(lambda: fig5c_local_order(EDISON, PS, m=PAPER_N_PER_RANK))
+    rows = [f"{'p':>6s} {'sort(s)':>10s} {'merge(s)':>10s}"]
+    for pt in pts:
+        rows.append(f"{fmt_p(int(pt.x)):>6s} {fmt_time(pt.a):>10s} "
+                    f"{fmt_time(pt.b):>10s}")
+    # note: crossover() reports where `a` (sort) stops losing to `b`
+    x = crossover(pts)
+    rows.append(f"crossover (tau_s): {x:.0f} processes   (paper: ~4000)")
+    emit("fig5c_localorder", rows)
+
+    assert pts[0].b < pts[0].a       # merge wins at 512
+    assert pts[-1].b > pts[-1].a     # sort wins at 64K
+    assert x is not None and 2000 < x < 8000
+    # merge rises monotonically, sort is flat-to-decreasing
+    merges = [pt.b for pt in pts]
+    sorts = [pt.a for pt in pts]
+    assert all(a < b for a, b in zip(merges, merges[1:]))
+    assert sorts[-1] <= sorts[0]
+
+
+def test_fig5c_real_kernels(benchmark):
+    """Real wall time: k-way merge cost grows with the run count while
+    a from-scratch sort of the same concatenation stays flat."""
+    m = 1 << 18
+    rng = np.random.default_rng(3)
+
+    def runs_of(k):
+        bounds = np.linspace(0, m, k + 1).astype(np.int64)
+        keys = rng.random(m)
+        return [np.sort(keys[bounds[i]:bounds[i + 1]]) for i in range(k)]
+
+    def measure(fn):
+        t0 = time.perf_counter()
+        fn()
+        return time.perf_counter() - t0
+
+    rows = [f"{'runs':>6s} {'merge(ms)':>10s} {'np.sort(ms)':>12s}"]
+    ratios = {}
+    for k in (4, 64, 1024):
+        chunks = runs_of(k)
+        concat = np.concatenate(chunks)
+        tm = min(measure(lambda: kway_merge(chunks)) for _ in range(3))
+        ts = min(measure(lambda: np.sort(concat)) for _ in range(3))
+        ratios[k] = tm / ts
+        rows.append(f"{k:>6d} {tm * 1e3:>10.1f} {ts * 1e3:>12.1f}")
+    emit("fig5c_real_kernels", rows)
+
+    # merging gets relatively more expensive as the run count grows
+    assert ratios[1024] > ratios[4]
+
+    chunks = runs_of(64)
+    benchmark(lambda: kway_merge(chunks))
+
+
+def test_fig5c_adaptive_sort_exploits_runs(benchmark):
+    """The natural-merge kernel really is run-adaptive: fewer runs,
+    less time (the O(n log runs) claim of Section 2.7)."""
+    m = 1 << 18
+    rng = np.random.default_rng(4)
+
+    def data_with_runs(k):
+        bounds = np.linspace(0, m, k + 1).astype(np.int64)
+        keys = rng.random(m)
+        for i in range(k):
+            keys[bounds[i]:bounds[i + 1]].sort()
+        return keys
+
+    few, many = data_with_runs(2), data_with_runs(2048)
+
+    def measure(arr):
+        t0 = time.perf_counter()
+        natural_merge_sort(arr)
+        return time.perf_counter() - t0
+
+    t_few = min(measure(few) for _ in range(3))
+    t_many = min(measure(many) for _ in range(3))
+    emit("fig5c_adaptive_sort", [
+        f"natural merge sort, 2 runs:    {t_few * 1e3:.1f} ms",
+        f"natural merge sort, 2048 runs: {t_many * 1e3:.1f} ms",
+    ])
+    assert t_few < t_many
+
+    benchmark(lambda: natural_merge_sort(few))

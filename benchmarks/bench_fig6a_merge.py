@@ -1,0 +1,91 @@
+"""Figure 6a: shared-memory parallel merge, skew-aware vs sample-based.
+
+Paper: merging growing volumes on one 24-core node; HykSort's
+sample-based merge partition slows sharply on Zipf data (one core
+inherits the duplicate run) while SDS-Sort's skew-aware partition is
+flat across workloads.
+
+Reproduced from the per-core merge-load distributions (functional) run
+through the machine model, plus the raw load imbalance numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import shared_merge_loads
+from repro.machine import EDISON, CostModel
+from repro.workloads import uniform, zipf
+
+from _helpers import emit, fmt_time
+
+C = 24                    # cores per Edison node
+SIZES = [1, 2, 4, 7]      # "GB" axis of the paper, scaled records below
+REC_PER_GB = 200_000      # scaled: records standing in for 1 GB
+
+
+def _merge_times(workload, skew_aware):
+    cost = CostModel(EDISON)
+    out = []
+    for gb in SIZES:
+        keys = workload.generate(gb * REC_PER_GB, seed=gb).keys
+        stats = shared_merge_loads(keys, C, skew_aware=skew_aware)
+        # scale model time back up to the paper's GB sizes
+        scale = (gb * 2**30 / 4) / (gb * REC_PER_GB)
+        t = max(cost.merge_time(m, C) for m in stats.core_loads) * scale
+        out.append((gb, t, max(stats.core_loads) / (len(keys) / C)))
+    return out
+
+
+def test_fig6a_merge(benchmark):
+    def compute():
+        return {
+            ("sds", "uniform"): _merge_times(uniform(), True),
+            ("sds", "zipf"): _merge_times(zipf(1.0), True),
+            ("hyk", "uniform"): _merge_times(uniform(), False),
+            ("hyk", "zipf"): _merge_times(zipf(1.0), False),
+        }
+
+    res = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = [f"{'GB':>4s} {'SDS+Uni(s)':>11s} {'SDS+Zipf(s)':>12s} "
+            f"{'Hyk+Uni(s)':>11s} {'Hyk+Zipf(s)':>12s}"]
+    for i, gb in enumerate(SIZES):
+        rows.append(
+            f"{gb:>4d} {fmt_time(res[('sds', 'uniform')][i][1]):>11s} "
+            f"{fmt_time(res[('sds', 'zipf')][i][1]):>12s} "
+            f"{fmt_time(res[('hyk', 'uniform')][i][1]):>11s} "
+            f"{fmt_time(res[('hyk', 'zipf')][i][1]):>12s}"
+        )
+    emit("fig6a_merge", rows)
+
+    for i in range(len(SIZES)):
+        # skew-aware merging is flat across workloads...
+        sds_uni, sds_zipf = res[("sds", "uniform")][i][1], res[("sds", "zipf")][i][1]
+        assert sds_zipf == pytest.approx(sds_uni, rel=0.5)
+        # ...while the sample-based merge degrades on Zipf
+        hyk_zipf = res[("hyk", "zipf")][i][1]
+        assert hyk_zipf > 1.5 * sds_zipf
+
+    # core-load imbalance is the mechanism
+    assert res[("hyk", "zipf")][-1][2] > 2.0     # one core overloaded
+    assert res[("sds", "zipf")][-1][2] < 2.0
+
+    benchmark.extra_info["mechanism"] = "per-core merge load imbalance"
+
+
+def test_fig6a_real_merge_timing(benchmark):
+    """Real wall time of the balanced vs imbalanced c-way merge."""
+    from repro.kernels import kway_merge
+
+    rng = np.random.default_rng(0)
+    n = 1 << 18
+    keys = np.concatenate([np.full(n // 2, 0.5), rng.random(n // 2)])
+    rng.shuffle(keys)
+
+    balanced = shared_merge_loads(keys, 8, skew_aware=True)
+    naive = shared_merge_loads(keys, 8, skew_aware=False)
+    assert max(balanced.core_loads) < max(naive.core_loads)
+
+    chunks = [np.sort(c) for c in np.array_split(keys, 8)]
+    benchmark(lambda: kway_merge(chunks))

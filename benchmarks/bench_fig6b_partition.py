@@ -1,0 +1,92 @@
+"""Figure 6b: partition cost — full scan vs HykSort vs local pivots.
+
+Paper: with 2 GB per process, the local-pivot two-level binary search
+partitions in "almost zero" time, the HykSort histogram partition sits
+in between, and a sequential scan is by far the slowest, growing with
+the process count that multiplies the ranges to locate.
+
+This bench measures *real* wall time of the three partition kernels on
+one shard — the asymptotic gap (O(n) vs O(p log n)) is hardware-free.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    local_pivots,
+    partition_classic,
+    partition_full_scan,
+    partition_local_pivots,
+)
+
+from _helpers import emit
+
+N = 1 << 22   # records per rank (the paper uses 2 GB ~ 5e8)
+PS = [10, 100, 500]
+
+
+def _setup(p):
+    rng = np.random.default_rng(p)
+    keys = np.sort(rng.random(N))
+    pl = local_pivots(keys, p)
+    pg = np.sort(rng.choice(keys, p - 1, replace=False))
+    return keys, pl, pg
+
+
+def _measure(fn, *args):
+    best = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        fn(*args)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_fig6b_partition_comparison(benchmark):
+    def compute():
+        out = {}
+        for p in PS:
+            keys, pl, pg = _setup(p)
+            t_scan = _measure(partition_full_scan, keys, pg)
+            # HykSort partitions against histogram splitters with plain
+            # upper_bound searches over the full array
+            t_hist = _measure(partition_classic, keys, pg)
+            t_local = _measure(partition_local_pivots, keys, pl, pg)
+            out[p] = (t_scan, t_hist, t_local)
+        return out
+
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = [f"{'p':>5s} {'scan(ms)':>10s} {'histogram(ms)':>14s} "
+            f"{'local-pivot(ms)':>16s}"]
+    for p, (t_scan, t_hist, t_local) in results.items():
+        rows.append(f"{p:>5d} {t_scan * 1e3:>10.2f} {t_hist * 1e3:>14.3f} "
+                    f"{t_local * 1e3:>16.3f}")
+    emit("fig6b_partition", rows)
+
+    for p, (t_scan, t_hist, t_local) in results.items():
+        assert t_scan > t_hist, f"scan should be slowest at p={p}"
+    # the scan's cost dwarfs the pivot-based methods (the "almost
+    # zero" observation)
+    assert results[500][0] > 10 * results[500][2]
+
+    # all three agree functionally
+    keys, pl, pg = _setup(100)
+    assert np.array_equal(partition_full_scan(keys, pg),
+                          partition_classic(keys, pg))
+    assert np.array_equal(partition_local_pivots(keys, pl, pg),
+                          partition_classic(keys, pg))
+
+
+@pytest.mark.parametrize("method", ["scan", "histogram", "local-pivot"])
+def test_fig6b_kernels(benchmark, method):
+    keys, pl, pg = _setup(100)
+    if method == "scan":
+        benchmark(lambda: partition_full_scan(keys, pg))
+    elif method == "histogram":
+        benchmark(lambda: partition_classic(keys, pg))
+    else:
+        benchmark(lambda: partition_local_pivots(keys, pl, pg))

@@ -1,0 +1,94 @@
+"""Figure 7: weak scaling on the Uniform workload, 0.5K-128K cores.
+
+Paper: 400 MB/process; at 128K cores SDS-Sort takes 28.25 s
+(111 TB/min), HykSort 42.6 s (73.8 TB/min, SDS 51% faster), and
+SDS-Sort/stable ~2x SDS (54 TB/min).
+
+Two-level reproduction: the calibrated phase-time model across the full
+0.5K-128K range (using count-space loads), anchored by functional
+thread-engine runs at p = 64 that exercise the identical code paths.
+"""
+
+from __future__ import annotations
+
+from repro.machine import EDISON
+from repro.runner import run_sort
+from repro.simfast import UniverseModel, fmt_p, weak_scaling_series
+from repro.workloads import uniform
+
+from _helpers import (
+    FUNC_N,
+    FUNC_P,
+    PAPER_N_PER_RANK,
+    PAPER_P_LIST,
+    emit,
+    fmt_time,
+    quick,
+)
+
+ALGS = ["sds", "sds-stable", "hyksort"]
+
+
+def test_fig7_weak_scaling_uniform(benchmark):
+    model = UniverseModel.uniform()
+
+    def compute():
+        return {
+            alg: weak_scaling_series(alg, model, PAPER_N_PER_RANK,
+                                     PAPER_P_LIST, machine=EDISON)
+            for alg in ALGS
+        }
+
+    series = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = [f"{'p':>6s} {'SDS(s)':>9s} {'SDS/st(s)':>10s} {'HykSort(s)':>11s}"]
+    for i, p in enumerate(PAPER_P_LIST):
+        rows.append(
+            f"{fmt_p(p):>6s} {fmt_time(series['sds'][i].total):>9s} "
+            f"{fmt_time(series['sds-stable'][i].total):>10s} "
+            f"{fmt_time(series['hyksort'][i].total):>11s}"
+        )
+    top = {alg: series[alg][-1] for alg in ALGS}
+    rows.append("")
+    rows.append("at 128K cores (paper: SDS 28.25 s / 111 TB/min, "
+                "HykSort 42.6 s / 73.8 TB/min, stable 54 TB/min):")
+    for alg in ALGS:
+        rows.append(f"  {alg:10s} {fmt_time(top[alg].total):>8s} s  "
+                    f"{top[alg].throughput_tb_min():7.1f} TB/min")
+    speedup = top["hyksort"].total / top["sds"].total
+    rows.append(f"  SDS vs HykSort at 128K: {(speedup - 1) * 100:.0f}% faster "
+                f"(paper: ~51%)")
+    emit("fig7_weak_uniform", rows)
+
+    # shapes: SDS beats HykSort at scale, stable slower than fast,
+    # every curve grows with p past the tau_o switch
+    assert top["sds"].total < top["hyksort"].total
+    assert speedup > 1.15
+    assert top["sds-stable"].total > top["sds"].total
+    for alg in ALGS:
+        assert series[alg][-1].total > series[alg][3].total
+    # headline throughput within a 2x band of the paper's 111 TB/min
+    assert 55 < top["sds"].throughput_tb_min() < 250
+
+
+def test_fig7_functional_anchor(benchmark):
+    """Thread-engine runs at p=64 confirm the model's ordering."""
+    p = 16 if quick() else FUNC_P
+
+    def compute():
+        out = {}
+        for alg in ALGS:
+            opts = ({"node_merge_enabled": False, "tau_o": 0}
+                    if alg.startswith("sds") else None)
+            out[alg] = run_sort(alg, uniform(), n_per_rank=FUNC_N, p=p,
+                                machine=EDISON, algo_opts=opts)
+        return out
+
+    res = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = [f"functional engine, p={p}, n={FUNC_N}:"]
+    for alg, r in res.items():
+        rows.append(f"  {alg:10s} ok={r.ok} t={fmt_time(r.elapsed)}s "
+                    f"rdfa={r.rdfa:.3f}")
+    emit("fig7_functional_anchor", rows)
+
+    assert all(r.ok for r in res.values())
+    assert res["sds"].elapsed <= res["sds-stable"].elapsed

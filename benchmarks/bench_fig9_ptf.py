@@ -1,0 +1,109 @@
+"""Figure 9 + Table 4 (PTF half): sorting Palomar Transient Factory data.
+
+Paper: 27 GB / 1e9 records of real-bogus scores (delta = 28.02%) on 192
+cores; phase breakdown bars.  HykSort survives (the whole dataset fits
+in one node's 64 GB, so the overloaded rank does not OOM) but is badly
+imbalanced (RDFA 32.68) and 3.4x slower than SDS-Sort; SDS-Sort/stable
+is 2.2x faster than HykSort; SDS RDFA 1.99, stable 1.69.
+
+Functional reproduction on the thread engine at the paper's process
+count (192 simulated ranks) with the dataset scaled down; memory is
+left uncapped for HykSort exactly as the 64 GB single node allowed.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.machine import EDISON
+from repro.runner import run_sort
+from repro.workloads import ptf
+
+from _helpers import emit, fmt_time, quick
+
+P = 192          # the paper's core count
+N = 1500         # records per rank (paper: ~5.2M per rank)
+ALGS = ["hyksort", "sds", "sds-stable"]
+PHASES = ["pivot_selection", "exchange", "local_ordering"]
+
+
+def _phase_rows(name, r):
+    total = r.elapsed
+    shown = {ph: r.phase_times.get(ph, 0.0) for ph in PHASES}
+    other = max(0.0, total - sum(shown.values()))
+    cells = " ".join(f"{ph}={fmt_time(t)}" for ph, t in shown.items())
+    return f"  {name:10s} total={fmt_time(total)}s  {cells} other={fmt_time(other)}"
+
+
+def test_fig9_ptf(benchmark):
+    p = 48 if quick() else P
+
+    def compute():
+        out = {}
+        for alg in ALGS:
+            opts = ({"node_merge_enabled": False, "tau_o": 0}
+                    if alg.startswith("sds") else None)
+            # mem_factor None: the paper notes the full dataset fits in
+            # one node's memory, so HykSort limps through instead of
+            # crashing
+            out[alg] = run_sort(alg, ptf(), n_per_rank=N, p=p,
+                                machine=EDISON, mem_factor=None,
+                                algo_opts=opts, seed=9)
+        return out
+
+    res = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = [f"PTF-like, p={p}, n={N}/rank, delta=28.02%:"]
+    for alg in ALGS:
+        rows.append(_phase_rows(alg, res[alg]))
+    rows.append("")
+    sds_speedup = res["hyksort"].elapsed / res["sds"].elapsed
+    st_speedup = res["hyksort"].elapsed / res["sds-stable"].elapsed
+    rows.append(f"SDS speedup over HykSort:        {sds_speedup:.2f}x "
+                f"(paper: 3.4x)")
+    rows.append(f"SDS/stable speedup over HykSort: {st_speedup:.2f}x "
+                f"(paper: 2.2x)")
+    rows.append("")
+    rows.append(f"{'RDFA':8s} hyksort={res['hyksort'].rdfa:.2f} "
+                f"sds={res['sds'].rdfa:.2f} "
+                f"sds-stable={res['sds-stable'].rdfa:.2f}  "
+                f"(paper: 32.68 / 1.99 / 1.69)")
+    emit("fig9_ptf", rows)
+
+    assert all(r.ok for r in res.values())
+    # who wins, and by what kind of factor
+    assert sds_speedup > 2.0
+    assert st_speedup > 1.3
+    assert sds_speedup > st_speedup
+    # the imbalance mechanism: HykSort RDFA explodes, SDS stays ~2
+    assert res["hyksort"].rdfa > 10
+    assert res["sds"].rdfa < 3
+    assert res["sds-stable"].rdfa < 3
+    # the imbalance shows up in exchange + ordering, not local sort
+    hyk = res["hyksort"].phase_times
+    assert (hyk.get("exchange", 0) + hyk.get("local_ordering", 0)
+            > hyk.get("local_sort", 0))
+
+
+def test_table4_ptf_rdfa(benchmark):
+    """Table 4's PTF row at a larger functional scale."""
+    p = 48 if quick() else P
+
+    def compute():
+        out = {}
+        for alg in ALGS:
+            opts = ({"node_merge_enabled": False, "tau_o": 0}
+                    if alg.startswith("sds") else None)
+            out[alg] = run_sort(alg, ptf(), n_per_rank=3000, p=p,
+                                machine=EDISON, mem_factor=None,
+                                algo_opts=opts, seed=10)
+        return {alg: r.rdfa for alg, r in out.items()}
+
+    rdfas = benchmark.pedantic(compute, rounds=1, iterations=1)
+    emit("table4_ptf_rdfa", [
+        f"{'PTF':12s} hyksort={rdfas['hyksort']:.3f} sds={rdfas['sds']:.3f} "
+        f"sds-stable={rdfas['sds-stable']:.3f}",
+        "paper:       hyksort=32.676 sds=1.991 sds-stable=1.691",
+    ])
+    assert rdfas["hyksort"] > 10
+    assert rdfas["sds"] < 3 and rdfas["sds-stable"] < 3
+    assert not math.isinf(rdfas["hyksort"])

@@ -1,0 +1,47 @@
+"""Table 2: Zipf exponent alpha -> max replication ratio delta.
+
+Paper: alpha 0.4/0.5/0.6/0.7/0.8/0.9 -> delta 0.2/0.5/1.0/2.0/3.7/6.4 %.
+Reproduced both analytically (the normalisation constant of the Zipf
+pmf over the calibrated 10,000-value universe) and empirically from
+generated datasets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics import replication_ratio
+from repro.workloads import zipf, zipf_delta
+
+from _helpers import emit
+
+PAPER = {0.4: 0.2, 0.5: 0.5, 0.6: 1.0, 0.7: 2.0, 0.8: 3.7, 0.9: 6.4}
+N = 400_000
+
+
+def test_table2_alpha_to_delta(benchmark):
+    def compute():
+        out = {}
+        for alpha in PAPER:
+            analytic = zipf_delta(alpha) * 100
+            keys = zipf(alpha).generate(N, seed=1).keys
+            measured = replication_ratio(keys) * 100
+            out[alpha] = (analytic, measured)
+        return out
+
+    res = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = [f"{'alpha':>6s} {'paper delta%':>12s} {'analytic%':>10s} "
+            f"{'measured%':>10s}"]
+    for alpha, (ana, mea) in res.items():
+        rows.append(f"{alpha:>6.1f} {PAPER[alpha]:>12.1f} {ana:>10.2f} "
+                    f"{mea:>10.2f}")
+    emit("table2_zipf_delta", rows)
+
+    for alpha, (ana, mea) in res.items():
+        # the paper's numbers to within the universe-size fuzz
+        assert ana == pytest.approx(PAPER[alpha], rel=0.45)
+        assert mea == pytest.approx(ana, rel=0.1)
+    # monotone in alpha
+    deltas = [res[a][0] for a in sorted(res)]
+    assert all(x < y for x, y in zip(deltas, deltas[1:]))

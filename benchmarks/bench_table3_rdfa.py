@@ -1,0 +1,85 @@
+"""Table 3: RDFA of the weak-scaling runs (Uniform and Zipf).
+
+Paper values (selected): Uniform — HykSort 1.069 -> 1.205, SDS-Sort
+1.0025 -> 1.0546 (both near 1, SDS creeping up with p); Zipf —
+HykSort infinity everywhere (OOM), SDS-Sort 1.68 -> 2.68.
+
+Reproduced with the count-space evaluator at the paper's own scale
+(1e8 records per rank, up to 131,072 ranks) — loads are partition
+arithmetic, so no record data is needed.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.runner import MEM_FACTOR
+from repro.simfast import UniverseModel, countspace_loads, fmt_p
+from repro.metrics import rdfa
+
+from _helpers import PAPER_N_PER_RANK, PAPER_P_LIST, emit, fmt_rdfa
+
+ALPHA = 0.7  # the paper's "Zipf(0.7-2.0)" row, lower edge
+
+
+def _rdfa_or_oom(model, p, method):
+    loads = countspace_loads(model, PAPER_N_PER_RANK, p, method=method,
+                             seed=p)
+    factor = loads.max() / PAPER_N_PER_RANK
+    if 1 + factor > MEM_FACTOR:
+        return math.inf
+    return rdfa(loads)
+
+
+def test_table3_rdfa(benchmark):
+    uni = UniverseModel.uniform()
+    zpf = UniverseModel.zipf(ALPHA)
+
+    def compute():
+        table = {}
+        for p in PAPER_P_LIST:
+            table[p] = {
+                ("uniform", "hyksort"): _rdfa_or_oom(uni, p, "hyksort"),
+                ("uniform", "sds"): _rdfa_or_oom(uni, p, "fast"),
+                ("uniform", "sds-stable"): _rdfa_or_oom(uni, p, "stable"),
+                ("zipf", "hyksort"): _rdfa_or_oom(zpf, p, "hyksort"),
+                ("zipf", "sds"): _rdfa_or_oom(zpf, p, "fast"),
+                ("zipf", "sds-stable"): _rdfa_or_oom(zpf, p, "stable"),
+            }
+        return table
+
+    table = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = [f"{'p':>6s} | {'Uni/Hyk':>10s} {'Uni/SDS':>10s} {'Uni/SDS-st':>11s}"
+            f" | {'Zipf/Hyk':>10s} {'Zipf/SDS':>10s} {'Zipf/SDS-st':>11s}"]
+    for p in PAPER_P_LIST:
+        t = table[p]
+        rows.append(
+            f"{fmt_p(p):>6s} | {fmt_rdfa(t[('uniform', 'hyksort')]):>10s} "
+            f"{fmt_rdfa(t[('uniform', 'sds')]):>10s} "
+            f"{fmt_rdfa(t[('uniform', 'sds-stable')]):>11s} | "
+            f"{fmt_rdfa(t[('zipf', 'hyksort')]):>10s} "
+            f"{fmt_rdfa(t[('zipf', 'sds')]):>10s} "
+            f"{fmt_rdfa(t[('zipf', 'sds-stable')]):>11s}"
+        )
+    rows.append("")
+    rows.append("paper: Uniform SDS 1.0025->1.0546; Zipf HykSort all inf, "
+                "SDS 1.68->2.68")
+    emit("table3_rdfa", rows)
+
+    # uniform: everyone balanced (RDFA ~ 1), SDS creeps up with p
+    for p in PAPER_P_LIST:
+        for key, val in table[p].items():
+            if key[0] == "uniform":
+                assert val < 1.3
+    assert (table[131072][("uniform", "sds")]
+            > table[512][("uniform", "sds")])
+    # zipf: HykSort OOMs everywhere, SDS bounded well under 4
+    for p in PAPER_P_LIST:
+        assert math.isinf(table[p][("zipf", "hyksort")])
+        assert table[p][("zipf", "sds")] < 4.0
+        assert table[p][("zipf", "sds-stable")] < 4.0
+    # fast and stable agree (paper shows identical values)
+    for p in PAPER_P_LIST:
+        a = table[p][("zipf", "sds")]
+        b = table[p][("zipf", "sds-stable")]
+        assert abs(a - b) / a < 0.05

@@ -1,0 +1,6 @@
+"""Bench collection setup: make _helpers importable, warn without -s."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""PTF transient-detection pipeline: sort sky-survey detections by score.
+
+The paper's first real workload (Section 4.2): the Palomar Transient
+Factory real/bogus classifier emits a score per detection; downstream
+vetting wants detections ordered by that score.  The score column is
+heavily duplicated (delta = 28.02% — bogus detections pinned at the
+default score), which is exactly the regime where histogram-based
+sorters fall over.
+
+This example sorts a PTF-like catalogue with stable SDS-Sort (so
+detections with equal scores stay in observation order), then walks the
+globally sorted output to produce the follow-up shortlist — the
+highest-scoring candidates — and a score histogram.
+
+    python examples/ptf_pipeline.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import SdsParams, sds_sort
+from repro.machine import EDISON
+from repro.metrics import check_sorted, rdfa, replication_ratio
+from repro.mpi import run_spmd
+from repro.records import tag_provenance
+from repro.workloads import ptf
+
+P = 24                # one simulated Edison node
+N_PER_RANK = 40_000
+SHORTLIST = 10
+
+
+def rank_program(comm):
+    shard = ptf().shard(N_PER_RANK, comm.size, comm.rank, seed=7)
+    shard = tag_provenance(shard, comm.rank)
+    out = sds_sort(comm, shard, SdsParams(stable=True))
+    return shard, out.batch
+
+
+def main() -> None:
+    print(f"PTF-like catalogue: {P * N_PER_RANK:,} detections on {P} ranks")
+    res = run_spmd(rank_program, P, machine=EDISON)
+    inputs = [r[0] for r in res.results]
+    outputs = [r[1] for r in res.results]
+    check_sorted(inputs, outputs, stable=True)
+
+    all_scores = np.concatenate([b.keys for b in inputs])
+    print(f"score replication ratio delta = "
+          f"{replication_ratio(all_scores) * 100:.2f}% (paper: 28.02%)")
+    print(f"post-sort load balance: RDFA = "
+          f"{rdfa([len(b) for b in outputs]):.3f} despite the skew")
+
+    # the shortlist lives at the top of the last non-empty ranks
+    print(f"\ntop {SHORTLIST} transient candidates (highest real/bogus score):")
+    remaining = SHORTLIST
+    for batch in reversed(outputs):
+        if remaining == 0 or len(batch) == 0:
+            continue
+        take = min(remaining, len(batch))
+        sl = batch.slice(len(batch) - take, len(batch))
+        for i in range(take - 1, -1, -1):
+            print(f"  score={sl.keys[i]:.4f}  ra={sl.payload['ra'][i]:7.2f}  "
+                  f"dec={sl.payload['dec'][i]:+6.2f}  mjd={sl.payload['mjd'][i]:.1f}")
+        remaining -= take
+
+    # a quick score histogram straight off the sorted partitions
+    edges = np.linspace(0.0, 1.0, 11)
+    counts = np.zeros(10, dtype=np.int64)
+    for batch in outputs:
+        counts += np.histogram(batch.keys, bins=edges)[0]
+    print("\nscore distribution:")
+    for lo, hi, c in zip(edges[:-1], edges[1:], counts):
+        bar = "#" * int(60 * c / counts.max())
+        print(f"  [{lo:.1f},{hi:.1f}) {c:8d} {bar}")
+
+    print(f"\nsimulated sort time: {res.elapsed * 1e3:.1f} ms on "
+          f"{EDISON.name}")
+
+
+if __name__ == "__main__":
+    main()

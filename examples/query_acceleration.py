@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Query acceleration: why data systems sort (the paper's motivation).
+
+The introduction motivates parallel sorting with data management
+systems — SciDB and the Scientific Data Services framework "sort
+large-scale data records in parallel to improve the locality of data
+accesses".  This example shows that payoff end to end: a particle
+catalogue is range-queried first in its raw arrival order (every rank
+scans everything) and then after one SDS-Sort pass (each query touches
+one or two ranks and binary-searches within them).
+
+    python examples/query_acceleration.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core import SdsParams, sds_sort
+from repro.machine import EDISON
+from repro.mpi import run_spmd
+from repro.records import RecordBatch
+from repro.workloads import gaussian
+
+P = 16
+N_PER_RANK = 60_000
+QUERIES = [(-0.5, -0.45), (0.0, 0.02), (1.0, 1.2), (2.5, 2.6)]
+
+
+def build_and_sort(comm):
+    shard = gaussian().shard(N_PER_RANK, comm.size, comm.rank, seed=13)
+    out = sds_sort(comm, shard, SdsParams())
+    return shard, out.batch
+
+
+def scan_query(shards, lo, hi):
+    """Unsorted layout: every shard must be fully scanned."""
+    hits = 0
+    touched = 0
+    for s in shards:
+        touched += 1
+        hits += int(np.count_nonzero((s.keys >= lo) & (s.keys < hi)))
+    return hits, touched
+
+
+def index_query(sorted_shards, bounds, lo, hi):
+    """Sorted layout: locate the owning ranks, binary search inside."""
+    hits = 0
+    touched = 0
+    for (smin, smax), s in zip(bounds, sorted_shards):
+        if smax < lo or smin >= hi or len(s) == 0:
+            continue
+        touched += 1
+        a = np.searchsorted(s.keys, lo, side="left")
+        b = np.searchsorted(s.keys, hi, side="left")
+        hits += int(b - a)
+    return hits, touched
+
+
+def main() -> None:
+    print(f"catalogue: {P * N_PER_RANK:,} gaussian keys on {P} ranks")
+    res = run_spmd(build_and_sort, P, machine=EDISON)
+    raw = [r[0] for r in res.results]
+    srt = [r[1] for r in res.results]
+    bounds = [
+        (float(s.keys[0]), float(s.keys[-1])) if len(s) else (np.inf, -np.inf)
+        for s in srt
+    ]
+    print(f"one-time sort cost: {res.elapsed * 1e3:.1f} simulated ms\n")
+
+    print(f"{'range':>16s} {'hits':>8s} {'scan ranks':>11s} "
+          f"{'index ranks':>12s} {'scan(ms)':>9s} {'index(ms)':>10s}")
+    total_speedup = []
+    for lo, hi in QUERIES:
+        t0 = time.perf_counter()
+        h1, touched1 = scan_query(raw, lo, hi)
+        t_scan = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        h2, touched2 = index_query(srt, bounds, lo, hi)
+        t_index = time.perf_counter() - t0
+        assert h1 == h2, "sorted layout must return identical results"
+        total_speedup.append(t_scan / max(t_index, 1e-9))
+        print(f"[{lo:+.2f},{hi:+.2f}) {h1:>8,d} {touched1:>11d} "
+              f"{touched2:>12d} {t_scan * 1e3:>9.2f} {t_index * 1e3:>10.3f}")
+
+    print(f"\nmedian query speedup after sorting: "
+          f"{sorted(total_speedup)[len(total_speedup) // 2]:.0f}x "
+          f"(and only 1-2 ranks touched instead of {P})")
+    print("this locality win is what SciDB/SDS pay the sort for — and why "
+          "the sort\nitself must not fall over on skewed science data.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Skew stress test: where do sorting algorithms break, and why?
+
+Sweeps the duplicate ratio from harmless to brutal and races SDS-Sort
+against classic samplesort partitioning and HykSort on the simulated
+cluster — the live version of the paper's Figure 6c, with the
+per-algorithm load profile made visible.
+
+    python examples/skew_stress.py
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.machine import EDISON
+from repro.runner import run_sort
+from repro.viz import sparkline
+from repro.workloads import zipf
+
+P = 64
+N = 1200
+ALPHAS = [0.4, 0.6, 0.8, 1.0, 1.4, 2.1]
+
+
+def main() -> None:
+    print(f"p = {P} simulated ranks, {N} records/rank, Edison memory "
+          f"ratio 6.7x\n")
+    print(f"{'delta%':>7s} | {'SDS rdfa':>9s} {'classic rdfa':>13s} "
+          f"{'HykSort':>10s} | SDS load profile")
+    rows = []
+    for alpha in ALPHAS:
+        wl = zipf(alpha)
+        delta = wl.meta["delta"] * 100
+        sds = run_sort("sds", wl, n_per_rank=N, p=P, machine=EDISON,
+                       algo_opts={"node_merge_enabled": False, "tau_o": 0})
+        classic = run_sort(
+            "sds", wl, n_per_rank=N, p=P, machine=EDISON, mem_factor=None,
+            algo_opts={"node_merge_enabled": False, "tau_o": 0,
+                       "skew_aware": False})
+        hyk = run_sort("hyksort", wl, n_per_rank=N, p=P, machine=EDISON)
+        hyk_cell = "OOM" if hyk.oom else f"{hyk.rdfa:.2f}"
+        print(f"{delta:>7.2f} | {sds.rdfa:>9.3f} {classic.rdfa:>13.3f} "
+              f"{hyk_cell:>10s} | {sparkline(sds.loads)}")
+        rows.append((delta, sds, classic, hyk))
+
+    print("\nwhat happened:")
+    worst = rows[-1]
+    print(f"- at delta = {worst[0]:.1f}% the classic partition piles "
+          f"{worst[2].rdfa:.1f}x the average load onto one rank")
+    dead = [r for r in rows if r[3].oom]
+    if dead:
+        print(f"- HykSort first dies of OOM at delta = {dead[0][0]:.2f}% "
+              f"(duplicates exceed the rank memory budget)")
+    print(f"- SDS-Sort's worst RDFA across the sweep: "
+          f"{max(r[1].rdfa for r in rows):.3f} "
+          f"(Theorem 1 bounds the max load at 4x average)")
+    times = [r[1].elapsed for r in rows]
+    print(f"- SDS-Sort simulated time is flat: "
+          f"{min(times) * 1e3:.2f}-{max(times) * 1e3:.2f} ms across the sweep")
+
+
+if __name__ == "__main__":
+    main()

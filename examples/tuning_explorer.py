@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Tuning explorer: derive tau_m / tau_o / tau_s for any machine.
+
+Section 4.1.1 of the paper finds SDS-Sort's three thresholds
+empirically on Edison.  Because the thresholds are crossovers of cost
+curves, the same exploration runs in milliseconds against a machine
+model — and shows how they move on different hardware (the reason the
+paper made the decisions *dynamic* in the first place).
+
+    python examples/tuning_explorer.py
+"""
+
+from __future__ import annotations
+
+from repro.machine import EDISON, EDISON_SLOW_NET, LAPTOP, MachineSpec
+from repro.simfast import (
+    crossover,
+    fig5a_merging,
+    fig5b_overlap,
+    fig5c_local_order,
+)
+
+MB = 2**20
+DATA_SIZES = [m * MB for m in (2, 4, 8, 16, 32, 64, 128, 160, 192, 256,
+                               512, 1024, 2048, 4096)]
+P_LIST = [256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536]
+
+
+def derive_taus(machine: MachineSpec) -> dict[str, str]:
+    """Locate the three crossovers on one machine model."""
+    xm = crossover(fig5a_merging(machine, DATA_SIZES))
+    xo = crossover(fig5b_overlap(machine, P_LIST))
+    xs = crossover(fig5c_local_order(machine, P_LIST))
+    return {
+        "tau_m": "always merge" if xm is None else f"{xm / MB:.0f} MB/node",
+        "tau_o": "always overlap" if xo is None else f"{xo:.0f} processes",
+        "tau_s": "always merge" if xs is None else f"{xs:.0f} processes",
+    }
+
+
+def main() -> None:
+    machines = [
+        EDISON,
+        EDISON_SLOW_NET,
+        LAPTOP,
+        EDISON.with_overrides(name="edison-fat-nodes", cores_per_node=48),
+        EDISON.with_overrides(name="edison-fast-cpu",
+                              sort_cost_per_cmp=1.0e-9,
+                              merge_cost_per_elem=1.5e-9),
+    ]
+    print(f"{'machine':20s} {'tau_m':>18s} {'tau_o':>18s} {'tau_s':>18s}")
+    for m in machines:
+        taus = derive_taus(m)
+        print(f"{m.name:20s} {taus['tau_m']:>18s} {taus['tau_o']:>18s} "
+              f"{taus['tau_s']:>18s}")
+    print("\npaper (measured on Edison): tau_m ~ 160 MB, tau_o ~ 4096, "
+          "tau_s ~ 4000")
+    print("note how each threshold shifts with the hardware — the reason "
+          "SDS-Sort\nselects these strategies dynamically.")
+
+
+if __name__ == "__main__":
+    main()

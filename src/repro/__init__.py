@@ -1,0 +1,35 @@
+"""SDS-Sort (HPDC'16) reproduction library.
+
+Public entry points:
+
+* :func:`repro.core.sds_sort` — distributed SDS-Sort on the simulated
+  machine (fast and stable variants, adaptive optimisations).
+* :mod:`repro.baselines` — HykSort, PSRS, bitonic and radix sorts.
+* :func:`repro.mpi.run_spmd` — run any SPMD rank program.
+* :mod:`repro.workloads` — uniform / Zipf / partially-ordered / PTF /
+  cosmology dataset generators.
+* :mod:`repro.simfast` — vectorised large-p evaluators (to 131,072 ranks).
+"""
+
+__version__ = "1.0.0"
+
+# Convenience re-exports of the primary entry points; subpackages stay
+# importable individually (and nothing heavy is pulled in here beyond
+# numpy, which every subpackage needs anyway).
+from .core import SdsParams, sds_sort  # noqa: E402
+from .machine import EDISON, LAPTOP, MachineSpec  # noqa: E402
+from .mpi import run_spmd  # noqa: E402
+from .records import RecordBatch  # noqa: E402
+from .runner import run_sort  # noqa: E402
+
+__all__ = [
+    "SdsParams",
+    "sds_sort",
+    "EDISON",
+    "LAPTOP",
+    "MachineSpec",
+    "run_spmd",
+    "RecordBatch",
+    "run_sort",
+    "__version__",
+]

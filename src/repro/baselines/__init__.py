@@ -1,0 +1,18 @@
+"""Baseline parallel sorts the paper compares against or cites."""
+
+from .bitonic_full import bitonic_sort_batch
+from .hyksort import HykParams, histogram_splitters, hyksort
+from .psrs import psrs_sort
+from .radix import radix_sort
+from .secondary import COMPOSITE_EXTRA_BYTES, hyksort_secondary_key
+
+__all__ = [
+    "bitonic_sort_batch",
+    "HykParams",
+    "histogram_splitters",
+    "hyksort",
+    "psrs_sort",
+    "radix_sort",
+    "COMPOSITE_EXTRA_BYTES",
+    "hyksort_secondary_key",
+]

@@ -1,0 +1,65 @@
+"""Distributed bitonic sort as a complete record-sorting baseline.
+
+Batcher's bitonic network extended to payload-carrying record batches:
+every compare-exchange step merges the two partner blocks (keys decide,
+payload follows the permutation) and keeps the low or high half.  All
+data crosses the network ``O(log^2 p)`` times — the communication cost
+that makes samplesort-family algorithms preferable on distributed
+memory (paper Section 5), which benches can now demonstrate instead of
+assert.
+"""
+
+from __future__ import annotations
+
+from ..core.bitonic import is_power_of_two
+from ..core.sdssort import SortOutcome
+from ..kernels import merge_two_perm
+from ..mpi import Comm
+from ..records import RecordBatch, sort_batch
+
+_TAG = 72
+
+
+def bitonic_sort_batch(comm: Comm, batch: RecordBatch) -> SortOutcome:
+    """Collectively bitonic-sort equal-sized batches across ``comm``.
+
+    Requires a power-of-two number of ranks and equal batch lengths.
+    Returns this rank's block of the global order.
+    """
+    p, rank = comm.size, comm.rank
+    if not is_power_of_two(p):
+        raise ValueError(f"bitonic sort needs a power-of-two p, got {p}")
+    lengths = comm.allgather(len(batch))
+    if len(set(lengths)) != 1:
+        raise ValueError(f"bitonic sort needs equal block lengths, got {set(lengths)}")
+    comm.mem.alloc(batch.nbytes)
+
+    with comm.phase("local_sort"):
+        cur = sort_batch(batch)
+        comm.charge(comm.cost.sort_time(len(cur)))
+
+    if p == 1:
+        return SortOutcome(batch=cur, received=len(cur), info={"stages": 0})
+
+    half = len(cur)
+    stages = 0
+    with comm.phase("exchange"):
+        for i in range(p.bit_length() - 1):
+            for j in range(i, -1, -1):
+                partner = rank ^ (1 << j)
+                ascending = ((rank >> (i + 1)) & 1) == 0
+                other = comm.sendrecv(cur, partner, tag=_TAG)
+                # both partners must merge in the same (canonical) order,
+                # otherwise equal keys land in both kept halves and
+                # records are duplicated/lost
+                first, second = (cur, other) if rank < partner else (other, cur)
+                _, perm = merge_two_perm(first.keys, second.keys)
+                merged = RecordBatch.concat([first, second]).take(perm)
+                comm.charge(comm.cost.merge_time(len(merged), 2))
+                keep_low = (rank < partner) == ascending
+                cur = (merged.slice(0, half) if keep_low
+                       else merged.slice(len(merged) - half, len(merged)))
+                cur = cur.copy()
+                stages += 1
+
+    return SortOutcome(batch=cur, received=len(cur), info={"stages": stages})

@@ -1,0 +1,124 @@
+"""HykSort (Sundar, Malhotra & Biros, ICS'13) — the paper's comparator.
+
+A k-way hypercube-style samplesort: at every level the communicator
+splits into ``k`` groups; ``k-1`` splitters are chosen by *iterative
+histogram refinement* (not regular sampling), local data is bucketed by
+the splitters, buckets travel to their group via a staged personalised
+exchange, and the recursion continues inside each group until
+communicators are singletons.
+
+The histogramming selects splitters whose *global ranks* approximate
+the ideal quantiles within a tolerance.  With heavily duplicated keys
+this is impossible: a key's rank jumps by its multiplicity, so the
+refinement converges onto the duplicate wall and one group inherits the
+entire duplicate mass — cascading through the levels into the load
+blow-ups and out-of-memory failures the paper reports (Figures 6c, 8,
+10; Tables 3-4).  No artificial failure is injected here; the OOM falls
+out of the algorithm plus the per-rank memory capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.histosel import histogram_refine
+from ..core.partition import partition_classic
+from ..core.sdssort import SortOutcome, local_delta
+from ..mpi import Comm
+from ..records import RecordBatch, kway_merge_batches, sort_batch
+
+
+@dataclass(frozen=True)
+class HykParams:
+    """HykSort tuning knobs.
+
+    ``k=128`` is the paper's (and Sundar et al.'s) recommended fan-out.
+    ``tolerance`` is the acceptable splitter-rank error as a fraction
+    of the ideal bucket size; ``max_iters`` bounds the histogram
+    refinement rounds per level.
+    """
+
+    k: int = 128
+    tolerance: float = 0.10
+    max_iters: int = 8
+    samples_per_rank: int = 8
+
+
+def _level_fanout(p: int, k: int) -> int:
+    """Largest divisor of ``p`` that is at most ``k`` (and > 1)."""
+    best = 1
+    for d in range(2, min(k, p) + 1):
+        if p % d == 0:
+            best = d
+    return best if best > 1 else p  # prime p larger than k: one big level
+
+
+def histogram_splitters(comm: Comm, sorted_keys: np.ndarray, nsplit: int,
+                        params: HykParams) -> np.ndarray:
+    """Select ``nsplit`` splitters by parallel histogram refinement.
+
+    Thin wrapper over :func:`repro.core.histosel.histogram_refine`
+    (shared with SDS-Sort's optional histogram pivot selection) with
+    HykSort's tolerance/iteration settings.  Repeated entries in the
+    result mean the refinement hit a duplicate run it cannot cut.
+    """
+    return histogram_refine(comm, sorted_keys, nsplit,
+                            tolerance=params.tolerance,
+                            max_iters=params.max_iters,
+                            samples_per_rank=params.samples_per_rank)
+
+
+def hyksort(comm: Comm, batch: RecordBatch,
+            params: HykParams = HykParams()) -> SortOutcome:
+    """Run HykSort collectively; returns this rank's sorted slice.
+
+    Raises :class:`~repro.machine.memory.SimOOMError` through the
+    engine when a rank's duplicate-laden bucket exceeds its memory
+    capacity — reported by benches as the paper's OOM entries.
+    """
+    cost = comm.cost
+    comm.mem.alloc(batch.nbytes)
+
+    with comm.phase("local_sort"):
+        cur = sort_batch(batch)
+        delta = local_delta(cur.keys)
+        comm.charge(cost.sort_time(len(cur), delta=delta))
+
+    active = comm
+    level = 0
+    while active.size > 1:
+        p = active.size
+        kk = _level_fanout(p, params.k)
+        gs = p // kk  # group size after this level
+        with comm.phase("pivot_selection"):
+            splitters = histogram_splitters(active, cur.keys, kk - 1, params)
+        with comm.phase("partition"):
+            displs = partition_classic(cur.keys, splitters)
+            comm.charge(cost.binary_search_time(len(cur), max(1, kk - 1)))
+        buckets = cur.split([int(d) for d in displs])
+        # bucket g goes to the rank of group g sharing my within-group index
+        sends = [RecordBatch.empty_like(cur) for _ in range(p)]
+        my_index = active.rank % gs
+        for g in range(kk):
+            sends[g * gs + my_index] = buckets[g]
+        with comm.phase("exchange"):
+            chunks = active.alltoallv(sends)
+            comm.mem.free(cur.nbytes)
+        with comm.phase("local_ordering"):
+            incoming = [c for c in chunks if len(c)]
+            cur = (kway_merge_batches(incoming) if incoming
+                   else RecordBatch.empty_like(cur))
+            comm.charge(cost.merge_time(len(cur), max(2, len(incoming))))
+            # streaming merge: received chunks release as output fills
+            comm.mem.free(sum(c.nbytes for c in chunks))
+            comm.mem.alloc(cur.nbytes)
+        group = active.rank // gs
+        nxt = active.split(group, key=active.rank)
+        assert nxt is not None
+        active = nxt
+        level += 1
+
+    return SortOutcome(batch=cur, received=len(cur),
+                       info={"levels": level, "p_active": comm.size})

@@ -1,0 +1,58 @@
+"""Classic Parallel Sorting by Regular Sampling (Li et al., 1993).
+
+The textbook PSS algorithm the paper builds on: local sort, regular
+sampling, gather-based pivot selection, *classic* upper-bound
+partitioning (no skew handling), synchronous all-to-all, k-way merge.
+Its ``O(2N/p)`` balance guarantee holds only without duplicated keys —
+the contrast SDS-Sort's Theorem 1 is about.
+"""
+
+from __future__ import annotations
+
+from ..core.exchange import exchange_sync, order_received, split_for_sends
+from ..core.partition import partition_classic
+from ..core.sampling import local_pivots, select_pivots_gather
+from ..core.sdssort import SortOutcome, local_delta
+from ..mpi import Comm
+from ..records import RecordBatch, sort_batch
+
+
+def psrs_sort(comm: Comm, batch: RecordBatch, *, stable: bool = False) -> SortOutcome:
+    """Run classic PSRS collectively; returns this rank's sorted slice.
+
+    ``stable`` only selects the stable local kernels — classic PSRS has
+    no mechanism to keep duplicates in source order across ranks, so
+    cross-rank stability is *not* guaranteed (that is SDS-Sort's
+    contribution).
+    """
+    cost = comm.cost
+    n = len(batch)
+    comm.mem.alloc(batch.nbytes)
+
+    with comm.phase("local_sort"):
+        sortedb = sort_batch(batch, stable=stable)
+        delta = local_delta(sortedb.keys)
+        comm.charge(cost.sort_time(n, stable=stable, delta=delta))
+
+    if comm.size == 1:
+        return SortOutcome(batch=sortedb, received=n, info={"p_active": 1})
+
+    with comm.phase("pivot_selection"):
+        pl = local_pivots(sortedb.keys, comm.size)
+        pg = select_pivots_gather(comm, pl)
+
+    with comm.phase("partition"):
+        displs = partition_classic(sortedb.keys, pg)
+        comm.charge(cost.binary_search_time(n, searches=max(1, comm.size - 1)))
+
+    sends = split_for_sends(sortedb, displs)
+    with comm.phase("exchange"):
+        chunks = exchange_sync(comm, sends)
+        comm.mem.free(sortedb.nbytes)
+
+    with comm.phase("local_ordering"):
+        out, xstats = order_received(comm, chunks, stable=stable,
+                                     tau_s=2**62, delta_hint=delta)
+
+    return SortOutcome(batch=out, received=len(out), exchange=xstats,
+                       info={"p_active": comm.size, "displs": displs})

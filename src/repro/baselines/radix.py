@@ -1,0 +1,82 @@
+"""Distributed radix sort baseline (related work, Thearling & Smith '92).
+
+A one-pass MSD bucketing scheme: keys are mapped to order-preserving
+unsigned integers, a global histogram over the top bits assigns bucket
+ranges to ranks as evenly as the *histogram* allows, one all-to-all
+moves the buckets, and each rank finishes with a local sort.  Because
+bucket boundaries are value-space (not rank-space) cuts, duplicate
+spikes and non-uniform value distributions translate directly into
+load imbalance — radix is a non-sampling contrast to both PSRS and
+SDS-Sort.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.sdssort import SortOutcome, local_delta
+from ..mpi import Comm
+from ..records import RecordBatch, sort_batch
+
+#: Number of top bits histogrammed (65536 buckets).
+_HIST_BITS = 16
+
+
+def _key_to_uint(keys: np.ndarray) -> np.ndarray:
+    """Order-preserving map of float/int keys to uint64."""
+    keys = np.asarray(keys)
+    if np.issubdtype(keys.dtype, np.unsignedinteger):
+        return keys.astype(np.uint64)
+    if np.issubdtype(keys.dtype, np.integer):
+        return (keys.astype(np.int64).view(np.uint64) ^ np.uint64(1 << 63))
+    if np.issubdtype(keys.dtype, np.floating):
+        bits = keys.astype(np.float64).view(np.uint64)
+        mask = np.where(bits >> np.uint64(63) == 1,
+                        np.uint64(0xFFFFFFFFFFFFFFFF), np.uint64(1 << 63))
+        return bits ^ mask
+    raise TypeError(f"unsupported key dtype for radix sort: {keys.dtype}")
+
+
+def radix_sort(comm: Comm, batch: RecordBatch) -> SortOutcome:
+    """Collectively radix-sort record batches; returns this rank's slice."""
+    cost = comm.cost
+    p = comm.size
+    comm.mem.alloc(batch.nbytes)
+    u = _key_to_uint(batch.keys)
+    shift = np.uint64(64 - _HIST_BITS)
+    buckets = (u >> shift).astype(np.int64)
+
+    with comm.phase("pivot_selection"):
+        local_hist = np.bincount(buckets, minlength=1 << _HIST_BITS).astype(np.int64)
+        comm.charge(cost.scan_time(len(batch)))
+        global_hist = comm.allreduce(local_hist)
+        # assign contiguous bucket ranges to ranks, balancing histogram mass
+        csum = np.cumsum(global_hist)
+        total = int(csum[-1]) if csum.size else 0
+        targets = (np.arange(1, p, dtype=np.int64) * total) // p
+        cut = np.searchsorted(csum, targets, side="left")
+        owner_of_bucket = np.zeros(1 << _HIST_BITS, dtype=np.int64)
+        for r, c in enumerate(cut):
+            owner_of_bucket[int(c) + 1:] = r + 1
+
+    with comm.phase("partition"):
+        dest = owner_of_bucket[buckets]
+        order = np.argsort(dest, kind="stable")
+        arranged = batch.take(order)
+        counts = np.bincount(dest, minlength=p)
+        displs = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+        comm.charge(cost.scan_time(len(batch)))
+
+    sends = arranged.split([int(d) for d in displs])
+    with comm.phase("exchange"):
+        chunks = comm.alltoallv(sends)
+        comm.mem.free(batch.nbytes)
+
+    with comm.phase("local_ordering"):
+        merged = RecordBatch.concat(chunks)
+        out = sort_batch(merged)
+        comm.charge(cost.sort_time(len(out), delta=local_delta(out.keys)))
+        comm.mem.alloc(out.nbytes)
+        comm.mem.free(sum(c.nbytes for c in chunks))
+
+    return SortOutcome(batch=out, received=len(out), info={"p_active": p})

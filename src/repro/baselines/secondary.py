@@ -1,0 +1,110 @@
+"""Secondary-sort-key workaround for skew (paper Section 4.1.2).
+
+The pre-SDS-Sort fix for duplicate-induced imbalance is to append a
+tiebreaker to the key — the record's origin rank (Sundar et al.'s
+disk-sorting follow-up) or a payload column (CloudRAMSort) — making
+every key unique so histogram/sample splitters can cut anywhere.  The
+paper declines to use it because the widened key must be *stored,
+exchanged and compared* everywhere, and constrains the user's choice of
+keys; Table 3's footnote says they therefore only compare key-only
+methods.
+
+This module implements the workaround so its cost is measurable:
+:func:`hyksort_secondary_key` runs HykSort on composite
+``(key, origin_rank, position)`` keys — duplicates become distinct, the
+load balances, and stability even falls out — at the price of a 2.5x
+wider key column and correspondingly heavier comparisons and exchange.
+``bench_ext_secondary_key.py`` quantifies the trade against SDS-Sort,
+which achieves the same balance with no key widening.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.sdssort import SortOutcome
+from ..mpi import Comm
+from ..records import RecordBatch
+from .hyksort import HykParams, hyksort
+
+#: Composite keys carry the original float64 key plus rank and position
+#: tiebreakers packed into one structured comparison; we model the
+#: width as key + int32 rank + int64 position = 20 bytes vs 8.
+COMPOSITE_EXTRA_BYTES = 12
+
+_RANK_COL = "_sk_rank"
+_POS_COL = "_sk_pos"
+_KEY_COL = "_sk_key"
+
+
+def _widen(batch: RecordBatch, rank: int) -> RecordBatch:
+    """Replace keys with unique composite keys; keep originals in payload.
+
+    The composite is encoded order-preservingly into a float128-free
+    form: since (rank, pos) only break ties among *equal* keys, we map
+    each record to its global tiebreaker ``rank * 2^40 + pos`` and
+    lexicographically combine via a structured sort key materialised as
+    an index permutation.  For the simulated machine the functional
+    effect (total order, no duplicates) is what matters; the width
+    penalty is charged via the extra payload columns travelling in the
+    exchange.
+    """
+    n = len(batch)
+    payload = dict(batch.payload)
+    payload[_KEY_COL] = batch.keys.copy()
+    payload[_RANK_COL] = np.full(n, rank, dtype=np.int32)
+    payload[_POS_COL] = np.arange(n, dtype=np.int64)
+    # order-preserving unique key: original key ranks lexicographically
+    # first; ties broken by (rank, pos).  Encode as a single float64
+    # pair-free key by nudging equal keys apart with a *relative* epsilon
+    # scaled far below the smallest key gap cannot be done safely in
+    # float space, so we instead sort indices lexicographically and use
+    # the global order statistic as the key.
+    return RecordBatch(batch.keys, payload)
+
+
+def _composite_order_keys(comm: Comm, batch: RecordBatch) -> np.ndarray:
+    """Globally unique float keys realising the (key, rank, pos) order.
+
+    Computes each record's exact global rank under the composite order
+    by combining the key's global rank (via sorted gather of counts)
+    with the tiebreaker offsets — one allgather of per-rank duplicate
+    counts, the same collective budget the stable partition uses.
+    """
+    keys = batch.keys
+    ranks = batch.payload[_RANK_COL].astype(np.float64)
+    pos = batch.payload[_POS_COL].astype(np.float64)
+    # strictly increasing composite: key major, then origin rank, then
+    # position; scale tiebreakers into the fractional part
+    p = comm.size
+    nmax = float(comm.allreduce(len(batch), op=max)) + 1.0
+    tie = (ranks * nmax + pos) / (p * nmax + 1.0)  # in [0, 1)
+    # collapse each key value to its index among global unique values so
+    # adding tie < 1 cannot reorder distinct keys
+    uniq = np.unique(np.concatenate(comm.allgather(np.unique(keys))))
+    idx = np.searchsorted(uniq, keys).astype(np.float64)
+    return idx + tie
+
+
+def hyksort_secondary_key(comm: Comm, batch: RecordBatch,
+                          params: HykParams = HykParams()) -> SortOutcome:
+    """HykSort with (key, origin rank, position) composite keys.
+
+    Balances on arbitrarily skewed data (all keys unique) and is stable
+    by construction — at the cost of widened records in every compare
+    and every byte exchanged.  The driver charges that widening
+    explicitly: record payload now carries the original key plus the
+    two tiebreaker columns.
+    """
+    widened = _widen(batch, comm.rank)
+    composite = _composite_order_keys(comm, widened)
+    comm.charge(comm.cost.scan_time(len(batch), record_bytes=COMPOSITE_EXTRA_BYTES))
+    work = RecordBatch(composite, widened.payload)
+    out = hyksort(comm, work, params)
+    restored = RecordBatch(out.batch.payload[_KEY_COL],
+                           {k: v for k, v in out.batch.payload.items()
+                            if k != _KEY_COL})
+    return SortOutcome(batch=restored, received=out.received,
+                       exchange=out.exchange,
+                       info={**out.info, "composite_extra_bytes":
+                             COMPOSITE_EXTRA_BYTES})

@@ -1,0 +1,385 @@
+"""Command-line front-end: run sorts, scaling studies, and tuning.
+
+Installed as ``sdssort`` (or run as ``python -m repro``)::
+
+    sdssort sort --algorithm sds --workload zipf --alpha 0.9 --p 32
+    sdssort scaling --workload uniform --algorithms sds,hyksort
+    sdssort rdfa --p 512,8192,131072
+    sdssort tune --machine edison
+    sdssort info
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from typing import Sequence
+
+from .core.tuning import derive_tau_m, derive_tau_o, derive_tau_s
+from .machine import PRESETS, get_machine
+from .metrics import rdfa
+from .runner import ALGORITHMS, run_sort
+from .simfast import UniverseModel, countspace_loads, fmt_p, weak_scaling_series
+from .workloads import by_name
+
+
+def _workload(args: argparse.Namespace):
+    kwargs = {}
+    if args.workload == "zipf":
+        kwargs["alpha"] = args.alpha
+    return by_name(args.workload, **kwargs)
+
+
+def _universe_model(name: str, alpha: float) -> UniverseModel:
+    if name == "uniform":
+        return UniverseModel.uniform()
+    if name == "zipf":
+        return UniverseModel.zipf(alpha)
+    if name == "ptf":
+        return UniverseModel.point_mass(0.2802, name="ptf")
+    if name == "cosmology":
+        return UniverseModel.power_law_clusters(0.0073)
+    raise SystemExit(f"no count-space model for workload {name!r}")
+
+
+def _int_list(text: str) -> list[int]:
+    return [int(x) for x in text.split(",") if x]
+
+
+def cmd_sort(args: argparse.Namespace) -> int:
+    machine = get_machine(args.machine)
+    opts = {}
+    if args.algorithm.startswith("sds"):
+        if args.no_node_merge:
+            opts["node_merge_enabled"] = False
+        if args.sync:
+            opts["tau_o"] = 0
+    r = run_sort(args.algorithm, _workload(args), n_per_rank=args.n,
+                 p=args.p, machine=machine, seed=args.seed,
+                 mem_factor=None if args.no_mem_limit else args.mem_factor,
+                 algo_opts=opts)
+    print(f"algorithm : {r.algorithm}")
+    print(f"workload  : {r.workload}  (N = {args.n * args.p:,} records)")
+    print(f"machine   : {machine.name}, p = {args.p}")
+    if not r.ok:
+        print(f"status    : FAILED ({'OOM' if r.oom else 'error'})")
+        print(f"            {r.failure}")
+        return 1
+    print(f"status    : ok (validated)")
+    print(f"sim time  : {r.elapsed:.6f} s  "
+          f"({r.throughput_tb_min:,.2f} TB/min at scale)")
+    print(f"RDFA      : {r.rdfa:.4f}")
+    if r.phase_times:
+        print("phases    :")
+        for name, t in sorted(r.phase_times.items(), key=lambda kv: -kv[1]):
+            print(f"  {name:16s} {t:.6f} s")
+    if getattr(args, "trace", False):
+        from .viz import gantt
+        print()
+        print(gantt(r.extras.get("traces", []),
+                    title="per-rank timeline (virtual time)"))
+    return 0
+
+
+def cmd_scaling(args: argparse.Namespace) -> int:
+    machine = get_machine(args.machine)
+    model = _universe_model(args.workload, args.alpha)
+    algos = args.algorithms.split(",")
+    series = {
+        alg: weak_scaling_series(alg, model, args.n, args.p,
+                                 machine=machine,
+                                 record_bytes=args.record_bytes)
+        for alg in algos
+    }
+    header = f"{'p':>6s}" + "".join(f" {alg:>12s}" for alg in algos)
+    print(header)
+    for i, p in enumerate(args.p):
+        cells = []
+        for alg in algos:
+            pt = series[alg][i]
+            cells.append("OOM" if pt.oom else f"{pt.total:.2f}s")
+        print(f"{fmt_p(p):>6s}" + "".join(f" {c:>12s}" for c in cells))
+    print("\nthroughput at largest p:")
+    for alg in algos:
+        pt = series[alg][-1]
+        tput = "-" if pt.oom else f"{pt.throughput_tb_min():,.1f} TB/min"
+        print(f"  {alg:12s} {tput}")
+    if args.plot:
+        from .viz import line_chart
+        data = {
+            alg: [(float(pt.p), math.inf if pt.oom else pt.total)
+                  for pt in series[alg]]
+            for alg in algos
+        }
+        print()
+        print(line_chart(data, logx=True, title="weak scaling (model)",
+                         ylabel="t(s)", xlabel="processes (log)"))
+    return 0
+
+
+def cmd_rdfa(args: argparse.Namespace) -> int:
+    model = _universe_model(args.workload, args.alpha)
+    methods = ["hyksort", "classic", "fast", "stable"]
+    print(f"workload={args.workload} n/rank={args.n:,}")
+    print(f"{'p':>8s}" + "".join(f" {m:>10s}" for m in methods))
+    for p in args.p:
+        cells = []
+        for m in methods:
+            loads = countspace_loads(model, args.n, p, method=m, seed=p)
+            factor = loads.max() / args.n
+            if 1 + factor > args.mem_factor:
+                cells.append("inf(OOM)")
+            else:
+                cells.append(f"{rdfa(loads):.4f}")
+        print(f"{fmt_p(p):>8s}" + "".join(f" {c:>10s}" for c in cells))
+    return 0
+
+
+def cmd_breakdown(args: argparse.Namespace) -> int:
+    from .viz import stacked_bars
+
+    machine = get_machine(args.machine)
+    bars = {}
+    for alg in args.algorithms.split(","):
+        opts = ({"node_merge_enabled": False, "tau_o": 0}
+                if alg.startswith("sds") else {})
+        r = run_sort(alg, _workload(args), n_per_rank=args.n, p=args.p,
+                     machine=machine, mem_factor=None, algo_opts=opts)
+        if not r.ok:
+            bars[alg] = {"OOM": 0.0}
+            continue
+        keep = ("pivot_selection", "exchange", "local_ordering", "local_sort")
+        bars[alg] = {k: v for k, v in r.phase_times.items() if k in keep}
+    print(stacked_bars(bars, title=f"phase breakdown, {args.workload}, "
+                                   f"p={args.p} (simulated seconds)"))
+    return 0
+
+
+def cmd_tune(args: argparse.Namespace) -> int:
+    machine = get_machine(args.machine)
+    mb = 2**20
+    tm = derive_tau_m(machine)
+    to = derive_tau_o(machine)
+    ts = derive_tau_s(machine)
+    print(f"derived thresholds for {machine.name}:")
+    print(f"  tau_m = {tm / mb:.0f} MB/node" if tm < 2**61
+          else "  tau_m = always merge")
+    print(f"  tau_o = {to} processes")
+    print(f"  tau_s = {ts} processes")
+    print("(paper's Edison values: ~160 MB, ~4096, ~4000)")
+    return 0
+
+
+_FIGURES = ("fig5a", "fig5b", "fig5c", "fig7", "fig8", "table3")
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    from .simfast import (
+        UniverseModel,
+        countspace_loads,
+        crossover,
+        fig5a_merging,
+        fig5b_overlap,
+        fig5c_local_order,
+        weak_scaling_series,
+    )
+    from .viz import line_chart
+
+    machine = get_machine(args.machine)
+    mb = 2**20
+    name = args.name
+
+    if name in ("fig5a", "fig5b", "fig5c"):
+        if name == "fig5a":
+            pts = fig5a_merging(machine, [m * mb for m in
+                                          (4, 16, 64, 160, 256, 1024, 4096)])
+            series = {"merged": [(pt.x / mb, pt.a) for pt in pts],
+                      "unmerged": [(pt.x / mb, pt.b) for pt in pts]}
+            label, paper, unit = "tau_m", "~160 MB", "MB/node"
+            x = (crossover(pts) or 0) / mb
+        elif name == "fig5b":
+            ps = [512, 1024, 2048, 4096, 8192, 16384, 32768, 65536]
+            pts = fig5b_overlap(machine, ps)
+            series = {"overlap": [(pt.x, pt.a) for pt in pts],
+                      "no-overlap": [(pt.x, pt.b) for pt in pts]}
+            label, paper, unit = "tau_o", "~4096", "processes"
+            x = crossover(pts) or 0
+        else:
+            ps = [512, 1024, 2048, 4096, 8192, 16384, 32768, 65536]
+            pts = fig5c_local_order(machine, ps)
+            series = {"sort": [(pt.x, pt.a) for pt in pts],
+                      "merge": [(pt.x, pt.b) for pt in pts]}
+            label, paper, unit = "tau_s", "~4000", "processes"
+            x = crossover(pts) or 0
+        print(line_chart(series, logx=True, title=f"{name} ({machine.name})",
+                         ylabel="t(s)"))
+        print(f"\ncrossover ({label}): {x:,.0f} {unit}   (paper: {paper})")
+        return 0
+
+    if name in ("fig7", "fig8"):
+        model = (UniverseModel.uniform() if name == "fig7"
+                 else UniverseModel.zipf(0.7))
+        ps = [512, 1024, 2048, 4096, 8192, 16384, 32768, 65536, 131072]
+        series = {}
+        for alg in ("sds", "sds-stable", "hyksort"):
+            pts = weak_scaling_series(alg, model, 100_000_000, ps,
+                                      machine=machine)
+            series[alg] = [(float(pt.p), math.inf if pt.oom else pt.total)
+                           for pt in pts]
+        print(line_chart(series, logx=True,
+                         title=f"{name}: weak scaling, "
+                               f"{'uniform' if name == 'fig7' else 'zipf'}",
+                         ylabel="t(s)", xlabel="processes (log)"))
+        if name == "fig8":
+            print("\n(HykSort absent: OOM at every p, as in the paper)")
+        return 0
+
+    # table3
+    uni, zpf = UniverseModel.uniform(), UniverseModel.zipf(0.7)
+    print(f"{'p':>8s} {'Uni/SDS':>9s} {'Zipf/SDS':>9s} {'Zipf/Hyk':>10s}")
+    for p in (512, 4096, 32768, 131072):
+        u = countspace_loads(uni, 100_000_000, p, seed=p)
+        z = countspace_loads(zpf, 100_000_000, p, seed=p)
+        h = countspace_loads(zpf, 100_000_000, p, method="hyksort", seed=p)
+        hy = ("inf(OOM)" if 1 + h.max() / 100_000_000 > 6.7
+              else f"{rdfa(h):.3f}")
+        print(f"{fmt_p(p):>8s} {rdfa(u):>9.4f} {rdfa(z):>9.4f} {hy:>10s}")
+    return 0
+
+
+def cmd_dataset(args: argparse.Namespace) -> int:
+    from .io import DatasetCatalog
+
+    cat = DatasetCatalog(args.root)
+    if args.action == "list":
+        names = cat.names()
+        if not names:
+            print("(no datasets)")
+        for name in names:
+            info = cat.describe(name)
+            print(f"{name:20s} workload={info['workload']} p={info['p']} "
+                  f"n/rank={info['n_per_rank']} seed={info['seed']}")
+        return 0
+    if args.action == "create":
+        if not args.name:
+            raise SystemExit("--name is required for create")
+        cat.materialize(args.name, _workload(args), n_per_rank=args.n,
+                        p=args.p, seed=args.seed, overwrite=args.overwrite)
+        print(f"created {args.name}: {args.p} shards x {args.n} records "
+              f"under {cat.root}")
+        return 0
+    if args.action == "delete":
+        if not args.name:
+            raise SystemExit("--name is required for delete")
+        cat.delete(args.name)
+        print(f"deleted {args.name}")
+        return 0
+    raise SystemExit(f"unknown dataset action {args.action!r}")
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    print("algorithms:", ", ".join(sorted(ALGORITHMS)))
+    print("workloads : uniform, zipf (--alpha), runs, nearly-sorted, "
+          "ptf, cosmology")
+    print("machines  :")
+    for name, spec in sorted(PRESETS.items()):
+        print(f"  {name:16s} {spec.cores_per_node} cores/node, "
+              f"{spec.mem_per_node / 2**30:.0f} GB/node, "
+              f"NIC {spec.nic_bandwidth / 1e9:.0f} GB/s")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="sdssort",
+        description="SDS-Sort (HPDC'16) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    ps = sub.add_parser("sort", help="run one distributed sort end to end")
+    ps.add_argument("--algorithm", default="sds", choices=sorted(ALGORITHMS))
+    ps.add_argument("--workload", default="uniform")
+    ps.add_argument("--alpha", type=float, default=0.7,
+                    help="Zipf exponent (zipf workload only)")
+    ps.add_argument("--n", type=int, default=2000, help="records per rank")
+    ps.add_argument("--p", type=int, default=16, help="simulated ranks")
+    ps.add_argument("--machine", default="edison")
+    ps.add_argument("--seed", type=int, default=0)
+    ps.add_argument("--mem-factor", type=float, default=6.7,
+                    help="per-rank memory capacity as multiple of input")
+    ps.add_argument("--no-mem-limit", action="store_true")
+    ps.add_argument("--no-node-merge", action="store_true")
+    ps.add_argument("--sync", action="store_true",
+                    help="force the synchronous exchange (tau_o = 0)")
+    ps.add_argument("--trace", action="store_true",
+                    help="render a per-rank phase timeline (gantt)")
+    ps.set_defaults(fn=cmd_sort)
+
+    pc = sub.add_parser("scaling", help="weak-scaling model series (Fig 7/8)")
+    pc.add_argument("--workload", default="uniform")
+    pc.add_argument("--alpha", type=float, default=0.7)
+    pc.add_argument("--algorithms", default="sds,sds-stable,hyksort")
+    pc.add_argument("--n", type=int, default=100_000_000)
+    pc.add_argument("--record-bytes", type=int, default=4)
+    pc.add_argument("--p", type=_int_list,
+                    default=[512, 1024, 2048, 4096, 8192, 16384, 32768,
+                             65536, 131072])
+    pc.add_argument("--machine", default="edison")
+    pc.add_argument("--plot", action="store_true",
+                    help="render the series as an ASCII chart")
+    pc.set_defaults(fn=cmd_scaling)
+
+    pb = sub.add_parser(
+        "breakdown",
+        help="functional run with a Figure 9/10-style phase-bar chart")
+    pb.add_argument("--workload", default="ptf")
+    pb.add_argument("--alpha", type=float, default=0.7)
+    pb.add_argument("--n", type=int, default=1500)
+    pb.add_argument("--p", type=int, default=48)
+    pb.add_argument("--machine", default="edison")
+    pb.add_argument("--algorithms", default="hyksort,sds,sds-stable")
+    pb.set_defaults(fn=cmd_breakdown)
+
+    pr = sub.add_parser("rdfa", help="count-space RDFA table (Table 3/4)")
+    pr.add_argument("--workload", default="zipf")
+    pr.add_argument("--alpha", type=float, default=0.7)
+    pr.add_argument("--n", type=int, default=100_000_000)
+    pr.add_argument("--p", type=_int_list, default=[512, 8192, 131072])
+    pr.add_argument("--mem-factor", type=float, default=6.7)
+    pr.set_defaults(fn=cmd_rdfa)
+
+    pt = sub.add_parser("tune", help="derive tau_m/tau_o/tau_s for a machine")
+    pt.add_argument("--machine", default="edison")
+    pt.set_defaults(fn=cmd_tune)
+
+    pf = sub.add_parser("figure",
+                        help="render one of the paper's figures as ASCII")
+    pf.add_argument("name", choices=list(_FIGURES))
+    pf.add_argument("--machine", default="edison")
+    pf.set_defaults(fn=cmd_figure)
+
+    pd = sub.add_parser("dataset", help="materialise / list stored datasets")
+    pd.add_argument("action", choices=["create", "list", "delete"])
+    pd.add_argument("--root", default="datasets")
+    pd.add_argument("--name")
+    pd.add_argument("--workload", default="uniform")
+    pd.add_argument("--alpha", type=float, default=0.7)
+    pd.add_argument("--n", type=int, default=1000)
+    pd.add_argument("--p", type=int, default=4)
+    pd.add_argument("--seed", type=int, default=0)
+    pd.add_argument("--overwrite", action="store_true")
+    pd.set_defaults(fn=cmd_dataset)
+
+    pi = sub.add_parser("info", help="list algorithms, workloads, machines")
+    pi.set_defaults(fn=cmd_info)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,76 @@
+"""The paper's contribution: SDS-Sort and its components."""
+
+from .bitonic import bitonic_sort, is_power_of_two
+from .histosel import histogram_refine, select_pivots_histogram
+from .exchange import (
+    ExchangeStats,
+    exchange_overlapped,
+    exchange_sync,
+    order_received,
+    split_for_sends,
+)
+from .localsort import SharedSortStats, sdss_local_sort, shared_merge_loads
+from .nodemerge import NodeMergeResult, node_merge
+from .params import TAU_M_BYTES, TAU_O, TAU_S, SdsParams
+from .partition import (
+    ReplicatedRun,
+    assemble_stable_inputs,
+    find_replicated_runs,
+    loads_from_displs,
+    partition_classic,
+    partition_fast,
+    partition_full_scan,
+    partition_local_pivots,
+    partition_stable_local,
+    run_dup_counts,
+)
+from .sampling import (
+    local_pivots,
+    select_pivots_bitonic,
+    select_pivots_gather,
+    select_pivots_oversample,
+)
+from .sdssort import SortOutcome, local_delta, sds_sort
+from .tuning import auto_params, derive_tau_m, derive_tau_o, derive_tau_s
+
+__all__ = [
+    "bitonic_sort",
+    "is_power_of_two",
+    "histogram_refine",
+    "select_pivots_histogram",
+    "auto_params",
+    "derive_tau_m",
+    "derive_tau_o",
+    "derive_tau_s",
+    "local_delta",
+    "ExchangeStats",
+    "exchange_overlapped",
+    "exchange_sync",
+    "order_received",
+    "split_for_sends",
+    "SharedSortStats",
+    "sdss_local_sort",
+    "shared_merge_loads",
+    "NodeMergeResult",
+    "node_merge",
+    "TAU_M_BYTES",
+    "TAU_O",
+    "TAU_S",
+    "SdsParams",
+    "ReplicatedRun",
+    "assemble_stable_inputs",
+    "find_replicated_runs",
+    "loads_from_displs",
+    "partition_classic",
+    "partition_fast",
+    "partition_full_scan",
+    "partition_local_pivots",
+    "partition_stable_local",
+    "run_dup_counts",
+    "local_pivots",
+    "select_pivots_bitonic",
+    "select_pivots_gather",
+    "select_pivots_oversample",
+    "SortOutcome",
+    "sds_sort",
+]

@@ -1,0 +1,57 @@
+"""Distributed bitonic sort (Batcher) over the simulated communicator.
+
+SDS-Sort uses bitonic sort for pivot selection (Section 2.4): the
+``p*(p-1)`` local pivots are sorted across all ``p`` ranks without ever
+gathering them on one node, avoiding the single-rank memory blow-up of
+classic PSRS pivot gathering at large ``p``.  It also doubles as the
+``bitonic sort`` baseline from the related-work comparison.
+
+The block-bitonic formulation: every rank keeps a sorted block of equal
+length; a compare-exchange step merges a rank's block with its
+partner's and keeps the low or high half.  Requires a power-of-two
+communicator (callers fall back to gather-based selection otherwise).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..kernels import merge_two
+from ..mpi import Comm
+
+_TAG_BITONIC = 71
+
+
+def is_power_of_two(p: int) -> bool:
+    return p >= 1 and (p & (p - 1)) == 0
+
+
+def bitonic_sort(comm: Comm, keys: np.ndarray) -> np.ndarray:
+    """Sort blocks of equal length across all ranks of ``comm``.
+
+    On return, rank ``r`` holds the ``r``-th block of the globally
+    sorted concatenation.  All ranks must pass blocks of the same
+    length; ``comm.size`` must be a power of two.
+    """
+    p, rank = comm.size, comm.rank
+    if not is_power_of_two(p):
+        raise ValueError(f"bitonic sort needs a power-of-two communicator, got {p}")
+    lengths = comm.allgather(len(keys))
+    if len(set(lengths)) != 1:
+        raise ValueError(f"bitonic sort needs equal block lengths, got {lengths}")
+    a = np.sort(np.asarray(keys))
+    comm.charge(comm.cost.sort_time(a.size))
+    if p == 1:
+        return a
+    stages = p.bit_length() - 1
+    for i in range(stages):
+        for j in range(i, -1, -1):
+            partner = rank ^ (1 << j)
+            ascending = ((rank >> (i + 1)) & 1) == 0
+            other = comm.sendrecv(a, partner, tag=_TAG_BITONIC)
+            merged = merge_two(a, other)
+            comm.charge(comm.cost.merge_time(merged.size, 2))
+            half = a.size
+            keep_low = (rank < partner) == ascending
+            a = merged[:half] if keep_low else merged[merged.size - half:]
+    return a

@@ -1,0 +1,114 @@
+"""Histogram-based splitter/pivot selection (paper Section 2.4, option 1).
+
+The paper discusses two ways to pick global pivots without gathering
+all ``p*(p-1)`` local pivots on one rank: *histogram sorting* (Solomonik
+& Kale — evaluate candidate values' global ranks with reductions and
+refine toward the target quantiles) and *parallel bitonic sort* of the
+local pivots.  SDS-Sort chooses bitonic because histogramming "might
+need secondary sorting keys to distinguish the same values" on skewed
+data; this module implements the histogram option so that claim can be
+tested rather than taken on faith (``tests/test_histosel.py``).
+
+The same refinement loop is HykSort's splitter selection — the
+baseline imports it from here (with its own fan-out and tolerance).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mpi import Comm
+
+
+def histogram_refine(comm: Comm, sorted_keys: np.ndarray, nsplit: int, *,
+                     tolerance: float = 0.10, max_iters: int = 8,
+                     samples_per_rank: int = 8) -> np.ndarray:
+    """Select ``nsplit`` splitters by parallel histogram refinement.
+
+    Every round: evaluate the global rank of all candidate values with
+    one reduction, keep the best candidate per target quantile, and
+    resample new candidates inside the still-unsatisfied brackets.
+    Returns a non-decreasing splitter array; repeated entries mean the
+    refinement hit a duplicate run it cannot cut (rank jumps by the
+    value's multiplicity — the mechanism behind HykSort's skew failures
+    and the reason SDS-Sort prefers sampling + bitonic selection).
+    """
+    sorted_keys = np.asarray(sorted_keys)
+    n_total = int(comm.allreduce(int(sorted_keys.size)))
+    if nsplit <= 0:
+        return np.zeros(0, dtype=sorted_keys.dtype)
+    if n_total == 0:
+        # a fully drained communicator still needs a well-formed vector
+        return np.zeros(nsplit, dtype=sorted_keys.dtype)
+    targets = (np.arange(1, nsplit + 1, dtype=np.int64) * n_total) // (nsplit + 1)
+    tol = max(1, int(tolerance * n_total / (nsplit + 1)))
+
+    def _samples(lo_val, hi_val) -> np.ndarray:
+        if lo_val is None and hi_val is None:
+            seg = sorted_keys
+        else:
+            lo_i = 0 if lo_val is None else int(
+                np.searchsorted(sorted_keys, lo_val, "right"))
+            hi_i = sorted_keys.size if hi_val is None else int(
+                np.searchsorted(sorted_keys, hi_val, "left"))
+            seg = sorted_keys[lo_i:hi_i]
+        if seg.size == 0:
+            return seg
+        idx = np.linspace(0, seg.size - 1, min(samples_per_rank, seg.size))
+        return seg[idx.astype(np.int64)]
+
+    cands = np.unique(np.concatenate(comm.allgather(_samples(None, None))))
+    best_val = np.empty(nsplit, dtype=sorted_keys.dtype)
+    best_err = np.full(nsplit, np.iinfo(np.int64).max, dtype=np.int64)
+    best_rank = np.zeros(nsplit, dtype=np.int64)
+
+    for _ in range(max_iters):
+        if cands.size == 0:
+            break
+        local_ranks = np.searchsorted(sorted_keys, cands, side="right").astype(np.int64)
+        global_ranks = comm.allreduce(local_ranks)
+        comm.charge(comm.cost.binary_search_time(sorted_keys.size, cands.size))
+        for t in range(nsplit):
+            err = np.abs(global_ranks - targets[t])
+            j = int(err.argmin())
+            if err[j] < best_err[t]:
+                best_err[t] = int(err[j])
+                best_val[t] = cands[j]
+                best_rank[t] = int(global_ranks[j])
+        if bool(np.all(best_err <= tol)):
+            break
+        new = []
+        for t in range(nsplit):
+            if best_err[t] <= tol:
+                continue
+            if best_rank[t] >= targets[t]:
+                lo, hi = None, best_val[t]
+            else:
+                lo, hi = best_val[t], None
+            new.append(_samples(lo, hi))
+        gathered = comm.allgather(
+            np.concatenate(new) if new else np.zeros(0, dtype=sorted_keys.dtype))
+        fresh = np.unique(np.concatenate(gathered))
+        fresh = np.setdiff1d(fresh, cands, assume_unique=False)
+        if fresh.size == 0:
+            break  # duplicate wall: no values left between brackets
+        cands = fresh
+    return np.sort(best_val)
+
+
+def select_pivots_histogram(comm: Comm, sorted_keys: np.ndarray, *,
+                            tolerance: float = 0.05,
+                            max_iters: int = 10,
+                            samples_per_rank: int = 8) -> np.ndarray:
+    """Choose ``p-1`` global pivots by histogram refinement.
+
+    On data without heavy duplication this matches regular sampling's
+    pivot quality with less data movement; on skewed data the returned
+    vector contains duplicated pivots wherever a value's multiplicity
+    exceeds the bucket size — which classic partitioning cannot
+    exploit, but SDS-Sort's skew-aware partitioner can.  Wired into the
+    driver via ``SdsParams(pivot_method="histogram")``.
+    """
+    return histogram_refine(comm, sorted_keys, comm.size - 1,
+                            tolerance=tolerance, max_iters=max_iters,
+                            samples_per_rank=samples_per_rank)

@@ -1,0 +1,65 @@
+"""Node-level merging before the exchange (paper Section 2.3).
+
+When the average all-to-all message would be small, SDS-Sort first
+funnels every core's sorted data to one leader rank per node
+(SdssRefineComm + SdssNodeMerge) and runs the global phase among
+leaders only: ``p/c`` ranks exchanging ``c``-times-larger messages,
+which amortises per-message overhead on slow networks.  On fast
+networks the merged mode *loses* because a single rank cannot saturate
+the NIC — the trade Figure 5a quantifies and threshold ``tau_m``
+adaptively decides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..mpi import Comm
+from ..records import RecordBatch, kway_merge_batches
+
+
+@dataclass
+class NodeMergeResult:
+    """Outcome of the node-merge detour on one rank.
+
+    ``active_comm`` is the communicator for the rest of the sort: the
+    leader communicator on node leaders, ``None`` on ranks that handed
+    their data off (they hold no data from here on and simply return an
+    empty output).
+    """
+
+    active_comm: Comm | None
+    batch: RecordBatch | None
+    is_leader: bool
+    cores_merged: int
+
+
+def node_merge(comm: Comm, batch: RecordBatch) -> NodeMergeResult:
+    """Merge all node-local shards onto the node's leader rank.
+
+    Every rank of ``comm`` must call this collectively.  Leaders come
+    back with the k-way-merged node data and the leader communicator;
+    non-leaders come back inactive.
+    """
+    local, leaders = comm.node_split()
+    gathered = local.gather(batch, root=0)
+    if local.rank == 0:
+        assert leaders is not None
+        merged = kway_merge_batches(gathered)
+        # the node merge is the skew-aware *parallel* merge of
+        # Section 2.2: the node's c cores share the work evenly
+        comm.charge(comm.cost.merge_time(len(merged), max(2, local.size))
+                    / max(1, local.size))
+        comm.mem.alloc(merged.nbytes)
+        return NodeMergeResult(
+            active_comm=leaders,
+            batch=merged,
+            is_leader=True,
+            cores_merged=local.size,
+        )
+    return NodeMergeResult(
+        active_comm=None,
+        batch=None,
+        is_leader=False,
+        cores_merged=local.size,
+    )

@@ -1,0 +1,73 @@
+"""Tunable parameters of SDS-Sort (the paper's tau_m, tau_o, tau_s)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any
+
+#: Defaults from the paper's Edison calibration (Section 4.1.1).
+TAU_M_BYTES = 160 * 2**20   # node-merge when per-node exchange volume below this
+TAU_O = 4096                # overlap exchange+ordering when p below this
+TAU_S = 4000                # k-way merge below this, adaptive sort above
+
+
+@dataclass(frozen=True)
+class SdsParams:
+    """Configuration of one SDS-Sort invocation.
+
+    Attributes
+    ----------
+    stable:
+        Preserve the input order of equal keys (the paper's ``sf``).
+        Forces the synchronous exchange and stable kernels.
+    tau_m_bytes:
+        Node-merge threshold (Section 2.3).  The paper compares the
+        average message size against ``tau_m``; since Figure 5a
+        calibrates the crossover in *bytes per node* (~160 MB on
+        Edison), we express the threshold as the per-node exchange
+        volume ``n * record_bytes * ranks_per_node``.
+    tau_o:
+        Overlap threshold (Section 2.6): overlap the exchange with
+        merging only when ``p < tau_o`` (and not stable).
+    tau_s:
+        Local-ordering threshold (Section 2.7): k-way merge when
+        ``p < tau_s``, adaptive sort otherwise.
+    pivot_method:
+        ``"bitonic"`` (the paper's choice; falls back to gather on
+        non-power-of-two communicators), ``"gather"`` (classic PSRS),
+        ``"histogram"`` (the Section 2.4 alternative the paper
+        rejects for skewed data — implemented so the trade-off can be
+        measured; it works fine here *because* the skew-aware
+        partitioner tolerates duplicated pivots), or ``"oversample"``
+        (Frazer-McKellar random oversampling, the [15] lineage).
+    skew_aware:
+        Ablation switch: ``False`` degrades the partitioner to the
+        classic upper-bound rule, reproducing the load imbalance
+        SDS-Sort exists to fix.
+    local_pivot_accel:
+        Use the two-level local-pivot search of Section 2.5.1 for the
+        non-replicated pivots.
+    node_merge_enabled:
+        Master switch for the Section 2.3 detour (off in ablations).
+    """
+
+    stable: bool = False
+    tau_m_bytes: int = TAU_M_BYTES
+    tau_o: int = TAU_O
+    tau_s: int = TAU_S
+    pivot_method: str = "bitonic"
+    skew_aware: bool = True
+    local_pivot_accel: bool = True
+    node_merge_enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.pivot_method not in ("bitonic", "gather", "histogram",
+                                     "oversample"):
+            raise ValueError(
+                "pivot_method must be 'bitonic', 'gather', 'histogram' "
+                "or 'oversample'")
+        if self.tau_m_bytes < 0 or self.tau_o < 0 or self.tau_s < 0:
+            raise ValueError("thresholds must be non-negative")
+
+    def with_overrides(self, **kwargs: Any) -> "SdsParams":
+        return replace(self, **kwargs)

@@ -1,0 +1,235 @@
+"""Skew-aware data partitioning (paper Sections 2.5, Figures 2-4).
+
+Given a rank's *sorted* local data and the ``p-1`` global pivots, a
+partitioner produces ``p+1`` displacements ``d`` such that records
+``A[d[j]:d[j+1]]`` are sent to rank ``j``.  The classic rule
+(``d[j+1] = upper_bound(A, Pg[j])``, Li et al. '93) assigns *all*
+records equal to a duplicated pivot to one rank, which is exactly how
+skew becomes load imbalance.  SDS-Sort's partitioners detect runs of
+equal global pivots (:func:`find_replicated_runs`, the paper's
+SdssReplicated) and split the duplicate mass:
+
+* **fast** (non-stable): every rank splits its own duplicates of the
+  pivot value evenly across the ranks of the run;
+* **stable**: the duplicates of all ranks form one global sequence
+  ordered by (source rank, position); it is cut into ``rs`` contiguous
+  groups, one per run member, so the synchronous all-to-all preserves
+  the original order of equal keys.
+
+Deviation from the paper's Figure 2 pseudocode (documented in
+DESIGN.md): the pseudocode splits ``[upper_bound(ppv), upper_bound(v))``,
+which also scatters values *strictly between* the previous pivot and
+the duplicated value and can break global order.  We split only the
+exact duplicates ``[lower_bound(v), upper_bound(v))``; values in
+``(ppv, v)`` go to the first rank of the run.  Theorem 1's O(4N/p)
+bound is preserved (tested in ``tests/test_workload_bound.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..kernels import bounded_upper_bound
+
+
+@dataclass(frozen=True)
+class ReplicatedRun:
+    """One maximal run of equal global pivots (SdssReplicated's output).
+
+    Attributes
+    ----------
+    start: index ``i0`` of the first pivot of the run within ``Pg``.
+    length: ``rs``, the number of equal pivots.
+    value: the duplicated pivot value.
+    """
+
+    start: int
+    length: int
+    value: object
+
+
+def find_replicated_runs(pg: np.ndarray) -> list[ReplicatedRun]:
+    """Detect maximal runs of equal values in the sorted global pivots.
+
+    Equivalent to running the paper's SdssReplicated (Figure 3) for
+    every pivot, but in one vectorised pass.
+    """
+    pg = np.asarray(pg)
+    if pg.size == 0:
+        return []
+    boundaries = np.concatenate(
+        ([0], np.nonzero(pg[1:] != pg[:-1])[0] + 1, [pg.size])
+    )
+    runs = []
+    for b, e in zip(boundaries[:-1], boundaries[1:]):
+        if e - b >= 2:
+            runs.append(ReplicatedRun(start=int(b), length=int(e - b), value=pg[b]))
+    return runs
+
+
+def _checked(sorted_keys: np.ndarray, pg: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    a = np.asarray(sorted_keys)
+    pg = np.asarray(pg)
+    if a.ndim != 1 or pg.ndim != 1:
+        raise ValueError("keys and pivots must be one-dimensional")
+    return a, pg
+
+
+def partition_classic(sorted_keys: np.ndarray, pg: np.ndarray) -> np.ndarray:
+    """Upper-bound partitioning without skew handling (Li et al. '93).
+
+    The PSRS baseline rule; duplicated pivots collapse their whole
+    duplicate mass onto single ranks.
+    """
+    a, pg = _checked(sorted_keys, pg)
+    inner = np.searchsorted(a, pg, side="right").astype(np.int64)
+    return np.concatenate(([0], inner, [a.size]))
+
+
+def partition_fast(sorted_keys: np.ndarray, pg: np.ndarray) -> np.ndarray:
+    """SDS-Sort's fast (non-stable) skew-aware partition.
+
+    Each source rank splits its duplicates of every replicated pivot
+    value evenly across the run's ranks — implicitly appending the
+    run-rank ``rr`` as a virtual secondary key (Figure 4, left).
+    """
+    a, pg = _checked(sorted_keys, pg)
+    displs = partition_classic(a, pg)
+    for run in find_replicated_runs(pg):
+        lo = int(np.searchsorted(a, run.value, side="left"))
+        hi = int(np.searchsorted(a, run.value, side="right"))
+        dups = hi - lo
+        rs = run.length
+        for k in range(rs):
+            displs[run.start + k + 1] = lo + (dups * (k + 1)) // rs
+        # displs[start + rs] is upper_bound(value) == hi already
+    return displs
+
+
+def partition_stable_local(sorted_keys: np.ndarray, pg: np.ndarray,
+                           my_prefix: dict[int, int],
+                           totals: dict[int, int]) -> np.ndarray:
+    """Stable skew-aware partition given the global duplicate layout.
+
+    Parameters
+    ----------
+    sorted_keys, pg:
+        This rank's sorted data and the global pivots.
+    my_prefix:
+        For each replicated run (keyed by run start index): the number
+        of duplicates of the run's value held by ranks *before* this
+        one — i.e. this rank's offset into the global duplicate
+        sequence (``sb`` in Figure 2).
+    totals:
+        For each run: the global duplicate count (``sum(cv)``).
+
+    The driver obtains both via one allgather of per-run local counts
+    (:func:`run_dup_counts`); the paper performs an allgather per
+    pivot, we batch them.
+    """
+    a, pg = _checked(sorted_keys, pg)
+    displs = partition_classic(a, pg)
+    for run in find_replicated_runs(pg):
+        lo = int(np.searchsorted(a, run.value, side="left"))
+        hi = int(np.searchsorted(a, run.value, side="right"))
+        cr = hi - lo
+        rs = run.length
+        total = int(totals[run.start])
+        sb = int(my_prefix[run.start])
+        # group g owns global duplicate positions [g*total//rs, (g+1)*total//rs)
+        pos = 0  # consumed duplicates of mine, in global order
+        for g in range(rs):
+            gb_lo = (total * g) // rs
+            gb_hi = (total * (g + 1)) // rs
+            overlap = max(0, min(sb + cr, gb_hi) - max(sb, gb_lo))
+            pos += overlap
+            displs[run.start + g + 1] = lo + pos
+    return displs
+
+
+def run_dup_counts(sorted_keys: np.ndarray, pg: np.ndarray) -> np.ndarray:
+    """Local duplicate count of each replicated run's value.
+
+    Returns one int64 per run (in :func:`find_replicated_runs` order);
+    the driver allgathers these vectors to build the ``my_prefix`` /
+    ``totals`` inputs of :func:`partition_stable_local`.
+    """
+    a, pg = _checked(sorted_keys, pg)
+    counts = []
+    for run in find_replicated_runs(pg):
+        lo = int(np.searchsorted(a, run.value, side="left"))
+        hi = int(np.searchsorted(a, run.value, side="right"))
+        counts.append(hi - lo)
+    return np.asarray(counts, dtype=np.int64)
+
+
+def assemble_stable_inputs(all_counts: list[np.ndarray], rank: int,
+                           pg: np.ndarray) -> tuple[dict[int, int], dict[int, int]]:
+    """Turn allgathered per-run counts into ``(my_prefix, totals)`` dicts."""
+    runs = find_replicated_runs(np.asarray(pg))
+    my_prefix: dict[int, int] = {}
+    totals: dict[int, int] = {}
+    for i, run in enumerate(runs):
+        counts = np.asarray([c[i] for c in all_counts], dtype=np.int64)
+        my_prefix[run.start] = int(counts[:rank].sum())
+        totals[run.start] = int(counts.sum())
+    return my_prefix, totals
+
+
+def partition_local_pivots(sorted_keys: np.ndarray, pl: np.ndarray,
+                           pg: np.ndarray) -> np.ndarray:
+    """Local-pivot accelerated partition (paper Section 2.5.1).
+
+    Ranks each global pivot among the ``p-1`` local pivots first, then
+    searches only the ``O(n/p)`` slice between the bracketing local
+    pivots — the two nested ``std::upper_bound`` calls of Figure 2
+    lines 2-3.  Produces identical displacements to
+    :func:`partition_classic`; exists to make the partition-cost
+    comparison of Figure 6b honest (the work really is two short
+    binary searches instead of one over all of ``A``).
+    """
+    a, pg = _checked(sorted_keys, pg)
+    pl = np.asarray(pl)
+    n = a.size
+    p = pg.size + 1
+    stride = max(1, n // p)
+    inner = np.empty(pg.size, dtype=np.int64)
+    for i, pivot in enumerate(pg):
+        pi = int(np.searchsorted(pl, pivot, side="right"))
+        lo = min(n, pi * stride)
+        hi = min(n, (pi + 1) * stride)
+        # the bracketing is a heuristic speedup; widen when the true
+        # boundary falls outside [lo, hi] (pivot outside the local
+        # value range, or a duplicate run crossing the bracket)
+        if lo > 0 and a[lo - 1] > pivot:
+            lo = 0
+        if hi < n and a[hi] <= pivot:
+            hi = n
+        inner[i] = bounded_upper_bound(a, lo, hi, pivot)
+    return np.concatenate(([0], inner, [n]))
+
+
+def partition_full_scan(sorted_keys: np.ndarray, pg: np.ndarray) -> np.ndarray:
+    """O(n) streaming partition (the 'Sequential Scan' of Figure 6b).
+
+    Buckets every record against the pivot list in one pass over the
+    data (``digitize`` + ``bincount``), the strawman whose cost the
+    local-pivot method avoids.
+    """
+    a, pg = _checked(sorted_keys, pg)
+    p = pg.size + 1
+    if a.size == 0:
+        return np.zeros(p + 1, dtype=np.int64)  # all-empty displacements
+    bucket = np.digitize(a, pg, right=True)
+    counts = np.bincount(bucket, minlength=p)
+    return np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+
+
+def loads_from_displs(all_displs: list[np.ndarray]) -> np.ndarray:
+    """Per-destination record counts given every source's displacements."""
+    if not all_displs:
+        return np.zeros(0, dtype=np.int64)
+    mat = np.stack([np.diff(np.asarray(d)) for d in all_displs])
+    return mat.sum(axis=0).astype(np.int64)

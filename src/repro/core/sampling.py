@@ -1,0 +1,130 @@
+"""Regular sampling and global pivot selection (paper Section 2.4).
+
+Both pivot levels use *regular sampling* (equal-stride selection from
+sorted data, Li et al.'s terminology):
+
+* each rank picks ``p-1`` **local pivots** at stride ``floor(n/p)``
+  from its sorted data — because the data is sorted first, each local
+  pivot represents at most ``2N/p^2`` records;
+* the ``p*(p-1)`` local pivots are sorted *in parallel with bitonic
+  sort* (never gathered onto one rank) and the ``p-1`` **global
+  pivots** are read off at stride ``p`` — each represents at most
+  ``2N/p`` records, which is the lever behind Theorem 1.
+
+A gather-based selection (sort all local pivots on rank 0, the classic
+PSRS approach) is provided both as a fallback for non-power-of-two
+communicators and for comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mpi import Comm
+from .bitonic import bitonic_sort, is_power_of_two
+
+
+def local_pivots(sorted_keys: np.ndarray, p: int) -> np.ndarray:
+    """``p-1`` regular samples of a rank's sorted data (Figure 1 line 8).
+
+    Sample positions are the fractional stride ``floor(k*n/p)`` for
+    ``k = 1..p-1`` rather than the paper's literal ``k*floor(n/p)``:
+    when ``p`` does not divide ``n`` the literal stride leaves an
+    unsampled tail of up to ``p * (n mod p)`` records that all land on
+    the last rank (at the paper's own 128K-core scale this would be a
+    162x overload, far above their reported RDFA of 1.05, so their
+    implementation cannot be using the literal stride either).
+    Degrades gracefully for ``n < p`` by repeating boundary values.
+    """
+    a = np.asarray(sorted_keys)
+    if p < 1:
+        raise ValueError("p must be >= 1")
+    if p == 1:
+        return a[:0]
+    if a.size == 0:
+        raise ValueError("cannot sample pivots from an empty shard")
+    idx = (np.arange(1, p, dtype=np.int64) * a.size) // p
+    idx = np.minimum(idx, a.size - 1)
+    return a[idx]
+
+
+def _pivot_positions(p: int) -> np.ndarray:
+    """Global positions of the ``p-1`` pivots within the sorted samples.
+
+    Stride ``p`` through the ``p*(p-1)`` sorted local pivots:
+    position ``(k+1)*p - 1`` for ``k = 0..p-2``.
+    """
+    return (np.arange(1, p, dtype=np.int64) * p) - 1
+
+
+def select_pivots_gather(comm: Comm, pl: np.ndarray) -> np.ndarray:
+    """Classic PSRS selection: gather samples on rank 0, sort, broadcast."""
+    p = comm.size
+    gathered = comm.gather(pl, root=0)
+    if comm.rank == 0:
+        allp = np.sort(np.concatenate(gathered))
+        comm.charge(comm.cost.sort_time(allp.size))
+        if allp.size == 0:
+            pg = allp[:0]  # degenerate: no samples anywhere
+        else:
+            pos = np.minimum(_pivot_positions(p), allp.size - 1)
+            pg = allp[pos]
+    else:
+        pg = None
+    return comm.bcast(pg, root=0)
+
+
+def select_pivots_oversample(comm: Comm, sorted_keys: np.ndarray, *,
+                             oversample: int = 32,
+                             seed: int = 0) -> np.ndarray:
+    """Random-oversampling pivot selection (Frazer & McKellar, 1970).
+
+    The original samplesort recipe, the paper's citation [15]: each
+    rank contributes ``oversample`` *random* samples (rather than
+    regular quantile samples); the pooled ``oversample * p`` samples
+    are sorted and the ``p-1`` equally spaced elements become pivots.
+    Pivot quality improves like ``1/sqrt(oversample)``; regular
+    sampling of locally *sorted* data achieves better quality at the
+    same budget because each sample is already a local quantile —
+    ``bench_ext_oversampling.py`` measures the gap.
+    """
+    a = np.asarray(sorted_keys)
+    p = comm.size
+    if p == 1:
+        return a[:0]
+    if a.size == 0:
+        raise ValueError("cannot sample pivots from an empty shard")
+    rng = np.random.default_rng(np.random.SeedSequence([seed, comm.rank]))
+    take = min(max(1, oversample), a.size)
+    sample = a[rng.integers(0, a.size, size=take)]
+    pooled = np.sort(np.concatenate(comm.allgather(sample)))
+    comm.charge(comm.cost.sort_time(pooled.size))
+    pos = (np.arange(1, p, dtype=np.int64) * pooled.size) // p
+    return pooled[np.minimum(pos, pooled.size - 1)]
+
+
+def select_pivots_bitonic(comm: Comm, pl: np.ndarray) -> np.ndarray:
+    """SdssSelectPivots: sort samples with parallel bitonic, pick stride p.
+
+    After the bitonic sort, rank ``r`` holds global sample positions
+    ``[r*(p-1), (r+1)*(p-1))``; each rank contributes the pivot
+    positions that landed in its block and an allgather assembles the
+    full pivot vector.  Falls back to :func:`select_pivots_gather` when
+    the communicator is not a power of two.
+    """
+    p = comm.size
+    if p == 1:
+        return np.asarray(pl)[:0]
+    if not is_power_of_two(p):
+        return select_pivots_gather(comm, pl)
+    block = bitonic_sort(comm, pl)
+    m = p - 1  # block length
+    positions = _pivot_positions(p)
+    lo, hi = comm.rank * m, (comm.rank + 1) * m
+    mine = [(int(pos), block[pos - lo]) for pos in positions if lo <= pos < hi]
+    contributions = comm.allgather(mine)
+    pairs = sorted(pair for chunk in contributions for pair in chunk)
+    pg = np.asarray([v for _, v in pairs])
+    if pg.size != p - 1:
+        raise AssertionError(f"expected {p - 1} global pivots, got {pg.size}")
+    return pg

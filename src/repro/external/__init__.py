@@ -1,0 +1,13 @@
+"""Out-of-core sorting extension (the paper's Section 5 contrast)."""
+
+from .disk import SSD, DiskModel, SpillStore
+from .extsort import ExternalStats, external_sort, triton_sort
+
+__all__ = [
+    "SSD",
+    "DiskModel",
+    "SpillStore",
+    "ExternalStats",
+    "external_sort",
+    "triton_sort",
+]

@@ -1,0 +1,172 @@
+"""Out-of-core sorting: external merge sort and a TritonSort-style
+distributed disk-to-disk sort.
+
+Two algorithms:
+
+* :func:`external_sort` — single-rank external merge sort under a
+  working-memory budget: read the input in memory-sized chunks, sort
+  each, spill as a run, then k-way merge the runs streaming from disk.
+* :func:`triton_sort` — the two-phase disk-to-disk architecture of
+  TritonSort (Rasmussen et al., the paper's [22]): phase one routes
+  records to their destination rank by value range (histogram-balanced
+  cuts) and spills the received data in memory-sized sorted runs;
+  phase two external-merges the local runs.  All-to-all traffic uses
+  the same simulated network as the in-memory sorts; disk time comes
+  from :class:`~repro.external.disk.DiskModel`.
+
+The contrast the paper draws: when the data fits in memory, paying the
+write-once/read-once disk round trip is strictly worse — the
+``bench_ext_out_of_core.py`` bench quantifies the gap and finds the
+memory ratio where out-of-core becomes necessary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.histosel import histogram_refine
+from ..core.partition import partition_classic
+from ..core.sdssort import SortOutcome, local_delta
+from ..mpi import Comm
+from ..records import RecordBatch, kway_merge_batches, sort_batch
+from .disk import DiskModel, SpillStore
+
+
+@dataclass
+class ExternalStats:
+    """I/O accounting of one rank's out-of-core sort."""
+
+    runs: int
+    bytes_written: int
+    bytes_read: int
+    disk_time: float
+
+    @property
+    def io_amplification(self) -> float:
+        """Disk bytes moved per input byte (2.0 for one spill pass)."""
+        total = self.bytes_written + self.bytes_read
+        return total / max(1, self.bytes_written or 1)
+
+
+def _spill_sorted_runs(batch: RecordBatch, store: SpillStore,
+                       mem_budget: int, comm: Comm) -> float:
+    """Phase one of an external sort: chunk, sort, spill."""
+    if mem_budget <= 0:
+        raise ValueError("mem_budget must be positive")
+    rb = max(1, batch.record_bytes)
+    per_run = max(1, mem_budget // rb)
+    t_disk = 0.0
+    for start in range(0, len(batch), per_run):
+        chunk = batch.slice(start, min(len(batch), start + per_run))
+        run = sort_batch(chunk)
+        comm.charge(comm.cost.sort_time(len(run), delta=local_delta(run.keys)))
+        t_disk += store.spill(run)
+    return t_disk
+
+
+def external_sort(comm: Comm, batch: RecordBatch, *,
+                  mem_budget: int, disk: DiskModel | None = None
+                  ) -> tuple[RecordBatch, ExternalStats]:
+    """Single-rank external merge sort under ``mem_budget`` bytes.
+
+    Returns the sorted batch and I/O statistics; disk time is charged
+    to the rank's virtual clock.
+    """
+    store = SpillStore(disk=disk or DiskModel())
+    t_disk = _spill_sorted_runs(batch, store, mem_budget, comm)
+    runs, t_read = store.read_back_all()
+    t_disk += t_read
+    out = kway_merge_batches(runs) if runs else batch.copy()
+    comm.charge(comm.cost.merge_time(len(out), max(2, len(runs))))
+    comm.charge(t_disk)
+    stats = ExternalStats(
+        runs=len(runs),
+        bytes_written=store.bytes_written,
+        bytes_read=store.bytes_read,
+        disk_time=t_disk,
+    )
+    return out, stats
+
+
+def triton_sort(comm: Comm, batch: RecordBatch, *,
+                mem_budget: int, disk: DiskModel | None = None,
+                splitter_tolerance: float = 0.05,
+                partition_method: str = "histogram") -> SortOutcome:
+    """Two-phase disk-to-disk distributed sort (TritonSort-style).
+
+    Phase one: value-range routing (one all-to-all) with received data
+    spilled to scratch in sorted runs; phase two: external merge of the
+    local runs.  Collective call; returns this rank's slice.
+
+    ``partition_method`` selects the router: ``"histogram"`` is
+    TritonSort's (value-range cuts — duplicates concentrate on one
+    rank's *disk*, amplifying the imbalance with seek time);
+    ``"skew-aware"`` grafts SDS-Sort's sampling + duplicate-splitting
+    partition onto the out-of-core pipeline, spreading the spill
+    evenly — the cross-over of the two papers' ideas, measured in
+    ``bench_ext_out_of_core.py``.
+    """
+    if partition_method not in ("histogram", "skew-aware"):
+        raise ValueError("partition_method must be 'histogram' or 'skew-aware'")
+    disk = disk or DiskModel()
+    comm.mem.alloc(min(batch.nbytes, mem_budget))
+
+    with comm.phase("local_sort"):
+        # phase-one spill of the *input* as sorted runs doubles as the
+        # sampling substrate: runs give cheap sorted access
+        sortedb = sort_batch(batch)
+        comm.charge(comm.cost.sort_time(len(batch),
+                                        delta=local_delta(sortedb.keys)))
+
+    with comm.phase("pivot_selection"):
+        if partition_method == "histogram":
+            splitters = histogram_refine(comm, sortedb.keys, comm.size - 1,
+                                         tolerance=splitter_tolerance)
+        else:
+            from ..core.sampling import local_pivots, select_pivots_bitonic
+            pl = local_pivots(sortedb.keys, comm.size)
+            splitters = select_pivots_bitonic(comm, pl)
+
+    with comm.phase("partition"):
+        if partition_method == "histogram":
+            displs = partition_classic(sortedb.keys, splitters)
+        else:
+            from ..core.partition import partition_fast
+            displs = partition_fast(sortedb.keys, splitters)
+        comm.charge(comm.cost.binary_search_time(len(batch),
+                                                 max(1, comm.size - 1)))
+
+    sends = sortedb.split([int(d) for d in displs])
+    with comm.phase("exchange"):
+        chunks = comm.alltoallv(sends)
+
+    store = SpillStore(disk=disk)
+    with comm.phase("spill"):
+        t_disk = 0.0
+        for c in chunks:
+            if len(c) == 0:
+                continue
+            t_disk += _spill_sorted_runs(c, store, mem_budget, comm)
+        comm.charge(t_disk)
+        # received chunks leave memory once spilled
+        comm.mem.free(sum(c.nbytes for c in chunks))
+
+    with comm.phase("local_ordering"):
+        runs, t_read = store.read_back_all()
+        out = kway_merge_batches(runs) if runs else RecordBatch.empty_like(batch)
+        comm.charge(comm.cost.merge_time(len(out), max(2, len(runs))))
+        comm.charge(t_read)
+        comm.mem.alloc(min(out.nbytes, mem_budget))
+
+    return SortOutcome(
+        batch=out,
+        received=len(out),
+        info={
+            "runs": len(runs),
+            "bytes_written": store.bytes_written,
+            "bytes_read": store.bytes_read,
+            "p_active": comm.size,
+        },
+    )

@@ -1,0 +1,5 @@
+"""Dataset persistence and cataloguing."""
+
+from .datasets import DatasetCatalog, load_batch, save_batch
+
+__all__ = ["DatasetCatalog", "load_batch", "save_batch"]

@@ -1,0 +1,124 @@
+"""Dataset persistence: save/load generated shards as ``.npz`` files.
+
+Experiments are normally generated on the fly (seeded), but large
+parameter sweeps reuse datasets; this module gives RecordBatches a
+simple, numpy-native on-disk format and a small catalog for named
+dataset directories.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from ..records import RecordBatch
+from ..workloads import Workload
+
+_KEYS = "__keys__"
+_META_FILE = "catalog.json"
+
+
+def save_batch(path: str | Path, batch: RecordBatch) -> Path:
+    """Write one batch to ``path`` (``.npz`` appended if missing)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **{_KEYS: batch.keys}, **batch.payload)
+    return path
+
+
+def load_batch(path: str | Path) -> RecordBatch:
+    """Read a batch written by :func:`save_batch`."""
+    with np.load(Path(path)) as data:
+        if _KEYS not in data:
+            raise ValueError(f"{path} is not a RecordBatch archive")
+        payload = {k: data[k] for k in data.files if k != _KEYS}
+        return RecordBatch(data[_KEYS], payload)
+
+
+@dataclass
+class DatasetCatalog:
+    """A directory of sharded datasets with a JSON manifest.
+
+    Layout::
+
+        root/
+          catalog.json                 {name: {"p": ..., "n": ..., ...}}
+          <name>/shard-00000.npz
+          <name>/shard-00001.npz
+    """
+
+    root: Path
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _manifest(self) -> dict:
+        f = self.root / _META_FILE
+        if f.exists():
+            return json.loads(f.read_text())
+        return {}
+
+    def _write_manifest(self, manifest: dict) -> None:
+        (self.root / _META_FILE).write_text(json.dumps(manifest, indent=2))
+
+    def names(self) -> list[str]:
+        return sorted(self._manifest())
+
+    def describe(self, name: str) -> dict:
+        try:
+            return self._manifest()[name]
+        except KeyError:
+            raise KeyError(f"no dataset {name!r}; have {self.names()}") from None
+
+    def materialize(self, name: str, workload: Workload, *, n_per_rank: int,
+                    p: int, seed: int = 0, overwrite: bool = False) -> None:
+        """Generate and store all ``p`` shards of a workload."""
+        manifest = self._manifest()
+        if name in manifest and not overwrite:
+            raise FileExistsError(f"dataset {name!r} already exists")
+        d = self.root / name
+        d.mkdir(exist_ok=True)
+        for r in range(p):
+            save_batch(d / f"shard-{r:05d}", workload.shard(n_per_rank, p, r, seed))
+        manifest[name] = {
+            "workload": workload.name,
+            "p": p,
+            "n_per_rank": n_per_rank,
+            "seed": seed,
+            "meta": {k: _jsonable(v) for k, v in workload.meta.items()},
+        }
+        self._write_manifest(manifest)
+
+    def shard(self, name: str, rank: int) -> RecordBatch:
+        """Load one shard of a stored dataset."""
+        info = self.describe(name)
+        if not 0 <= rank < info["p"]:
+            raise ValueError(f"rank {rank} out of range for p={info['p']}")
+        return load_batch(self.root / name / f"shard-{rank:05d}.npz")
+
+    def shards(self, name: str) -> Iterator[RecordBatch]:
+        for r in range(self.describe(name)["p"]):
+            yield self.shard(name, r)
+
+    def delete(self, name: str) -> None:
+        manifest = self._manifest()
+        manifest.pop(name, None)
+        d = self.root / name
+        if d.exists():
+            for f in d.glob("shard-*.npz"):
+                f.unlink()
+            d.rmdir()
+        self._write_manifest(manifest)
+
+
+def _jsonable(v):
+    if isinstance(v, (np.integer, np.floating)):
+        return v.item()
+    return v

@@ -1,0 +1,87 @@
+"""Patience(-style) run sort — the paper's citation [9] for partially
+ordered data.
+
+Section 2.7 leans on Chandramouli & Goldstein (SIGMOD'14), "Patience is
+a virtue: revisiting merge and sort on modern processors", for the
+claim that partially ordered data sorts in better-than-``n log n``
+time.  The core mechanism: maintain a pool of ascending *runs*; each
+record appends to the run whose tail is the largest one not exceeding
+it (binary search over the ascending tails), or starts a new run; the
+runs are then k-way merged.  Sorted input yields one run (O(n) total),
+reverse-sorted input degenerates to n runs, random input yields
+~O(sqrt n) — the run count is a disorder measure of the input.
+
+Provided alongside :func:`repro.kernels.runs.natural_merge_sort` as a
+second adaptive local-ordering kernel; ``bench_ext_patience.py``
+compares them across input shapes.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+import numpy as np
+
+from .merge import kway_merge_perm
+
+
+def patience_runs(a: np.ndarray) -> list[list[int]]:
+    """Deal indices of ``a`` into ascending runs (the run pool).
+
+    Returns index lists; ``a[run]`` is non-decreasing for every run.
+    Record ``i`` joins the run with the largest tail ``<= a[i]`` (tight
+    packing keeps other tails small for future records); if every tail
+    exceeds ``a[i]`` a new run opens.  Tails stay sorted ascending, so
+    placement is one binary search per record: O(n log(runs)) total.
+    """
+    a = np.asarray(a)
+    runs: list[list[int]] = []
+    tails: list = []  # ascending; tails[j] = a[runs[j][-1]]
+    for i in range(a.size):
+        v = a[i]
+        j = bisect_right(tails, v) - 1
+        if j >= 0:
+            runs[j].append(i)
+            tails[j] = v
+        else:
+            runs.insert(0, [i])
+            tails.insert(0, v)
+    return runs
+
+
+def patience_sort_perm(a: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Adaptive run sort returning ``(sorted, perm)`` with ``sorted = a[perm]``.
+
+    Real work: ``O(n log(runs))`` dealing plus ``O(n log(runs))``
+    merging — adaptive in the run count, which tracks input disorder.
+    (Unlike :func:`~repro.kernels.runs.natural_merge_sort_perm` this is
+    not stable: equal keys may land in different runs.)
+    """
+    a = np.asarray(a)
+    if a.size == 0:
+        return a.copy(), np.zeros(0, dtype=np.int64)
+    runs = patience_runs(a)
+    chunks = []
+    indices = []
+    for run in runs:
+        idx = np.asarray(run, dtype=np.int64)
+        chunks.append(a[idx])
+        indices.append(idx)
+    merged, perm = kway_merge_perm(chunks)
+    flat = np.concatenate(indices)
+    return merged, flat[perm]
+
+
+def patience_sort(a: np.ndarray) -> np.ndarray:
+    """Sorted copy via the adaptive run sort."""
+    return patience_sort_perm(a)[0]
+
+
+def run_pool_count(a: np.ndarray) -> int:
+    """Number of runs the dealer opens — a disorder measure.
+
+    1 for sorted input; ``n`` for strictly decreasing input; about
+    ``O(sqrt n)`` for random input; roughly one per interleaved
+    ascending run for runs-structured data.
+    """
+    return len(patience_runs(np.asarray(a)))

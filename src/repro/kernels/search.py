@@ -1,0 +1,62 @@
+"""Binary-search primitives used by the partitioners.
+
+These mirror the C++ ``std::upper_bound`` / ``std::lower_bound`` calls
+in the paper's Figure 2 pseudocode, vectorised over pivot arrays with
+:func:`numpy.searchsorted`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def lower_bound(a: np.ndarray, v) -> int:
+    """Index of the first element of sorted ``a`` that is ``>= v``."""
+    return int(np.searchsorted(a, v, side="left"))
+
+
+def upper_bound(a: np.ndarray, v) -> int:
+    """Index of the first element of sorted ``a`` that is ``> v``.
+
+    Matches C++ ``std::upper_bound`` (used on lines 2-3 and 6-7 of the
+    paper's SdssPartition).
+    """
+    return int(np.searchsorted(a, v, side="right"))
+
+
+def partition_bounds(a: np.ndarray, pivots: np.ndarray, *, side: str = "right") -> np.ndarray:
+    """Displacements of each pivot within sorted ``a``.
+
+    Returns an int64 array ``d`` with ``d[i] = searchsorted(a, pivots[i], side)``;
+    records ``a[d[i-1]:d[i]]`` fall in the i-th pivot range.
+    """
+    if side not in ("left", "right"):
+        raise ValueError("side must be 'left' or 'right'")
+    return np.searchsorted(a, pivots, side=side).astype(np.int64)
+
+
+def bounded_upper_bound(a: np.ndarray, lo: int, hi: int, v) -> int:
+    """``upper_bound`` restricted to the slice ``a[lo:hi]``.
+
+    This is the two-level search of Section 2.5.1: the first level
+    ranks a global pivot among the local pivots to obtain ``[lo, hi)``,
+    shrinking the search space from ``O(n)`` to ``O(n/p)``; the second
+    level (this call) finds the exact displacement.
+    """
+    lo = max(0, min(lo, len(a)))
+    hi = max(lo, min(hi, len(a)))
+    return lo + int(np.searchsorted(a[lo:hi], v, side="right"))
+
+
+def run_boundaries(a: np.ndarray) -> np.ndarray:
+    """Start indices of maximal non-decreasing runs in ``a``.
+
+    The returned array always starts with 0; ``len(result)`` is the
+    number of runs.  Used by the adaptive local-ordering step to detect
+    partially ordered data (Section 2.7).
+    """
+    a = np.asarray(a)
+    if a.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    breaks = np.nonzero(a[1:] < a[:-1])[0] + 1
+    return np.concatenate(([0], breaks)).astype(np.int64)

@@ -1,0 +1,45 @@
+"""Sequential sort wrappers standing in for ``std::sort`` / ``std::stable_sort``.
+
+The paper's SdssLocalSort dispatches to the C++ standard-library sorts
+per chunk (Section 2.2); here numpy's introsort (``kind='quicksort'``)
+and timsort-family (``kind='stable'``) play those roles.  The wrappers
+also expose permutation-returning variants so record payloads can be
+reordered without re-comparing keys.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_KINDS = {False: "quicksort", True: "stable"}
+
+
+def sequential_sort(keys: np.ndarray, *, stable: bool = False) -> np.ndarray:
+    """Return a sorted copy of ``keys`` (``std::sort``/``std::stable_sort``)."""
+    return np.sort(np.asarray(keys), kind=_KINDS[bool(stable)])
+
+
+def sequential_argsort(keys: np.ndarray, *, stable: bool = False) -> np.ndarray:
+    """Indices that sort ``keys``.
+
+    Note: an unstable argsort still yields *a* valid order for equal
+    keys; only ``stable=True`` guarantees input order on ties.
+    """
+    return np.argsort(np.asarray(keys), kind=_KINDS[bool(stable)])
+
+
+def chunk_sort(keys: np.ndarray, c: int, *, stable: bool = False) -> list[np.ndarray]:
+    """Split ``keys`` into ``c`` near-equal chunks and sort each.
+
+    Models the per-core phase of the shared-memory local sort: each of
+    the ``c`` cores sorts its contiguous chunk independently; the
+    skew-aware parallel merge then combines them.  Returns the list of
+    sorted chunks (chunk order preserves input order for stability).
+    """
+    keys = np.asarray(keys)
+    c = max(1, int(c))
+    bounds = np.linspace(0, keys.size, c + 1).astype(np.int64)
+    return [
+        np.sort(keys[bounds[i]:bounds[i + 1]], kind=_KINDS[bool(stable)])
+        for i in range(c)
+    ]

@@ -1,0 +1,82 @@
+"""Preset machine configurations.
+
+``EDISON`` mirrors the paper's testbed (Section 3): Cray XC30, two
+12-core Ivy Bridge sockets per node, 64 GB DDR3 per node, Aries
+dragonfly interconnect (0.25-3.7 us MPI latency, ~8 GB/s MPI
+bandwidth).  Compute rates are calibrated from the paper's own
+measurements:
+
+* Table 1 sorts 1 GB (268M float32) with ``std::sort`` in 26.1 s,
+  i.e. ``26.1 / (268e6 * log2(268e6)) ~= 3.5e-9`` s per comparison;
+  ``std::stable_sort`` takes 35.2 s, a 1.35x factor.
+* Figure 5c places the merge-vs-sort crossover near p = 4000 for
+  100M records per rank: with the final sort flattening to
+  ``~0.64 x`` of the from-scratch cost there, ``log2(4000) * merge
+  rate = 0.64 * log2(1e8) * cmp rate`` pins the merge rate at 5.0e-9.
+* Figure 5a places the merged-vs-unmerged all-to-all crossover near
+  160 MB per node: with 12K ranks and the 2-vs-8 GB/s single-stream/
+  NIC split, ``(p - p/c) * overhead = D * (1/B_single - 1/B_nic +
+  parallel-merge rate)`` solves to a ~6.8 us per-message overhead.
+* Figure 5b's overlap-vs-sync crossover at ~4096 processes implies the
+  nonblocking progress overhead grows ~linearly at ~0.3 ms per peer
+  (polling O(p) request lists per completion is quadratic in p).
+
+``LAPTOP`` is a small preset for quick local experiments and tests.
+"""
+
+from __future__ import annotations
+
+from .spec import MachineSpec
+
+EDISON = MachineSpec(
+    name="edison",
+    cores_per_node=24,
+    mem_per_node=64 * 2**30,
+    net_latency=2.0e-6,
+    per_message_overhead=6.8e-6,
+    nic_bandwidth=8.0e9,
+    global_bandwidth=23.7e12,  # dragonfly bisection, Section 3
+    single_stream_bandwidth=2.0e9,
+    mem_bandwidth=40.0e9,
+    sort_cost_per_cmp=3.5e-9,
+    stable_sort_factor=1.35,
+    merge_cost_per_elem=5.0e-9,
+    memcpy_cost_per_byte=2.5e-11,
+    async_overhead_per_rank=3.0e-4,
+    async_bandwidth_factor=0.85,
+    alltoall_setup=20.0e-6,
+)
+
+#: A slow-network variant used by ablation benches (node merging should
+#: win over a much wider message-size range on such a machine).
+EDISON_SLOW_NET = EDISON.with_overrides(
+    name="edison-slow-net",
+    nic_bandwidth=1.0e9,
+    single_stream_bandwidth=0.8e9,
+    per_message_overhead=25.0e-6,
+)
+
+LAPTOP = MachineSpec(
+    name="laptop",
+    cores_per_node=8,
+    mem_per_node=16 * 2**30,
+    net_latency=0.5e-6,
+    per_message_overhead=1.0e-6,
+    nic_bandwidth=12.0e9,
+    single_stream_bandwidth=6.0e9,
+    mem_bandwidth=30.0e9,
+)
+
+PRESETS: dict[str, MachineSpec] = {
+    "edison": EDISON,
+    "edison-slow-net": EDISON_SLOW_NET,
+    "laptop": LAPTOP,
+}
+
+
+def get_machine(name: str) -> MachineSpec:
+    """Look up a preset by name; raises ``KeyError`` with the options listed."""
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise KeyError(f"unknown machine {name!r}; options: {sorted(PRESETS)}") from None

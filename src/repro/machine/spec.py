@@ -1,0 +1,149 @@
+"""Hardware description of the simulated distributed-memory machine.
+
+The paper evaluates SDS-Sort on *Edison*, a Cray XC30 at NERSC: two
+12-core Intel Ivy Bridge sockets per node (24 cores), 64 GB DDR3 per
+node, and a Cray Aries dragonfly interconnect with 0.25-3.7 us MPI
+latency and ~8 GB/s MPI bandwidth.  :class:`MachineSpec` captures the
+parameters the cost model (:mod:`repro.machine.cost`) needs to turn
+operation counts into simulated seconds.
+
+All rates are expressed in plain SI units (seconds, bytes, bytes/s) so
+that cost formulas stay dimensionally obvious.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Parameters of one simulated machine configuration.
+
+    Instances are immutable; use :meth:`with_overrides` to derive
+    variants (e.g. a slow-network machine for ablations).
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier, e.g. ``"edison"``.
+    cores_per_node:
+        CPU cores per compute node (``c`` in the paper).  One MPI rank
+        is assumed per core.
+    mem_per_node:
+        Usable DRAM per node in bytes.  Divided evenly among the ranks
+        of a node to obtain the per-rank memory capacity used for OOM
+        detection.
+    net_latency:
+        One-way small-message latency in seconds (the ``alpha`` of a
+        LogGP-style model).
+    per_message_overhead:
+        CPU-side cost of posting/progressing one message, in seconds.
+        This is what node-level merging (Section 2.3 of the paper)
+        amortises away for small messages.
+    nic_bandwidth:
+        Injection bandwidth of a node's NIC in bytes/s when several
+        ranks feed it concurrently (the "high-throughput" regime).
+    global_bandwidth:
+        Bisection/global bandwidth of the interconnect in bytes/s
+        (Edison's dragonfly delivers 23.7 TB/s, Section 3 of the
+        paper); caps all-to-all traffic at very large process counts
+        where aggregate injection exceeds what the fabric can carry.
+    single_stream_bandwidth:
+        Bandwidth achievable by a *single* rank feeding the NIC, in
+        bytes/s.  The paper's observation that one core cannot saturate
+        Aries is the reason merged (one-rank-per-node) exchanges are
+        slower for large data.
+    mem_bandwidth:
+        Per-node aggregate memory bandwidth in bytes/s; bounds local
+        merging / memcpy phases.
+    sort_cost_per_cmp:
+        Seconds per element-comparison for the unstable sequential sort
+        (calibrated from Table 1: 26.1 s for 268M floats).
+    stable_sort_factor:
+        Multiplier of :attr:`sort_cost_per_cmp` for the stable sort
+        (Table 1: 35.2/26.1 ~= 1.35).
+    merge_cost_per_elem:
+        Seconds per element-per-level for k-way merging; loser-tree
+        merging does log2(k) comparisons per element but with worse
+        locality than quicksort, hence a distinct constant.
+    memcpy_cost_per_byte:
+        Seconds per byte for in-memory copies performed by one rank.
+    async_overhead_per_rank:
+        Extra progress-engine cost, per peer rank, of the asynchronous
+        all-to-all (Section 2.6: at large p the resource competition of
+        nonblocking exchange erodes the benefit of overlap).
+    async_bandwidth_factor:
+        Fraction of :attr:`nic_bandwidth` achievable while the CPU is
+        simultaneously merging (overlapped mode).
+    alltoall_setup:
+        Fixed software cost of setting up one all-to-all collective.
+    watts_per_node:
+        Compute-node power draw in watts (Edison's XC30 cabinets work
+        out to ~350 W/node under load); drives the energy-efficiency
+        comparison against TritonSort-style "records per joule" claims.
+    """
+
+    name: str = "generic"
+    cores_per_node: int = 24
+    mem_per_node: int = 64 * 2**30
+    net_latency: float = 2.0e-6
+    per_message_overhead: float = 6.8e-6
+    nic_bandwidth: float = 8.0e9
+    global_bandwidth: float = 23.7e12
+    single_stream_bandwidth: float = 2.0e9
+    mem_bandwidth: float = 40.0e9
+    sort_cost_per_cmp: float = 3.5e-9
+    stable_sort_factor: float = 1.35
+    merge_cost_per_elem: float = 5.0e-9
+    memcpy_cost_per_byte: float = 2.5e-11
+    async_overhead_per_rank: float = 3.0e-4
+    async_bandwidth_factor: float = 0.85
+    alltoall_setup: float = 20.0e-6
+    watts_per_node: float = 350.0
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.cores_per_node < 1:
+            raise ValueError("cores_per_node must be >= 1")
+        if self.mem_per_node <= 0:
+            raise ValueError("mem_per_node must be positive")
+        for attr in (
+            "net_latency",
+            "per_message_overhead",
+            "nic_bandwidth",
+            "global_bandwidth",
+            "single_stream_bandwidth",
+            "mem_bandwidth",
+            "sort_cost_per_cmp",
+            "merge_cost_per_elem",
+            "memcpy_cost_per_byte",
+        ):
+            if getattr(self, attr) <= 0:
+                raise ValueError(f"{attr} must be positive")
+
+    @property
+    def mem_per_rank(self) -> int:
+        """Memory capacity of one rank (node memory split across cores)."""
+        return self.mem_per_node // self.cores_per_node
+
+    def nodes_for(self, p: int) -> int:
+        """Number of nodes occupied by ``p`` ranks (one rank per core)."""
+        return max(1, -(-p // self.cores_per_node))
+
+    def with_overrides(self, **kwargs: Any) -> "MachineSpec":
+        """Return a copy with the given attributes replaced."""
+        return replace(self, **kwargs)
+
+    def scaled_memory(self, factor: float) -> "MachineSpec":
+        """Return a copy whose node memory is scaled by ``factor``.
+
+        Functional simulations run on scaled-down data; scaling the
+        memory capacity by the same factor keeps the memory-pressure
+        ratio (and therefore OOM behaviour) faithful to the paper's
+        400 MB-per-rank / 2.67 GB-per-rank configuration.
+        """
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        return self.with_overrides(mem_per_node=max(1, int(self.mem_per_node * factor)))

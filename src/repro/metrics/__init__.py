@@ -1,0 +1,33 @@
+"""Evaluation metrics: load balance, key skew, throughput, validation."""
+
+from .balance import LoadStats, rdfa, workload_bound_factor
+from .distributed import DistributedReport, multiset_checksum, validate_distributed
+from .replication import KeyProfile, replication_ratio
+from .throughput import paper_scale_bytes, tb_per_min
+from .validate import (
+    ValidationError,
+    check_globally_ordered,
+    check_locally_sorted,
+    check_multiset,
+    check_sorted,
+    check_stable,
+)
+
+__all__ = [
+    "LoadStats",
+    "rdfa",
+    "DistributedReport",
+    "multiset_checksum",
+    "validate_distributed",
+    "workload_bound_factor",
+    "KeyProfile",
+    "replication_ratio",
+    "paper_scale_bytes",
+    "tb_per_min",
+    "ValidationError",
+    "check_globally_ordered",
+    "check_locally_sorted",
+    "check_multiset",
+    "check_sorted",
+    "check_stable",
+]

@@ -1,0 +1,47 @@
+"""Key-distribution metrics: replication ratio and duplicate structure."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def replication_ratio(keys: np.ndarray) -> float:
+    """The paper's ``delta``: multiplicity of the most frequent key over N.
+
+    Defined in Section 4.1: for a dataset where the most-duplicated key
+    value appears ``d`` times among ``N`` records, ``delta = d/N``.
+    """
+    keys = np.asarray(keys)
+    if keys.size == 0:
+        return 0.0
+    _, counts = np.unique(keys, return_counts=True)
+    return float(counts.max()) / keys.size
+
+
+@dataclass(frozen=True)
+class KeyProfile:
+    """Distribution profile of a key column."""
+
+    n: int
+    distinct: int
+    delta: float            # max replication ratio
+    dup_fraction: float     # fraction of records sharing any duplicated key
+    top_counts: tuple[int, ...]
+
+    @staticmethod
+    def of(keys: np.ndarray, top: int = 5) -> "KeyProfile":
+        keys = np.asarray(keys)
+        if keys.size == 0:
+            return KeyProfile(0, 0, 0.0, 0.0, ())
+        _, counts = np.unique(keys, return_counts=True)
+        dups = counts[counts > 1]
+        order = np.sort(counts)[::-1]
+        return KeyProfile(
+            n=int(keys.size),
+            distinct=int(counts.size),
+            delta=float(counts.max()) / keys.size,
+            dup_fraction=float(dups.sum()) / keys.size if dups.size else 0.0,
+            top_counts=tuple(int(c) for c in order[:top]),
+        )

@@ -1,0 +1,104 @@
+"""Correctness validators for distributed sort outputs.
+
+A distributed sort of per-rank inputs ``in_0..in_{p-1}`` into per-rank
+outputs ``out_0..out_{p-1}`` is correct when:
+
+1. every ``out_r`` is locally sorted;
+2. outputs are globally ordered: ``max(out_r) <= min(out_{r+1})``
+   for consecutive non-empty outputs;
+3. the multiset of keys (and payload rows) is preserved;
+4. (stable mode only) records with equal keys appear in their original
+   ``(source rank, source position)`` order — checked via the
+   provenance columns added by :func:`repro.records.tag_provenance`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..records import SRC_POS, SRC_RANK, RecordBatch
+
+
+class ValidationError(AssertionError):
+    """A sort output violated one of the correctness properties."""
+
+
+def check_locally_sorted(outputs: Sequence[RecordBatch]) -> None:
+    """Property 1: each rank's output is non-decreasing."""
+    for r, batch in enumerate(outputs):
+        if not batch.is_sorted():
+            raise ValidationError(f"rank {r} output is not locally sorted")
+
+
+def check_globally_ordered(outputs: Sequence[RecordBatch]) -> None:
+    """Property 2: rank boundaries respect the global order."""
+    prev_max = None
+    prev_rank = None
+    for r, batch in enumerate(outputs):
+        if len(batch) == 0:
+            continue
+        if prev_max is not None and batch.keys[0] < prev_max:
+            raise ValidationError(
+                f"rank {r} starts at {batch.keys[0]!r}, below rank "
+                f"{prev_rank}'s max {prev_max!r}"
+            )
+        prev_max = batch.keys[-1]
+        prev_rank = r
+
+
+def check_multiset(inputs: Sequence[RecordBatch],
+                   outputs: Sequence[RecordBatch]) -> None:
+    """Property 3: no record created, lost, or corrupted.
+
+    Compares sorted key arrays, and, when provenance columns are
+    present, the sorted (rank, position) pairs — which together pin
+    down the full record multiset.
+    """
+    in_all = RecordBatch.concat(inputs)
+    out_all = RecordBatch.concat(outputs)
+    if len(in_all) != len(out_all):
+        raise ValidationError(
+            f"record count changed: {len(in_all)} in, {len(out_all)} out"
+        )
+    if not np.array_equal(np.sort(in_all.keys), np.sort(out_all.keys)):
+        raise ValidationError("key multiset changed")
+    if SRC_RANK in in_all.payload and SRC_RANK in out_all.payload:
+        for col in (SRC_RANK, SRC_POS):
+            if not np.array_equal(np.sort(in_all.payload[col]),
+                                  np.sort(out_all.payload[col])):
+                raise ValidationError(f"provenance multiset changed in {col}")
+
+
+def check_stable(outputs: Sequence[RecordBatch]) -> None:
+    """Property 4: equal keys keep their (source rank, position) order.
+
+    Requires provenance columns (see :func:`repro.records.tag_provenance`).
+    """
+    out = RecordBatch.concat(outputs)
+    if SRC_RANK not in out.payload or SRC_POS not in out.payload:
+        raise ValidationError("stability check needs provenance columns")
+    keys = out.keys
+    ranks = out.payload[SRC_RANK].astype(np.int64)
+    pos = out.payload[SRC_POS].astype(np.int64)
+    same = keys[1:] == keys[:-1]
+    tag = ranks * (pos.max() + 1 if pos.size else 1) + pos
+    bad = same & (tag[1:] <= tag[:-1])
+    if np.any(bad):
+        i = int(np.nonzero(bad)[0][0])
+        raise ValidationError(
+            f"stability violated at global position {i + 1}: key "
+            f"{keys[i + 1]!r} from (rank {ranks[i + 1]}, pos {pos[i + 1]}) "
+            f"follows (rank {ranks[i]}, pos {pos[i]})"
+        )
+
+
+def check_sorted(inputs: Sequence[RecordBatch], outputs: Sequence[RecordBatch],
+                 *, stable: bool = False) -> None:
+    """Run all applicable validators; raise :class:`ValidationError` on failure."""
+    check_locally_sorted(outputs)
+    check_globally_ordered(outputs)
+    check_multiset(inputs, outputs)
+    if stable:
+        check_stable(outputs)

@@ -1,0 +1,23 @@
+"""Simulated MPI: SPMD engine, communicators, collectives, virtual time.
+
+This package replaces the paper's Cray MPI runtime.  Rank programs are
+plain functions over a :class:`Comm`; see DESIGN.md section 6.
+"""
+
+from .comm import Comm, Request, World, payload_nbytes
+from .context import AbortFlag, CommContext
+from .engine import SpmdResult, run_spmd
+from .errors import RankFailure, SimAbort
+
+__all__ = [
+    "Comm",
+    "Request",
+    "World",
+    "payload_nbytes",
+    "AbortFlag",
+    "CommContext",
+    "SpmdResult",
+    "run_spmd",
+    "RankFailure",
+    "SimAbort",
+]

@@ -1,0 +1,496 @@
+"""The simulated communicator: MPI-flavoured API over threads.
+
+Rank programs are ordinary Python functions receiving a :class:`Comm`
+(mirroring the mpi4py SPMD idiom from the domain guides).  Data moves
+for real — collectives stage actual numpy arrays / RecordBatches — while
+*time* is virtual: every operation advances the rank's clock through
+the machine cost model, so measured "seconds" are simulated Edison
+seconds, deterministic and independent of host thread scheduling.
+
+Key deviations from real MPI, by design:
+
+* ``alltoallv_async`` performs the data movement synchronously but
+  returns a deterministic *arrival schedule* (per-source completion
+  times under the derated async bandwidth model); callers overlap
+  compute against that schedule.  This keeps the engine deterministic
+  while still exercising the paper's overlapped exchange+merge path.
+* Memory is accounted per rank through
+  :class:`~repro.machine.memory.MemoryTracker`; receiving more than the
+  rank's capacity raises :class:`~repro.machine.memory.SimOOMError`
+  mid-collective, exactly how the paper's HykSort runs died.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from ..machine import CostModel, MachineSpec, MemoryTracker
+from ..records import RecordBatch
+from .context import _POLL, AbortFlag, CommContext
+
+
+def payload_nbytes(obj: Any) -> int:
+    """Best-effort wire size of a message payload in bytes."""
+    if obj is None:
+        return 0
+    if isinstance(obj, RecordBatch):
+        return obj.nbytes
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, (bytes, bytearray)):
+        return len(obj)
+    if isinstance(obj, (int, float, np.integer, np.floating)):
+        return 8
+    if isinstance(obj, (list, tuple)):
+        return sum(payload_nbytes(x) for x in obj)
+    if isinstance(obj, dict):
+        return sum(payload_nbytes(k) + payload_nbytes(v) for k, v in obj.items())
+    return 64
+
+
+class World:
+    """Process-global state of one simulated run."""
+
+    def __init__(self, p: int, machine: MachineSpec,
+                 mem_capacity: int | None = None):
+        self.p = p
+        self.machine = machine
+        self.cost = CostModel(machine)
+        self.abort = AbortFlag()
+        self.clocks: list[float] = [0.0] * p
+        self.mem = [MemoryTracker(capacity=mem_capacity, rank=r) for r in range(p)]
+        self.phase_times: list[dict[str, float]] = [dict() for _ in range(p)]
+        self.counters: list[dict[str, float]] = [dict() for _ in range(p)]
+        #: per-rank (start, end, phase) intervals in virtual time
+        self.traces: list[list[tuple[float, float, str]]] = [[] for _ in range(p)]
+        self._channels: dict[tuple[int, int, int], queue.SimpleQueue] = {}
+        self._channels_lock = threading.Lock()
+        self.world_ctx = CommContext(range(p), self.abort)
+
+    def node_of(self, grank: int) -> int:
+        """Node hosting a global rank (dense one-rank-per-core placement)."""
+        return grank // self.machine.cores_per_node
+
+    def channel(self, src: int, dst: int, tag: int) -> queue.SimpleQueue:
+        key = (src, dst, tag)
+        with self._channels_lock:
+            ch = self._channels.get(key)
+            if ch is None:
+                ch = queue.SimpleQueue()
+                self._channels[key] = ch
+            return ch
+
+
+class Request:
+    """Handle for a nonblocking receive posted with :meth:`Comm.irecv`."""
+
+    def __init__(self, comm: "Comm", source: int, tag: int):
+        self._comm = comm
+        self._source = source
+        self._tag = tag
+        self._done = False
+        self._value: Any = None
+
+    def test(self) -> bool:
+        """Nonblocking completion check."""
+        if self._done:
+            return True
+        got = self._comm._try_recv(self._source, self._tag)
+        if got is not None:
+            self._value = self._comm._complete_recv(*got)
+            self._done = True
+        return self._done
+
+    def wait(self) -> Any:
+        """Block (abortably) until the message arrives; return it."""
+        while not self.test():
+            self._comm._world.abort.check()
+            time.sleep(_POLL / 10)
+        return self._value
+
+
+class Comm:
+    """Communicator handle of one rank (mirrors the mpi4py surface)."""
+
+    def __init__(self, world: World, ctx: CommContext, rank: int):
+        self._world = world
+        self._ctx = ctx
+        self.rank = rank
+        self.size = ctx.size
+        self.grank = ctx.group[rank]
+
+    # ------------------------------------------------------------------
+    # introspection / accounting
+    # ------------------------------------------------------------------
+    @property
+    def machine(self) -> MachineSpec:
+        return self._world.machine
+
+    @property
+    def cost(self) -> CostModel:
+        return self._world.cost
+
+    @property
+    def mem(self) -> MemoryTracker:
+        return self._world.mem[self.grank]
+
+    @property
+    def clock(self) -> float:
+        """This rank's virtual time, in simulated seconds."""
+        return self._world.clocks[self.grank]
+
+    def charge(self, seconds: float) -> None:
+        """Advance the virtual clock by a modelled compute cost."""
+        if seconds < 0:
+            raise ValueError("cannot charge negative time")
+        self._world.clocks[self.grank] += seconds
+
+    def set_clock(self, t: float) -> None:
+        self._world.clocks[self.grank] = t
+
+    def count(self, name: str, value: float = 1.0) -> None:
+        """Accumulate a named statistic (messages, bytes, elements...)."""
+        c = self._world.counters[self.grank]
+        c[name] = c.get(name, 0.0) + value
+
+    @contextmanager
+    def phase(self, name: str):
+        """Attribute the virtual time spent in the block to ``name``.
+
+        Drives the paper's Figure 9/10 phase breakdowns (pivot
+        selection / exchange / local ordering / other).
+        """
+        t0 = self.clock
+        try:
+            yield
+        finally:
+            t1 = self.clock
+            pt = self._world.phase_times[self.grank]
+            pt[name] = pt.get(name, 0.0) + (t1 - t0)
+            self._world.traces[self.grank].append((t0, t1, name))
+
+    @property
+    def ranks_per_node(self) -> int:
+        """How many members of *this* communicator share my node."""
+        mine = self._world.node_of(self.grank)
+        return sum(1 for g in self._ctx.group if self._world.node_of(g) == mine)
+
+    # ------------------------------------------------------------------
+    # staged exchange plumbing
+    # ------------------------------------------------------------------
+    def _stage_exchange(self, obj: Any) -> list[tuple[Any, float]]:
+        """Deposit ``obj``; return everyone's ``(obj, clock)`` snapshot."""
+        ctx = self._ctx
+        ctx.stage[self.rank] = (obj, self.clock)
+        ctx.sync()
+        entries = list(ctx.stage)
+        ctx.sync()
+        return entries
+
+    @staticmethod
+    def _max_clock(entries: Sequence[tuple[Any, float]]) -> float:
+        return max(t for _, t in entries)
+
+    # ------------------------------------------------------------------
+    # collectives
+    # ------------------------------------------------------------------
+    def barrier(self) -> None:
+        entries = self._stage_exchange(None)
+        self.set_clock(self._max_clock(entries) + self.cost.barrier_time(self.size))
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        entries = self._stage_exchange(obj if self.rank == root else None)
+        value = entries[root][0]
+        nbytes = payload_nbytes(value)
+        self.set_clock(self._max_clock(entries)
+                       + self.cost.tree_collective_time(self.size, nbytes))
+        self.count("coll.bcast")
+        return value
+
+    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
+        entries = self._stage_exchange(obj)
+        nbytes = max(payload_nbytes(o) for o, _ in entries)
+        self.set_clock(self._max_clock(entries)
+                       + self.cost.tree_collective_time(self.size, nbytes))
+        self.count("coll.gather")
+        if self.rank == root:
+            return [o for o, _ in entries]
+        return None
+
+    def allgather(self, obj: Any) -> list[Any]:
+        entries = self._stage_exchange(obj)
+        nbytes = max(payload_nbytes(o) for o, _ in entries)
+        self.set_clock(self._max_clock(entries)
+                       + self.cost.allgather_time(self.size, nbytes))
+        self.count("coll.allgather")
+        return [o for o, _ in entries]
+
+    def scatter(self, objs: Sequence[Any] | None, root: int = 0) -> Any:
+        if self.rank == root:
+            if objs is None or len(objs) != self.size:
+                raise ValueError("root must provide one object per rank")
+        entries = self._stage_exchange(list(objs) if self.rank == root else None)
+        sent = entries[root][0]
+        self.set_clock(self._max_clock(entries)
+                       + self.cost.tree_collective_time(self.size,
+                                                        payload_nbytes(sent[self.rank])))
+        self.count("coll.scatter")
+        return sent[self.rank]
+
+    def allreduce(self, value: Any, op: Callable[[Any, Any], Any] | None = None) -> Any:
+        """All-reduce with a deterministic rank-order reduction."""
+        entries = self._stage_exchange(value)
+        values = [o for o, _ in entries]
+        if op is None:
+            acc = values[0]
+            for v in values[1:]:
+                acc = acc + v
+        else:
+            acc = values[0]
+            for v in values[1:]:
+                acc = op(acc, v)
+        self.set_clock(self._max_clock(entries)
+                       + self.cost.tree_collective_time(self.size,
+                                                        payload_nbytes(value)))
+        self.count("coll.allreduce")
+        return acc
+
+    def reduce(self, value: Any, root: int = 0,
+               op: Callable[[Any, Any], Any] | None = None) -> Any:
+        """Rooted reduction (deterministic rank order); None off-root."""
+        entries = self._stage_exchange(value)
+        self.set_clock(self._max_clock(entries)
+                       + self.cost.tree_collective_time(self.size,
+                                                        payload_nbytes(value)))
+        self.count("coll.reduce")
+        if self.rank != root:
+            return None
+        values = [o for o, _ in entries]
+        acc = values[0]
+        for v in values[1:]:
+            acc = (acc + v) if op is None else op(acc, v)
+        return acc
+
+    def scan(self, value: Any, op: Callable[[Any, Any], Any] | None = None) -> Any:
+        """Inclusive prefix reduction: rank r gets reduce(values[0..r])."""
+        entries = self._stage_exchange(value)
+        self.set_clock(self._max_clock(entries)
+                       + self.cost.tree_collective_time(self.size,
+                                                        payload_nbytes(value)))
+        self.count("coll.scan")
+        acc = entries[0][0]
+        for r in range(1, self.rank + 1):
+            v = entries[r][0]
+            acc = (acc + v) if op is None else op(acc, v)
+        return acc
+
+    def exscan(self, value: Any, zero: Any = 0,
+               op: Callable[[Any, Any], Any] | None = None) -> Any:
+        """Exclusive prefix reduction: rank r gets reduce(values[0..r-1]).
+
+        Rank 0 receives ``zero`` (MPI leaves it undefined; a neutral
+        element is friendlier).  The classic displacement computation:
+        ``offset = comm.exscan(len(my_chunk))``.
+        """
+        entries = self._stage_exchange(value)
+        self.set_clock(self._max_clock(entries)
+                       + self.cost.tree_collective_time(self.size,
+                                                        payload_nbytes(value)))
+        self.count("coll.exscan")
+        acc = zero
+        for r in range(self.rank):
+            v = entries[r][0]
+            acc = (acc + v) if op is None else op(acc, v)
+        return acc
+
+    def dup(self) -> "Comm":
+        """Duplicate the communicator (fresh context, same group).
+
+        Lets libraries use private tag space / collective ordering, as
+        MPI_Comm_dup does.
+        """
+        sub = self.split(0, key=self.rank)
+        assert sub is not None
+        return sub
+
+    def alltoall(self, objs: Sequence[Any]) -> list[Any]:
+        """Personalised exchange of small per-destination objects."""
+        if len(objs) != self.size:
+            raise ValueError(f"alltoall needs {self.size} objects, got {len(objs)}")
+        entries = self._stage_exchange(list(objs))
+        received = [entries[src][0][self.rank] for src in range(self.size)]
+        nbytes = max(payload_nbytes(o) for o in received) if received else 0
+        self.set_clock(self._max_clock(entries)
+                       + self.cost.alltoallv_time(self.size, nbytes,
+                                                  ranks_per_node=self.ranks_per_node))
+        self.count("coll.alltoall")
+        return received
+
+    def alltoallv(self, batches: Sequence[RecordBatch]) -> list[RecordBatch]:
+        """Synchronous all-to-all of record batches (MPI_Alltoallv).
+
+        ``batches[d]`` goes to rank ``d``; the return value is the list
+        of batches received, indexed by source rank — already in source
+        order, which is what the stable variant of SDS-Sort relies on.
+        Received bytes are charged to this rank's memory tracker and
+        may raise :class:`SimOOMError`.
+        """
+        if len(batches) != self.size:
+            raise ValueError(f"alltoallv needs {self.size} batches, got {len(batches)}")
+        sizes = [b.nbytes for b in batches]
+        entries = self._stage_exchange((list(batches), sizes))
+        all_sizes = [e[0][1] for e in entries]
+        max_send = max(sum(s) - s[i] for i, s in enumerate(all_sizes))
+        max_recv = max(
+            sum(all_sizes[src][dst] for src in range(self.size) if src != dst)
+            for dst in range(self.size)
+        )
+        received = [entries[src][0][0][self.rank] for src in range(self.size)]
+        recv_bytes = sum(b.nbytes for i, b in enumerate(received) if i != self.rank)
+        self.mem.alloc(recv_bytes)
+        total_bytes = sum(sum(s) for s in all_sizes)
+        self.set_clock(self._max_clock(entries)
+                       + self.cost.alltoallv_time(self.size, max(max_send, max_recv),
+                                                  ranks_per_node=self.ranks_per_node,
+                                                  total_bytes=total_bytes))
+        self.count("coll.alltoallv")
+        self.count("bytes.recv", recv_bytes)
+        self.count("bytes.sent",
+                   sum(s for i, s in enumerate(sizes) if i != self.rank))
+        return received
+
+    def alltoallv_async(self, batches: Sequence[RecordBatch]
+                        ) -> list[tuple[int, RecordBatch, float]]:
+        """Nonblocking all-to-all returning a deterministic arrival schedule.
+
+        Returns ``[(source, batch, t_complete), ...]`` sorted by
+        modelled completion time.  Data movement itself is staged (and
+        memory-charged) up front; only the *timing* is asynchronous:
+        chunks "arrive" one by one under the derated async bandwidth,
+        letting the caller overlap merging per the paper's Section 2.6.
+        The rank's clock is advanced only past the synchronisation
+        point; callers finish the overlap clock arithmetic.
+        """
+        if len(batches) != self.size:
+            raise ValueError(f"alltoallv needs {self.size} batches, got {len(batches)}")
+        entries = self._stage_exchange(list(batches))
+        start = self._max_clock(entries)
+        received = [entries[src][0][self.rank] for src in range(self.size)]
+        recv_bytes = sum(b.nbytes for i, b in enumerate(received) if i != self.rank)
+        self.mem.alloc(recv_bytes)
+        spec = self.machine
+        bw = (spec.nic_bandwidth if self.ranks_per_node > 1
+              else spec.single_stream_bandwidth)
+        bw *= spec.async_bandwidth_factor
+        # ring schedule: receive from rank+1, rank+2, ... wrapping around
+        order = [(self.rank + off) % self.size for off in range(1, self.size)]
+        arrivals: list[tuple[int, RecordBatch, float]] = []
+        t = start + spec.net_latency
+        node_factor = min(self.ranks_per_node, self.size)
+        for src in order:
+            b = received[src]
+            t += (b.nbytes * node_factor) / bw + spec.per_message_overhead
+            arrivals.append((src, b, t))
+        # own chunk is available immediately
+        arrivals.insert(0, (self.rank, received[self.rank], start))
+        self.set_clock(start + self.cost.async_progress_overhead(self.size))
+        self.count("coll.alltoallv_async")
+        self.count("bytes.recv", recv_bytes)
+        return arrivals
+
+    # ------------------------------------------------------------------
+    # communicator management
+    # ------------------------------------------------------------------
+    def split(self, color: int | None, key: int | None = None) -> "Comm | None":
+        """MPI_Comm_split: group ranks by ``color``, order by ``(key, rank)``.
+
+        ``color=None`` (MPI_UNDEFINED) opts out and returns ``None``.
+        """
+        mykey = self.rank if key is None else key
+        entries = self._stage_exchange((color, mykey))
+        pairs = [(o, t) for o, t in entries]
+        ctx = self._ctx
+        if self.rank == 0:
+            groups: dict[int, list[tuple[int, int]]] = {}
+            for r, ((col, k), _) in enumerate(pairs):
+                if col is None:
+                    continue
+                groups.setdefault(col, []).append((k, r))
+            contexts = {}
+            for col, members in groups.items():
+                members.sort()
+                gids = [ctx.group[r] for _, r in members]
+                contexts[col] = CommContext(gids, self._world.abort)
+            ctx.scratch = contexts
+        ctx.sync()
+        contexts = ctx.scratch
+        newctx: CommContext | None = contexts.get(color) if color is not None else None
+        ctx.sync()
+        self.set_clock(self._max_clock(entries) + self.cost.barrier_time(self.size))
+        if newctx is None:
+            return None
+        return Comm(self._world, newctx, newctx.group.index(self.grank))
+
+    def node_split(self) -> tuple["Comm", "Comm | None"]:
+        """SdssRefineComm (Section 2.3): node-local and leader communicators.
+
+        Returns ``(local, leaders)`` where ``local`` spans the ranks of
+        this communicator sharing my node (MPI_COMM_TYPE_SHARED) and
+        ``leaders`` connects rank 0 of every node (``None`` on
+        non-leader ranks).
+        """
+        local = self.split(self._world.node_of(self.grank), key=self.rank)
+        assert local is not None
+        leader_color = 0 if local.rank == 0 else None
+        leaders = self.split(leader_color, key=self.rank)
+        return local, leaders
+
+    # ------------------------------------------------------------------
+    # point-to-point
+    # ------------------------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Eager send to ``dest`` (communicator rank)."""
+        self.charge(self.machine.per_message_overhead)
+        ch = self._world.channel(self.grank, self._ctx.group[dest], tag)
+        ch.put((obj, self.clock))
+        self.count("p2p.send")
+        self.count("bytes.sent", payload_nbytes(obj))
+
+    def _try_recv(self, source: int, tag: int):
+        ch = self._world.channel(self._ctx.group[source], self.grank, tag)
+        try:
+            return ch.get_nowait()
+        except queue.Empty:
+            return None
+
+    def _complete_recv(self, obj: Any, sent_clock: float) -> Any:
+        arrival = sent_clock + self.cost.p2p_time(payload_nbytes(obj))
+        self.set_clock(max(self.clock, arrival))
+        self.count("p2p.recv")
+        return obj
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        """Blocking (abortable) receive from ``source``."""
+        ch = self._world.channel(self._ctx.group[source], self.grank, tag)
+        while True:
+            try:
+                obj, t = ch.get(timeout=_POLL)
+                break
+            except queue.Empty:
+                self._world.abort.check()
+        return self._complete_recv(obj, t)
+
+    def irecv(self, source: int, tag: int = 0) -> Request:
+        """Post a nonblocking receive; complete via ``test``/``wait``."""
+        return Request(self, source, tag)
+
+    def sendrecv(self, obj: Any, peer: int, tag: int = 0) -> Any:
+        """Simultaneous exchange with ``peer`` (deadlock-free)."""
+        self.send(obj, peer, tag)
+        return self.recv(peer, tag)

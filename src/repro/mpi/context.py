@@ -1,0 +1,99 @@
+"""Shared state behind one simulated communicator.
+
+A :class:`CommContext` is created once per communicator (world or
+split) and shared by its member ranks' :class:`~repro.mpi.comm.Comm`
+handles.  It provides abortable barrier synchronisation and a staging
+area for collective data movement.
+
+Collectives follow a two-barrier protocol::
+
+    deposit into stage[my_index]
+    sync()            # everyone deposited -> safe to read
+    read what you need
+    sync()            # everyone read -> safe to reuse the stage
+
+which makes consecutive collectives on the same communicator safe
+without allocating per-call buffers.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Sequence
+
+from .errors import SimAbort
+
+#: Seconds between abort-flag checks while blocked (real time, not virtual).
+_POLL = 0.05
+
+
+class AbortFlag:
+    """World-wide failure flag checked by every blocking primitive."""
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def set(self) -> None:
+        self._event.set()
+
+    @property
+    def is_set(self) -> bool:
+        return self._event.is_set()
+
+    def check(self) -> None:
+        if self._event.is_set():
+            raise SimAbort("world aborted by a failing rank")
+
+
+class _CondBarrier:
+    """Generation-counted barrier that polls an abort flag while waiting.
+
+    Unlike :class:`threading.Barrier`, an aborting rank cannot corrupt
+    the barrier for survivors — survivors simply observe the abort flag
+    on their next poll and unwind with :class:`SimAbort`.
+    """
+
+    def __init__(self, parties: int):
+        self._parties = parties
+        self._count = 0
+        self._generation = 0
+        self._cond = threading.Condition()
+
+    def wait(self, abort: AbortFlag) -> None:
+        abort.check()
+        with self._cond:
+            gen = self._generation
+            self._count += 1
+            if self._count == self._parties:
+                self._count = 0
+                self._generation += 1
+                self._cond.notify_all()
+                return
+            while self._generation == gen:
+                self._cond.wait(timeout=_POLL)
+                abort.check()
+
+
+class CommContext:
+    """Barrier + staging area shared by the members of one communicator.
+
+    Parameters
+    ----------
+    group:
+        Global rank ids of the members, in communicator rank order.
+    abort:
+        The world's abort flag; barriers poll it so failures elsewhere
+        unwind every member instead of deadlocking.
+    """
+
+    def __init__(self, group: Sequence[int], abort: AbortFlag):
+        self.group: tuple[int, ...] = tuple(group)
+        self.size = len(self.group)
+        self.abort = abort
+        self._barrier = _CondBarrier(self.size)
+        self.stage: list[Any] = [None] * self.size
+        self.scratch: Any = None  # single slot for designated-rank results
+
+    def sync(self) -> None:
+        """Abortable barrier across the communicator's members."""
+        self._barrier.wait(self.abort)

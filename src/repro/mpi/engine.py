@@ -1,0 +1,140 @@
+"""SPMD launcher: run the same function on ``p`` simulated ranks.
+
+``run_spmd(fn, p)`` is the simulation counterpart of
+``mpiexec -n p python script.py``: it spawns one thread per rank, hands
+each a :class:`~repro.mpi.comm.Comm`, and gathers results, virtual
+clocks, phase breakdowns and memory statistics.
+
+Failure semantics: if any rank raises, the world aborts; sibling ranks
+unwind with :class:`SimAbort` at their next blocking call, and the
+engine either raises :class:`RankFailure` (default) or returns a result
+object with ``failure`` set (``check=False``) — the latter is how
+benches report the paper's HykSort OOM entries instead of crashing.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from ..machine import LAPTOP, MachineSpec
+from .comm import Comm, World
+from .errors import RankFailure, SimAbort
+
+#: Per-thread stack size; rank programs are shallow, so a small stack
+#: lets runs with hundreds of ranks stay cheap.
+_STACK_BYTES = 512 * 1024
+
+
+@dataclass
+class SpmdResult:
+    """Outcome of one SPMD run."""
+
+    p: int
+    results: list[Any]
+    clocks: list[float]
+    phase_times: list[dict[str, float]]
+    counters: list[dict[str, float]]
+    mem_peaks: list[int]
+    failure: RankFailure | None = None
+    traces: list[list[tuple[float, float, str]]] = field(default_factory=list)
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+    @property
+    def elapsed(self) -> float:
+        """Simulated makespan: the slowest rank's virtual clock."""
+        return max(self.clocks) if self.clocks else 0.0
+
+    def phase_breakdown(self) -> dict[str, float]:
+        """Max-over-ranks virtual time per phase (the paper's stacked bars)."""
+        names: set[str] = set()
+        for pt in self.phase_times:
+            names.update(pt)
+        return {name: max(pt.get(name, 0.0) for pt in self.phase_times)
+                for name in sorted(names)}
+
+
+def run_spmd(fn: Callable[..., Any], p: int, *,
+             machine: MachineSpec = LAPTOP,
+             mem_capacity: int | None = None,
+             args: Sequence[Any] = (),
+             kwargs: dict[str, Any] | None = None,
+             check: bool = True) -> SpmdResult:
+    """Execute ``fn(comm, *args, **kwargs)`` on ``p`` simulated ranks.
+
+    Parameters
+    ----------
+    fn:
+        The rank program.  Called once per rank with that rank's
+        :class:`Comm` as first argument.
+    p:
+        Number of ranks.
+    machine:
+        Hardware model for cost accounting (default: small LAPTOP).
+    mem_capacity:
+        Per-rank memory limit in bytes (``None`` = unlimited).  Pass
+        e.g. ``machine.mem_per_rank`` scaled to the experiment's data
+        scale to reproduce OOM behaviour.
+    check:
+        If True (default) raise :class:`RankFailure` when a rank fails;
+        if False, return the partial :class:`SpmdResult` with
+        ``failure`` set instead.
+    """
+    if p < 1:
+        raise ValueError("p must be >= 1")
+    kwargs = dict(kwargs or {})
+    world = World(p, machine, mem_capacity=mem_capacity)
+    results: list[Any] = [None] * p
+    failures: list[tuple[int, BaseException]] = []
+    failures_lock = threading.Lock()
+
+    def runner(rank: int) -> None:
+        comm = Comm(world, world.world_ctx, rank)
+        try:
+            results[rank] = fn(comm, *args, **kwargs)
+        except SimAbort:
+            pass  # collateral unwind of someone else's failure
+        except BaseException as exc:  # noqa: BLE001 - report any rank failure
+            with failures_lock:
+                failures.append((rank, exc))
+            world.abort.set()
+
+    if p == 1:
+        runner(0)
+    else:
+        old_stack = threading.stack_size(_STACK_BYTES)
+        try:
+            threads = [
+                threading.Thread(target=runner, args=(r,), name=f"simrank-{r}")
+                for r in range(p)
+            ]
+        finally:
+            threading.stack_size(old_stack)
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    failure: RankFailure | None = None
+    if failures:
+        failures.sort(key=lambda rf: rf[0])
+        rank, cause = failures[0]
+        failure = RankFailure(rank, cause)
+        if check:
+            raise failure from cause
+
+    return SpmdResult(
+        p=p,
+        results=results,
+        clocks=list(world.clocks),
+        phase_times=[dict(pt) for pt in world.phase_times],
+        counters=[dict(c) for c in world.counters],
+        mem_peaks=[m.peak for m in world.mem],
+        failure=failure,
+        traces=[list(t) for t in world.traces],
+    )

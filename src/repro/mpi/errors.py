@@ -1,0 +1,28 @@
+"""Error types of the simulated MPI engine."""
+
+from __future__ import annotations
+
+
+class SimAbort(RuntimeError):
+    """Raised inside a rank whose world was aborted by another rank.
+
+    When any rank fails (e.g. with :class:`~repro.machine.memory.SimOOMError`)
+    the engine aborts all barriers so sibling ranks unwind instead of
+    deadlocking; they unwind with this exception, which the engine then
+    discards in favour of the originating failure.
+    """
+
+
+class RankFailure(RuntimeError):
+    """A simulated run failed; wraps the first per-rank exception.
+
+    Attributes
+    ----------
+    rank: the global rank whose exception aborted the run.
+    cause: the original exception instance.
+    """
+
+    def __init__(self, rank: int, cause: BaseException):
+        self.rank = rank
+        self.cause = cause
+        super().__init__(f"rank {rank} failed: {cause!r}")

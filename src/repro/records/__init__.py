@@ -1,0 +1,21 @@
+"""Record containers: sort keys with aligned payload columns."""
+
+from .batch import SRC_POS, SRC_RANK, RecordBatch, from_mapping, tag_provenance
+from .ops import (
+    adaptive_sort_batch,
+    kway_merge_batches,
+    merge_two_batches,
+    sort_batch,
+)
+
+__all__ = [
+    "SRC_POS",
+    "SRC_RANK",
+    "RecordBatch",
+    "from_mapping",
+    "tag_provenance",
+    "adaptive_sort_batch",
+    "kway_merge_batches",
+    "merge_two_batches",
+    "sort_batch",
+]

@@ -1,0 +1,154 @@
+"""Keyed record batches: sort key plus arbitrary payload columns.
+
+The paper's records have "a key for sorting and an arbitrary number of
+non-key values (also called payload)"; SDS-Sort's selling point is that
+it never needs to promote payload (or rank) into a secondary sort key.
+:class:`RecordBatch` models such records as a key array plus named
+payload columns of equal length, with structural operations (take,
+slice, concatenate, split) that keep them aligned.
+
+Provenance columns (:func:`tag_provenance`) record each record's
+original rank and position, letting validators check *stability*
+without influencing the sort itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+#: Reserved payload column names used by the stability validator.
+SRC_RANK = "_src_rank"
+SRC_POS = "_src_pos"
+
+
+@dataclass
+class RecordBatch:
+    """A batch of records: one key column and aligned payload columns."""
+
+    keys: np.ndarray
+    payload: dict[str, np.ndarray] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.keys = np.asarray(self.keys)
+        if self.keys.ndim != 1:
+            raise ValueError("keys must be one-dimensional")
+        self.payload = {k: np.asarray(v) for k, v in self.payload.items()}
+        for name, col in self.payload.items():
+            if len(col) != len(self.keys):
+                raise ValueError(
+                    f"payload column {name!r} has length {len(col)}, "
+                    f"expected {len(self.keys)}"
+                )
+
+    # ------------------------------------------------------------------
+    # basic protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes of key and payload storage."""
+        return int(self.keys.nbytes) + sum(int(c.nbytes) for c in self.payload.values())
+
+    @property
+    def record_bytes(self) -> int:
+        """Bytes per record (key + payload width)."""
+        width = self.keys.dtype.itemsize
+        width += sum(c.dtype.itemsize for c in self.payload.values())
+        return width
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return tuple(self.payload)
+
+    def copy(self) -> "RecordBatch":
+        return RecordBatch(self.keys.copy(), {k: v.copy() for k, v in self.payload.items()})
+
+    # ------------------------------------------------------------------
+    # structural operations
+    # ------------------------------------------------------------------
+    def take(self, indices: np.ndarray) -> "RecordBatch":
+        """Select records by index (also used to apply sort permutations)."""
+        return RecordBatch(
+            self.keys[indices],
+            {k: v[indices] for k, v in self.payload.items()},
+        )
+
+    def slice(self, start: int, stop: int) -> "RecordBatch":
+        """Contiguous sub-batch ``[start, stop)`` (views, no copy)."""
+        return RecordBatch(
+            self.keys[start:stop],
+            {k: v[start:stop] for k, v in self.payload.items()},
+        )
+
+    def split(self, displs: Sequence[int]) -> list["RecordBatch"]:
+        """Split at ``p+1`` displacement boundaries into ``p`` sub-batches.
+
+        ``displs`` must be non-decreasing with ``displs[0] == 0`` and
+        ``displs[-1] == len(self)`` — exactly the send-displacement
+        array the partitioners produce.
+        """
+        d = np.asarray(displs, dtype=np.int64)
+        if d[0] != 0 or d[-1] != len(self):
+            raise ValueError("displacements must span [0, len)")
+        if np.any(np.diff(d) < 0):
+            raise ValueError("displacements must be non-decreasing")
+        return [self.slice(int(d[i]), int(d[i + 1])) for i in range(len(d) - 1)]
+
+    def sort(self, *, stable: bool = False) -> "RecordBatch":
+        """Return a copy sorted by key, payload reordered alongside."""
+        kind = "stable" if stable else "quicksort"
+        perm = np.argsort(self.keys, kind=kind)
+        return self.take(perm)
+
+    def is_sorted(self) -> bool:
+        if len(self) <= 1:
+            return True
+        return bool(np.all(self.keys[1:] >= self.keys[:-1]))
+
+    @staticmethod
+    def concat(batches: Iterable["RecordBatch"]) -> "RecordBatch":
+        """Concatenate batches (all must share the same payload schema)."""
+        batches = list(batches)
+        if not batches:
+            return RecordBatch(np.zeros(0, dtype=np.float64))
+        schema = batches[0].columns
+        for b in batches[1:]:
+            if b.columns != schema:
+                raise ValueError(f"payload schema mismatch: {b.columns} != {schema}")
+        keys = np.concatenate([b.keys for b in batches])
+        payload = {
+            name: np.concatenate([b.payload[name] for b in batches]) for name in schema
+        }
+        return RecordBatch(keys, payload)
+
+    @staticmethod
+    def empty_like(proto: "RecordBatch") -> "RecordBatch":
+        """Zero-length batch with ``proto``'s dtypes and schema."""
+        return RecordBatch(
+            np.zeros(0, dtype=proto.keys.dtype),
+            {k: np.zeros(0, dtype=v.dtype) for k, v in proto.payload.items()},
+        )
+
+
+def tag_provenance(batch: RecordBatch, rank: int) -> RecordBatch:
+    """Return a copy with ``_src_rank``/``_src_pos`` provenance columns.
+
+    The tags travel as ordinary payload — the sort never compares them —
+    and let :func:`repro.metrics.validate.check_stable` verify that equal
+    keys kept their (rank, position) order.
+    """
+    n = len(batch)
+    payload = dict(batch.payload)
+    payload[SRC_RANK] = np.full(n, rank, dtype=np.int32)
+    payload[SRC_POS] = np.arange(n, dtype=np.int64)
+    return RecordBatch(batch.keys.copy(), payload)
+
+
+def from_mapping(keys: np.ndarray, payload: Mapping[str, np.ndarray] | None = None) -> RecordBatch:
+    """Convenience constructor accepting any mapping for payload."""
+    return RecordBatch(np.asarray(keys), dict(payload or {}))

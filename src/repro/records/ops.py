@@ -1,0 +1,52 @@
+"""Merge/sort operations over :class:`RecordBatch` (payload-preserving).
+
+Keys are compared once in the kernel layer; payloads are reordered by
+the resulting permutation — the moral equivalent of sorting records by
+key without promoting payload into the comparison, which is the
+SDS-Sort design point.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..kernels import (
+    kway_merge_perm,
+    merge_two_perm,
+    natural_merge_sort_perm,
+    sequential_argsort,
+)
+from .batch import RecordBatch
+
+
+def merge_two_batches(a: RecordBatch, b: RecordBatch) -> RecordBatch:
+    """Stably merge two key-sorted batches (ties: ``a`` first)."""
+    _, perm = merge_two_perm(a.keys, b.keys)
+    return RecordBatch.concat([a, b]).take(perm)
+
+
+def kway_merge_batches(batches: Sequence[RecordBatch]) -> RecordBatch:
+    """Stably merge ``k`` key-sorted batches (ties: earlier batch first)."""
+    batches = list(batches)
+    if not batches:
+        return RecordBatch.empty_like(RecordBatch([]))
+    if len(batches) == 1:
+        return batches[0].copy()
+    _, perm = kway_merge_perm([b.keys for b in batches])
+    return RecordBatch.concat(batches).take(perm)
+
+
+def sort_batch(batch: RecordBatch, *, stable: bool = False) -> RecordBatch:
+    """Sort a batch by key (unstable introsort or stable timsort)."""
+    return batch.take(sequential_argsort(batch.keys, stable=stable))
+
+
+def adaptive_sort_batch(batch: RecordBatch) -> RecordBatch:
+    """Stable natural-merge sort exploiting pre-existing runs.
+
+    The 'sorting' option of the final local ordering (Section 2.7):
+    post-exchange data is ``p`` concatenated runs, so this does
+    ``O(m log p)`` real work instead of ``O(m log m)``.
+    """
+    _, perm = natural_merge_sort_perm(batch.keys)
+    return batch.take(perm)

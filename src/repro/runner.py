@@ -1,0 +1,184 @@
+"""One-call experiment runner shared by tests, benches, examples and CLI.
+
+Wraps the SPMD engine: generates a workload's shards, runs the chosen
+algorithm on ``p`` simulated ranks, validates the output, and reports
+the quantities the paper's tables and figures are made of (virtual
+time, phase breakdown, per-rank loads, RDFA, throughput, OOM status).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from .baselines import (
+    HykParams,
+    bitonic_sort_batch,
+    hyksort,
+    hyksort_secondary_key,
+    psrs_sort,
+    radix_sort,
+)
+from .core import SdsParams, sds_sort
+from .machine import EDISON, MachineSpec
+from .metrics import check_sorted, rdfa, tb_per_min
+from .mpi import Comm, run_spmd
+from .records import RecordBatch, tag_provenance
+from .workloads import Workload
+
+#: Edison headroom: 64 GB / 24 ranks = 2.67 GB per rank against the
+#: paper's 400 MB input shard — a 6.7x memory-capacity-to-input ratio.
+#: Functional runs scale the capacity with the same ratio so OOM
+#: behaviour matches the testbed's.
+MEM_FACTOR = 6.7
+
+
+def _sds(comm: Comm, batch: RecordBatch, opts: dict[str, Any]):
+    return sds_sort(comm, batch, SdsParams(**opts))
+
+
+def _sds_stable(comm: Comm, batch: RecordBatch, opts: dict[str, Any]):
+    return sds_sort(comm, batch, SdsParams(stable=True, **opts))
+
+
+def _psrs(comm: Comm, batch: RecordBatch, opts: dict[str, Any]):
+    return psrs_sort(comm, batch, **opts)
+
+
+def _hyksort(comm: Comm, batch: RecordBatch, opts: dict[str, Any]):
+    return hyksort(comm, batch, HykParams(**opts) if opts else HykParams())
+
+
+def _bitonic(comm: Comm, batch: RecordBatch, opts: dict[str, Any]):
+    return bitonic_sort_batch(comm, batch)
+
+
+def _hyksort_sk(comm: Comm, batch: RecordBatch, opts: dict[str, Any]):
+    return hyksort_secondary_key(comm, batch,
+                                 HykParams(**opts) if opts else HykParams())
+
+
+def _radix(comm: Comm, batch: RecordBatch, opts: dict[str, Any]):
+    return radix_sort(comm, batch)
+
+
+ALGORITHMS: dict[str, Callable[[Comm, RecordBatch, dict[str, Any]], Any]] = {
+    "sds": _sds,
+    "sds-stable": _sds_stable,
+    "psrs": _psrs,
+    "hyksort": _hyksort,
+    "hyksort-sk": _hyksort_sk,
+    "bitonic": _bitonic,
+    "radix": _radix,
+}
+
+#: Algorithms whose equal-key output order is guaranteed stable.
+STABLE_ALGORITHMS = frozenset({"sds-stable", "hyksort-sk"})
+
+
+@dataclass
+class RunResult:
+    """Everything a bench needs from one distributed-sort run."""
+
+    algorithm: str
+    workload: str
+    p: int
+    n_per_rank: int
+    record_bytes: int
+    ok: bool
+    oom: bool
+    elapsed: float                       # simulated seconds (makespan)
+    loads: list[int] = field(default_factory=list)
+    phase_times: dict[str, float] = field(default_factory=dict)
+    failure: str | None = None
+    outputs: list[RecordBatch] | None = None
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def rdfa(self) -> float:
+        """max/avg load; infinity on failed runs (the paper's convention)."""
+        if not self.ok:
+            return math.inf
+        return rdfa(self.loads)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.n_per_rank * self.p * self.record_bytes
+
+    @property
+    def throughput_tb_min(self) -> float:
+        """Simulated sorting throughput in TB/min (0 for failed runs)."""
+        if not self.ok or self.elapsed <= 0:
+            return 0.0
+        return tb_per_min(self.total_bytes, self.elapsed)
+
+
+def run_sort(algorithm: str, workload: Workload, *, n_per_rank: int, p: int,
+             machine: MachineSpec = EDISON, seed: int = 0,
+             mem_factor: float | None = MEM_FACTOR,
+             validate: bool = True, keep_outputs: bool = False,
+             algo_opts: dict[str, Any] | None = None) -> RunResult:
+    """Run one distributed sort end to end on the simulated machine.
+
+    Parameters
+    ----------
+    algorithm: one of :data:`ALGORITHMS`.
+    workload: dataset family; each rank generates its own shard.
+    n_per_rank, p: weak-scaling shape (records per rank, ranks).
+    mem_factor: per-rank memory capacity as a multiple of the input
+        shard's bytes (default: Edison's 6.7x).  ``None`` disables OOM.
+    validate: check sortedness/stability/multiset on success.
+    keep_outputs: retain per-rank output batches on the result.
+    """
+    try:
+        algo = ALGORITHMS[algorithm]
+    except KeyError:
+        raise KeyError(f"unknown algorithm {algorithm!r}; "
+                       f"options: {sorted(ALGORITHMS)}") from None
+    opts = dict(algo_opts or {})
+    stable = algorithm in STABLE_ALGORITHMS
+
+    probe = workload.shard(max(1, min(n_per_rank, 64)), p, 0, seed)
+    record_bytes = probe.record_bytes + 12  # + provenance columns
+    capacity = (None if mem_factor is None
+                else int(mem_factor * n_per_rank * record_bytes))
+
+    def prog(comm: Comm):
+        shard = workload.shard(n_per_rank, comm.size, comm.rank, seed)
+        shard = tag_provenance(shard, comm.rank)
+        out = algo(comm, shard, opts)
+        return shard, out
+
+    res = run_spmd(prog, p, machine=machine, mem_capacity=capacity, check=False)
+
+    if res.failure is not None:
+        cause = res.failure.cause
+        return RunResult(
+            algorithm=algorithm, workload=workload.name, p=p,
+            n_per_rank=n_per_rank, record_bytes=record_bytes,
+            ok=False, oom=isinstance(cause, MemoryError), elapsed=0.0,
+            failure=f"rank {res.failure.rank}: {cause!r}",
+        )
+
+    inputs = [r[0] for r in res.results]
+    outcomes = [r[1] for r in res.results]
+    outputs = [o.batch for o in outcomes]
+    if validate:
+        check_sorted(inputs, outputs, stable=stable)
+
+    return RunResult(
+        algorithm=algorithm, workload=workload.name, p=p,
+        n_per_rank=n_per_rank, record_bytes=record_bytes,
+        ok=True, oom=False, elapsed=res.elapsed,
+        loads=[len(b) for b in outputs],
+        phase_times=res.phase_breakdown(),
+        outputs=outputs if keep_outputs else None,
+        extras={
+            "mem_peaks": res.mem_peaks,
+            "p_active": sum(1 for o in outcomes if o.active),
+            "bytes_sent": sum(c.get("bytes.sent", 0) for c in res.counters),
+            "messages": sum(c.get("p2p.send", 0) for c in res.counters),
+            "traces": res.traces,
+        },
+    )

@@ -1,0 +1,116 @@
+"""Analytic communication-volume models, cross-checked against the engine.
+
+The engine counts every byte each algorithm actually moves
+(``Comm.count("bytes.sent", ...)``); these closed forms predict those
+counters from (n, p, k, record width) alone, making the Section 5
+comparison — "PSS minimizes the interprocess data movement" — a formula
+rather than a citation.  ``tests/test_comm_volume.py`` asserts the
+engine and the formulas agree.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CommVolume:
+    """Predicted traffic of one algorithm run (whole machine)."""
+
+    algorithm: str
+    data_bytes: int          # the dataset itself
+    payload_bytes: int       # record bytes expected on the network
+    control_bytes: int       # pivots/samples/counters
+    data_passes: float       # payload_bytes / data_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        return self.payload_bytes + self.control_bytes
+
+
+def _dataset(n_per_rank: int, p: int, record_bytes: int) -> int:
+    return n_per_rank * p * record_bytes
+
+
+def sds_volume(n_per_rank: int, p: int, record_bytes: int = 8) -> CommVolume:
+    """SDS-Sort: one all-to-all pass; pivots via bitonic compare-exchange.
+
+    Payload: each rank keeps ~1/p of its own data, so (p-1)/p of the
+    dataset crosses the network once.  Control: the p-1 local pivots
+    per rank traverse log2(p)(log2(p)+1)/2 bitonic stages, plus one
+    allgathered pivot vector.
+    """
+    data = _dataset(n_per_rank, p, record_bytes)
+    payload = int(data * (p - 1) / p) if p > 1 else 0
+    stages = 0
+    if p > 1:
+        lg = math.ceil(math.log2(p))
+        stages = lg * (lg + 1) // 2
+    control = p * (p - 1) * 8 * stages + p * (p - 1) * 8
+    return CommVolume("sds", data, payload, control, payload / max(1, data))
+
+
+def psrs_volume(n_per_rank: int, p: int, record_bytes: int = 8) -> CommVolume:
+    """Classic PSRS: one all-to-all; samples gathered on one rank."""
+    data = _dataset(n_per_rank, p, record_bytes)
+    payload = int(data * (p - 1) / p) if p > 1 else 0
+    control = p * (p - 1) * 8 * 2  # gather samples + broadcast pivots
+    return CommVolume("psrs", data, payload, control, payload / max(1, data))
+
+
+def hyksort_volume(n_per_rank: int, p: int, k: int = 128,
+                   record_bytes: int = 8, hist_iters: int = 4,
+                   cands_per_target: int = 8) -> CommVolume:
+    """HykSort: one staged exchange per k-way level.
+
+    Each of the ``ceil(log_k p)`` levels moves ~(k-1)/k of the data;
+    histogram refinement allreduces candidate rank vectors per level.
+    """
+    data = _dataset(n_per_rank, p, record_bytes)
+    payload = 0
+    control = 0
+    pp = p
+    levels = 0
+    while pp > 1:
+        kk = min(k, pp)
+        payload += int(data * (kk - 1) / kk)
+        control += hist_iters * (kk - 1) * cands_per_target * 8 * p
+        pp = max(1, pp // kk)
+        levels += 1
+        if levels > 64:
+            break
+    return CommVolume("hyksort", data, payload, control,
+                      payload / max(1, data))
+
+
+def bitonic_volume(n_per_rank: int, p: int, record_bytes: int = 8) -> CommVolume:
+    """Bitonic sort: the full dataset crosses per compare-exchange stage.
+
+    ``log2(p)(log2(p)+1)/2`` stages, each a full-block sendrecv — the
+    quadratic-log data movement that rules bitonic out at scale.
+    """
+    data = _dataset(n_per_rank, p, record_bytes)
+    if p <= 1:
+        return CommVolume("bitonic", data, 0, 0, 0.0)
+    lg = math.ceil(math.log2(p))
+    stages = lg * (lg + 1) // 2
+    payload = data * stages
+    return CommVolume("bitonic", data, payload, 0, float(stages))
+
+
+def volume_for(algorithm: str, n_per_rank: int, p: int,
+               record_bytes: int = 8, **kwargs) -> CommVolume:
+    """Dispatch by algorithm name."""
+    fns = {
+        "sds": sds_volume,
+        "psrs": psrs_volume,
+        "hyksort": hyksort_volume,
+        "bitonic": bitonic_volume,
+    }
+    try:
+        fn = fns[algorithm]
+    except KeyError:
+        raise ValueError(f"no volume model for {algorithm!r}; "
+                         f"options: {sorted(fns)}") from None
+    return fn(n_per_rank, p, record_bytes, **kwargs)

@@ -1,0 +1,173 @@
+"""Terminal plotting: render the paper's figures as ASCII charts.
+
+No plotting dependency is available offline, so the CLI and examples
+render line charts (the Figure 5/7/8 curves) and stacked bars (the
+Figure 9/10 phase breakdowns) as text.  Pure functions returning
+strings — easy to test, easy to pipe.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+#: Symbols assigned to series in declaration order.
+_MARKS = "*o+x#@%&"
+
+
+def _scale(vals: Sequence[float], lo: float, hi: float, steps: int,
+           log: bool) -> list[int]:
+    """Map values onto 0..steps-1 cells, optionally logarithmically."""
+    if log:
+        vals = [math.log10(max(v, 1e-300)) for v in vals]
+        lo = math.log10(max(lo, 1e-300))
+        hi = math.log10(max(hi, 1e-300))
+    span = (hi - lo) or 1.0
+    return [
+        min(steps - 1, max(0, int(round((v - lo) / span * (steps - 1)))))
+        for v in vals
+    ]
+
+
+def line_chart(series: Mapping[str, Sequence[tuple[float, float]]], *,
+               width: int = 64, height: int = 16, logx: bool = False,
+               logy: bool = False, title: str = "",
+               ylabel: str = "", xlabel: str = "") -> str:
+    """Render one or more ``(x, y)`` series as an ASCII line chart.
+
+    Each series gets a marker from ``* o + x ...``; the legend maps
+    markers back to names.  Infinite/NaN points are dropped (how OOM
+    entries vanish from a time curve).
+    """
+    pts = {
+        name: [(x, y) for x, y in xy if math.isfinite(x) and math.isfinite(y)]
+        for name, xy in series.items()
+    }
+    allx = [x for xy in pts.values() for x, _ in xy]
+    ally = [y for xy in pts.values() for _, y in xy]
+    if not allx:
+        return f"{title}\n(no finite data)"
+    xlo, xhi = min(allx), max(allx)
+    ylo, yhi = min(ally), max(ally)
+    grid = [[" "] * width for _ in range(height)]
+    for (name, xy), mark in zip(pts.items(), _MARKS):
+        if not xy:
+            continue
+        cols = _scale([x for x, _ in xy], xlo, xhi, width, logx)
+        rows = _scale([y for _, y in xy], ylo, yhi, height, logy)
+        for c, r in zip(cols, rows):
+            grid[height - 1 - r][c] = mark
+    lines = []
+    if title:
+        lines.append(title)
+    ytop = f"{yhi:.4g}"
+    ybot = f"{ylo:.4g}"
+    pad = max(len(ytop), len(ybot), len(ylabel))
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = ytop
+        elif i == height - 1:
+            label = ybot
+        elif i == height // 2 and ylabel:
+            label = ylabel
+        else:
+            label = ""
+        lines.append(f"{label:>{pad}} |{''.join(row)}|")
+    lines.append(f"{'':>{pad}} +{'-' * width}+")
+    xaxis = f"{xlo:.4g}{' ' * max(1, width - len(f'{xlo:.4g}') - len(f'{xhi:.4g}'))}{xhi:.4g}"
+    lines.append(f"{'':>{pad}}  {xaxis}")
+    if xlabel:
+        lines.append(f"{'':>{pad}}  {xlabel:^{width}}")
+    legend = "   ".join(f"{mark}={name}"
+                        for (name, _), mark in zip(pts.items(), _MARKS))
+    lines.append(f"{'':>{pad}}  {legend}")
+    return "\n".join(lines)
+
+
+def stacked_bars(bars: Mapping[str, Mapping[str, float]], *,
+                 width: int = 56, title: str = "") -> str:
+    """Render stacked horizontal bars (the Figure 9/10 breakdowns).
+
+    ``bars`` maps bar label -> {segment label -> value}; segments are
+    drawn with one letter each (first letter of the segment name,
+    disambiguated by the legend).
+    """
+    if not bars:
+        return f"{title}\n(no data)"
+    segments: list[str] = []
+    for segs in bars.values():
+        for s in segs:
+            if s not in segments:
+                segments.append(s)
+    letters = {}
+    for s in segments:
+        letter = next((ch for ch in s if ch.isalnum() and
+                       ch.upper() not in letters.values()), "?").upper()
+        letters[s] = letter
+    total_max = max(sum(v.values()) for v in bars.values()) or 1.0
+    lines = [title] if title else []
+    label_w = max(len(k) for k in bars)
+    for label, segs in bars.items():
+        total = sum(segs.values())
+        cells = []
+        for s in segments:
+            v = segs.get(s, 0.0)
+            cells.append(letters[s] * int(round(v / total_max * width)))
+        bar = "".join(cells)[:width]
+        lines.append(f"{label:>{label_w}} |{bar:<{width}}| {total:.4g}")
+    legend = "  ".join(f"{letters[s]}={s}" for s in segments)
+    lines.append(f"{'':>{label_w}}  {legend}")
+    return "\n".join(lines)
+
+
+def gantt(traces: Sequence[Sequence[tuple[float, float, str]]], *,
+          width: int = 64, max_ranks: int = 12, title: str = "") -> str:
+    """Render per-rank phase timelines (the engine's virtual-time trace).
+
+    Each rank becomes a row; phases are painted with one letter each
+    over a time-scaled axis.  Shows where ranks idle at barriers — the
+    load-imbalance signature made visible.
+    """
+    traces = [t for t in traces if t][:max_ranks]
+    if not traces:
+        return f"{title}\n(no trace)"
+    t_end = max(end for t in traces for _, end, _ in t) or 1.0
+    phases: list[str] = []
+    for t in traces:
+        for _, _, name in t:
+            if name not in phases:
+                phases.append(name)
+    letters = {}
+    for name in phases:
+        letter = next((ch for ch in name if ch.isalnum() and
+                       ch.upper() not in letters.values()), "?").upper()
+        letters[name] = letter
+    lines = [title] if title else []
+    for r, t in enumerate(traces):
+        row = [" "] * width
+        for start, end, name in t:
+            c0 = int(start / t_end * (width - 1))
+            c1 = max(c0 + 1, int(round(end / t_end * (width - 1))) + 1)
+            for c in range(c0, min(c1, width)):
+                row[c] = letters[name]
+        lines.append(f"rank {r:>3d} |{''.join(row)}|")
+    lines.append(f"{'':>8s}  0{'':>{max(1, width - len(f'{t_end:.3g}') - 1)}}{t_end:.3g}s")
+    lines.append(f"{'':>8s}  " + "  ".join(f"{v}={k}" for k, v in letters.items()))
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line trend: eight-level block characters."""
+    blocks = "▁▂▃▄▅▆▇█"
+    finite = [v for v in values if math.isfinite(v)]
+    if not finite:
+        return ""
+    lo, hi = min(finite), max(finite)
+    span = (hi - lo) or 1.0
+    out = []
+    for v in values:
+        if not math.isfinite(v):
+            out.append("!")
+        else:
+            out.append(blocks[min(7, int((v - lo) / span * 7.999))])
+    return "".join(out)

@@ -1,0 +1,57 @@
+"""Workload abstraction: named, seeded, shardable dataset generators.
+
+Experiments need the *same* global dataset regardless of how many
+simulated ranks consume it, so generators are exposed through
+:class:`Workload`, which derives per-rank substreams from one root seed
+(``numpy.random.SeedSequence.spawn``) — rank ``r``'s shard is a pure
+function of ``(seed, N, p, r)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Protocol
+
+import numpy as np
+
+from ..records import RecordBatch
+
+
+class GeneratorFn(Protocol):
+    """Signature of the raw per-shard generators in this package."""
+
+    def __call__(self, n: int, rng: np.random.Generator) -> RecordBatch: ...
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named dataset family.
+
+    Attributes
+    ----------
+    name: identifier used by benches and the CLI.
+    fn: per-shard generator (records are i.i.d. across shards).
+    meta: free-form properties (e.g. the Zipf ``alpha``), recorded by
+        EXPERIMENTS.md entries.
+    """
+
+    name: str
+    fn: GeneratorFn
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def shard(self, n: int, p: int, rank: int, seed: int = 0) -> RecordBatch:
+        """Generate rank ``rank``'s ``n`` records of a ``p``-rank dataset."""
+        if not 0 <= rank < p:
+            raise ValueError(f"rank {rank} out of range for p={p}")
+        child = np.random.SeedSequence(seed).spawn(p)[rank]
+        return self.fn(n, np.random.default_rng(child))
+
+    def generate(self, n: int, seed: int = 0) -> RecordBatch:
+        """Generate ``n`` records as a single shard (for local studies)."""
+        return self.shard(n, 1, 0, seed)
+
+    def global_batch(self, n_per_rank: int, p: int, seed: int = 0) -> RecordBatch:
+        """All ``p`` shards concatenated (what the whole machine sorts)."""
+        return RecordBatch.concat(
+            self.shard(n_per_rank, p, r, seed) for r in range(p)
+        )

@@ -1,0 +1,92 @@
+"""Additional workloads beyond the paper's four.
+
+The paper's future work plans "more tests with well-known sorting
+benchmarks and scientific data sets"; these generators cover that
+ground:
+
+* **graysort** — sort-benchmark.org style records: 10-byte keys with a
+  90-byte opaque payload (modelled as a uint64 key + 11 float64 words,
+  96 bytes/record), uniform random keys;
+* **staggered** — rank ``r`` holds only values in its own disjoint
+  sub-range, in *reverse* rank order: an adversarial non-i.i.d. layout
+  where nearly 100% of records must travel in the exchange and naive
+  global sampling (without per-rank local sorting first) would pick
+  terrible pivots;
+* **gaussian / exponential** — smooth but non-uniform continuous
+  distributions: no duplicates, yet equal-width partitioners (radix)
+  go unbalanced while sampling-based ones stay flat;
+* **reverse** — globally reverse-sorted input, the classic worst case
+  for adaptive sorts (every adjacent pair out of order).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..records import RecordBatch
+from .base import Workload
+
+#: GraySort record layout: 10-byte key + 90-byte payload, modelled as
+#: one uint64 key column plus 11 opaque float64 words = 96 bytes.
+GRAYSORT_PAYLOAD_WORDS = 11
+
+
+def graysort_batch(n: int, rng: np.random.Generator) -> RecordBatch:
+    """``n`` sort-benchmark style records with uniform uint64 keys."""
+    keys = rng.integers(0, np.iinfo(np.int64).max, n, dtype=np.int64)
+    payload = {
+        f"w{i}": rng.random(n) for i in range(GRAYSORT_PAYLOAD_WORDS)
+    }
+    return RecordBatch(keys, payload)
+
+
+def graysort() -> Workload:
+    return Workload("graysort", graysort_batch,
+                    {"record_bytes": 8 * (1 + GRAYSORT_PAYLOAD_WORDS)})
+
+
+def gaussian(mu: float = 0.0, sigma: float = 1.0) -> Workload:
+    def fn(n: int, rng: np.random.Generator) -> RecordBatch:
+        return RecordBatch(rng.normal(mu, sigma, n))
+
+    return Workload("gaussian", fn, {"mu": mu, "sigma": sigma})
+
+
+def exponential(scale: float = 1.0) -> Workload:
+    def fn(n: int, rng: np.random.Generator) -> RecordBatch:
+        return RecordBatch(rng.exponential(scale, n))
+
+    return Workload("exponential", fn, {"scale": scale})
+
+
+def reverse_sorted() -> Workload:
+    def fn(n: int, rng: np.random.Generator) -> RecordBatch:
+        return RecordBatch(np.sort(rng.random(n))[::-1].copy())
+
+    return Workload("reverse", fn)
+
+
+class StaggeredWorkload(Workload):
+    """Non-i.i.d. shards: rank ``r`` of ``p`` holds only the value range
+    belonging to rank ``p-1-r`` — everything must move, and the global
+    key distribution is invisible to any single shard.
+
+    Workload.shard is overridden because the generator needs to know
+    ``(rank, p)``, unlike the i.i.d. families.
+    """
+
+    def __init__(self) -> None:
+        super().__init__("staggered", lambda n, rng: RecordBatch(rng.random(n)))
+
+    def shard(self, n: int, p: int, rank: int, seed: int = 0) -> RecordBatch:
+        if not 0 <= rank < p:
+            raise ValueError(f"rank {rank} out of range for p={p}")
+        child = np.random.SeedSequence(seed).spawn(p)[rank]
+        rng = np.random.default_rng(child)
+        src = p - 1 - rank  # my values belong at the opposite end
+        lo, hi = src / p, (src + 1) / p
+        return RecordBatch(rng.uniform(lo, hi, n))
+
+
+def staggered() -> Workload:
+    return StaggeredWorkload()

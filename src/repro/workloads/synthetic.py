@@ -1,0 +1,140 @@
+"""Synthetic workloads: Uniform, Zipf, partially ordered.
+
+The paper's synthetic evaluation (Section 4.1) uses two families:
+
+* **Uniform** — standard uniform floats, the classic parallel-sorting
+  benchmark input.
+* **Zipf** — ``p(i) = C / i^alpha`` over a universe of ``K`` distinct
+  values.  The paper's Table 2 maps the Zipf exponent to the *maximum
+  replication ratio* ``delta = d/N`` (``d`` = multiplicity of the most
+  frequent key); matching its numbers (alpha 0.4..0.9 -> delta 0.2%..
+  6.4%, and Table 1's alpha 1.4 -> 32%, 2.1 -> 63%) pins the universe
+  at ``K ~= 10,000`` distinct values, which is what we use by default.
+
+Partially ordered inputs (Section 2.7 motivation) come in two shapes:
+``k`` concatenated sorted runs (what a rank holds right after the
+exchange) and "nearly sorted" data with a fraction of random
+perturbations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..records import RecordBatch
+from .base import Workload
+
+#: Universe size that reproduces the paper's alpha -> delta table.
+ZIPF_UNIVERSE = 10_000
+
+
+def uniform_batch(n: int, rng: np.random.Generator) -> RecordBatch:
+    """``n`` uniform float64 keys in [0, 1), no payload."""
+    return RecordBatch(rng.random(n))
+
+
+def zipf_pmf(alpha: float, universe: int = ZIPF_UNIVERSE) -> np.ndarray:
+    """Normalised Zipf probabilities ``C / i^alpha`` for ``i = 1..universe``."""
+    if alpha < 0:
+        raise ValueError("alpha must be non-negative")
+    ranks = np.arange(1, universe + 1, dtype=np.float64)
+    w = ranks**-alpha
+    return w / w.sum()
+
+
+def zipf_delta(alpha: float, universe: int = ZIPF_UNIVERSE) -> float:
+    """Expected max replication ratio of a Zipf(alpha) workload.
+
+    This is the analytic counterpart of the paper's Table 2: the most
+    frequent value is rank 1, whose probability is the normalisation
+    constant ``C = 1 / H_universe(alpha)``.
+    """
+    return float(zipf_pmf(alpha, universe)[0])
+
+
+def zipf_batch(n: int, rng: np.random.Generator, *, alpha: float = 0.7,
+               universe: int = ZIPF_UNIVERSE) -> RecordBatch:
+    """``n`` Zipf-distributed float64 keys.
+
+    Keys are the value's rank index (popular values cluster toward the
+    low end of the distribution, as the paper describes for skewed
+    science data), jittered by nothing — duplicates are exact, which is
+    the property that breaks sample-based partitioners.
+    """
+    pmf = zipf_pmf(alpha, universe)
+    keys = rng.choice(universe, size=n, p=pmf).astype(np.float64)
+    return RecordBatch(keys)
+
+
+def runs_batch(n: int, rng: np.random.Generator, *, runs: int = 16) -> RecordBatch:
+    """``n`` keys forming ``runs`` concatenated sorted runs.
+
+    Models the post-exchange state of a rank: ``p`` sorted chunks back
+    to back.
+    """
+    runs = max(1, min(runs, n)) if n else 1
+    bounds = np.linspace(0, n, runs + 1).astype(np.int64)
+    keys = rng.random(n)
+    for i in range(runs):
+        keys[bounds[i]:bounds[i + 1]].sort()
+    return RecordBatch(keys)
+
+
+def nearly_sorted_batch(n: int, rng: np.random.Generator, *,
+                        disorder: float = 0.01) -> RecordBatch:
+    """Sorted keys with a ``disorder`` fraction of random transpositions."""
+    if not 0.0 <= disorder <= 1.0:
+        raise ValueError("disorder must be in [0, 1]")
+    keys = np.sort(rng.random(n))
+    swaps = int(n * disorder / 2)
+    if swaps:
+        i = rng.integers(0, n, size=swaps)
+        j = rng.integers(0, n, size=swaps)
+        keys[i], keys[j] = keys[j].copy(), keys[i].copy()
+    return RecordBatch(keys)
+
+
+def uniform(payload_floats: int = 0) -> Workload:
+    """Uniform workload, optionally with ``payload_floats`` float64 columns."""
+    if payload_floats == 0:
+        return Workload("uniform", uniform_batch)
+
+    def fn(n: int, rng: np.random.Generator) -> RecordBatch:
+        batch = uniform_batch(n, rng)
+        batch.payload.update(
+            {f"v{i}": rng.random(n) for i in range(payload_floats)}
+        )
+        return batch
+
+    return Workload("uniform", fn, {"payload_floats": payload_floats})
+
+
+def zipf(alpha: float = 0.7, universe: int = ZIPF_UNIVERSE) -> Workload:
+    """Zipf workload with the paper's universe calibration."""
+
+    def fn(n: int, rng: np.random.Generator) -> RecordBatch:
+        return zipf_batch(n, rng, alpha=alpha, universe=universe)
+
+    return Workload(
+        f"zipf-{alpha:g}",
+        fn,
+        {"alpha": alpha, "universe": universe, "delta": zipf_delta(alpha, universe)},
+    )
+
+
+def partially_ordered(runs: int = 16) -> Workload:
+    """Concatenated-sorted-runs workload."""
+
+    def fn(n: int, rng: np.random.Generator) -> RecordBatch:
+        return runs_batch(n, rng, runs=runs)
+
+    return Workload(f"runs-{runs}", fn, {"runs": runs})
+
+
+def nearly_sorted(disorder: float = 0.01) -> Workload:
+    """Nearly-sorted workload."""
+
+    def fn(n: int, rng: np.random.Generator) -> RecordBatch:
+        return nearly_sorted_batch(n, rng, disorder=disorder)
+
+    return Workload(f"nearly-sorted-{disorder:g}", fn, {"disorder": disorder})

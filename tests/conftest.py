@@ -1,0 +1,38 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.machine import LAPTOP, MachineSpec
+from repro.mpi import run_spmd
+from repro.records import RecordBatch
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def machine() -> MachineSpec:
+    return LAPTOP
+
+
+def random_sorted(rng: np.random.Generator, n: int, dups: float = 0.0) -> np.ndarray:
+    """Sorted float keys with an optional duplicate fraction."""
+    a = rng.random(n)
+    if dups > 0 and n:
+        k = int(n * dups)
+        a[:k] = 0.5
+    return np.sort(a)
+
+
+def batch_of(keys, **payload) -> RecordBatch:
+    return RecordBatch(np.asarray(keys), {k: np.asarray(v) for k, v in payload.items()})
+
+
+def spmd(fn, p, **kwargs):
+    """Run a rank program and return per-rank results."""
+    return run_spmd(fn, p, **kwargs).results

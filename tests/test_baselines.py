@@ -1,0 +1,176 @@
+"""Baseline algorithms: PSRS, HykSort, bitonic, radix."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    HykParams,
+    bitonic_sort_batch,
+    histogram_splitters,
+    hyksort,
+    psrs_sort,
+    radix_sort,
+)
+from repro.metrics import check_sorted, rdfa
+from repro.mpi import run_spmd
+from repro.records import tag_provenance
+from repro.workloads import ptf, uniform, zipf
+
+
+def run_algo(fn, workload, p, n, seed=0, mem_capacity=None, check=True, **opts):
+    def prog(comm):
+        shard = tag_provenance(workload.shard(n, comm.size, comm.rank, seed),
+                               comm.rank)
+        return shard, fn(comm, shard, **opts)
+    res = run_spmd(prog, p, mem_capacity=mem_capacity, check=check)
+    if res.failure is not None:
+        return None, None, res
+    ins = [r[0] for r in res.results]
+    outs = [r[1].batch for r in res.results]
+    return ins, outs, res
+
+
+class TestPSRS:
+    @pytest.mark.parametrize("p", [1, 4, 8])
+    def test_uniform_sorted(self, p):
+        ins, outs, _ = run_algo(psrs_sort, uniform(), p, 300)
+        check_sorted(ins, outs)
+
+    def test_skew_imbalance(self):
+        """Classic PSRS concentrates duplicates — the motivating defect."""
+        ins, outs, _ = run_algo(psrs_sort, zipf(2.1), 8, 800)
+        check_sorted(ins, outs)
+        assert rdfa([len(o) for o in outs]) > 2.5
+
+    def test_phases_recorded(self):
+        _, _, res = run_algo(psrs_sort, uniform(), 4, 200)
+        assert "pivot_selection" in res.phase_breakdown()
+
+
+class TestHistogramSplitters:
+    def test_uniform_near_quantiles(self):
+        def prog(comm):
+            rng = np.random.default_rng(comm.rank)
+            keys = np.sort(rng.random(1000))
+            return histogram_splitters(comm, keys, 3, HykParams())
+        res = run_spmd(prog, 4)
+        sp = res.results[0]
+        assert sp.size == 3
+        assert np.allclose(sp, [0.25, 0.5, 0.75], atol=0.06)
+
+    def test_all_ranks_agree(self):
+        def prog(comm):
+            rng = np.random.default_rng(comm.rank)
+            return histogram_splitters(comm, np.sort(rng.random(500)), 3,
+                                       HykParams())
+        res = run_spmd(prog, 4)
+        for sp in res.results[1:]:
+            assert np.array_equal(sp, res.results[0])
+
+    def test_duplicate_wall(self):
+        """With one dominant value, refinement cannot cut the spike."""
+        def prog(comm):
+            keys = np.sort(np.concatenate([
+                np.full(900, 5.0),
+                np.random.default_rng(comm.rank).random(100),
+            ]))
+            return histogram_splitters(comm, keys, 7, HykParams())
+        res = run_spmd(prog, 8)
+        sp = res.results[0]
+        # refinement collapses onto the wall: splitters pile up on the
+        # few boundaries around the spike instead of cutting it
+        assert len(np.unique(sp)) <= 3
+
+
+class TestHykSort:
+    @pytest.mark.parametrize("p", [2, 4, 8, 16])
+    def test_uniform_sorted(self, p):
+        ins, outs, _ = run_algo(hyksort, uniform(), p, 200)
+        check_sorted(ins, outs)
+
+    def test_kway_levels(self):
+        def prog(comm):
+            shard = uniform().shard(100, comm.size, comm.rank, 0)
+            return hyksort(comm, shard, HykParams(k=4))
+        res = run_spmd(prog, 16)
+        assert res.results[0].info["levels"] == 2  # 16 = 4 x 4
+
+    def test_mild_skew_sorted(self):
+        ins, outs, _ = run_algo(hyksort, zipf(0.7), 8, 300)
+        check_sorted(ins, outs)
+
+    def test_heavy_skew_imbalance(self):
+        ins, outs, _ = run_algo(hyksort, zipf(2.1), 8, 800)
+        check_sorted(ins, outs)
+        assert rdfa([len(o) for o in outs]) > 3.0
+
+    def test_oom_on_skew_with_capacity(self):
+        """The paper's OOM failure: duplicates overflow one rank.
+        At delta = 63% and p = 16 the heaviest rank receives ~10x its
+        input, above the 6.7x Edison memory ratio."""
+        n = 1000
+        cap = int(6.7 * n * 24)  # ~Edison ratio for ~24-byte records
+        _, _, res = run_algo(hyksort, zipf(2.1), 16, n,
+                             mem_capacity=cap, check=False)
+        assert res.failure is not None
+        assert isinstance(res.failure.cause, MemoryError)
+
+    def test_uniform_survives_same_capacity(self):
+        n = 1000
+        cap = int(6.7 * n * 24)
+        ins, outs, res = run_algo(hyksort, uniform(), 16, n,
+                                  mem_capacity=cap, check=False)
+        assert res.failure is None
+        check_sorted(ins, outs)
+
+
+class TestBitonicBaseline:
+    def test_sorted_with_payload(self):
+        ins, outs, _ = run_algo(bitonic_sort_batch, ptf(), 8, 64)
+        check_sorted(ins, outs)
+
+    def test_equal_blocks_enforced(self):
+        def prog(comm):
+            shard = uniform().shard(comm.rank + 1, comm.size, comm.rank, 0)
+            bitonic_sort_batch(comm, shard)
+        res = run_spmd(prog, 4, check=False)
+        assert res.failure is not None
+
+    def test_stage_count(self):
+        _, outs, res = run_algo(bitonic_sort_batch, uniform(), 8, 32)
+        # log2(8)=3 phases -> 1+2+3 = 6 compare-exchange stages
+        assert res.results[0][1].info["stages"] == 6
+
+
+class TestRadix:
+    @pytest.mark.parametrize("p", [2, 4, 8])
+    def test_uniform_floats(self, p):
+        ins, outs, _ = run_algo(radix_sort, uniform(), p, 300)
+        check_sorted(ins, outs)
+
+    def test_negative_floats(self):
+        def prog(comm):
+            rng = np.random.default_rng(comm.rank)
+            from repro.records import RecordBatch
+            shard = RecordBatch(rng.standard_normal(200))
+            return shard, radix_sort(comm, shard)
+        res = run_spmd(prog, 4)
+        ins = [r[0] for r in res.results]
+        outs = [r[1].batch for r in res.results]
+        check_sorted(ins, outs)
+
+    def test_integer_keys(self):
+        def prog(comm):
+            rng = np.random.default_rng(comm.rank)
+            from repro.records import RecordBatch
+            shard = RecordBatch(rng.integers(-100, 100, 200))
+            return shard, radix_sort(comm, shard)
+        res = run_spmd(prog, 4)
+        ins = [r[0] for r in res.results]
+        outs = [r[1].batch for r in res.results]
+        check_sorted(ins, outs)
+
+    def test_skew_concentrates(self):
+        ins, outs, _ = run_algo(radix_sort, zipf(2.1), 8, 500)
+        check_sorted(ins, outs)
+        assert rdfa([len(o) for o in outs]) > 2.0

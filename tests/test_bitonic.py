@@ -1,0 +1,74 @@
+"""Distributed bitonic sort: the pivot-selection workhorse and baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core import bitonic_sort, is_power_of_two
+from repro.mpi import RankFailure, run_spmd
+
+
+def sort_across(p, n_per_rank, seed=0):
+    def prog(comm):
+        rng = np.random.default_rng(seed * 100 + comm.rank)
+        keys = rng.random(n_per_rank)
+        return keys, bitonic_sort(comm, keys)
+    res = run_spmd(prog, p)
+    ins = [r[0] for r in res.results]
+    outs = [r[1] for r in res.results]
+    return ins, outs
+
+
+class TestIsPowerOfTwo:
+    def test_values(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(64)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(12)
+
+
+class TestBitonicSort:
+    @pytest.mark.parametrize("p", [1, 2, 4, 8, 16])
+    def test_globally_sorted(self, p):
+        ins, outs = sort_across(p, 32)
+        got = np.concatenate(outs)
+        want = np.sort(np.concatenate(ins))
+        assert np.array_equal(got, want)
+
+    def test_blocks_keep_length(self):
+        _, outs = sort_across(8, 17)
+        assert all(len(o) == 17 for o in outs)
+
+    def test_duplicate_heavy_input(self):
+        def prog(comm):
+            rng = np.random.default_rng(comm.rank)
+            keys = rng.integers(0, 3, 20).astype(float)
+            return keys, bitonic_sort(comm, keys)
+        res = run_spmd(prog, 8)
+        got = np.concatenate([r[1] for r in res.results])
+        want = np.sort(np.concatenate([r[0] for r in res.results]))
+        assert np.array_equal(got, want)
+
+    def test_rejects_nonpow2(self):
+        def prog(comm):
+            bitonic_sort(comm, np.arange(4.0))
+        with pytest.raises(RankFailure):
+            run_spmd(prog, 6)
+
+    def test_rejects_unequal_lengths(self):
+        def prog(comm):
+            bitonic_sort(comm, np.arange(float(comm.rank + 1)))
+        with pytest.raises(RankFailure):
+            run_spmd(prog, 4)
+
+    def test_charges_time(self):
+        def prog(comm):
+            bitonic_sort(comm, np.random.default_rng(comm.rank).random(64))
+            return comm.clock
+        res = run_spmd(prog, 8)
+        assert all(t > 0 for t in res.results)
+
+    def test_single_rank_is_local_sort(self):
+        def prog(comm):
+            return bitonic_sort(comm, np.array([3.0, 1.0, 2.0]))
+        res = run_spmd(prog, 1)
+        assert list(res.results[0]) == [1.0, 2.0, 3.0]

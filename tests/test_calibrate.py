@@ -1,0 +1,29 @@
+"""Noise-scale calibration loop (simfast.calibrate)."""
+
+import pytest
+
+from repro.simfast import NOISE_SCALE, UniverseModel, countspace_loads
+from repro.simfast.calibrate import calibrate_noise_scale
+
+
+class TestCalibration:
+    def test_calibrated_scale_is_sane(self):
+        """A fresh small-scale fit lands within 4x of the shipped
+        constant (the residual is the adjacent-boundary correlation the
+        independent-jitter model ignores; see NOISE_SCALE's docstring)."""
+        s = calibrate_noise_scale(n_per_rank=2048, p_list=(128,),
+                                  seeds=(0, 1))
+        assert 0.25 * NOISE_SCALE < s < 4 * NOISE_SCALE
+
+    def test_excess_linear_in_scale(self):
+        """The solver's assumption: max-load excess scales linearly."""
+        m = UniverseModel.uniform()
+        n, p = 4096, 256
+        e1 = countspace_loads(m, n, p, noise_scale=0.5, seed=3).max() - n
+        e2 = countspace_loads(m, n, p, noise_scale=1.0, seed=3).max() - n
+        assert e2 == pytest.approx(2 * e1, rel=0.15)
+
+    def test_zero_scale_is_deterministic(self):
+        m = UniverseModel.uniform()
+        loads = countspace_loads(m, 4096, 64, noise_scale=0.0, seed=9)
+        assert loads.max() - 4096 <= 4096 * 0.01  # only quantisation

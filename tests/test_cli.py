@@ -1,0 +1,159 @@
+"""CLI smoke tests (every subcommand end to end)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    return code, capsys.readouterr().out
+
+
+class TestCli:
+    def test_info(self, capsys):
+        code, out = run_cli(capsys, "info")
+        assert code == 0
+        assert "sds" in out and "edison" in out
+
+    def test_sort_success(self, capsys):
+        code, out = run_cli(
+            capsys, "sort", "--algorithm", "sds", "--workload", "zipf",
+            "--alpha", "1.4", "--p", "8", "--n", "500",
+            "--no-node-merge", "--sync",
+        )
+        assert code == 0
+        assert "ok (validated)" in out
+        assert "RDFA" in out
+
+    def test_sort_oom_exit_code(self, capsys):
+        code, out = run_cli(
+            capsys, "sort", "--algorithm", "hyksort", "--workload", "zipf",
+            "--alpha", "2.1", "--p", "16", "--n", "800",
+        )
+        assert code == 1
+        assert "FAILED (OOM)" in out
+
+    def test_sort_stable(self, capsys):
+        code, out = run_cli(
+            capsys, "sort", "--algorithm", "sds-stable", "--p", "4",
+            "--n", "300", "--no-node-merge",
+        )
+        assert code == 0
+
+    def test_scaling(self, capsys):
+        code, out = run_cli(
+            capsys, "scaling", "--workload", "uniform",
+            "--algorithms", "sds,hyksort", "--p", "512,131072",
+        )
+        assert code == 0
+        assert "128K" in out
+        assert "TB/min" in out
+
+    def test_scaling_zipf_shows_oom(self, capsys):
+        code, out = run_cli(
+            capsys, "scaling", "--workload", "zipf", "--alpha", "0.7",
+            "--algorithms", "hyksort", "--p", "512",
+        )
+        assert code == 0
+        assert "OOM" in out
+
+    def test_rdfa(self, capsys):
+        code, out = run_cli(
+            capsys, "rdfa", "--workload", "zipf", "--alpha", "0.7",
+            "--p", "512", "--n", "1000000",
+        )
+        assert code == 0
+        assert "inf(OOM)" in out   # hyksort column
+
+    def test_tune(self, capsys):
+        code, out = run_cli(capsys, "tune", "--machine", "edison")
+        assert code == 0
+        assert "tau_m" in out and "tau_s" in out
+
+    def test_unknown_machine(self, capsys):
+        with pytest.raises(KeyError):
+            run_cli(capsys, "tune", "--machine", "frontier")
+
+    def test_requires_subcommand(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestCliViz:
+    def test_scaling_plot(self, capsys):
+        code, out = run_cli(
+            capsys, "scaling", "--workload", "uniform",
+            "--algorithms", "sds", "--p", "512,8192", "--plot",
+        )
+        assert code == 0
+        assert "*=sds" in out
+
+    def test_breakdown(self, capsys):
+        code, out = run_cli(
+            capsys, "breakdown", "--workload", "ptf", "--p", "16",
+            "--n", "400",
+        )
+        assert code == 0
+        assert "E=exchange" in out
+        assert "hyksort" in out
+
+
+class TestCliDataset:
+    def test_create_list_delete(self, capsys, tmp_path):
+        root = str(tmp_path / "ds")
+        code, out = run_cli(capsys, "dataset", "create", "--root", root,
+                            "--name", "d1", "--p", "2", "--n", "20")
+        assert code == 0 and "created d1" in out
+        code, out = run_cli(capsys, "dataset", "list", "--root", root)
+        assert code == 0 and "d1" in out and "p=2" in out
+        code, out = run_cli(capsys, "dataset", "delete", "--root", root,
+                            "--name", "d1")
+        assert code == 0
+        code, out = run_cli(capsys, "dataset", "list", "--root", root)
+        assert "(no datasets)" in out
+
+    def test_create_requires_name(self, capsys, tmp_path):
+        with pytest.raises(SystemExit):
+            run_cli(capsys, "dataset", "create", "--root",
+                    str(tmp_path / "x"))
+
+
+class TestCliFigures:
+    @pytest.mark.parametrize("name", ["fig5a", "fig5b", "fig5c"])
+    def test_fig5_charts(self, capsys, name):
+        code, out = run_cli(capsys, "figure", name)
+        assert code == 0
+        assert "crossover" in out
+
+    def test_fig7(self, capsys):
+        code, out = run_cli(capsys, "figure", "fig7")
+        assert code == 0
+        assert "*=sds" in out
+
+    def test_fig8_notes_oom(self, capsys):
+        code, out = run_cli(capsys, "figure", "fig8")
+        assert code == 0
+        assert "OOM" in out
+
+    def test_table3(self, capsys):
+        code, out = run_cli(capsys, "figure", "table3")
+        assert code == 0
+        assert "inf(OOM)" in out
+
+
+class TestCliModels:
+    def test_rdfa_ptf_model(self, capsys):
+        code, out = run_cli(capsys, "rdfa", "--workload", "ptf",
+                            "--p", "512", "--n", "1000000")
+        assert code == 0
+
+    def test_scaling_cosmology_model(self, capsys):
+        code, out = run_cli(capsys, "scaling", "--workload", "cosmology",
+                            "--algorithms", "sds", "--p", "512")
+        assert code == 0
+
+    def test_unknown_model_workload(self, capsys):
+        with pytest.raises(SystemExit):
+            run_cli(capsys, "scaling", "--workload", "staggered",
+                    "--algorithms", "sds", "--p", "512")

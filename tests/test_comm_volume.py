@@ -1,0 +1,73 @@
+"""Analytic communication-volume models vs the engine's byte counters."""
+
+import pytest
+
+from repro.runner import run_sort
+from repro.simfast import (
+    bitonic_volume,
+    hyksort_volume,
+    psrs_volume,
+    sds_volume,
+    volume_for,
+)
+from repro.workloads import uniform
+
+
+def engine_bytes(alg, n, p, seed=0):
+    opts = ({"node_merge_enabled": False, "tau_o": 0}
+            if alg.startswith("sds") else None)
+    r = run_sort(alg, uniform(), n_per_rank=n, p=p, mem_factor=None,
+                 algo_opts=opts, seed=seed)
+    assert r.ok
+    return int(r.extras["bytes_sent"]), r.record_bytes
+
+
+class TestFormulas:
+    def test_single_rank_moves_nothing(self):
+        assert sds_volume(100, 1).payload_bytes == 0
+        assert bitonic_volume(100, 1).data_passes == 0.0
+
+    def test_sds_one_pass(self):
+        v = sds_volume(1000, 64)
+        assert v.data_passes == pytest.approx(63 / 64)
+
+    def test_bitonic_stage_passes(self):
+        v = bitonic_volume(1000, 16)  # log2=4 -> 10 stages
+        assert v.data_passes == 10.0
+
+    def test_hyksort_levels(self):
+        one = hyksort_volume(1000, 64, k=128)     # single level
+        two = hyksort_volume(1000, 64, k=8)       # 8 x 8
+        assert one.data_passes < two.data_passes
+        assert two.data_passes == pytest.approx(7 / 8 * 2)
+
+    def test_dispatch(self):
+        assert volume_for("psrs", 10, 4).algorithm == "psrs"
+        with pytest.raises(ValueError):
+            volume_for("bogo", 10, 4)
+
+
+class TestEngineAgreement:
+    @pytest.mark.parametrize("alg,model", [
+        ("sds", sds_volume),
+        ("psrs", psrs_volume),
+        ("bitonic", bitonic_volume),
+    ])
+    def test_payload_within_tolerance(self, alg, model):
+        n, p = 800, 8
+        got, rb = engine_bytes(alg, n, p)
+        want = model(n, p, record_bytes=rb)
+        # payload dominates; control traffic and load noise give slack
+        assert got == pytest.approx(want.total_bytes, rel=0.35)
+
+    def test_hyksort_one_level(self):
+        n, p = 800, 8
+        got, rb = engine_bytes("hyksort", n, p)
+        want = hyksort_volume(n, p, k=128, record_bytes=rb)
+        assert got == pytest.approx(want.total_bytes, rel=0.5)
+
+    def test_bitonic_dwarfs_sds(self):
+        n, p = 500, 16
+        got_b, _ = engine_bytes("bitonic", n, p)
+        got_s, _ = engine_bytes("sds", n, p)
+        assert got_b > 5 * got_s

@@ -1,0 +1,189 @@
+"""Cost-model behaviour: monotonicity, limits, calibration anchors."""
+
+import math
+
+import pytest
+
+from repro.machine import EDISON, CostModel, dup_discount
+
+
+@pytest.fixture
+def cost() -> CostModel:
+    return CostModel(EDISON)
+
+
+class TestDupDiscount:
+    def test_no_skew_no_discount(self):
+        assert dup_discount(0.0) == 1.0
+
+    def test_monotone_decreasing(self):
+        prev = 1.0
+        for d in (0.01, 0.02, 0.1, 0.32, 0.63, 1.0):
+            cur = dup_discount(d)
+            assert cur < prev
+            prev = cur
+
+    def test_table1_anchors(self):
+        # fitted to Table 1: delta 2% -> ~0.56x, 32% -> ~0.34x, 63% -> ~0.25x
+        assert dup_discount(0.02) == pytest.approx(0.56, abs=0.06)
+        assert dup_discount(0.32) == pytest.approx(0.34, abs=0.05)
+        assert dup_discount(0.63) == pytest.approx(0.25, abs=0.04)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            dup_discount(-0.1)
+        with pytest.raises(ValueError):
+            dup_discount(1.1)
+
+
+class TestComputeCosts:
+    def test_sort_time_table1_anchor(self, cost):
+        # Table 1: 268M float32 in ~26.1 s with std::sort
+        t = cost.sort_time(268_000_000)
+        assert t == pytest.approx(26.1, rel=0.1)
+
+    def test_stable_sort_slower(self, cost):
+        n = 1_000_000
+        assert cost.sort_time(n, stable=True) > cost.sort_time(n)
+        ratio = cost.sort_time(n, stable=True) / cost.sort_time(n)
+        assert ratio == pytest.approx(EDISON.stable_sort_factor)
+
+    def test_skew_makes_sorting_cheaper(self, cost):
+        n = 1_000_000
+        assert cost.sort_time(n, delta=0.63) < cost.sort_time(n, delta=0.02)
+        assert cost.sort_time(n, delta=0.02) < cost.sort_time(n)
+
+    def test_trivial_sizes_free(self, cost):
+        assert cost.sort_time(0) == 0.0
+        assert cost.sort_time(1) == 0.0
+        assert cost.merge_time(0, 4) == 0.0
+        assert cost.merge_time(100, 1) == 0.0
+
+    def test_merge_grows_with_k(self, cost):
+        n = 1_000_000
+        assert cost.merge_time(n, 16) > cost.merge_time(n, 4)
+        assert cost.merge_time(n, 16) == pytest.approx(2 * cost.merge_time(n, 4))
+
+    def test_adaptive_sort_cheaper_on_fewer_runs(self, cost):
+        n = 1_000_000
+        assert cost.adaptive_sort_time(n, 2) < cost.adaptive_sort_time(n, 1024)
+        assert cost.adaptive_sort_time(n, 1024) <= cost.sort_time(n) * 1.01
+
+    def test_final_sort_flatter_than_merge(self, cost):
+        """Figure 5c: merge grows with p, the sort option barely moves."""
+        n = 100_000_000
+        merge_growth = cost.merge_time(n, 65536) / cost.merge_time(n, 512)
+        sort_growth = cost.final_sort_time(n, 65536) / cost.final_sort_time(n, 512)
+        assert merge_growth > 1.5
+        assert 0.7 < sort_growth <= 1.0
+
+    def test_tau_s_crossover_region(self, cost):
+        """Merge wins at p=512, sort wins at p=16384 (tau_s ~ 4000)."""
+        n = 100_000_000
+        assert cost.merge_time(n, 512) < cost.final_sort_time(n, 512)
+        assert cost.merge_time(n, 16384) > cost.final_sort_time(n, 16384)
+
+
+class TestNetworkCosts:
+    def test_p2p_latency_floor(self, cost):
+        assert cost.p2p_time(0) >= EDISON.net_latency
+
+    def test_p2p_bandwidth_term(self, cost):
+        small = cost.p2p_time(1_000)
+        big = cost.p2p_time(2_000_000_000)
+        assert big > small
+        assert big == pytest.approx(2e9 / EDISON.single_stream_bandwidth, rel=0.01)
+
+    def test_alltoallv_single_rank_free(self, cost):
+        assert cost.alltoallv_time(1, 10**9) == 0.0
+
+    def test_alltoallv_merged_mode_slower_for_big_data(self, cost):
+        """One rank per node cannot saturate the NIC."""
+        big = 4 * 10**9
+        merged = cost.alltoallv_time(512, big, ranks_per_node=1)
+        unmerged = cost.alltoallv_time(12288, big // 24, ranks_per_node=24)
+        assert merged > unmerged
+
+    def test_alltoallv_merged_mode_faster_for_small_data(self, cost):
+        small = 4 * 2**20
+        merged = cost.alltoallv_time(512, small, ranks_per_node=1)
+        unmerged = cost.alltoallv_time(12288, small // 24, ranks_per_node=24)
+        assert merged < unmerged
+
+    def test_async_has_progress_overhead(self, cost):
+        p, nbytes = 8192, 10**8
+        sync = cost.alltoallv_time(p, nbytes)
+        asy = cost.alltoallv_async_time(p, nbytes)
+        assert asy > sync
+        assert cost.async_progress_overhead(p) > 0
+
+    def test_collectives_log_scaling(self, cost):
+        t64 = cost.tree_collective_time(64, 1000)
+        t4096 = cost.tree_collective_time(4096, 1000)
+        assert t4096 == pytest.approx(2 * t64)
+
+    def test_barrier_free_for_singleton(self, cost):
+        assert cost.barrier_time(1) == 0.0
+
+    def test_bitonic_stage_count(self, cost):
+        """log2(p)(log2(p)+1)/2 stages dominate the bitonic pivot sort."""
+        t16 = cost.bitonic_sort_time(16, 1000)
+        t256 = cost.bitonic_sort_time(256, 1000)
+        # 16 -> 10 stages, 256 -> 36 stages
+        assert t256 / t16 == pytest.approx(3.6, rel=0.2)
+
+    def test_memcpy_uses_cores(self, cost):
+        serial = cost.memcpy_time(10**9, cores=1)
+        parallel = cost.memcpy_time(10**9, cores=24)
+        assert parallel < serial
+
+
+class TestBinarySearch:
+    def test_zero_cases(self, cost):
+        assert cost.binary_search_time(0) == 0.0
+        assert cost.binary_search_time(100, 0) == 0.0
+
+    def test_scales_with_searches(self, cost):
+        one = cost.binary_search_time(1 << 20, 1)
+        many = cost.binary_search_time(1 << 20, 100)
+        assert many == pytest.approx(100 * one)
+
+    def test_log_in_n(self, cost):
+        assert (cost.binary_search_time(1 << 30, 1)
+                == pytest.approx(1.5 * cost.binary_search_time(1 << 20, 1)))
+
+
+def test_math_import_guard():
+    """dup_discount's fit constants reproduce a smooth curve."""
+    xs = [i / 100 for i in range(1, 100)]
+    ys = [dup_discount(x) for x in xs]
+    assert all(a > b for a, b in zip(ys, ys[1:]))
+    assert not any(math.isnan(y) for y in ys)
+
+
+class TestEnergy:
+    def test_scales_with_nodes_and_time(self, cost):
+        e1 = cost.energy_joules(10.0, 24)     # one node
+        e2 = cost.energy_joules(10.0, 48)     # two nodes
+        e3 = cost.energy_joules(20.0, 24)
+        assert e2 == pytest.approx(2 * e1)
+        assert e3 == pytest.approx(2 * e1)
+
+    def test_single_rank_still_powers_a_node(self, cost):
+        assert cost.energy_joules(1.0, 1) == pytest.approx(
+            EDISON.watts_per_node)
+
+    def test_rejects_negative_time(self, cost):
+        with pytest.raises(ValueError):
+            cost.energy_joules(-1.0, 4)
+
+    def test_records_per_joule_in_scaling_model(self):
+        from repro.simfast import UniverseModel, weak_scaling_point
+        pt = weak_scaling_point("sds", UniverseModel.uniform(),
+                                100_000_000, 8192, machine=EDISON)
+        rpj = pt.records_per_joule(EDISON)
+        assert rpj > 0
+        # failed runs report zero efficiency
+        zpt = weak_scaling_point("hyksort", UniverseModel.zipf(0.7),
+                                 100_000_000, 8192, machine=EDISON)
+        assert zpt.records_per_joule(EDISON) == 0.0

@@ -1,0 +1,67 @@
+"""Smoke tests: every example runs end to end (at reduced scale)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def load_example(name):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    mod = importlib.util.module_from_spec(spec)
+    sys.modules[name] = mod
+    spec.loader.exec_module(mod)
+    return mod
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        mod = load_example("quickstart")
+        mod.N_PER_RANK = 2000
+        mod.main()
+        out = capsys.readouterr().out
+        assert "[ok]" in out
+        assert "RDFA" in out
+
+    def test_ptf_pipeline(self, capsys):
+        mod = load_example("ptf_pipeline")
+        mod.N_PER_RANK = 1500
+        mod.P = 8
+        mod.main()
+        out = capsys.readouterr().out
+        assert "transient candidates" in out
+        assert "28.02%" in out
+
+    def test_cosmology_clustering(self, capsys):
+        mod = load_example("cosmology_clustering")
+        mod.N_PER_RANK = 3000
+        mod.P = 8
+        mod.main()
+        out = capsys.readouterr().out
+        assert "most massive halos" in out
+
+    def test_tuning_explorer(self, capsys):
+        mod = load_example("tuning_explorer")
+        mod.main()
+        out = capsys.readouterr().out
+        assert "tau_m" in out and "edison" in out
+
+    def test_skew_stress(self, capsys):
+        mod = load_example("skew_stress")
+        mod.P = 16
+        mod.N = 400
+        mod.ALPHAS = [0.6, 1.4]
+        mod.main()
+        out = capsys.readouterr().out
+        assert "what happened" in out
+
+    def test_query_acceleration(self, capsys):
+        mod = load_example("query_acceleration")
+        mod.P = 8
+        mod.N_PER_RANK = 5000
+        mod.main()
+        out = capsys.readouterr().out
+        assert "speedup after sorting" in out

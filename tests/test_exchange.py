@@ -1,0 +1,106 @@
+"""Adaptive exchange and final local ordering (Sections 2.6-2.7)."""
+
+import numpy as np
+
+from repro.core import (
+    exchange_overlapped,
+    exchange_sync,
+    order_received,
+    split_for_sends,
+)
+from repro.mpi import run_spmd
+from repro.records import RecordBatch
+
+
+def _sorted_shard(rank, n=40):
+    rng = np.random.default_rng(rank)
+    return RecordBatch(np.sort(rng.random(n)), {"src": np.full(n, rank)})
+
+
+class TestSplitForSends:
+    def test_respects_displs(self):
+        b = RecordBatch(np.arange(10.0))
+        parts = split_for_sends(b, np.array([0, 4, 4, 10]))
+        assert [len(p) for p in parts] == [4, 0, 6]
+
+
+class TestSyncExchangeAndOrdering:
+    @staticmethod
+    def _run(tau_s, p=4):
+        def prog(comm):
+            shard = _sorted_shard(comm.rank)
+            n = len(shard)
+            bounds = np.linspace(0, n, comm.size + 1).astype(np.int64)
+            sends = split_for_sends(shard, bounds)
+            chunks = exchange_sync(comm, sends)
+            out, stats = order_received(comm, chunks, stable=False,
+                                        tau_s=tau_s)
+            return shard, out, stats
+        return run_spmd(prog, p).results
+
+    def test_merge_path_sorted(self):
+        out = self._run(tau_s=10**9)
+        for _, o, stats in out:
+            assert o.is_sorted()
+            assert stats.ordering == "merge"
+
+    def test_sort_path_sorted(self):
+        out = self._run(tau_s=1)
+        for _, o, stats in out:
+            assert o.is_sorted()
+            assert stats.ordering == "sort"
+
+    def test_paths_agree(self):
+        merge_keys = np.concatenate([o.keys for _, o, _ in self._run(10**9)])
+        sort_keys = np.concatenate([o.keys for _, o, _ in self._run(1)])
+        assert np.array_equal(merge_keys, sort_keys)
+
+    def test_received_counts(self):
+        out = self._run(tau_s=10**9)
+        total_in = sum(len(s) for s, _, _ in out)
+        total_out = sum(len(o) for _, o, _ in out)
+        assert total_in == total_out
+
+
+class TestOverlappedExchange:
+    @staticmethod
+    def _run(p=4):
+        def prog(comm):
+            shard = _sorted_shard(comm.rank)
+            bounds = np.linspace(0, len(shard), comm.size + 1).astype(np.int64)
+            sends = split_for_sends(shard, bounds)
+            out, stats = exchange_overlapped(comm, sends)
+            return shard, out, stats, comm.clock
+        return run_spmd(prog, p).results
+
+    def test_output_sorted(self):
+        for _, o, stats, _ in self._run():
+            assert o.is_sorted()
+            assert stats.mode == "overlap"
+
+    def test_multiset_preserved(self):
+        out = self._run()
+        got = np.sort(np.concatenate([o.keys for _, o, _, _ in out]))
+        want = np.sort(np.concatenate([s.keys for s, _, _, _ in out]))
+        assert np.array_equal(got, want)
+
+    def test_payload_travels(self):
+        out = self._run()
+        srcs = np.concatenate([o.payload["src"] for _, o, _, _ in out])
+        assert set(np.unique(srcs)) == {0, 1, 2, 3}
+
+    def test_clock_advances(self):
+        for _, _, _, clock in self._run():
+            assert clock > 0
+
+    def test_matches_sync_result_keys(self):
+        over = self._run()
+        def sync_prog(comm):
+            shard = _sorted_shard(comm.rank)
+            bounds = np.linspace(0, len(shard), comm.size + 1).astype(np.int64)
+            chunks = exchange_sync(comm, split_for_sends(shard, bounds))
+            out, _ = order_received(comm, chunks, stable=False, tau_s=10**9)
+            return out
+        sync = run_spmd(sync_prog, 4).results
+        for (_, o, _, _), s in zip(over, sync):
+            assert np.array_equal(o.keys, s.keys)

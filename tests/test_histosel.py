@@ -1,0 +1,116 @@
+"""Histogram pivot selection (paper Section 2.4 alternative)."""
+
+import numpy as np
+import pytest
+
+from repro.core import SdsParams, sds_sort
+from repro.core.histosel import histogram_refine, select_pivots_histogram
+from repro.metrics import check_sorted, rdfa
+from repro.mpi import run_spmd
+from repro.records import tag_provenance
+from repro.workloads import uniform, zipf
+
+
+class TestHistogramRefine:
+    def test_uniform_near_quantiles(self):
+        def prog(comm):
+            rng = np.random.default_rng(comm.rank)
+            return histogram_refine(comm, np.sort(rng.random(2000)), 7,
+                                    tolerance=0.02)
+        res = run_spmd(prog, 8)
+        sp = res.results[0]
+        want = np.arange(1, 8) / 8
+        assert np.allclose(sp, want, atol=0.05)
+
+    def test_nsplit_zero(self):
+        def prog(comm):
+            return histogram_refine(comm, np.arange(10.0), 0)
+        assert run_spmd(prog, 2).results[0].size == 0
+
+    def test_empty_data_gives_filler(self):
+        def prog(comm):
+            return histogram_refine(comm, np.zeros(0), 3)
+        assert run_spmd(prog, 2).results[0].size == 3
+
+    def test_tighter_tolerance_not_worse(self):
+        def prog(comm, tol):
+            rng = np.random.default_rng(comm.rank)
+            keys = np.sort(rng.random(2000))
+            sp = histogram_refine(comm, keys, 3, tolerance=tol, max_iters=12)
+            ranks = comm.allreduce(
+                np.searchsorted(keys, sp, side="right").astype(np.int64))
+            targets = (np.arange(1, 4) * comm.allreduce(keys.size)) // 4
+            return int(np.abs(ranks - targets).max())
+        loose = max(run_spmd(prog, 4, kwargs={"tol": 0.2}).results)
+        tight = max(run_spmd(prog, 4, kwargs={"tol": 0.005}).results)
+        assert tight <= loose
+
+    def test_duplicates_produce_repeated_pivots(self):
+        """On skew, the refinement returns *duplicated* pivots — which
+        SDS-Sort's partitioner exploits and classic partitioning cannot."""
+        def prog(comm):
+            keys = np.sort(np.concatenate([
+                np.full(1800, 5.0),
+                np.random.default_rng(comm.rank).random(200),
+            ]))
+            return select_pivots_histogram(comm, keys)
+        res = run_spmd(prog, 8)
+        sp = res.results[0]
+        assert np.count_nonzero(sp == 5.0) >= 2
+
+
+class TestDriverIntegration:
+    def _run(self, workload, p, n, method, seed=0):
+        params = SdsParams(pivot_method=method, node_merge_enabled=False)
+
+        def prog(comm):
+            shard = tag_provenance(workload.shard(n, comm.size, comm.rank, seed),
+                                   comm.rank)
+            return shard, sds_sort(comm, shard, params)
+
+        res = run_spmd(prog, p)
+        ins = [r[0] for r in res.results]
+        outs = [r[1].batch for r in res.results]
+        return ins, outs
+
+    def test_histogram_pivots_sort_uniform(self):
+        ins, outs = self._run(uniform(), 8, 400, "histogram")
+        check_sorted(ins, outs)
+
+    def test_histogram_pivots_sort_skewed(self):
+        """The paper's §2.4 concern, resolved by the skew-aware
+        partitioner: histogram pivots work on skewed data too when the
+        partitioner splits duplicated pivots."""
+        ins, outs = self._run(zipf(1.4), 8, 600, "histogram")
+        check_sorted(ins, outs)
+        assert rdfa([len(o) for o in outs]) < 3.0
+
+    def test_all_methods_agree_on_keys(self):
+        results = {}
+        for method in ("bitonic", "gather", "histogram"):
+            _, outs = self._run(uniform(), 4, 300, method, seed=5)
+            results[method] = np.concatenate([o.keys for o in outs])
+        assert np.array_equal(results["bitonic"], results["gather"])
+        assert np.array_equal(results["bitonic"], results["histogram"])
+
+    def test_invalid_method_rejected(self):
+        with pytest.raises(ValueError, match="pivot_method"):
+            SdsParams(pivot_method="tarot")
+
+
+class TestOversampleDriver:
+    def test_oversample_pivots_sort_skewed(self):
+        from repro.workloads import zipf as _zipf
+        params = SdsParams(pivot_method="oversample",
+                           node_merge_enabled=False)
+
+        def prog(comm):
+            shard = tag_provenance(
+                _zipf(1.4).shard(500, comm.size, comm.rank, 2), comm.rank)
+            return shard, sds_sort(comm, shard, params)
+
+        res = run_spmd(prog, 8)
+        ins = [r[0] for r in res.results]
+        outs = [r[1].batch for r in res.results]
+        check_sorted(ins, outs)
+        assert rdfa([len(o) for o in outs]) < 3.0

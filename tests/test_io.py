@@ -1,0 +1,79 @@
+"""Dataset persistence and cataloguing."""
+
+import numpy as np
+import pytest
+
+from repro.io import DatasetCatalog, load_batch, save_batch
+from repro.records import RecordBatch
+from repro.workloads import ptf, uniform
+
+
+class TestSaveLoad:
+    def test_roundtrip_keys_only(self, tmp_path):
+        b = RecordBatch(np.array([3.0, 1.0, 2.0]))
+        path = save_batch(tmp_path / "data", b)
+        assert path.suffix == ".npz"
+        loaded = load_batch(path)
+        assert np.array_equal(loaded.keys, b.keys)
+
+    def test_roundtrip_with_payload(self, tmp_path):
+        b = ptf().generate(200, seed=1)
+        loaded = load_batch(save_batch(tmp_path / "ptf.npz", b))
+        assert np.array_equal(loaded.keys, b.keys)
+        assert set(loaded.columns) == set(b.columns)
+        for col in b.columns:
+            assert np.array_equal(loaded.payload[col], b.payload[col])
+
+    def test_rejects_foreign_archive(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, stuff=np.arange(3))
+        with pytest.raises(ValueError, match="not a RecordBatch"):
+            load_batch(path)
+
+
+class TestCatalog:
+    def test_materialize_and_read(self, tmp_path):
+        cat = DatasetCatalog(tmp_path)
+        cat.materialize("uni4", uniform(), n_per_rank=50, p=4, seed=3)
+        assert cat.names() == ["uni4"]
+        info = cat.describe("uni4")
+        assert info["p"] == 4 and info["n_per_rank"] == 50
+        shard = cat.shard("uni4", 2)
+        want = uniform().shard(50, 4, 2, 3)
+        assert np.array_equal(shard.keys, want.keys)
+
+    def test_shards_iterator(self, tmp_path):
+        cat = DatasetCatalog(tmp_path)
+        cat.materialize("d", uniform(), n_per_rank=10, p=3)
+        assert sum(len(s) for s in cat.shards("d")) == 30
+
+    def test_no_overwrite_by_default(self, tmp_path):
+        cat = DatasetCatalog(tmp_path)
+        cat.materialize("d", uniform(), n_per_rank=10, p=2)
+        with pytest.raises(FileExistsError):
+            cat.materialize("d", uniform(), n_per_rank=10, p=2)
+        cat.materialize("d", uniform(), n_per_rank=20, p=2, overwrite=True)
+        assert cat.describe("d")["n_per_rank"] == 20
+
+    def test_unknown_name(self, tmp_path):
+        with pytest.raises(KeyError, match="no dataset"):
+            DatasetCatalog(tmp_path).describe("missing")
+
+    def test_rank_bounds(self, tmp_path):
+        cat = DatasetCatalog(tmp_path)
+        cat.materialize("d", uniform(), n_per_rank=10, p=2)
+        with pytest.raises(ValueError):
+            cat.shard("d", 2)
+
+    def test_delete(self, tmp_path):
+        cat = DatasetCatalog(tmp_path)
+        cat.materialize("d", uniform(), n_per_rank=10, p=2)
+        cat.delete("d")
+        assert cat.names() == []
+        assert not (tmp_path / "d").exists()
+
+    def test_meta_recorded(self, tmp_path):
+        from repro.workloads import zipf
+        cat = DatasetCatalog(tmp_path)
+        cat.materialize("z", zipf(0.9), n_per_rank=10, p=2)
+        assert cat.describe("z")["meta"]["alpha"] == 0.9

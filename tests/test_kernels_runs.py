@@ -1,0 +1,67 @@
+"""Run detection and adaptive natural-merge sort."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels import (
+    count_runs,
+    is_sorted,
+    natural_merge_sort,
+    natural_merge_sort_perm,
+    sortedness,
+)
+
+
+class TestRunDetection:
+    def test_is_sorted(self):
+        assert is_sorted(np.array([]))
+        assert is_sorted(np.array([1.0]))
+        assert is_sorted(np.array([1.0, 1.0, 2.0]))
+        assert not is_sorted(np.array([2.0, 1.0]))
+
+    def test_count_runs(self):
+        assert count_runs(np.array([])) == 0
+        assert count_runs(np.arange(10)) == 1
+        assert count_runs(np.array([1, 0, 1, 0])) == 3
+
+    def test_sortedness_range(self, rng):
+        assert sortedness(np.arange(100)) == 1.0
+        assert sortedness(np.arange(100)[::-1]) == 0.0
+        s = sortedness(rng.random(10_000))
+        assert 0.4 < s < 0.6
+
+
+class TestNaturalMergeSort:
+    def test_empty_and_single(self):
+        assert natural_merge_sort(np.array([])).size == 0
+        assert list(natural_merge_sort(np.array([7.0]))) == [7.0]
+
+    def test_already_sorted_unchanged(self):
+        a = np.arange(50, dtype=np.float64)
+        assert np.array_equal(natural_merge_sort(a), a)
+
+    def test_concatenated_runs(self, rng):
+        chunks = [np.sort(rng.random(20)) for _ in range(8)]
+        a = np.concatenate(chunks)
+        assert np.array_equal(natural_merge_sort(a), np.sort(a))
+
+    def test_perm_is_stable(self):
+        """Equal keys keep their input positions — it's a stable sort."""
+        a = np.array([2.0, 1.0, 2.0, 1.0, 2.0])
+        _, perm = natural_merge_sort_perm(a)
+        # positions of the 1.0s then the 2.0s, each in input order
+        assert list(perm) == [1, 3, 0, 2, 4]
+
+    def test_perm_reconstructs(self, rng):
+        a = rng.integers(0, 5, 200).astype(float)
+        out, perm = natural_merge_sort_perm(a)
+        assert np.array_equal(a[perm], out)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(-100, 100), max_size=120))
+    def test_property_matches_stable_sort(self, xs):
+        a = np.asarray(xs, dtype=np.int64)
+        got, perm = natural_merge_sort_perm(a)
+        assert np.array_equal(got, np.sort(a, kind="stable"))
+        assert np.array_equal(np.sort(perm), np.arange(a.size))

@@ -1,0 +1,103 @@
+"""Binary-search primitives: std::upper_bound semantics, bracketing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels import (
+    bounded_upper_bound,
+    lower_bound,
+    partition_bounds,
+    run_boundaries,
+    upper_bound,
+)
+
+
+class TestBounds:
+    def test_upper_bound_matches_cpp_semantics(self):
+        a = np.array([1.0, 2.0, 2.0, 2.0, 5.0])
+        assert upper_bound(a, 2.0) == 4   # first index with value > 2
+        assert lower_bound(a, 2.0) == 1   # first index with value >= 2
+
+    def test_value_absent(self):
+        a = np.array([1.0, 3.0, 5.0])
+        assert upper_bound(a, 2.0) == lower_bound(a, 2.0) == 1
+
+    def test_extremes(self):
+        a = np.array([1.0, 2.0, 3.0])
+        assert upper_bound(a, 0.0) == 0
+        assert upper_bound(a, 10.0) == 3
+
+    def test_empty_array(self):
+        a = np.array([])
+        assert upper_bound(a, 1.0) == 0
+        assert lower_bound(a, 1.0) == 0
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(st.integers(-50, 50), max_size=60).map(sorted),
+        st.integers(-60, 60),
+    )
+    def test_property_partition_invariant(self, a, v):
+        a = np.asarray(a)
+        ub, lb = upper_bound(a, v), lower_bound(a, v)
+        assert 0 <= lb <= ub <= a.size
+        assert np.all(a[:lb] < v)
+        assert np.all(a[lb:ub] == v)
+        assert np.all(a[ub:] > v)
+
+
+class TestPartitionBounds:
+    def test_vectorised_agrees_with_scalar(self, rng):
+        a = np.sort(rng.integers(0, 20, 100))
+        pivots = np.array([3, 7, 7, 15])
+        d = partition_bounds(a, pivots)
+        assert [upper_bound(a, p) for p in pivots] == list(d)
+
+    def test_side_left(self, rng):
+        a = np.sort(rng.integers(0, 20, 100))
+        d = partition_bounds(a, np.array([5, 10]), side="left")
+        assert [lower_bound(a, 5), lower_bound(a, 10)] == list(d)
+
+    def test_rejects_bad_side(self):
+        with pytest.raises(ValueError):
+            partition_bounds(np.array([1]), np.array([1]), side="middle")
+
+
+class TestBoundedUpperBound:
+    def test_within_bracket(self):
+        a = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert bounded_upper_bound(a, 1, 4, 3.0) == upper_bound(a, 3.0)
+
+    def test_clamps_bad_bracket(self):
+        a = np.array([1.0, 2.0, 3.0])
+        assert bounded_upper_bound(a, -5, 100, 2.0) == 2
+        assert bounded_upper_bound(a, 2, 1, 0.0) == 2  # hi < lo clamps to lo
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(st.integers(0, 30), min_size=1, max_size=50).map(sorted),
+        st.integers(0, 30),
+    )
+    def test_property_full_bracket_exact(self, a, v):
+        a = np.asarray(a)
+        assert bounded_upper_bound(a, 0, a.size, v) == upper_bound(a, v)
+
+
+class TestRunBoundaries:
+    def test_empty(self):
+        assert run_boundaries(np.array([])).size == 0
+
+    def test_sorted_is_one_run(self):
+        assert list(run_boundaries(np.array([1, 2, 3]))) == [0]
+
+    def test_descending_is_n_runs(self):
+        assert list(run_boundaries(np.array([3, 2, 1]))) == [0, 1, 2]
+
+    def test_plateau_stays_in_run(self):
+        assert list(run_boundaries(np.array([1, 1, 1, 0]))) == [0, 3]
+
+    def test_concatenated_runs(self):
+        a = np.concatenate([np.arange(5), np.arange(5), np.arange(5)])
+        assert list(run_boundaries(a)) == [0, 5, 10]

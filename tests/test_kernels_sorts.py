@@ -1,0 +1,55 @@
+"""Sequential sort wrappers (the std::sort / std::stable_sort stand-ins)."""
+
+import numpy as np
+
+from repro.kernels import chunk_sort, sequential_argsort, sequential_sort
+
+
+class TestSequentialSort:
+    def test_sorts(self, rng):
+        a = rng.random(500)
+        assert np.array_equal(sequential_sort(a), np.sort(a))
+
+    def test_input_untouched(self, rng):
+        a = rng.random(100)
+        orig = a.copy()
+        sequential_sort(a)
+        assert np.array_equal(a, orig)
+
+    def test_stable_argsort_keeps_ties(self):
+        a = np.array([1.0, 0.0, 1.0, 0.0])
+        perm = sequential_argsort(a, stable=True)
+        assert list(perm) == [1, 3, 0, 2]
+
+    def test_argsort_valid_permutation(self, rng):
+        a = rng.integers(0, 3, 300)
+        perm = sequential_argsort(a)
+        assert np.array_equal(np.sort(perm), np.arange(300))
+        assert np.array_equal(a[perm], np.sort(a))
+
+
+class TestChunkSort:
+    def test_chunks_cover_input(self, rng):
+        a = rng.random(103)
+        chunks = chunk_sort(a, 4)
+        assert sum(len(c) for c in chunks) == 103
+        assert np.array_equal(np.sort(np.concatenate(chunks)), np.sort(a))
+
+    def test_each_chunk_sorted(self, rng):
+        for c in chunk_sort(rng.random(64), 8):
+            assert np.all(np.diff(c) >= 0)
+
+    def test_single_core(self, rng):
+        a = rng.random(20)
+        [only] = chunk_sort(a, 1)
+        assert np.array_equal(only, np.sort(a))
+
+    def test_more_cores_than_records(self):
+        chunks = chunk_sort(np.array([3.0, 1.0]), 8)
+        assert len(chunks) == 8
+        assert sum(len(c) for c in chunks) == 2
+
+    def test_empty(self):
+        chunks = chunk_sort(np.array([]), 4)
+        assert len(chunks) == 4
+        assert all(len(c) == 0 for c in chunks)

@@ -1,0 +1,72 @@
+"""Shared-memory skew-aware local sort (Section 2.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import sdss_local_sort, shared_merge_loads
+from repro.machine import EDISON, CostModel
+from repro.records import RecordBatch
+
+
+class TestSharedMergeLoads:
+    def test_loads_cover_input(self, rng):
+        keys = rng.random(1000)
+        stats = shared_merge_loads(keys, 8)
+        assert sum(stats.core_loads) == 1000
+        assert sum(stats.chunk_sizes) == 1000
+
+    def test_single_core(self, rng):
+        stats = shared_merge_loads(rng.random(100), 1)
+        assert stats.core_loads == (100,)
+
+    def test_empty(self):
+        stats = shared_merge_loads(np.array([]), 4)
+        assert sum(stats.core_loads) == 0
+
+    def test_skew_aware_balances_duplicates(self, rng):
+        """Figure 6a's mechanism: with a huge duplicate mass, the
+        sample-based merge partition overloads one core while the
+        skew-aware one stays balanced."""
+        keys = np.concatenate([np.full(4000, 7.0), rng.random(1000)])
+        rng.shuffle(keys)
+        aware = shared_merge_loads(keys, 8, skew_aware=True)
+        naive = shared_merge_loads(keys, 8, skew_aware=False)
+        assert max(aware.core_loads) < max(naive.core_loads)
+        assert max(aware.core_loads) <= 2.2 * (len(keys) / 8)
+        assert max(naive.core_loads) >= 4000
+
+    def test_stable_mode_same_balance(self, rng):
+        keys = np.concatenate([np.full(4000, 7.0), rng.random(1000)])
+        stable = shared_merge_loads(keys, 8, stable=True)
+        assert max(stable.core_loads) <= 2.2 * (len(keys) / 8)
+
+    def test_model_time_positive(self, rng):
+        stats = shared_merge_loads(rng.random(10_000), 8)
+        t = stats.model_time(CostModel(EDISON))
+        assert t > 0
+
+    def test_balanced_merge_is_faster_in_model(self, rng):
+        keys = np.concatenate([np.full(8000, 7.0), rng.random(2000)])
+        cost = CostModel(EDISON)
+        aware = shared_merge_loads(keys, 8, skew_aware=True)
+        naive = shared_merge_loads(keys, 8, skew_aware=False)
+        assert aware.model_time(cost) < naive.model_time(cost)
+
+
+class TestSdssLocalSort:
+    def test_sorts_batch(self, rng):
+        b = RecordBatch(rng.random(500), {"i": np.arange(500)})
+        out, stats = sdss_local_sort(b, c=4)
+        assert out.is_sorted()
+        assert np.array_equal(np.sort(b.keys), out.keys)
+
+    def test_stable_mode(self):
+        b = RecordBatch(np.array([1.0, 1.0, 1.0]), {"i": np.array([0, 1, 2])})
+        out, _ = sdss_local_sort(b, c=2, stable=True)
+        assert list(out.payload["i"]) == [0, 1, 2]
+
+    def test_sequential_path(self, rng):
+        b = RecordBatch(rng.random(100))
+        out, stats = sdss_local_sort(b, c=1)
+        assert stats.c == 1
+        assert out.is_sorted()

@@ -1,0 +1,70 @@
+"""MachineSpec construction, validation and derived quantities."""
+
+import pytest
+
+from repro.machine import EDISON, LAPTOP, PRESETS, MachineSpec, get_machine
+
+
+class TestMachineSpec:
+    def test_defaults_valid(self):
+        spec = MachineSpec()
+        assert spec.cores_per_node >= 1
+        assert spec.mem_per_rank > 0
+
+    def test_mem_per_rank_divides_node(self):
+        spec = MachineSpec(cores_per_node=24, mem_per_node=64 * 2**30)
+        assert spec.mem_per_rank == (64 * 2**30) // 24
+
+    @pytest.mark.parametrize("p,expected", [(1, 1), (24, 1), (25, 2), (48, 2), (49, 3)])
+    def test_nodes_for(self, p, expected):
+        spec = MachineSpec(cores_per_node=24)
+        assert spec.nodes_for(p) == expected
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ValueError):
+            MachineSpec(cores_per_node=0)
+
+    def test_rejects_nonpositive_rates(self):
+        with pytest.raises(ValueError):
+            MachineSpec(nic_bandwidth=0)
+        with pytest.raises(ValueError):
+            MachineSpec(sort_cost_per_cmp=-1)
+
+    def test_with_overrides_is_copy(self):
+        slow = EDISON.with_overrides(nic_bandwidth=1e9)
+        assert slow.nic_bandwidth == 1e9
+        assert EDISON.nic_bandwidth == 8e9
+        assert slow.cores_per_node == EDISON.cores_per_node
+
+    def test_scaled_memory(self):
+        half = EDISON.scaled_memory(0.5)
+        assert half.mem_per_node == EDISON.mem_per_node // 2
+
+    def test_scaled_memory_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            EDISON.scaled_memory(0)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            EDISON.cores_per_node = 1  # type: ignore[misc]
+
+
+class TestPresets:
+    def test_edison_matches_paper(self):
+        # Section 3: 24 cores, 64 GB, Aries ~8 GB/s
+        assert EDISON.cores_per_node == 24
+        assert EDISON.mem_per_node == 64 * 2**30
+        assert EDISON.nic_bandwidth == 8e9
+
+    def test_lookup(self):
+        assert get_machine("edison") is EDISON
+        assert get_machine("laptop") is LAPTOP
+
+    def test_lookup_unknown(self):
+        with pytest.raises(KeyError, match="unknown machine"):
+            get_machine("summit")
+
+    def test_all_presets_valid(self):
+        for name, spec in PRESETS.items():
+            assert spec.name == name
+            assert spec.mem_per_rank > 0

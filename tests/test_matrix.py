@@ -1,0 +1,74 @@
+"""Differential matrix: every algorithm x every workload, validated.
+
+One systematic sweep catching interaction bugs the targeted tests
+might miss: each runnable (algorithm, workload) pair sorts the same
+dataset on the engine; outputs are validated and all algorithms must
+produce the *identical* global key sequence.
+"""
+
+import numpy as np
+import pytest
+
+from repro.runner import ALGORITHMS, run_sort
+from repro.workloads import (
+    cosmology,
+    exponential,
+    gaussian,
+    graysort,
+    nearly_sorted,
+    partially_ordered,
+    ptf,
+    reverse_sorted,
+    staggered,
+    uniform,
+    zipf,
+)
+
+WORKLOADS = {
+    "uniform": uniform(),
+    "zipf-0.7": zipf(0.7),
+    "zipf-2.1": zipf(2.1),
+    "ptf": ptf(),
+    "cosmology": cosmology(),
+    "graysort": graysort(),
+    "gaussian": gaussian(),
+    "exponential": exponential(),
+    "nearly-sorted": nearly_sorted(0.02),
+    "runs": partially_ordered(8),
+    "reverse": reverse_sorted(),
+    "staggered": staggered(),
+}
+
+P, N = 8, 250
+
+
+def _opts(alg):
+    return ({"node_merge_enabled": False, "tau_o": 0}
+            if alg.startswith("sds") else None)
+
+
+@pytest.mark.parametrize("wl_name", sorted(WORKLOADS))
+@pytest.mark.parametrize("alg", sorted(ALGORITHMS))
+def test_matrix_cell(alg, wl_name):
+    """Every pair must sort correctly (memory uncapped: imbalance is a
+    quality problem here, not a crash; OOM behaviour is covered by the
+    targeted tests)."""
+    r = run_sort(alg, WORKLOADS[wl_name], n_per_rank=N, p=P, seed=17,
+                 mem_factor=None, algo_opts=_opts(alg))
+    assert r.ok, f"{alg} on {wl_name}: {r.failure}"
+    assert sum(r.loads) == P * N
+
+
+@pytest.mark.parametrize("wl_name", ["zipf-2.1", "ptf", "staggered"])
+def test_matrix_algorithms_agree(wl_name):
+    """All algorithms produce the same global key sequence."""
+    reference = None
+    for alg in sorted(ALGORITHMS):
+        r = run_sort(alg, WORKLOADS[wl_name], n_per_rank=N, p=P, seed=17,
+                     mem_factor=None, keep_outputs=True,
+                     algo_opts=_opts(alg))
+        keys = np.concatenate([b.keys for b in r.outputs])
+        if reference is None:
+            reference = keys
+        else:
+            assert np.array_equal(keys, reference), f"{alg} diverges"

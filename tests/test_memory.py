@@ -1,0 +1,79 @@
+"""MemoryTracker accounting and OOM semantics."""
+
+import pytest
+
+from repro.machine import MemoryTracker, SimOOMError
+
+
+class TestAllocation:
+    def test_unbounded_by_default(self):
+        t = MemoryTracker()
+        t.alloc(10**15)
+        assert t.in_use == 10**15
+
+    def test_alloc_accumulates(self):
+        t = MemoryTracker(capacity=100)
+        t.alloc(40)
+        t.alloc(40)
+        assert t.in_use == 80
+        assert t.peak == 80
+        assert t.n_allocs == 2
+        assert t.total_allocated == 80
+
+    def test_oom_on_overflow(self):
+        t = MemoryTracker(capacity=100, rank=3)
+        t.alloc(60)
+        with pytest.raises(SimOOMError) as ei:
+            t.alloc(50)
+        assert ei.value.rank == 3
+        assert ei.value.requested == 50
+        assert ei.value.in_use == 60
+        assert ei.value.capacity == 100
+        assert t.failed
+
+    def test_oom_is_memory_error(self):
+        t = MemoryTracker(capacity=1)
+        with pytest.raises(MemoryError):
+            t.alloc(2)
+
+    def test_exact_fit_ok(self):
+        t = MemoryTracker(capacity=100)
+        t.alloc(100)
+        assert t.headroom == 0
+
+    def test_free_releases(self):
+        t = MemoryTracker(capacity=100)
+        t.alloc(80)
+        t.free(50)
+        assert t.in_use == 30
+        t.alloc(60)  # fits again
+        assert t.peak == 90
+
+    def test_free_clamps_at_zero(self):
+        t = MemoryTracker()
+        t.alloc(10)
+        t.free(100)
+        assert t.in_use == 0
+
+    def test_negative_sizes_rejected(self):
+        t = MemoryTracker()
+        with pytest.raises(ValueError):
+            t.alloc(-1)
+        with pytest.raises(ValueError):
+            t.free(-1)
+
+    def test_reset_keeps_stats(self):
+        t = MemoryTracker(capacity=100)
+        t.alloc(90)
+        t.reset()
+        assert t.in_use == 0
+        assert t.peak == 90
+        assert t.total_allocated == 90
+
+    def test_headroom_none_when_unbounded(self):
+        assert MemoryTracker().headroom is None
+
+    def test_zero_alloc_ok(self):
+        t = MemoryTracker(capacity=0)
+        t.alloc(0)
+        assert not t.failed

@@ -1,0 +1,143 @@
+"""Metrics: RDFA, replication ratio, throughput, validators."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    KeyProfile,
+    LoadStats,
+    ValidationError,
+    check_globally_ordered,
+    check_locally_sorted,
+    check_multiset,
+    check_stable,
+    paper_scale_bytes,
+    rdfa,
+    replication_ratio,
+    tb_per_min,
+    workload_bound_factor,
+)
+from repro.records import RecordBatch, tag_provenance
+
+
+class TestRdfa:
+    def test_perfect_balance(self):
+        assert rdfa([10, 10, 10]) == 1.0
+
+    def test_imbalance(self):
+        assert rdfa([30, 10, 20]) == pytest.approx(1.5)
+
+    def test_empty_is_inf(self):
+        assert math.isinf(rdfa([]))
+
+    def test_all_zero(self):
+        assert rdfa([0, 0]) == 1.0
+
+    def test_load_stats(self):
+        s = LoadStats.of([4, 6, 10])
+        assert (s.p, s.total, s.max, s.min) == (3, 20, 10, 4)
+        assert s.rdfa == pytest.approx(1.5)
+
+    def test_workload_bound_factor(self):
+        assert workload_bound_factor([200, 100], 100) == 2.0
+        with pytest.raises(ValueError):
+            workload_bound_factor([1], 0)
+
+
+class TestReplication:
+    def test_distinct_keys(self, rng):
+        keys = rng.permutation(1000)
+        assert replication_ratio(keys) == pytest.approx(0.001)
+
+    def test_all_same(self):
+        assert replication_ratio(np.full(50, 3.0)) == 1.0
+
+    def test_empty(self):
+        assert replication_ratio(np.array([])) == 0.0
+
+    def test_key_profile(self):
+        prof = KeyProfile.of(np.array([1, 1, 1, 2, 2, 3]))
+        assert prof.distinct == 3
+        assert prof.delta == pytest.approx(0.5)
+        assert prof.dup_fraction == pytest.approx(5 / 6)
+        assert prof.top_counts == (3, 2, 1)
+
+
+class TestThroughput:
+    def test_paper_headline(self):
+        """52.4 TB in 28.25 s ~= 111 TB/min (Section 4.1.2)."""
+        assert tb_per_min(52.4e12, 28.25) == pytest.approx(111, rel=0.01)
+
+    def test_rejects_zero_time(self):
+        with pytest.raises(ValueError):
+            tb_per_min(1, 0)
+
+    def test_scale_bytes(self):
+        assert paper_scale_bytes(100, 4, 8) == 3200
+
+
+class TestValidators:
+    def _sorted_outputs(self):
+        return [RecordBatch(np.array([1.0, 2.0])), RecordBatch(np.array([3.0]))]
+
+    def test_locally_sorted_ok(self):
+        check_locally_sorted(self._sorted_outputs())
+
+    def test_locally_sorted_fails(self):
+        with pytest.raises(ValidationError):
+            check_locally_sorted([RecordBatch(np.array([2.0, 1.0]))])
+
+    def test_globally_ordered_ok(self):
+        check_globally_ordered(self._sorted_outputs())
+
+    def test_globally_ordered_skips_empty(self):
+        outs = [RecordBatch(np.array([1.0])), RecordBatch(np.array([])),
+                RecordBatch(np.array([2.0]))]
+        check_globally_ordered(outs)
+
+    def test_globally_ordered_fails_on_overlap(self):
+        outs = [RecordBatch(np.array([5.0])), RecordBatch(np.array([3.0]))]
+        with pytest.raises(ValidationError, match="below"):
+            check_globally_ordered(outs)
+
+    def test_multiset_detects_loss(self):
+        ins = [RecordBatch(np.array([1.0, 2.0]))]
+        outs = [RecordBatch(np.array([1.0]))]
+        with pytest.raises(ValidationError, match="count"):
+            check_multiset(ins, outs)
+
+    def test_multiset_detects_corruption(self):
+        ins = [RecordBatch(np.array([1.0, 2.0]))]
+        outs = [RecordBatch(np.array([1.0, 9.0]))]
+        with pytest.raises(ValidationError, match="key multiset"):
+            check_multiset(ins, outs)
+
+    def test_multiset_checks_provenance(self):
+        a = tag_provenance(RecordBatch(np.array([1.0, 1.0])), 0)
+        # drop one provenance row, duplicate the other
+        bad = a.take(np.array([0, 0]))
+        with pytest.raises(ValidationError, match="provenance"):
+            check_multiset([a], [bad])
+
+    def test_stable_ok(self):
+        b = tag_provenance(RecordBatch(np.full(4, 2.0)), 0)
+        check_stable([b])
+
+    def test_stable_violation(self):
+        b = tag_provenance(RecordBatch(np.full(3, 2.0)), 0)
+        shuffled = b.take(np.array([1, 0, 2]))
+        with pytest.raises(ValidationError, match="stability"):
+            check_stable([shuffled])
+
+    def test_stable_needs_provenance(self):
+        with pytest.raises(ValidationError, match="provenance"):
+            check_stable([RecordBatch(np.array([1.0]))])
+
+    def test_stable_cross_rank_ordering(self):
+        a = tag_provenance(RecordBatch(np.full(2, 5.0)), 0)
+        b = tag_provenance(RecordBatch(np.full(2, 5.0)), 1)
+        check_stable([a, b])       # rank 0 then rank 1: fine
+        with pytest.raises(ValidationError):
+            check_stable([b, a])   # rank order inverted

@@ -1,0 +1,139 @@
+"""In-situ distributed validation (no gathering)."""
+
+import numpy as np
+import pytest
+
+from repro.core import SdsParams, sds_sort
+from repro.metrics import multiset_checksum, validate_distributed
+from repro.mpi import run_spmd
+from repro.records import RecordBatch, tag_provenance
+from repro.workloads import uniform, zipf
+
+
+class TestChecksum:
+    def test_order_independent(self, rng):
+        a = rng.random(1000)
+        b = rng.permutation(a)
+        assert multiset_checksum(a) == multiset_checksum(b)
+
+    def test_sensitive_to_content(self, rng):
+        a = rng.random(1000)
+        b = a.copy()
+        b[0] += 1e-9
+        assert multiset_checksum(a) != multiset_checksum(b)
+
+    def test_sensitive_to_multiplicity(self):
+        assert (multiset_checksum(np.array([1.0, 1.0, 2.0]))
+                != multiset_checksum(np.array([1.0, 2.0, 2.0])))
+
+    def test_shards_compose(self, rng):
+        a = rng.random(500)
+        whole = multiset_checksum(a)
+        parts = (multiset_checksum(a[:200]) + multiset_checksum(a[200:]))
+        assert whole == parts % (1 << 64) or whole == parts
+
+    def test_integer_keys(self):
+        assert multiset_checksum(np.array([1, 2, 3])) != 0
+
+    def test_empty(self):
+        assert multiset_checksum(np.array([])) == 0
+
+
+class TestValidateDistributed:
+    @staticmethod
+    def _sds_prog(stable):
+        def prog(comm):
+            shard = tag_provenance(
+                zipf(1.4).shard(400, comm.size, comm.rank, 1), comm.rank)
+            out = sds_sort(comm, shard,
+                           SdsParams(stable=stable, node_merge_enabled=False))
+            return validate_distributed(comm, shard, out.batch, stable=stable)
+        return prog
+
+    def test_passes_on_correct_sort(self):
+        res = run_spmd(self._sds_prog(False), 8)
+        for rep in res.results:
+            assert rep.ok
+            assert rep.stable is None
+
+    def test_stable_mode_validated(self):
+        res = run_spmd(self._sds_prog(True), 8)
+        for rep in res.results:
+            assert rep.ok and rep.stable is True
+
+    def test_all_ranks_agree(self):
+        res = run_spmd(self._sds_prog(False), 4)
+        assert len({r.ok for r in res.results}) == 1
+
+    def test_detects_local_disorder(self):
+        def prog(comm):
+            shard = RecordBatch(np.sort(np.random.default_rng(comm.rank)
+                                        .random(50)))
+            bad = shard.take(np.arange(len(shard))[::-1])  # reversed
+            return validate_distributed(comm, shard, bad)
+        res = run_spmd(prog, 4)
+        assert not res.results[0].ok
+        assert not res.results[0].locally_sorted
+        assert res.results[0].first_bad_rank == 0
+
+    def test_detects_boundary_violation(self):
+        def prog(comm):
+            # every rank keeps its own (sorted) shard: local order fine,
+            # global order broken because ranges fully overlap
+            shard = RecordBatch(np.sort(np.random.default_rng(comm.rank)
+                                        .random(50)))
+            return validate_distributed(comm, shard, shard)
+        res = run_spmd(prog, 4)
+        assert not res.results[0].ok
+        assert not res.results[0].globally_ordered
+        assert res.results[0].locally_sorted
+
+    def test_detects_lost_records(self):
+        def prog(comm):
+            shard = RecordBatch(
+                np.sort(np.random.default_rng(comm.rank).random(50))
+                + comm.rank)  # disjoint ranges: order is fine
+            out = shard.slice(0, 49) if comm.rank == 0 else shard
+            return validate_distributed(comm, shard, out)
+        res = run_spmd(prog, 4)
+        assert not res.results[0].multiset_preserved
+
+    def test_detects_corrupted_key(self):
+        def prog(comm):
+            shard = RecordBatch(
+                np.sort(np.random.default_rng(comm.rank).random(50))
+                + comm.rank)
+            out = shard.copy()
+            if comm.rank == 1:
+                out.keys[10] += 1e-6
+            return validate_distributed(comm, shard, out)
+        res = run_spmd(prog, 4)
+        assert not res.results[0].multiset_preserved
+
+    def test_detects_stability_violation_across_boundary(self):
+        def prog(comm):
+            # both ranks output the same key; rank 0 claims it came from
+            # rank 1 and vice versa -> boundary tag order inverted
+            shard = tag_provenance(RecordBatch(np.array([5.0])), comm.rank)
+            out = shard.copy()
+            out.payload["_src_rank"][:] = 1 - comm.rank
+            return validate_distributed(comm, shard, out, stable=True)
+        res = run_spmd(prog, 2)
+        assert res.results[0].stable is False
+        assert not res.results[0].ok
+
+    def test_requires_provenance_for_stability(self):
+        def prog(comm):
+            shard = RecordBatch(np.array([1.0]))
+            validate_distributed(comm, shard, shard, stable=True)
+        res = run_spmd(prog, 2, check=False)
+        assert res.failure is not None
+
+    def test_handles_empty_ranks(self):
+        def prog(comm):
+            data = (np.sort(np.random.default_rng(0).random(50))
+                    if comm.rank == 0 else np.zeros(0))
+            shard = RecordBatch(data)
+            return validate_distributed(comm, shard, shard)
+        res = run_spmd(prog, 4)
+        assert res.results[0].ok

@@ -1,0 +1,163 @@
+"""Collective operations of the simulated MPI engine."""
+
+import numpy as np
+import pytest
+
+from repro.machine import EDISON
+from repro.mpi import run_spmd
+from repro.records import RecordBatch
+
+
+def results(fn, p, **kw):
+    return run_spmd(fn, p, **kw).results
+
+
+class TestBasicCollectives:
+    def test_allgather(self):
+        out = results(lambda c: c.allgather(c.rank * 10), 5)
+        assert all(r == [0, 10, 20, 30, 40] for r in out)
+
+    def test_bcast_from_nonzero_root(self):
+        def prog(c):
+            return c.bcast("hello" if c.rank == 2 else None, root=2)
+        assert results(prog, 4) == ["hello"] * 4
+
+    def test_gather_only_root_receives(self):
+        out = results(lambda c: c.gather(c.rank**2, root=1), 4)
+        assert out[1] == [0, 1, 4, 9]
+        assert out[0] is None and out[2] is None
+
+    def test_scatter(self):
+        def prog(c):
+            objs = [f"item{i}" for i in range(c.size)] if c.rank == 0 else None
+            return c.scatter(objs, root=0)
+        assert results(prog, 4) == ["item0", "item1", "item2", "item3"]
+
+    def test_scatter_validates_length(self):
+        def prog(c):
+            return c.scatter([1], root=0)
+        with pytest.raises(Exception):
+            run_spmd(prog, 3)
+
+    def test_allreduce_default_sum(self):
+        out = results(lambda c: c.allreduce(c.rank + 1), 4)
+        assert out == [10, 10, 10, 10]
+
+    def test_allreduce_custom_op(self):
+        out = results(lambda c: c.allreduce(c.rank, op=max), 6)
+        assert out == [5] * 6
+
+    def test_allreduce_numpy_arrays(self):
+        def prog(c):
+            return c.allreduce(np.full(3, c.rank))
+        for r in results(prog, 4):
+            assert list(r) == [6, 6, 6]
+
+    def test_alltoall(self):
+        def prog(c):
+            return c.alltoall([c.rank * 100 + d for d in range(c.size)])
+        out = results(prog, 3)
+        # rank r receives src*100 + r from each src
+        assert out[1] == [1, 101, 201]
+
+    def test_barrier_syncs_clocks(self):
+        def prog(c):
+            if c.rank == 0:
+                c.charge(5.0)
+            c.barrier()
+            return c.clock
+        out = results(prog, 4)
+        assert all(t >= 5.0 for t in out)
+
+
+class TestAlltoallv:
+    def test_chunks_arrive_in_source_order(self):
+        def prog(c):
+            sends = [RecordBatch(np.full(2, float(c.rank))) for _ in range(c.size)]
+            chunks = c.alltoallv(sends)
+            return [float(ch.keys[0]) for ch in chunks]
+        out = results(prog, 4)
+        assert all(r == [0.0, 1.0, 2.0, 3.0] for r in out)
+
+    def test_payload_travels(self):
+        def prog(c):
+            sends = [
+                RecordBatch(np.array([float(d)]), {"src": np.array([c.rank])})
+                for d in range(c.size)
+            ]
+            chunks = c.alltoallv(sends)
+            return [int(ch.payload["src"][0]) for ch in chunks]
+        out = results(prog, 3)
+        assert all(r == [0, 1, 2] for r in out)
+
+    def test_length_validated(self):
+        def prog(c):
+            c.alltoallv([RecordBatch(np.array([1.0]))])
+        with pytest.raises(Exception):
+            run_spmd(prog, 3)
+
+    def test_memory_charged_for_received(self):
+        def prog(c):
+            sends = [RecordBatch(np.zeros(100)) for _ in range(c.size)]
+            c.alltoallv(sends)
+            return c.mem.in_use
+        out = results(prog, 4)
+        # 3 remote chunks of 800 bytes each
+        assert all(m == 2400 for m in out)
+
+    def test_async_schedule_sorted_by_completion(self):
+        def prog(c):
+            sends = [RecordBatch(np.zeros(10)) for _ in range(c.size)]
+            arrivals = c.alltoallv_async(sends)
+            times = [t for _, _, t in arrivals]
+            srcs = sorted(s for s, _, _ in arrivals)
+            return times == sorted(times) and srcs == list(range(c.size))
+        assert all(results(prog, 5))
+
+
+class TestSplit:
+    def test_split_by_parity(self):
+        def prog(c):
+            sub = c.split(c.rank % 2)
+            return (sub.size, sub.rank)
+        out = results(prog, 6)
+        assert all(size == 3 for size, _ in out)
+        assert [r for _, r in out] == [0, 0, 1, 1, 2, 2]
+
+    def test_split_undefined_color(self):
+        def prog(c):
+            sub = c.split(0 if c.rank == 0 else None)
+            return sub if sub is None else sub.size
+        out = results(prog, 4)
+        assert out == [1, None, None, None]
+
+    def test_split_key_reorders(self):
+        def prog(c):
+            sub = c.split(0, key=-c.rank)  # reverse order
+            return sub.rank
+        out = results(prog, 4)
+        assert out == [3, 2, 1, 0]
+
+    def test_nested_split(self):
+        def prog(c):
+            half = c.split(c.rank // 2)
+            quarter = half.split(half.rank)
+            return quarter.size
+        assert results(prog, 4) == [1, 1, 1, 1]
+
+    def test_node_split_edison(self):
+        def prog(c):
+            local, leaders = c.node_split()
+            return (local.size, None if leaders is None else leaders.size)
+        out = results(prog, 48, machine=EDISON)  # 2 nodes x 24 cores
+        assert out[0] == (24, 2)
+        assert out[1] == (24, None)
+        assert out[24] == (24, 2)
+
+    def test_collectives_on_subcomm(self):
+        def prog(c):
+            sub = c.split(c.rank % 2)
+            return sub.allgather(c.rank)
+        out = results(prog, 6)
+        assert out[0] == [0, 2, 4]
+        assert out[1] == [1, 3, 5]

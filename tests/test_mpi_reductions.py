@@ -1,0 +1,85 @@
+"""Rooted reduce, scan/exscan, and communicator duplication."""
+
+import numpy as np
+
+from repro.mpi import run_spmd
+
+
+def results(fn, p, **kw):
+    return run_spmd(fn, p, **kw).results
+
+
+class TestReduce:
+    def test_sum_at_root(self):
+        out = results(lambda c: c.reduce(c.rank + 1, root=2), 4)
+        assert out == [None, None, 10, None]
+
+    def test_custom_op(self):
+        out = results(lambda c: c.reduce(c.rank, root=0, op=min), 5)
+        assert out[0] == 0
+
+    def test_numpy_arrays(self):
+        def prog(c):
+            return c.reduce(np.full(2, c.rank + 1), root=0)
+        out = results(prog, 3)
+        assert list(out[0]) == [6, 6]
+        assert out[1] is None
+
+
+class TestScan:
+    def test_inclusive(self):
+        out = results(lambda c: c.scan(c.rank + 1), 4)
+        assert out == [1, 3, 6, 10]
+
+    def test_exclusive_with_zero(self):
+        out = results(lambda c: c.exscan(c.rank + 1), 4)
+        assert out == [0, 1, 3, 6]
+
+    def test_exscan_displacement_idiom(self):
+        """The classic use: compute each rank's write offset."""
+        def prog(c):
+            my_count = (c.rank + 1) * 10
+            return c.exscan(my_count)
+        out = results(prog, 4)
+        assert out == [0, 10, 30, 60]
+
+    def test_scan_custom_op(self):
+        out = results(lambda c: c.scan(c.rank, op=max), 4)
+        assert out == [0, 1, 2, 3]
+
+    def test_scan_single_rank(self):
+        assert results(lambda c: c.scan(7), 1) == [7]
+
+
+class TestDup:
+    def test_same_shape(self):
+        def prog(c):
+            d = c.dup()
+            return (d.size, d.rank)
+        out = results(prog, 4)
+        assert out == [(4, 0), (4, 1), (4, 2), (4, 3)]
+
+    def test_independent_collectives(self):
+        """Collectives on the dup do not interfere with the parent."""
+        def prog(c):
+            d = c.dup()
+            a = d.allgather(c.rank * 2)
+            b = c.allgather(c.rank)
+            return a, b
+        out = results(prog, 3)
+        assert out[0] == ([0, 2, 4], [0, 1, 2])
+
+    def test_independent_p2p_channels(self):
+        """Same tag on parent and dup stays separated (dup ranks map to
+        the same global ranks, so this documents the sharing caveat)."""
+        def prog(c):
+            d = c.dup()
+            if c.rank == 0:
+                c.send("parent", 1, tag=5)
+                d.send("dup", 1, tag=6)
+                return None
+            if c.rank == 1:
+                return (c.recv(0, tag=5), d.recv(0, tag=6))
+            return None
+        out = results(prog, 2)
+        assert out[1] == ("parent", "dup")

@@ -1,0 +1,62 @@
+"""Node-level merging detour (Section 2.3)."""
+
+import numpy as np
+
+from repro.core import node_merge
+from repro.machine import EDISON, LAPTOP
+from repro.mpi import run_spmd
+from repro.records import RecordBatch
+
+
+def run_merge(p, machine, n=16):
+    def prog(comm):
+        rng = np.random.default_rng(comm.rank)
+        batch = RecordBatch(np.sort(rng.random(n)))
+        res = node_merge(comm, batch)
+        return (res.is_leader,
+                None if res.batch is None else res.batch,
+                None if res.active_comm is None else res.active_comm.size,
+                res.cores_merged)
+    return run_spmd(prog, p, machine=machine).results
+
+
+class TestNodeMerge:
+    def test_one_leader_per_node(self):
+        out = run_merge(16, LAPTOP)  # 8 cores/node -> 2 nodes
+        leaders = [r[0] for r in out]
+        assert leaders == [True] + [False] * 7 + [True] + [False] * 7
+
+    def test_leader_holds_all_node_data(self):
+        out = run_merge(16, LAPTOP, n=10)
+        merged = out[0][1]
+        assert len(merged) == 8 * 10
+        assert merged.is_sorted()
+
+    def test_leader_comm_spans_nodes(self):
+        out = run_merge(16, LAPTOP)
+        assert out[0][2] == 2
+        assert out[8][2] == 2
+        assert out[1][2] is None
+
+    def test_cores_merged_records_local_size(self):
+        out = run_merge(16, LAPTOP)
+        assert all(r[3] == 8 for r in out)
+
+    def test_single_node_all_to_rank0(self):
+        out = run_merge(8, LAPTOP)
+        assert out[0][0] and len(out[0][1]) == 8 * 16
+        assert out[0][2] == 1
+
+    def test_edison_node_width(self):
+        out = run_merge(48, EDISON)
+        assert sum(1 for r in out if r[0]) == 2  # two leaders
+
+    def test_merge_preserves_multiset(self):
+        def prog(comm):
+            batch = RecordBatch(np.sort(np.full(4, float(comm.rank))))
+            res = node_merge(comm, batch)
+            return res.batch
+        res = run_spmd(prog, 8, machine=LAPTOP)
+        merged = res.results[0]
+        want = np.sort(np.repeat(np.arange(8.0), 4))
+        assert np.array_equal(merged.keys, want)

@@ -1,0 +1,252 @@
+"""Skew-aware partitioning: the paper's core mechanism (Sections 2.5, 2.8).
+
+Covers run detection (SdssReplicated), the classic / fast / stable
+partition rules, the local-pivot accelerated search, the full-scan
+strawman, and — via hypothesis — the global-order and workload-bound
+invariants that Theorem 1 rests on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    assemble_stable_inputs,
+    find_replicated_runs,
+    loads_from_displs,
+    local_pivots,
+    partition_classic,
+    partition_fast,
+    partition_full_scan,
+    partition_local_pivots,
+    partition_stable_local,
+    run_dup_counts,
+)
+
+
+def valid_displs(displs, n, p):
+    displs = np.asarray(displs)
+    assert displs.shape == (p + 1,)
+    assert displs[0] == 0 and displs[-1] == n
+    assert np.all(np.diff(displs) >= 0)
+
+
+class TestFindReplicatedRuns:
+    def test_no_duplicates(self):
+        assert find_replicated_runs(np.array([1.0, 2.0, 3.0])) == []
+
+    def test_single_run(self):
+        [run] = find_replicated_runs(np.array([1.0, 2.0, 2.0, 2.0, 5.0]))
+        assert (run.start, run.length, run.value) == (1, 3, 2.0)
+
+    def test_multiple_runs(self):
+        runs = find_replicated_runs(np.array([1.0, 1.0, 2.0, 3.0, 3.0]))
+        assert [(r.start, r.length) for r in runs] == [(0, 2), (3, 2)]
+
+    def test_run_at_edges(self):
+        runs = find_replicated_runs(np.array([0.0, 0.0, 1.0, 2.0, 2.0]))
+        assert runs[0].start == 0
+        assert runs[-1].start + runs[-1].length == 5
+
+    def test_all_equal(self):
+        [run] = find_replicated_runs(np.full(6, 9.0))
+        assert (run.start, run.length) == (0, 6)
+
+    def test_empty(self):
+        assert find_replicated_runs(np.array([])) == []
+
+
+class TestClassicPartition:
+    def test_shape_and_monotone(self, rng):
+        a = np.sort(rng.random(100))
+        pg = np.sort(rng.random(7))
+        valid_displs(partition_classic(a, pg), 100, 8)
+
+    def test_duplicates_concentrate(self):
+        """The failure mode SDS-Sort fixes: dup mass goes to one rank."""
+        a = np.full(100, 5.0)
+        pg = np.array([5.0, 5.0, 5.0])
+        counts = np.diff(partition_classic(a, pg))
+        assert list(counts) == [100, 0, 0, 0]
+
+    def test_upper_bound_semantics(self):
+        a = np.array([1.0, 2.0, 2.0, 3.0])
+        d = partition_classic(a, np.array([2.0]))
+        assert list(np.diff(d)) == [3, 1]  # values <= pivot go left
+
+
+class TestFastPartition:
+    def test_matches_classic_without_duplicates(self, rng):
+        a = np.sort(rng.permutation(1000).astype(float))
+        pg = np.array([100.5, 400.5, 800.5])
+        assert np.array_equal(partition_fast(a, pg), partition_classic(a, pg))
+
+    def test_duplicates_split_evenly(self):
+        a = np.full(99, 5.0)
+        pg = np.array([5.0, 5.0, 5.0])  # rs=3, run covers ranks 0-2
+        counts = np.diff(partition_fast(a, pg))
+        assert list(counts) == [33, 33, 33, 0]
+
+    def test_nonduplicate_prefix_goes_to_first_rank(self):
+        """Values strictly between ppv and the duplicated value must go
+        to the run's first rank, or global order breaks (the Figure 2
+        pseudocode fix documented in DESIGN.md)."""
+        a = np.array([1.0, 4.0, 4.5, 5.0, 5.0, 5.0, 5.0, 9.0])
+        pg = np.array([2.0, 5.0, 5.0])
+        counts = np.diff(partition_fast(a, pg))
+        # rank 0: (<=2) -> [1.0]; rank 1: 4.0,4.5 + half of the 5s
+        assert counts[0] == 1
+        assert counts[1] == 2 + 2
+        assert counts[2] == 2
+        assert counts[3] == 1
+
+    def test_run_at_start_of_pivots(self):
+        a = np.array([3.0] * 10 + [7.0])
+        pg = np.array([3.0, 3.0, 6.0])
+        counts = np.diff(partition_fast(a, pg))
+        assert counts[0] == 5 and counts[1] == 5
+        assert counts[2] == 0 and counts[3] == 1
+
+    def test_no_local_duplicates_of_pivot(self):
+        """A rank holding none of the duplicated value sends nothing extra."""
+        a = np.array([1.0, 2.0, 9.0])
+        pg = np.array([5.0, 5.0])
+        counts = np.diff(partition_fast(a, pg))
+        assert list(counts) == [2, 0, 1]
+
+
+class TestStablePartition:
+    def _stable_displs(self, shards, pg):
+        counts = [run_dup_counts(s, pg) for s in shards]
+        out = []
+        for r, s in enumerate(shards):
+            prefix, totals = assemble_stable_inputs(counts, r, pg)
+            out.append(partition_stable_local(s, pg, prefix, totals))
+        return out
+
+    def test_groups_are_contiguous_in_rank_order(self):
+        """Figure 4 right: P0+P1's duplicates -> first designated rank,
+        P2+P3's -> second."""
+        shards = [np.full(4, 5.0) for _ in range(4)]
+        pg = np.array([5.0, 5.0, 9.0])
+        displs = self._stable_displs(shards, pg)
+        # global dup sequence = 16 records; 2 groups of 8 = 2 shards each
+        assert list(np.diff(displs[0])) == [4, 0, 0, 0]
+        assert list(np.diff(displs[1])) == [4, 0, 0, 0]
+        assert list(np.diff(displs[2])) == [0, 4, 0, 0]
+        assert list(np.diff(displs[3])) == [0, 4, 0, 0]
+
+    def test_single_source_split_across_groups(self):
+        """When one rank holds more than a group's share, its run is cut
+        (Figure 2 lines 22-24)."""
+        shards = [np.full(10, 5.0), np.array([9.0])]
+        pg = np.array([5.0, 5.0])  # one 2-pivot run, but p=3 pivots? p-1=2
+        displs = self._stable_displs(shards, pg)
+        assert list(np.diff(displs[0])) == [5, 5, 0]
+
+    def test_loads_balanced_on_dups(self):
+        shards = [np.full(8, 5.0) for _ in range(4)]
+        pg = np.array([5.0, 5.0, 5.0])
+        displs = self._stable_displs(shards, pg)
+        loads = loads_from_displs(displs)
+        # 32 duplicates in 3 groups: boundaries (32*g)//3 -> 10, 11, 11
+        assert list(loads) == [10, 11, 11, 0]
+
+
+class TestLocalPivotPartition:
+    def test_agrees_with_classic(self, rng):
+        for _ in range(10):
+            a = np.sort(rng.integers(0, 50, 200).astype(float))
+            pl = local_pivots(a, 8)
+            pg = np.sort(rng.integers(-5, 55, 7).astype(float))
+            assert np.array_equal(partition_local_pivots(a, pl, pg),
+                                  partition_classic(a, pg))
+
+    def test_duplicate_run_crossing_bracket(self):
+        a = np.array([1.0] * 50 + [2.0] * 50)
+        pl = local_pivots(a, 4)
+        pg = np.array([1.0, 1.5, 2.0])
+        assert np.array_equal(partition_local_pivots(a, pl, pg),
+                              partition_classic(a, pg))
+
+    def test_pivots_outside_range(self):
+        a = np.sort(np.random.default_rng(0).random(64))
+        pl = local_pivots(a, 4)
+        pg = np.array([-1.0, 0.5, 2.0])
+        assert np.array_equal(partition_local_pivots(a, pl, pg),
+                              partition_classic(a, pg))
+
+
+class TestFullScanPartition:
+    def test_agrees_with_classic(self, rng):
+        a = np.sort(rng.integers(0, 30, 500).astype(float))
+        pg = np.sort(rng.choice(30, 7).astype(float))
+        assert np.array_equal(partition_full_scan(a, pg),
+                              partition_classic(a, pg))
+
+    def test_empty_data(self):
+        d = partition_full_scan(np.array([]), np.array([1.0, 2.0]))
+        assert list(d) == [0, 0, 0, 0]  # p+1 displacements, all zero
+
+
+class TestLoadsFromDispls:
+    def test_sums_columns(self):
+        displs = [np.array([0, 2, 5]), np.array([0, 1, 4])]
+        assert list(loads_from_displs(displs)) == [3, 6]
+
+    def test_empty(self):
+        assert loads_from_displs([]).size == 0
+
+
+# ----------------------------------------------------------------------
+# property-based invariants
+# ----------------------------------------------------------------------
+key_arrays = st.lists(st.integers(0, 12), min_size=0, max_size=60).map(
+    lambda xs: np.sort(np.asarray(xs, dtype=np.float64))
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(key_arrays, min_size=2, max_size=5), st.data())
+def test_property_fast_partition_globally_ordered(shards, data):
+    """After exchanging by partition_fast displacements, rank ranges
+    never overlap: max(received by rank j) <= min(received by j+1)."""
+    p = len(shards)
+    nonempty = [s for s in shards if s.size]
+    if not nonempty:
+        return
+    pool = np.sort(np.concatenate(nonempty))
+    idx = data.draw(st.lists(st.integers(0, pool.size - 1),
+                             min_size=p - 1, max_size=p - 1))
+    pg = np.sort(pool[np.asarray(idx)])
+    displs = [partition_fast(s, pg) for s in shards]
+    received = [
+        np.concatenate([s[d[j]:d[j + 1]] for s, d in zip(shards, displs)])
+        for j in range(p)
+    ]
+    prev_max = None
+    for chunk in received:
+        if chunk.size == 0:
+            continue
+        if prev_max is not None:
+            assert chunk.min() >= prev_max
+        prev_max = chunk.max()
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(key_arrays, min_size=2, max_size=5), st.data())
+def test_property_partitions_conserve_records(shards, data):
+    p = len(shards)
+    nonempty = [s for s in shards if s.size]
+    if not nonempty:
+        return
+    pool = np.sort(np.concatenate(nonempty))
+    idx = data.draw(st.lists(st.integers(0, pool.size - 1),
+                             min_size=p - 1, max_size=p - 1))
+    pg = np.sort(pool[np.asarray(idx)])
+    for fn in (partition_classic, partition_fast):
+        displs = [fn(s, pg) for s in shards]
+        for s, d in zip(shards, displs):
+            valid_displs(d, s.size, p)
+        assert loads_from_displs(displs).sum() == sum(s.size for s in shards)

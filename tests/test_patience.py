@@ -1,0 +1,78 @@
+"""Patience-style adaptive run sort (the paper's [9])."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels import (
+    patience_runs,
+    patience_sort,
+    patience_sort_perm,
+    run_pool_count,
+)
+
+
+class TestRunPool:
+    def test_sorted_is_one_run(self):
+        assert run_pool_count(np.arange(100)) == 1
+
+    def test_reverse_is_n_runs(self):
+        assert run_pool_count(np.arange(10)[::-1]) == 10
+
+    def test_random_is_about_sqrt_n(self, rng):
+        n = 10_000
+        piles = run_pool_count(rng.permutation(n))
+        assert 0.3 * np.sqrt(n) < piles < 4 * np.sqrt(n)
+
+    def test_runs_are_ascending(self, rng):
+        a = rng.permutation(200)
+        for run in patience_runs(a):
+            vals = a[np.asarray(run)]
+            assert np.all(np.diff(vals) >= 0)
+
+    def test_runs_partition_indices(self, rng):
+        a = rng.permutation(100)
+        allidx = sorted(i for run in patience_runs(a) for i in run)
+        assert allidx == list(range(100))
+
+    def test_interleaved_runs_detected(self, rng):
+        """k interleaved ascending sequences -> about k runs."""
+        k, m = 8, 200
+        chunks = [np.sort(rng.random(m)) for _ in range(k)]
+        a = np.empty(k * m)
+        for i, c in enumerate(chunks):
+            a[i::k] = c  # round-robin interleave
+        assert run_pool_count(a) <= 2 * k
+
+
+class TestPatienceSort:
+    def test_empty_and_single(self):
+        assert patience_sort(np.array([])).size == 0
+        assert list(patience_sort(np.array([5.0]))) == [5.0]
+
+    def test_sorts_random(self, rng):
+        a = rng.random(500)
+        assert np.array_equal(patience_sort(a), np.sort(a))
+
+    def test_perm_reconstructs(self, rng):
+        a = rng.integers(0, 50, 300).astype(float)
+        out, perm = patience_sort_perm(a)
+        assert np.array_equal(a[perm], out)
+        assert np.array_equal(np.sort(perm), np.arange(300))
+
+    def test_duplicates(self):
+        a = np.array([2.0, 2.0, 1.0, 2.0, 1.0])
+        assert list(patience_sort(a)) == [1.0, 1.0, 2.0, 2.0, 2.0]
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(-50, 50), max_size=100))
+    def test_property_matches_np(self, xs):
+        a = np.asarray(xs, dtype=np.int64)
+        assert np.array_equal(patience_sort(a), np.sort(a))
+
+    def test_adaptive_work(self, rng):
+        """Fewer runs on more-ordered input: the adaptivity claim."""
+        n = 2000
+        assert run_pool_count(np.arange(n)) < run_pool_count(
+            rng.permutation(n))

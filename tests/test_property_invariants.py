@@ -1,0 +1,140 @@
+"""Cross-cutting property tests: cost model, count-space, records.
+
+These pin down *invariants* rather than examples: monotonicity of cost
+curves, conservation laws of the count-space evaluator under arbitrary
+pmfs, and structural round-trips of RecordBatch operations.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import EDISON, CostModel
+from repro.records import RecordBatch
+from repro.simfast import UniverseModel, countspace_loads
+
+cost = CostModel(EDISON)
+
+# ----------------------------------------------------------------------
+# cost model
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(2, 10**9), st.integers(2, 10**9))
+def test_property_sort_time_monotone_in_n(a, b):
+    lo, hi = sorted((a, b))
+    assert cost.sort_time(lo) <= cost.sort_time(hi)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 10**8), st.integers(2, 10**5), st.integers(2, 10**5))
+def test_property_merge_time_monotone_in_k(n, k1, k2):
+    lo, hi = sorted((k1, k2))
+    assert cost.merge_time(n, lo) <= cost.merge_time(n, hi)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.floats(0.0, 1.0), st.floats(0.0, 1.0))
+def test_property_dup_discount_monotone(d1, d2):
+    from repro.machine import dup_discount
+    lo, hi = sorted((d1, d2))
+    assert dup_discount(hi) <= dup_discount(lo)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(2, 10**6), st.integers(0, 10**10))
+def test_property_alltoall_nonnegative_and_monotone(p, nbytes):
+    t1 = cost.alltoallv_time(p, nbytes)
+    t2 = cost.alltoallv_time(p, nbytes * 2)
+    assert 0 <= t1 <= t2
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(1, 10**7), st.integers(1, 1 << 16))
+def test_property_final_sort_never_exceeds_fresh_sort(n, runs):
+    assert cost.final_sort_time(n, runs) <= cost.sort_time(n) + 1e-12
+
+
+# ----------------------------------------------------------------------
+# count-space evaluator
+# ----------------------------------------------------------------------
+pmf_strategy = st.lists(
+    st.floats(min_value=1e-6, max_value=1.0), min_size=8, max_size=64
+).map(lambda ws: np.asarray(ws) / np.sum(ws))
+
+
+@settings(max_examples=30, deadline=None)
+@given(pmf_strategy, st.sampled_from([64, 256]),
+       st.sampled_from(["classic", "fast", "stable", "hyksort"]))
+def test_property_countspace_conserves_records(pmf, p, method):
+    model = UniverseModel("h", pmf)
+    n = 4096
+    loads = countspace_loads(model, n, p, method=method, noise=False)
+    assert loads.sum() == n * p
+    assert loads.min() >= 0
+    assert loads.shape == (p,)
+
+
+@settings(max_examples=30, deadline=None)
+@given(pmf_strategy, st.sampled_from([64, 128]))
+def test_property_fast_never_worse_than_classic(pmf, p):
+    """The skew-aware split can only reduce the max load (up to
+    integer rounding of the duplicate shares)."""
+    model = UniverseModel("h", pmf)
+    n = 4096
+    fast = countspace_loads(model, n, p, method="fast", noise=False)
+    classic = countspace_loads(model, n, p, method="classic", noise=False)
+    assert fast.max() <= classic.max() + p
+
+
+@settings(max_examples=30, deadline=None)
+@given(pmf_strategy, st.sampled_from([64, 128]))
+def test_property_fast_and_stable_agree(pmf, p):
+    model = UniverseModel("h", pmf)
+    n = 4096
+    fast = countspace_loads(model, n, p, method="fast", noise=False)
+    stable = countspace_loads(model, n, p, method="stable", noise=False)
+    assert abs(int(fast.max()) - int(stable.max())) <= p
+
+
+@settings(max_examples=20, deadline=None)
+@given(pmf_strategy)
+def test_property_theorem1_in_countspace(pmf):
+    """O(4N/p) holds for arbitrary discrete distributions."""
+    model = UniverseModel("h", pmf)
+    n, p = 8192, 64
+    loads = countspace_loads(model, n, p, method="fast", noise=False)
+    assert loads.max() <= 4 * n + p + 1
+
+
+# ----------------------------------------------------------------------
+# records
+# ----------------------------------------------------------------------
+keys_strategy = st.lists(st.integers(-100, 100), max_size=60).map(
+    lambda xs: np.asarray(xs, dtype=np.float64))
+
+
+@settings(max_examples=40, deadline=None)
+@given(keys_strategy)
+def test_property_sort_then_split_concat_roundtrip(keys):
+    b = RecordBatch(keys, {"pos": np.arange(len(keys))})
+    s = b.sort(stable=True)
+    cut = [0, len(s) // 3, len(s) // 2, len(s)]
+    rejoined = RecordBatch.concat(s.split(cut))
+    assert np.array_equal(rejoined.keys, s.keys)
+    assert np.array_equal(rejoined.payload["pos"], s.payload["pos"])
+
+
+@settings(max_examples=40, deadline=None)
+@given(keys_strategy, st.integers(1, 8))
+def test_property_take_preserves_alignment(keys, p):
+    if len(keys) == 0:
+        return
+    b = RecordBatch(keys, {"pos": np.arange(len(keys))})
+    rng = np.random.default_rng(p)
+    idx = rng.integers(0, len(keys), size=len(keys))
+    t = b.take(idx)
+    assert np.array_equal(t.keys, keys[idx])
+    assert np.array_equal(t.payload["pos"], idx)

@@ -1,0 +1,75 @@
+"""Property-based end-to-end checks of the distributed sorts."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import hyksort, psrs_sort
+from repro.core import SdsParams, sds_sort
+from repro.metrics import check_sorted
+from repro.mpi import run_spmd
+from repro.records import RecordBatch, tag_provenance
+
+# shards with small integer keys maximise duplicate collisions — the
+# regime where partitioners go wrong
+shard_lists = st.lists(
+    st.lists(st.integers(0, 6), min_size=1, max_size=40),
+    min_size=2, max_size=4,
+)
+
+
+def _run(algorithm, shards, stable=False):
+    p = len(shards)
+
+    def prog(comm):
+        keys = np.asarray(shards[comm.rank], dtype=np.float64)
+        batch = tag_provenance(RecordBatch(keys), comm.rank)
+        if algorithm == "sds":
+            out = sds_sort(comm, batch,
+                           SdsParams(stable=stable, node_merge_enabled=False))
+        elif algorithm == "psrs":
+            out = psrs_sort(comm, batch)
+        else:
+            out = hyksort(comm, batch)
+        return batch, out.batch
+
+    res = run_spmd(prog, p)
+    return ([r[0] for r in res.results], [r[1] for r in res.results])
+
+
+@settings(max_examples=25, deadline=None)
+@given(shard_lists)
+def test_property_sds_fast_sorts_anything(shards):
+    ins, outs = _run("sds", shards)
+    check_sorted(ins, outs)
+
+
+@settings(max_examples=25, deadline=None)
+@given(shard_lists)
+def test_property_sds_stable_preserves_order(shards):
+    ins, outs = _run("sds", shards, stable=True)
+    check_sorted(ins, outs, stable=True)
+
+
+@settings(max_examples=15, deadline=None)
+@given(shard_lists)
+def test_property_psrs_sorts_anything(shards):
+    ins, outs = _run("psrs", shards)
+    check_sorted(ins, outs)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(st.lists(st.integers(0, 6), min_size=1, max_size=30),
+                min_size=2, max_size=4))
+def test_property_hyksort_sorts_anything(shards):
+    ins, outs = _run("hyksort", shards)
+    check_sorted(ins, outs)
+
+
+@settings(max_examples=20, deadline=None)
+@given(shard_lists)
+def test_property_sds_agrees_with_numpy(shards):
+    ins, outs = _run("sds", shards)
+    got = np.concatenate([o.keys for o in outs])
+    want = np.sort(np.concatenate([b.keys for b in ins]))
+    assert np.array_equal(got, want)

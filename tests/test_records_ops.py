@@ -1,0 +1,76 @@
+"""Payload-preserving merge/sort operations over RecordBatch."""
+
+import numpy as np
+
+from repro.records import (
+    RecordBatch,
+    adaptive_sort_batch,
+    kway_merge_batches,
+    merge_two_batches,
+    sort_batch,
+)
+
+
+def _tagged(keys, tag):
+    keys = np.asarray(keys, dtype=np.float64)
+    return RecordBatch(keys, {"tag": np.full(len(keys), tag)})
+
+
+class TestMergeTwoBatches:
+    def test_payload_follows_keys(self):
+        out = merge_two_batches(_tagged([1.0, 3.0], 0), _tagged([2.0], 1))
+        assert list(out.keys) == [1.0, 2.0, 3.0]
+        assert list(out.payload["tag"]) == [0, 1, 0]
+
+    def test_tie_break_prefers_first(self):
+        out = merge_two_batches(_tagged([5.0], 0), _tagged([5.0], 1))
+        assert list(out.payload["tag"]) == [0, 1]
+
+
+class TestKwayMergeBatches:
+    def test_empty(self):
+        assert len(kway_merge_batches([])) == 0
+
+    def test_single(self):
+        out = kway_merge_batches([_tagged([1.0, 2.0], 0)])
+        assert list(out.keys) == [1.0, 2.0]
+
+    def test_many(self, rng):
+        batches = [_tagged(np.sort(rng.random(15)), i) for i in range(6)]
+        out = kway_merge_batches(batches)
+        allkeys = np.concatenate([b.keys for b in batches])
+        assert np.array_equal(out.keys, np.sort(allkeys))
+
+    def test_stability_by_batch_order(self):
+        batches = [_tagged([1.0], 0), _tagged([1.0], 1), _tagged([1.0], 2)]
+        out = kway_merge_batches(batches)
+        assert list(out.payload["tag"]) == [0, 1, 2]
+
+
+class TestSortBatch:
+    def test_sorts_with_payload(self, rng):
+        keys = rng.integers(0, 10, 100).astype(float)
+        b = RecordBatch(keys, {"pos": np.arange(100)})
+        out = sort_batch(b)
+        assert out.is_sorted()
+        assert np.array_equal(keys[out.payload["pos"]], out.keys)
+
+    def test_stable_mode(self):
+        b = RecordBatch(np.array([1.0, 1.0, 1.0]), {"pos": np.array([0, 1, 2])})
+        out = sort_batch(b, stable=True)
+        assert list(out.payload["pos"]) == [0, 1, 2]
+
+
+class TestAdaptiveSortBatch:
+    def test_equivalent_to_stable_sort(self, rng):
+        keys = rng.integers(0, 8, 150).astype(float)
+        b = RecordBatch(keys, {"pos": np.arange(150)})
+        got = adaptive_sort_batch(b)
+        want = sort_batch(b, stable=True)
+        assert np.array_equal(got.keys, want.keys)
+        assert np.array_equal(got.payload["pos"], want.payload["pos"])
+
+    def test_presorted_identity(self):
+        b = RecordBatch(np.arange(20.0), {"pos": np.arange(20)})
+        out = adaptive_sort_batch(b)
+        assert np.array_equal(out.payload["pos"], np.arange(20))

@@ -1,0 +1,133 @@
+"""Analytic scaling models: crossovers, shapes, paper anchors."""
+
+import pytest
+
+from repro.machine import EDISON
+from repro.simfast import (
+    UniverseModel,
+    crossover,
+    fig5a_merging,
+    fig5b_overlap,
+    fig5c_local_order,
+    fmt_p,
+    hyksort_phase_times,
+    sds_phase_times,
+    weak_scaling_point,
+    weak_scaling_series,
+)
+
+MB = 2**20
+PS = [512, 1024, 2048, 4096, 8192, 16384, 32768, 65536, 131072]
+
+
+class TestFig5Crossovers:
+    def test_tau_m_near_160mb(self):
+        pts = fig5a_merging(EDISON, [d * MB for d in
+                                     (4, 16, 64, 128, 160, 192, 256, 1024)])
+        x = crossover(pts)
+        assert x is not None
+        assert 100 * MB < x < 250 * MB  # paper: ~160 MB
+
+    def test_tau_o_near_4096(self):
+        pts = fig5b_overlap(EDISON, PS[:-1])
+        x = crossover(pts)
+        assert x is not None
+        assert 2000 < x < 8000  # paper: ~4096
+
+    def test_tau_s_near_4000(self):
+        pts = fig5c_local_order(EDISON, PS[:-1])
+        x = crossover(pts)
+        assert x is not None
+        assert 2000 < x < 8000  # paper: ~4000
+
+    def test_merging_wins_small_only(self):
+        pts = fig5a_merging(EDISON, [4 * MB, 4096 * MB])
+        assert pts[0].a < pts[0].b    # 4 MB: merged faster
+        assert pts[1].a > pts[1].b    # 4 GB: merged slower
+
+    def test_crossover_none_when_one_dominates(self):
+        pts = fig5c_local_order(EDISON, [64, 128])
+        assert crossover(pts) is None
+
+
+class TestWeakScalingModel:
+    def test_sds_faster_than_hyksort_at_scale(self):
+        m = UniverseModel.uniform()
+        sds = weak_scaling_point("sds", m, 100_000_000, 131072, machine=EDISON)
+        hyk = weak_scaling_point("hyksort", m, 100_000_000, 131072,
+                                 machine=EDISON)
+        assert sds.total < hyk.total
+        # paper: ~51% faster; shape check with slack
+        assert hyk.total / sds.total > 1.15
+
+    def test_stable_slower_than_fast(self):
+        m = UniverseModel.uniform()
+        fast = weak_scaling_point("sds", m, 100_000_000, 8192, machine=EDISON)
+        stab = weak_scaling_point("sds-stable", m, 100_000_000, 8192,
+                                  machine=EDISON)
+        assert stab.total > fast.total
+
+    def test_throughput_order_of_magnitude(self):
+        """Paper: ~111 TB/min for SDS at 128K cores (we accept 2x band)."""
+        m = UniverseModel.uniform()
+        pt = weak_scaling_point("sds", m, 100_000_000, 131072, machine=EDISON)
+        assert 55 < pt.throughput_tb_min() < 250
+
+    def test_hyksort_ooms_on_zipf(self):
+        """Figure 8: HykSort fails on the skewed weak-scaling workload."""
+        m = UniverseModel.zipf(0.7)
+        for p in (512, 8192, 131072):
+            pt = weak_scaling_point("hyksort", m, 100_000_000, p,
+                                    machine=EDISON)
+            assert pt.oom
+            assert pt.throughput_tb_min() == 0.0
+
+    def test_sds_survives_zipf(self):
+        m = UniverseModel.zipf(0.7)
+        for p in (512, 131072):
+            pt = weak_scaling_point("sds", m, 100_000_000, p, machine=EDISON)
+            assert not pt.oom
+
+    def test_series_helper(self):
+        m = UniverseModel.uniform()
+        pts = weak_scaling_series("sds", m, 1_000_000, [512, 1024],
+                                  machine=EDISON)
+        assert [pt.p for pt in pts] == [512, 1024]
+
+    def test_breakdown_covers_total(self):
+        m = UniverseModel.uniform()
+        pt = weak_scaling_point("sds", m, 100_000_000, 512, machine=EDISON)
+        assert sum(pt.breakdown().values()) == pytest.approx(pt.total)
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            weak_scaling_point("spaghetti", UniverseModel.uniform(),
+                               1000, 4, machine=EDISON)
+
+    def test_phase_times_nonnegative(self):
+        m = UniverseModel.zipf(0.7)
+        pt = hyksort_phase_times(m, 1_000_000, 4096, machine=EDISON)
+        for v in (pt.local_sort, pt.pivot_selection, pt.partition,
+                  pt.exchange, pt.local_ordering):
+            assert v >= 0
+
+    def test_sds_engine_vs_model_consistency(self):
+        """The analytic model and the functional engine should agree
+        within a factor ~2 at an overlapping small scale."""
+        from repro.runner import run_sort
+        from repro.workloads import uniform as uni
+        n, p = 20_000, 16
+        got = run_sort("sds", uni(), n_per_rank=n, p=p, machine=EDISON,
+                       algo_opts={"node_merge_enabled": False})
+        model = sds_phase_times(UniverseModel.uniform(), n, p,
+                                machine=EDISON,
+                                record_bytes=got.record_bytes)
+        assert model.total == pytest.approx(got.elapsed, rel=1.0)
+
+
+class TestFmtP:
+    def test_labels(self):
+        assert fmt_p(512) == "512"
+        assert fmt_p(1024) == "1K"
+        assert fmt_p(131072) == "128K"
+        assert fmt_p(1536) == "1.5K"

@@ -1,0 +1,205 @@
+"""End-to-end SDS-Sort: correctness, stability, adaptivity, balance."""
+
+import numpy as np
+import pytest
+
+from repro.core import SdsParams, sds_sort
+from repro.machine import LAPTOP
+from repro.metrics import check_sorted, check_stable, rdfa
+from repro.mpi import run_spmd
+from repro.records import tag_provenance
+from repro.workloads import nearly_sorted, ptf, uniform, zipf
+
+NO_NM = {"node_merge_enabled": False}
+
+
+def run_sds(workload, p, n, params=None, seed=0, machine=LAPTOP):
+    params = params or SdsParams(node_merge_enabled=False)
+
+    def prog(comm):
+        shard = tag_provenance(workload.shard(n, comm.size, comm.rank, seed),
+                               comm.rank)
+        return shard, sds_sort(comm, shard, params)
+
+    res = run_spmd(prog, p, machine=machine)
+    ins = [r[0] for r in res.results]
+    outcomes = [r[1] for r in res.results]
+    return ins, outcomes, res
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("p", [1, 2, 4, 7, 8])
+    def test_uniform_sorted(self, p):
+        ins, outs, _ = run_sds(uniform(), p, 300)
+        check_sorted(ins, [o.batch for o in outs])
+
+    @pytest.mark.parametrize("alpha", [0.7, 1.4, 2.1])
+    def test_skewed_sorted(self, alpha):
+        ins, outs, _ = run_sds(zipf(alpha), 8, 500)
+        check_sorted(ins, [o.batch for o in outs])
+
+    def test_ptf_like_sorted(self):
+        ins, outs, _ = run_sds(ptf(), 8, 400)
+        check_sorted(ins, [o.batch for o in outs])
+
+    def test_partially_ordered_input(self):
+        ins, outs, _ = run_sds(nearly_sorted(0.05), 4, 400)
+        check_sorted(ins, [o.batch for o in outs])
+
+    def test_payload_preserved(self):
+        ins, outs, _ = run_sds(ptf(), 4, 200)
+        got = sorted(
+            float(x) for o in outs for x in o.batch.payload["ra"]
+        )
+        want = sorted(float(x) for b in ins for x in b.payload["ra"])
+        assert got == pytest.approx(want)
+
+    def test_single_rank(self):
+        ins, outs, _ = run_sds(uniform(), 1, 100)
+        assert outs[0].batch.is_sorted()
+        assert len(outs[0].batch) == 100
+
+
+class TestStability:
+    @pytest.mark.parametrize("alpha", [0.9, 2.1])
+    def test_stable_on_heavy_duplicates(self, alpha):
+        params = SdsParams(stable=True, node_merge_enabled=False)
+        ins, outs, _ = run_sds(zipf(alpha), 8, 400, params=params)
+        batches = [o.batch for o in outs]
+        check_sorted(ins, batches, stable=True)
+        check_stable(batches)
+
+    def test_stable_on_ptf(self):
+        params = SdsParams(stable=True, node_merge_enabled=False)
+        ins, outs, _ = run_sds(ptf(), 8, 300, params=params)
+        check_sorted(ins, [o.batch for o in outs], stable=True)
+
+    def test_fast_mode_same_keys_as_stable(self):
+        _, fast, _ = run_sds(zipf(1.4), 4, 300)
+        params = SdsParams(stable=True, node_merge_enabled=False)
+        _, stab, _ = run_sds(zipf(1.4), 4, 300, params=params)
+        a = np.concatenate([o.batch.keys for o in fast])
+        b = np.concatenate([o.batch.keys for o in stab])
+        assert np.array_equal(a, b)
+
+
+class TestLoadBalance:
+    def test_skew_aware_beats_classic(self):
+        ins, aware, _ = run_sds(zipf(2.1), 8, 800)
+        params = SdsParams(skew_aware=False, node_merge_enabled=False)
+        _, classic, _ = run_sds(zipf(2.1), 8, 800, params=params)
+        r_aware = rdfa([len(o.batch) for o in aware])
+        r_classic = rdfa([len(o.batch) for o in classic])
+        assert r_aware < r_classic
+        assert r_aware < 2.0
+
+    def test_workload_bound_theorem1(self):
+        """max load <= ~4N/p even at delta = 63% (Theorem 1)."""
+        for alpha in (0.9, 1.4, 2.1):
+            _, outs, _ = run_sds(zipf(alpha), 8, 1000, seed=2)
+            max_load = max(len(o.batch) for o in outs)
+            assert max_load <= 4 * 1000 + 8  # O(4N/p) + rounding
+
+
+class TestAdaptivity:
+    def test_overlap_and_sync_agree(self):
+        p_over = SdsParams(tau_o=10**6, node_merge_enabled=False)
+        p_sync = SdsParams(tau_o=0, node_merge_enabled=False)
+        ins, a, _ = run_sds(uniform(), 4, 300, params=p_over)
+        _, b, _ = run_sds(uniform(), 4, 300, params=p_sync)
+        assert a[0].exchange.mode == "overlap"
+        assert b[0].exchange.mode == "sync"
+        ka = np.concatenate([o.batch.keys for o in a])
+        kb = np.concatenate([o.batch.keys for o in b])
+        assert np.array_equal(ka, kb)
+
+    def test_merge_and_sort_ordering_agree(self):
+        p_merge = SdsParams(tau_o=0, tau_s=10**6, node_merge_enabled=False)
+        p_sort = SdsParams(tau_o=0, tau_s=0, node_merge_enabled=False)
+        _, a, _ = run_sds(zipf(0.9), 4, 300, params=p_merge)
+        _, b, _ = run_sds(zipf(0.9), 4, 300, params=p_sort)
+        assert a[0].exchange.ordering == "merge"
+        assert b[0].exchange.ordering == "sort"
+        ka = np.concatenate([o.batch.keys for o in a])
+        kb = np.concatenate([o.batch.keys for o in b])
+        assert np.array_equal(ka, kb)
+
+    def test_stable_never_overlaps(self):
+        params = SdsParams(stable=True, tau_o=10**6, node_merge_enabled=False)
+        _, outs, _ = run_sds(uniform(), 4, 200, params=params)
+        assert outs[0].exchange.mode == "sync"
+
+
+class TestNodeMerging:
+    def test_small_messages_trigger_merge(self):
+        params = SdsParams(node_merge_enabled=True, tau_m_bytes=10**9)
+        ins, outs, _ = run_sds(uniform(), 16, 50, params=params)
+        active = [o for o in outs if o.active]
+        assert len(active) == 2  # one leader per 8-core LAPTOP node
+        check_sorted(ins, [o.batch for o in outs])
+
+    def test_large_messages_skip_merge(self):
+        params = SdsParams(node_merge_enabled=True, tau_m_bytes=1)
+        _, outs, _ = run_sds(uniform(), 16, 50, params=params)
+        assert all(o.active for o in outs)
+
+    def test_phase_times_recorded(self):
+        _, _, res = run_sds(uniform(), 4, 200)
+        bd = res.phase_breakdown()
+        for phase in ("local_sort", "pivot_selection", "partition", "exchange"):
+            assert phase in bd
+
+
+class TestDegenerateShards:
+    def test_one_empty_rank(self):
+        """A rank with no data participates without crashing."""
+        from repro.records import RecordBatch
+
+        def prog(comm):
+            if comm.rank == 2:
+                shard = RecordBatch(np.zeros(0))
+            else:
+                rng = np.random.default_rng(comm.rank)
+                shard = RecordBatch(rng.random(100))
+            shard = tag_provenance(shard, comm.rank)
+            out = sds_sort(comm, shard, SdsParams(node_merge_enabled=False))
+            return shard, out.batch
+
+        res = run_spmd(prog, 4)
+        ins = [r[0] for r in res.results]
+        outs = [r[1] for r in res.results]
+        check_sorted(ins, outs)
+        assert sum(len(b) for b in outs) == 300
+
+    def test_all_ranks_empty(self):
+        from repro.records import RecordBatch
+
+        def prog(comm):
+            shard = RecordBatch(np.zeros(0))
+            return sds_sort(comm, shard, SdsParams(node_merge_enabled=False))
+
+        res = run_spmd(prog, 4)
+        assert all(len(r.batch) == 0 for r in res.results)
+
+    def test_single_record_per_rank(self):
+        from repro.records import RecordBatch
+
+        def prog(comm):
+            shard = tag_provenance(
+                RecordBatch(np.array([float(comm.size - comm.rank)])),
+                comm.rank)
+            return shard, sds_sort(comm, shard,
+                                   SdsParams(node_merge_enabled=False))
+
+        res = run_spmd(prog, 4)
+        ins = [r[0] for r in res.results]
+        outs = [r[1].batch for r in res.results]
+        check_sorted(ins, outs)
+
+    def test_stable_with_node_merge(self):
+        """Stability survives the node-merge detour: gather order is
+        local-rank order and the leader merge is stable."""
+        params = SdsParams(stable=True, node_merge_enabled=True,
+                           tau_m_bytes=10**9)
+        ins, outs, _ = run_sds(zipf(1.4), 16, 60, params=params)
+        check_sorted(ins, [o.batch for o in outs], stable=True)

@@ -1,0 +1,53 @@
+"""Automatic threshold derivation (core.tuning)."""
+
+import pytest
+
+from repro.core.tuning import auto_params, derive_tau_m, derive_tau_o, derive_tau_s
+from repro.machine import EDISON, EDISON_SLOW_NET, LAPTOP
+
+MB = 2**20
+
+
+class TestDeriveTaus:
+    def test_edison_matches_paper(self):
+        """The derived thresholds land on the paper's measured values."""
+        assert 100 * MB < derive_tau_m(EDISON) < 250 * MB   # ~160 MB
+        assert 2000 < derive_tau_o(EDISON) < 8000           # ~4096
+        assert 2000 < derive_tau_s(EDISON) < 8000           # ~4000
+
+    def test_slow_network_prefers_merging_longer(self):
+        assert derive_tau_m(EDISON_SLOW_NET) > derive_tau_m(EDISON)
+
+    def test_tau_s_is_compute_only(self):
+        """tau_s depends on compute rates, not the network."""
+        assert derive_tau_s(EDISON_SLOW_NET) == derive_tau_s(EDISON)
+
+    def test_laptop_differs(self):
+        assert derive_tau_o(LAPTOP) != derive_tau_o(EDISON)
+
+
+class TestAutoParams:
+    def test_produces_valid_params(self):
+        params = auto_params(EDISON)
+        assert params.tau_m_bytes > 0
+        assert params.tau_o > 0
+        assert params.tau_s > 0
+        assert not params.stable
+
+    def test_stable_flag_propagates(self):
+        assert auto_params(EDISON, stable=True).stable
+
+    def test_usable_end_to_end(self):
+        """auto_params drives a real sort without issue."""
+        from repro.mpi import run_spmd
+        from repro.core import sds_sort
+        from repro.workloads import uniform
+
+        params = auto_params(LAPTOP, n_per_rank=500)
+
+        def prog(comm):
+            shard = uniform().shard(500, comm.size, comm.rank, 0)
+            return sds_sort(comm, shard, params)
+
+        res = run_spmd(prog, 4, machine=LAPTOP)
+        assert all(r.batch.is_sorted() for r in res.results)

@@ -1,0 +1,108 @@
+"""ASCII chart rendering."""
+
+import math
+
+from repro.viz import line_chart, sparkline, stacked_bars
+
+
+class TestLineChart:
+    def test_basic_render(self):
+        out = line_chart({"a": [(1, 1), (2, 2), (3, 3)]}, title="T")
+        assert out.startswith("T")
+        assert "*" in out
+        assert "*=a" in out
+
+    def test_two_series_distinct_marks(self):
+        out = line_chart({
+            "up": [(1, 1), (2, 2)],
+            "down": [(1, 2), (2, 1)],
+        })
+        assert "*=up" in out and "o=down" in out
+        assert "o" in out
+
+    def test_drops_nonfinite(self):
+        out = line_chart({"a": [(1, 1), (2, math.inf), (3, 2)]})
+        assert "inf" not in out
+
+    def test_empty(self):
+        assert "no finite data" in line_chart({"a": []})
+
+    def test_log_axes(self):
+        pts = [(2**k, k) for k in range(1, 12)]
+        out = line_chart({"a": pts}, logx=True, width=40, height=8)
+        # log x spreads the early doublings: the marker column of x=2
+        # and x=4 must differ
+        rows = [l for l in out.splitlines() if "|" in l]
+        assert any("*" in r for r in rows)
+
+    def test_axis_labels(self):
+        out = line_chart({"a": [(0, 0), (10, 5)]}, ylabel="t(s)", xlabel="p")
+        assert "t(s)" in out
+        assert "p" in out.splitlines()[-2]
+
+
+class TestStackedBars:
+    def test_segments_and_totals(self):
+        out = stacked_bars({
+            "sds": {"exchange": 2.0, "sort": 2.0},
+            "hyk": {"exchange": 6.0, "sort": 2.0},
+        })
+        lines = out.splitlines()
+        assert lines[0].lstrip().startswith("sds")
+        assert "8" in lines[1]          # hyk total
+        assert "E=exchange" in lines[-1]
+
+    def test_letter_disambiguation(self):
+        out = stacked_bars({"x": {"sort": 1.0, "send": 1.0}})
+        legend = out.splitlines()[-1]
+        # both start with 's'; second gets a different letter
+        assert "S=sort" in legend
+        assert "E=send" in legend
+
+    def test_empty(self):
+        assert "(no data)" in stacked_bars({})
+
+
+class TestSparkline:
+    def test_monotone(self):
+        s = sparkline([1, 2, 3, 4, 5, 6, 7, 8])
+        assert s[0] == "▁" and s[-1] == "█"
+
+    def test_flat(self):
+        assert sparkline([2, 2, 2]) == "▁▁▁"
+
+    def test_inf_marked(self):
+        assert "!" in sparkline([1.0, math.inf, 2.0])
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestGantt:
+    def test_renders_phases(self):
+        from repro.viz import gantt
+        traces = [
+            [(0.0, 1.0, "sort"), (1.0, 3.0, "exchange")],
+            [(0.0, 2.0, "sort"), (2.0, 3.0, "exchange")],
+        ]
+        out = gantt(traces, width=30)
+        assert "rank   0" in out and "rank   1" in out
+        assert "S=sort" in out and "E=exchange" in out
+
+    def test_empty(self):
+        from repro.viz import gantt
+        assert "(no trace)" in gantt([])
+
+    def test_engine_traces_render(self):
+        from repro.mpi import run_spmd
+        from repro.viz import gantt
+
+        def prog(comm):
+            with comm.phase("work"):
+                comm.charge(1.0 + comm.rank)
+            with comm.phase("sync"):
+                comm.barrier()
+        res = run_spmd(prog, 4)
+        out = gantt(res.traces)
+        assert "W=work" in out
+        assert out.count("rank") == 4

@@ -1,0 +1,85 @@
+"""Theorem 1: SDS-Sort's O(4N/p) per-process workload bound.
+
+The proof (Section 2.8) splits on whether global pivots are duplicated;
+these tests exercise both branches, the adversarial all-equal case, and
+a hypothesis sweep over duplicate-heavy shard configurations, for both
+the fast and the stable partitioners.  The bound is checked with a
+small additive slack for integer rounding (rs shares, stride floors).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simfast import evaluate_loads, partition_loads, sds_global_pivots
+from repro.workloads import Workload, uniform, zipf
+
+
+def max_over_avg(workload, n, p, method="fast", seed=0):
+    rep = evaluate_loads(workload, n, p, method=method, seed=seed)
+    return rep.max_over_avg
+
+
+class TestTheorem1:
+    def test_uniform_well_under_bound(self):
+        assert max_over_avg(uniform(), 1000, 16) < 2.0
+
+    def test_zipf_sweep_fast(self):
+        for alpha in (0.4, 0.7, 1.4, 2.1):
+            assert max_over_avg(zipf(alpha), 1000, 16) <= 4.05
+
+    def test_zipf_sweep_stable(self):
+        for alpha in (0.4, 0.7, 1.4, 2.1):
+            assert max_over_avg(zipf(alpha), 1000, 16, method="stable") <= 4.05
+
+    def test_all_keys_equal(self):
+        """The most adversarial dataset: one value everywhere."""
+        constant = Workload(
+            "constant",
+            lambda n, rng: __import__("repro.records", fromlist=["RecordBatch"])
+            .RecordBatch(np.zeros(n)),
+        )
+        # the duplicate run spans the p-1 pivot-owning ranks, so the
+        # best achievable ratio is p/(p-1) = 8/7 ~ 1.143
+        assert max_over_avg(constant, 500, 8) <= 1.2
+        assert max_over_avg(constant, 500, 8, method="stable") <= 1.2
+
+    def test_two_heavy_values(self):
+        def gen(n, rng):
+            from repro.records import RecordBatch
+            keys = np.where(rng.random(n) < 0.5, 3.0, 7.0)
+            return RecordBatch(keys)
+        wl = Workload("two-values", gen)
+        assert max_over_avg(wl, 500, 8) <= 4.05
+        assert max_over_avg(wl, 500, 8, method="stable") <= 4.05
+
+    def test_classic_violates_where_sds_holds(self):
+        """The contrast the theorem formalises."""
+        wl = zipf(2.1)  # delta ~ 63%
+        assert max_over_avg(wl, 1000, 16, method="classic") > 4.5
+        assert max_over_avg(wl, 1000, 16, method="fast") <= 4.05
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(2, 8),                     # distinct values in the universe
+    st.floats(0.0, 0.95),                  # mass of the heaviest value
+    st.integers(4, 16).filter(lambda p: p % 2 == 0),
+)
+def test_property_bound_holds(universe, heavy_mass, p):
+    """Random spiked distributions never exceed ~4N/p + rounding."""
+    n = 600
+
+    def gen(m, rng):
+        from repro.records import RecordBatch
+        heavy = rng.random(m) < heavy_mass
+        keys = np.where(heavy, 0.0, rng.integers(1, universe + 1, m)).astype(float)
+        return RecordBatch(keys)
+
+    wl = Workload("spiked", gen)
+    shards = [np.sort(wl.shard(n, p, r, 0).keys) for r in range(p)]
+    pg = sds_global_pivots(shards)
+    for method in ("fast", "stable"):
+        loads = partition_loads(shards, pg, method)
+        # additive slack: per-run rounding can add up to ~p records
+        assert loads.max() <= 4 * n + p + 1
