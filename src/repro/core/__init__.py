@@ -1,10 +1,11 @@
 """The paper's contribution: SDS-Sort and its components."""
 
-from .bitonic import bitonic_sort, is_power_of_two
+from .bitonic import bitonic_sort, bitonic_sort_rounds, is_power_of_two
 from .histosel import histogram_refine, select_pivots_histogram
 from .exchange import (
     ExchangeStats,
     exchange_overlapped,
+    exchange_overlapped_fused,
     exchange_sync,
     order_received,
     split_for_sends,
@@ -35,6 +36,7 @@ from .tuning import auto_params, derive_tau_m, derive_tau_o, derive_tau_s
 
 __all__ = [
     "bitonic_sort",
+    "bitonic_sort_rounds",
     "is_power_of_two",
     "histogram_refine",
     "select_pivots_histogram",
@@ -45,6 +47,7 @@ __all__ = [
     "local_delta",
     "ExchangeStats",
     "exchange_overlapped",
+    "exchange_overlapped_fused",
     "exchange_sync",
     "order_received",
     "split_for_sends",

@@ -30,7 +30,6 @@ from ..records import (
     RecordBatch,
     adaptive_sort_batch,
     kway_merge_batches,
-    merge_two_batches,
     sort_batch,
 )
 
@@ -80,6 +79,177 @@ def order_received(comm: Comm, chunks: Sequence[RecordBatch], *,
     return out, ExchangeStats("sync", ordering, m, len(chunks))
 
 
+def _counter_leaf_order(p: int) -> list[int]:
+    """Final chunk order of the binary-counter merge over ``p`` arrivals.
+
+    Level merges concatenate earlier chunks before later ones, and the
+    final fold walks surviving levels from the lowest up, so the output
+    order is: for each set bit of ``p`` from low to high, the contiguous
+    run of arrival indices that bit absorbed (higher bits hold *earlier*
+    arrivals).  For a power of two this is simply ``0..p-1``.
+    """
+    bits = [b for b in range(p.bit_length()) if (p >> b) & 1]
+    starts: dict[int, int] = {}
+    pos = 0
+    for b in reversed(bits):
+        starts[b] = pos
+        pos += 1 << b
+    order: list[int] = []
+    for b in bits:
+        order.extend(range(starts[b], starts[b] + (1 << b)))
+    return order
+
+
+def exchange_overlapped_fused(comm: Comm, batch: RecordBatch,
+                              displs: np.ndarray
+                              ) -> tuple[RecordBatch, ExchangeStats]:
+    """:func:`exchange_overlapped` without materialising p^2 sub-batches.
+
+    Bit-for-bit identical (clocks, counters, outputs) to splitting
+    ``batch`` at ``displs`` and running ``alltoallv_async`` +
+    ``exchange_overlapped``, but all O(p^2) work — the size matrix, the
+    arrival schedules of every rank, the merge-clock replay, and the
+    final stable ordering of every rank's received data — happens once,
+    vectorised, inside the staged collective's designated-rank action.
+    Each rank then reads back its clock, its output slice, and its
+    memory/counter charges in O(m + p).
+
+    Exactness notes (audited against the per-rank formulation):
+
+    * sub-batch sizes are ``count * row_nbytes`` — the same integers
+      ``RecordBatch.split`` pre-computes;
+    * arrival times are sequential float accumulations; ``np.cumsum``
+      accumulates in the same order, so the IEEE rounding sequence is
+      unchanged;
+    * ``merge_time(n, 2)`` is ``(n * 1.0) * rate``, reproduced
+      element-wise on exact int64 run lengths;
+    * the stable permutation of each rank's chunk concatenation is
+      unique, so one ``np.argsort(kind="stable")`` per destination over
+      the globally gathered key array equals the per-rank merge tree.
+    """
+    p, me = comm.size, comm.rank
+    d = np.asarray(displs, dtype=np.int64)
+    if len(d) != p + 1 or d[0] != 0 or d[-1] != len(batch):
+        raise ValueError("displacements must span [0, len) with p+1 bounds")
+    if np.any(np.diff(d) < 0):
+        raise ValueError("displacements must be non-decreasing")
+    spec = comm.machine
+    rate = comm.cost.spec.merge_cost_per_elem
+    group = comm._ctx.group
+    cpn = spec.cores_per_node
+
+    def compute(stage: list) -> dict:
+        start = max(e[1] for e in stage)
+        batches = [e[0][0] for e in stage]
+        D = np.stack([e[0][1] for e in stage])            # (p, p+1) bounds
+        C = np.diff(D, axis=1)                            # counts[src, dst]
+        widths = np.array([b.row_nbytes for b in batches], dtype=np.int64)
+        S = C * widths[:, None]                           # bytes[src, dst]
+        schema = batches[0].columns
+        for b in batches[1:]:
+            if b.columns != schema:
+                raise ValueError(
+                    f"payload schema mismatch: {b.columns} != {schema}")
+
+        # -- per-destination arrival schedules (ring order, from dst+1) --
+        nodes = np.asarray(group, dtype=np.int64) // cpn
+        rpn = np.bincount(nodes)[nodes]                   # ranks on my node
+        bw = (np.where(rpn > 1, spec.nic_bandwidth,
+                       spec.single_stream_bandwidth)
+              * spec.async_bandwidth_factor)
+        node_factor = np.minimum(rpn, p)
+        dst = np.arange(p, dtype=np.int64)
+        ring = (dst[:, None] + np.arange(1, p)[None, :]) % p   # src by step
+        inbound = S[ring, dst[:, None]]                   # bytes per step
+        incr = ((inbound * node_factor[:, None]) / bw[:, None]
+                + spec.per_message_overhead)
+        # t starts at start+latency; each += is one sequential add, which
+        # is exactly what a row-wise cumsum performs
+        T = np.cumsum(
+            np.concatenate(
+                [np.full((p, 1), start + spec.net_latency), incr], axis=1),
+            axis=1)
+        T[:, 0] = start                                   # own chunk: at once
+
+        # -- merge-clock replay, vectorised across destinations --
+        L = np.concatenate([C[dst, dst][:, None], C[ring, dst[:, None]]],
+                           axis=1)                        # lengths by step
+        CS = np.zeros((p, p + 1), dtype=np.int64)
+        np.cumsum(L, axis=1, out=CS[:, 1:])
+        t_cpu = np.full(p, start + comm.cost.async_progress_overhead(p))
+        for i in range(p):
+            np.maximum(t_cpu, T[:, i], out=t_cpu)
+            b = 0
+            while (i >> b) & 1:
+                runs = CS[:, i + 1] - CS[:, i + 1 - (1 << (b + 1))]
+                t_cpu += (runs * 1.0) * rate              # merge_time(n, 2)
+                b += 1
+        leaf = np.asarray(_counter_leaf_order(p), dtype=np.int64)
+        if p & (p - 1):  # non power of two: final fold merges leftovers
+            bits = [b for b in range(p.bit_length()) if (p >> b) & 1]
+            spans: dict[int, tuple[int, int]] = {}
+            pos = 0
+            for b_ in reversed(bits):
+                spans[b_] = (pos, pos + (1 << b_))
+                pos += 1 << b_
+            tot = None
+            for b_ in bits:  # levels ascending, each append merges once
+                lo_, hi_ = spans[b_]
+                seg = CS[:, hi_] - CS[:, lo_]
+                if tot is None:
+                    tot = seg
+                else:
+                    tot = tot + seg
+                    t_cpu += (tot * 1.0) * rate           # merge_time(n, 2)
+
+        # -- global data materialisation --
+        O = np.zeros(p + 1, dtype=np.int64)
+        np.cumsum([len(b) for b in batches], out=O[1:])
+        all_keys = np.concatenate([b.keys for b in batches])
+        all_cols = {name: np.concatenate([b.payload[name] for b in batches])
+                    for name in schema}
+        s_idx = (dst[:, None] + leaf[None, :]) % p        # src per slot
+        starts = (O[s_idx] + D[s_idx, dst[:, None]]).ravel()
+        lens = C[s_idx, dst[:, None]].ravel()
+        N = int(O[-1])
+        excl = np.cumsum(lens) - lens
+        G = np.repeat(starts - excl, lens) + np.arange(N, dtype=np.int64)
+        m_per_dst = CS[:, p]
+        bounds = np.zeros(p + 1, dtype=np.int64)
+        np.cumsum(m_per_dst, out=bounds[1:])
+        keys_g = all_keys[G]
+        final = np.empty(N, dtype=np.int64)
+        for r in range(p):
+            lo, hi = int(bounds[r]), int(bounds[r + 1])
+            perm = np.argsort(keys_g[lo:hi], kind="stable")
+            final[lo:hi] = G[lo:hi][perm]
+        diag = np.diagonal(S)
+        return {
+            "t_cpu": t_cpu,
+            "recv_net": S.sum(axis=0) - diag,             # excludes own chunk
+            "recv_all": S.sum(axis=0),                    # includes own chunk
+            "m": m_per_dst,
+            "keys": all_keys, "cols": all_cols,
+            "final": final, "bounds": bounds,
+        }
+
+    shared, _ = comm.staged((batch, d), compute)
+    recv_bytes = int(shared["recv_net"][me])
+    comm.mem.alloc(recv_bytes)
+    lo, hi = int(shared["bounds"][me]), int(shared["bounds"][me + 1])
+    idx = shared["final"][lo:hi]
+    out = RecordBatch._unsafe(
+        shared["keys"][idx],
+        {name: col[idx] for name, col in shared["cols"].items()})
+    comm.set_clock(max(comm.clock, float(shared["t_cpu"][me])))
+    comm.mem.free(int(shared["recv_all"][me]))
+    comm.mem.alloc(out.nbytes)
+    comm.count("coll.alltoallv_async")
+    comm.count("bytes.recv", recv_bytes)
+    m = int(shared["m"][me])
+    return out, ExchangeStats("overlap", "overlap-merge", m, p)
+
+
 def exchange_overlapped(comm: Comm, sends: Sequence[RecordBatch]
                         ) -> tuple[RecordBatch, ExchangeStats]:
     """Nonblocking exchange overlapped with pairwise merging.
@@ -90,32 +260,50 @@ def exchange_overlapped(comm: Comm, sends: Sequence[RecordBatch]
     The rank's clock advances to the completion of the last merge,
     i.e. ``max(communication, computation)`` plus the tail merge —
     the overlap benefit Figure 5b measures.
+
+    The merge *schedule* (binary-counter merging: a chunk at "level" L
+    has absorbed 2^L original chunks, equal levels merge immediately —
+    balanced O(m log p) pairwise work that still consumes chunks the
+    moment they arrive) is replayed on chunk **lengths only**, keeping
+    the virtual-clock arithmetic bit-identical to actually performing
+    each pairwise merge.  The data itself is then materialised in one
+    pass: every ``merge_two`` resolves ties in favour of its left
+    (earlier) operand, so the schedule's result equals the chunks
+    concatenated in the merge tree's left-to-right leaf order, stably
+    sorted — which one stable argsort computes without the ``p - 1``
+    per-rank python merge calls the seed engine paid.
     """
     arrivals = comm.alltoallv_async(list(sends))
     t_cpu = comm.clock
     m = sum(len(b) for _, b, _ in arrivals)
-    # binary-counter merging: a chunk at "level" L has absorbed 2^L
-    # original chunks; equal levels merge immediately.  This keeps the
-    # pairwise merging balanced — O(m log p) total work — while still
-    # consuming chunks the moment they arrive.
-    levels: dict[int, RecordBatch] = {}
-    for _, chunk, t_arr in arrivals:
+    # replay: levels hold (records absorbed, leaf order) per counter bit
+    levels: dict[int, tuple[int, list[int]]] = {}
+    for i, (_, chunk, t_arr) in enumerate(arrivals):
         t_cpu = max(t_cpu, t_arr)
-        cur, lvl = chunk, 0
+        cur_len, cur_leaves, lvl = len(chunk), [i], 0
         while lvl in levels:
-            cur = merge_two_batches(levels.pop(lvl), cur)
-            t_cpu += comm.cost.merge_time(len(cur), 2)
+            prev_len, prev_leaves = levels.pop(lvl)
+            cur_len += prev_len
+            cur_leaves = prev_leaves + cur_leaves  # earlier chunks win ties
+            t_cpu += comm.cost.merge_time(cur_len, 2)
             lvl += 1
-        levels[lvl] = cur
-    out: RecordBatch | None = None
+        levels[lvl] = (cur_len, cur_leaves)
+    order: list[int] | None = None
+    out_len = 0
     for lvl in sorted(levels):
-        if out is None:
-            out = levels[lvl]
+        lvl_len, lvl_leaves = levels[lvl]
+        if order is None:
+            order, out_len = lvl_leaves, lvl_len
         else:
-            out = merge_two_batches(out, levels[lvl])
-            t_cpu += comm.cost.merge_time(len(out), 2)
-    if out is None:
+            out_len += lvl_len
+            order = order + lvl_leaves  # accumulated result wins ties
+            t_cpu += comm.cost.merge_time(out_len, 2)
+    if order is None:
         out = RecordBatch(np.zeros(0))
+    else:
+        cat = RecordBatch.concat([arrivals[i][1] for i in order])
+        perm = np.argsort(cat.keys, kind="stable")
+        out = cat.take(perm)
     comm.set_clock(max(comm.clock, t_cpu))
     comm.mem.free(sum(b.nbytes for _, b, _ in arrivals))
     comm.mem.alloc(out.nbytes)

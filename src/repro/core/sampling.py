@@ -19,6 +19,10 @@ communicators and for comparison.
 from __future__ import annotations
 
 import numpy as np
+# Bound once at import: ``np.random.X`` re-enters the interpreter's
+# import lock on every access (numpy lazy-loads the submodule via
+# module __getattr__), which serialises rank threads at scale.
+from numpy.random import SeedSequence, default_rng
 
 from ..mpi import Comm
 from .bitonic import bitonic_sort, is_power_of_two
@@ -94,7 +98,7 @@ def select_pivots_oversample(comm: Comm, sorted_keys: np.ndarray, *,
         return a[:0]
     if a.size == 0:
         raise ValueError("cannot sample pivots from an empty shard")
-    rng = np.random.default_rng(np.random.SeedSequence([seed, comm.rank]))
+    rng = default_rng(SeedSequence([seed, comm.rank]))
     take = min(max(1, oversample), a.size)
     sample = a[rng.integers(0, a.size, size=take)]
     pooled = np.sort(np.concatenate(comm.allgather(sample)))

@@ -32,7 +32,7 @@ from ..mpi import Comm
 from ..records import RecordBatch
 from .exchange import (
     ExchangeStats,
-    exchange_overlapped,
+    exchange_overlapped_fused,
     exchange_sync,
     order_received,
     split_for_sends,
@@ -178,12 +178,12 @@ def sds_sort(comm: Comm, batch: RecordBatch,
         else:
             comm.charge(cost.binary_search_time(n, searches=max(1, p - 1)))
 
-    sends = split_for_sends(sortedb, displs)
     send_buf_bytes = sortedb.nbytes
 
     # --------------------------------------- exchange + local ordering
     overlap = (not params.stable) and p < params.tau_o
     if not overlap:
+        sends = split_for_sends(sortedb, displs)
         with comm.phase("exchange"):
             chunks = exchange_sync(active, sends)
             comm.mem.free(send_buf_bytes)  # send buffer released
@@ -193,8 +193,9 @@ def sds_sort(comm: Comm, batch: RecordBatch,
                 delta_hint=delta,
             )
     else:
+        # fused path: no p^2 sub-batch materialisation (see exchange.py)
         with comm.phase("exchange"):
-            out, xstats = exchange_overlapped(active, sends)
+            out, xstats = exchange_overlapped_fused(active, sortedb, displs)
             comm.mem.free(send_buf_bytes)
 
     return SortOutcome(

@@ -60,15 +60,35 @@ def kway_merge(chunks: Sequence[np.ndarray]) -> np.ndarray:
     return merged
 
 
+#: Chunk count above which the tree of pairwise merges is replaced by
+#: one stable argsort of the concatenation.  The stable permutation of
+#: sorted chunks is unique (equal keys in ascending input position), so
+#: both strategies return bit-identical results; at large ``k`` the
+#: argsort avoids ``k - 1`` python-level merge calls, which is what the
+#: engine's per-rank ordering of ``p`` received runs hits at scale.
+_ARGSORT_K = 32
+
+
 def kway_merge_perm(chunks: Sequence[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
     """Stably k-way merge, returning the permutation into the concatenation.
 
     Performs a balanced tree of pairwise merges (``ceil(log2 k)``
-    passes), matching the cost model's ``n log2(k)`` charge.
+    passes), matching the cost model's ``n log2(k)`` charge; above
+    :data:`_ARGSORT_K` chunks it switches to a stable argsort of the
+    concatenation, which yields the identical permutation.  The key
+    dtype of the inputs is preserved, including when every chunk is
+    empty (int-keyed workloads must not come back as float64).
     """
     chunks = [np.asarray(c) for c in chunks]
     if not chunks:
         return np.zeros(0, dtype=np.float64), np.zeros(0, dtype=np.int64)
+    if sum(len(c) for c in chunks) == 0:
+        dtype = np.result_type(*chunks)
+        return np.zeros(0, dtype=dtype), np.zeros(0, dtype=np.int64)
+    if len(chunks) >= _ARGSORT_K:
+        cat = np.concatenate(chunks)
+        perm = np.argsort(cat, kind="stable").astype(np.int64, copy=False)
+        return cat[perm], perm
     offsets = np.cumsum([0] + [len(c) for c in chunks[:-1]])
     items: list[tuple[np.ndarray, np.ndarray]] = [
         (c, off + np.arange(len(c), dtype=np.int64))
@@ -172,10 +192,12 @@ class LoserTree:
         return key, i
 
     def drain(self) -> np.ndarray:
-        """Pop everything into one sorted array."""
+        """Pop everything into one sorted array (key dtype preserved)."""
         out = []
         while not self.empty():
             out.append(self.pop()[0])
         if not out:
-            return np.zeros(0, dtype=np.float64)
+            dtype = (np.result_type(*self._chunks) if self._chunks
+                     else np.float64)
+            return np.zeros(0, dtype=dtype)
         return np.asarray(out)

@@ -5,8 +5,8 @@ plain functions over a :class:`Comm`; see DESIGN.md section 6.
 """
 
 from .comm import Comm, Request, World, payload_nbytes
-from .context import AbortFlag, CommContext
-from .engine import SpmdResult, run_spmd
+from .context import AbortFlag, Channel, CommContext
+from .engine import SpmdPool, SpmdResult, default_pool, run_spmd
 from .errors import RankFailure, SimAbort
 
 __all__ = [
@@ -15,8 +15,11 @@ __all__ = [
     "World",
     "payload_nbytes",
     "AbortFlag",
+    "Channel",
     "CommContext",
+    "SpmdPool",
     "SpmdResult",
+    "default_pool",
     "run_spmd",
     "RankFailure",
     "SimAbort",

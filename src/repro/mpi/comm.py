@@ -7,6 +7,14 @@ for real — collectives stage actual numpy arrays / RecordBatches — while
 the machine cost model, so measured "seconds" are simulated Edison
 seconds, deterministic and independent of host thread scheduling.
 
+Collectives compute their shared quantities (clock maxima, reduction
+results, alltoallv size scans) **once per call** via the barrier's
+last-arriver action (see :mod:`repro.mpi.context`) instead of once per
+rank; reductions still apply the operator in rank order, so results —
+including floating point — are bit-for-bit identical to the per-rank
+formulation.  Reduction/scan results are shared objects: treat them as
+read-only (the engine avoids copies by design).
+
 Key deviations from real MPI, by design:
 
 * ``alltoallv_async`` performs the data movement synchronously but
@@ -22,7 +30,6 @@ Key deviations from real MPI, by design:
 
 from __future__ import annotations
 
-import queue
 import threading
 import time
 from contextlib import contextmanager
@@ -32,11 +39,16 @@ import numpy as np
 
 from ..machine import CostModel, MachineSpec, MemoryTracker
 from ..records import RecordBatch
-from .context import _POLL, AbortFlag, CommContext
+from .context import AbortFlag, Channel, CommContext
 
 
 def payload_nbytes(obj: Any) -> int:
-    """Best-effort wire size of a message payload in bytes."""
+    """Best-effort wire size of a message payload in bytes.
+
+    ``RecordBatch.nbytes`` is cached on the batch, so repeated size
+    queries of the same payload (sender sizing, receiver accounting,
+    arrival scheduling) cost one dict lookup after the first call.
+    """
     if obj is None:
         return 0
     if isinstance(obj, RecordBatch):
@@ -54,6 +66,10 @@ def payload_nbytes(obj: Any) -> int:
     return 64
 
 
+def _max_clock(stage: Sequence[tuple[Any, float]]) -> float:
+    return max(e[1] for e in stage)
+
+
 class World:
     """Process-global state of one simulated run."""
 
@@ -69,7 +85,7 @@ class World:
         self.counters: list[dict[str, float]] = [dict() for _ in range(p)]
         #: per-rank (start, end, phase) intervals in virtual time
         self.traces: list[list[tuple[float, float, str]]] = [[] for _ in range(p)]
-        self._channels: dict[tuple[int, int, int], queue.SimpleQueue] = {}
+        self._channels: dict[tuple[int, int, int], Channel] = {}
         self._channels_lock = threading.Lock()
         self.world_ctx = CommContext(range(p), self.abort)
 
@@ -77,14 +93,16 @@ class World:
         """Node hosting a global rank (dense one-rank-per-core placement)."""
         return grank // self.machine.cores_per_node
 
-    def channel(self, src: int, dst: int, tag: int) -> queue.SimpleQueue:
+    def channel(self, src: int, dst: int, tag: int) -> Channel:
         key = (src, dst, tag)
-        with self._channels_lock:
-            ch = self._channels.get(key)
-            if ch is None:
-                ch = queue.SimpleQueue()
-                self._channels[key] = ch
-            return ch
+        ch = self._channels.get(key)
+        if ch is None:
+            with self._channels_lock:
+                ch = self._channels.get(key)
+                if ch is None:
+                    ch = Channel(self.abort)
+                    self._channels[key] = ch
+        return ch
 
 
 class Request:
@@ -108,10 +126,10 @@ class Request:
         return self._done
 
     def wait(self) -> Any:
-        """Block (abortably) until the message arrives; return it."""
-        while not self.test():
-            self._comm._world.abort.check()
-            time.sleep(_POLL / 10)
+        """Block (abortably, event-driven) until the message arrives."""
+        if not self._done:
+            self._value = self._comm.recv(self._source, self._tag)
+            self._done = True
         return self._value
 
 
@@ -124,6 +142,7 @@ class Comm:
         self.rank = rank
         self.size = ctx.size
         self.grank = ctx.group[rank]
+        self._rpn: int | None = None  # cached ranks_per_node
 
     # ------------------------------------------------------------------
     # introspection / accounting
@@ -177,137 +196,206 @@ class Comm:
 
     @property
     def ranks_per_node(self) -> int:
-        """How many members of *this* communicator share my node."""
-        mine = self._world.node_of(self.grank)
-        return sum(1 for g in self._ctx.group if self._world.node_of(g) == mine)
+        """How many members of *this* communicator share my node.
+
+        The group is immutable, so the O(group) scan runs once per
+        ``Comm`` handle and is cached (it sits on the per-collective
+        cost path).
+        """
+        rpn = self._rpn
+        if rpn is None:
+            mine = self._world.node_of(self.grank)
+            node_of = self._world.node_of
+            rpn = sum(1 for g in self._ctx.group if node_of(g) == mine)
+            self._rpn = rpn
+        return rpn
 
     # ------------------------------------------------------------------
-    # staged exchange plumbing
+    # staged-collective plumbing
     # ------------------------------------------------------------------
-    def _stage_exchange(self, obj: Any) -> list[tuple[Any, float]]:
-        """Deposit ``obj``; return everyone's ``(obj, clock)`` snapshot."""
+    def _sync(self, action: Callable[[], Any] | None = None) -> Any:
+        """Barrier on the communicator, accounting real blocked time.
+
+        Returns ``action``'s result (the collective payload) on every
+        rank.  Wall-clock (host) seconds spent inside the barrier are
+        accumulated in the ``coll.sync_wait`` counter — the
+        observability hook for diagnosing load imbalance of the
+        *simulation itself* (stragglers show up as large sync waits).
+        """
+        t0 = time.perf_counter()
+        out = self._ctx.sync(action)
+        c = self._world.counters[self.grank]
+        c["coll.sync_wait"] = (c.get("coll.sync_wait", 0.0)
+                               + (time.perf_counter() - t0))
+        return out
+
+    def staged(self, obj: Any, compute: Callable[[list], Any],
+               reader: Callable[[list], Any] | None = None) -> tuple[Any, Any]:
+        """One staged collective with designated (last-arriver) compute.
+
+        Deposits ``(obj, clock)`` into the stage; ``compute(stage)``
+        runs exactly once — on the last rank to reach the barrier — and
+        its result is handed to every rank through the barrier release
+        itself.  ``reader`` (optional) extracts this rank's
+        personalised data from the raw stage after release (the stage
+        list is captured before the barrier and the last arriver swaps
+        a fresh one into the context, so the read is race-free without
+        a second barrier).  Returns ``(shared, mine)``.
+
+        This is the extension point for fused collectives: algorithm
+        layers (bitonic pivot sorting, the overlapped exchange) deposit
+        one object per rank and perform all O(p) / O(p^2) work once,
+        vectorised, inside ``compute`` — the mechanism that keeps exact
+        runs tractable at thousands of ranks.  ``stage[r]`` is
+        ``(obj_r, clock_r)``; everything ``compute`` returns is shared
+        by reference, so treat it as read-only.
+        """
         ctx = self._ctx
-        ctx.stage[self.rank] = (obj, self.clock)
-        ctx.sync()
-        entries = list(ctx.stage)
-        ctx.sync()
-        return entries
+        stage = ctx.stage
+        stage[self.rank] = (obj, self.clock)
 
-    @staticmethod
-    def _max_clock(entries: Sequence[tuple[Any, float]]) -> float:
-        return max(t for _, t in entries)
+        def produce() -> Any:
+            shared = compute(stage)
+            ctx.fresh_stage()
+            return shared
+
+        shared = self._sync(produce)
+        mine = reader(stage) if reader is not None else None
+        return shared, mine
 
     # ------------------------------------------------------------------
     # collectives
     # ------------------------------------------------------------------
     def barrier(self) -> None:
-        entries = self._stage_exchange(None)
-        self.set_clock(self._max_clock(entries) + self.cost.barrier_time(self.size))
+        t, _ = self.staged(None, _max_clock)
+        self.set_clock(t + self.cost.barrier_time(self.size))
 
     def bcast(self, obj: Any, root: int = 0) -> Any:
-        entries = self._stage_exchange(obj if self.rank == root else None)
-        value = entries[root][0]
-        nbytes = payload_nbytes(value)
-        self.set_clock(self._max_clock(entries)
-                       + self.cost.tree_collective_time(self.size, nbytes))
+        def compute(stage: list) -> tuple:
+            value = stage[root][0]
+            return value, _max_clock(stage), payload_nbytes(value)
+
+        (value, t, nbytes), _ = self.staged(
+            obj if self.rank == root else None, compute)
+        self.set_clock(t + self.cost.tree_collective_time(self.size, nbytes))
         self.count("coll.bcast")
         return value
 
     def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
-        entries = self._stage_exchange(obj)
-        nbytes = max(payload_nbytes(o) for o, _ in entries)
-        self.set_clock(self._max_clock(entries)
-                       + self.cost.tree_collective_time(self.size, nbytes))
+        def compute(stage: list) -> tuple:
+            objs = [e[0] for e in stage]
+            return objs, _max_clock(stage), max(map(payload_nbytes, objs))
+
+        (objs, t, nbytes), _ = self.staged(obj, compute)
+        self.set_clock(t + self.cost.tree_collective_time(self.size, nbytes))
         self.count("coll.gather")
         if self.rank == root:
-            return [o for o, _ in entries]
+            return objs
         return None
 
     def allgather(self, obj: Any) -> list[Any]:
-        entries = self._stage_exchange(obj)
-        nbytes = max(payload_nbytes(o) for o, _ in entries)
-        self.set_clock(self._max_clock(entries)
-                       + self.cost.allgather_time(self.size, nbytes))
+        def compute(stage: list) -> tuple:
+            objs = [e[0] for e in stage]
+            return objs, _max_clock(stage), max(map(payload_nbytes, objs))
+
+        (objs, t, nbytes), _ = self.staged(obj, compute)
+        self.set_clock(t + self.cost.allgather_time(self.size, nbytes))
         self.count("coll.allgather")
-        return [o for o, _ in entries]
+        return list(objs)  # private list per rank; elements stay shared
 
     def scatter(self, objs: Sequence[Any] | None, root: int = 0) -> Any:
         if self.rank == root:
             if objs is None or len(objs) != self.size:
                 raise ValueError("root must provide one object per rank")
-        entries = self._stage_exchange(list(objs) if self.rank == root else None)
-        sent = entries[root][0]
-        self.set_clock(self._max_clock(entries)
-                       + self.cost.tree_collective_time(self.size,
-                                                        payload_nbytes(sent[self.rank])))
+
+        def compute(stage: list) -> tuple:
+            return stage[root][0], _max_clock(stage)
+
+        (sent, t), _ = self.staged(
+            list(objs) if self.rank == root else None, compute)
+        self.set_clock(t + self.cost.tree_collective_time(
+            self.size, payload_nbytes(sent[self.rank])))
         self.count("coll.scatter")
         return sent[self.rank]
 
+    @staticmethod
+    def _fold(stage: list, op: Callable[[Any, Any], Any] | None) -> Any:
+        """Rank-order reduction over the staged values (runs once)."""
+        acc = stage[0][0]
+        if op is None:
+            for e in stage[1:]:
+                acc = acc + e[0]
+        else:
+            for e in stage[1:]:
+                acc = op(acc, e[0])
+        return acc
+
     def allreduce(self, value: Any, op: Callable[[Any, Any], Any] | None = None) -> Any:
         """All-reduce with a deterministic rank-order reduction."""
-        entries = self._stage_exchange(value)
-        values = [o for o, _ in entries]
-        if op is None:
-            acc = values[0]
-            for v in values[1:]:
-                acc = acc + v
-        else:
-            acc = values[0]
-            for v in values[1:]:
-                acc = op(acc, v)
-        self.set_clock(self._max_clock(entries)
-                       + self.cost.tree_collective_time(self.size,
-                                                        payload_nbytes(value)))
+        def compute(stage: list) -> tuple:
+            return self._fold(stage, op), _max_clock(stage)
+
+        (acc, t), _ = self.staged(value, compute)
+        self.set_clock(t + self.cost.tree_collective_time(
+            self.size, payload_nbytes(value)))
         self.count("coll.allreduce")
         return acc
 
     def reduce(self, value: Any, root: int = 0,
                op: Callable[[Any, Any], Any] | None = None) -> Any:
         """Rooted reduction (deterministic rank order); None off-root."""
-        entries = self._stage_exchange(value)
-        self.set_clock(self._max_clock(entries)
-                       + self.cost.tree_collective_time(self.size,
-                                                        payload_nbytes(value)))
+        def compute(stage: list) -> tuple:
+            return self._fold(stage, op), _max_clock(stage)
+
+        (acc, t), _ = self.staged(value, compute)
+        self.set_clock(t + self.cost.tree_collective_time(
+            self.size, payload_nbytes(value)))
         self.count("coll.reduce")
-        if self.rank != root:
-            return None
-        values = [o for o, _ in entries]
-        acc = values[0]
-        for v in values[1:]:
-            acc = (acc + v) if op is None else op(acc, v)
-        return acc
+        return acc if self.rank == root else None
 
     def scan(self, value: Any, op: Callable[[Any, Any], Any] | None = None) -> Any:
         """Inclusive prefix reduction: rank r gets reduce(values[0..r])."""
-        entries = self._stage_exchange(value)
-        self.set_clock(self._max_clock(entries)
-                       + self.cost.tree_collective_time(self.size,
-                                                        payload_nbytes(value)))
+        def compute(stage: list) -> tuple:
+            prefix = [None] * len(stage)
+            acc = stage[0][0]
+            prefix[0] = acc
+            for r in range(1, len(stage)):
+                v = stage[r][0]
+                acc = (acc + v) if op is None else op(acc, v)
+                prefix[r] = acc
+            return prefix, _max_clock(stage)
+
+        (prefix, t), _ = self.staged(value, compute)
+        self.set_clock(t + self.cost.tree_collective_time(
+            self.size, payload_nbytes(value)))
         self.count("coll.scan")
-        acc = entries[0][0]
-        for r in range(1, self.rank + 1):
-            v = entries[r][0]
-            acc = (acc + v) if op is None else op(acc, v)
-        return acc
+        return prefix[self.rank]
 
     def exscan(self, value: Any, zero: Any = 0,
                op: Callable[[Any, Any], Any] | None = None) -> Any:
         """Exclusive prefix reduction: rank r gets reduce(values[0..r-1]).
 
         Rank 0 receives ``zero`` (MPI leaves it undefined; a neutral
-        element is friendlier).  The classic displacement computation:
+        element is friendlier).  ``zero`` must be communicator-uniform:
+        the prefix chain is computed once from rank 0's ``zero``.  The
+        classic displacement computation:
         ``offset = comm.exscan(len(my_chunk))``.
         """
-        entries = self._stage_exchange(value)
-        self.set_clock(self._max_clock(entries)
-                       + self.cost.tree_collective_time(self.size,
-                                                        payload_nbytes(value)))
+        def compute(stage: list) -> tuple:
+            prefix = [None] * len(stage)
+            acc = stage[0][0][1]  # rank 0's zero
+            prefix[0] = acc
+            for r in range(1, len(stage)):
+                v = stage[r - 1][0][0]
+                acc = (acc + v) if op is None else op(acc, v)
+                prefix[r] = acc
+            return prefix, _max_clock(stage)
+
+        (prefix, t), _ = self.staged((value, zero), compute)
+        self.set_clock(t + self.cost.tree_collective_time(
+            self.size, payload_nbytes(value)))
         self.count("coll.exscan")
-        acc = zero
-        for r in range(self.rank):
-            v = entries[r][0]
-            acc = (acc + v) if op is None else op(acc, v)
-        return acc
+        return prefix[self.rank]
 
     def dup(self) -> "Comm":
         """Duplicate the communicator (fresh context, same group).
@@ -323,14 +411,28 @@ class Comm:
         """Personalised exchange of small per-destination objects."""
         if len(objs) != self.size:
             raise ValueError(f"alltoall needs {self.size} objects, got {len(objs)}")
-        entries = self._stage_exchange(list(objs))
-        received = [entries[src][0][self.rank] for src in range(self.size)]
+        me = self.rank
+
+        def reader(stage: list) -> list[Any]:
+            return [stage[src][0][me] for src in range(self.size)]
+
+        t, received = self.staged(list(objs), _max_clock, reader)
         nbytes = max(payload_nbytes(o) for o in received) if received else 0
-        self.set_clock(self._max_clock(entries)
-                       + self.cost.alltoallv_time(self.size, nbytes,
-                                                  ranks_per_node=self.ranks_per_node))
+        self.set_clock(t + self.cost.alltoallv_time(
+            self.size, nbytes, ranks_per_node=self.ranks_per_node))
         self.count("coll.alltoall")
         return received
+
+    @staticmethod
+    def _size_scan(stage: list) -> tuple:
+        """Shared alltoallv accounting: one vectorised pass over the
+        p x p size matrix instead of O(p) Python scans on every rank."""
+        sizes = np.array([e[0][1] for e in stage], dtype=np.int64)
+        diag = np.diagonal(sizes)
+        send_tot = sizes.sum(axis=1) - diag
+        recv_tot = sizes.sum(axis=0) - diag
+        return (_max_clock(stage), int(send_tot.max()), int(recv_tot.max()),
+                int(sizes.sum()), send_tot, recv_tot, sizes)
 
     def alltoallv(self, batches: Sequence[RecordBatch]) -> list[RecordBatch]:
         """Synchronous all-to-all of record batches (MPI_Alltoallv).
@@ -344,25 +446,22 @@ class Comm:
         if len(batches) != self.size:
             raise ValueError(f"alltoallv needs {self.size} batches, got {len(batches)}")
         sizes = [b.nbytes for b in batches]
-        entries = self._stage_exchange((list(batches), sizes))
-        all_sizes = [e[0][1] for e in entries]
-        max_send = max(sum(s) - s[i] for i, s in enumerate(all_sizes))
-        max_recv = max(
-            sum(all_sizes[src][dst] for src in range(self.size) if src != dst)
-            for dst in range(self.size)
-        )
-        received = [entries[src][0][0][self.rank] for src in range(self.size)]
-        recv_bytes = sum(b.nbytes for i, b in enumerate(received) if i != self.rank)
+        me = self.rank
+
+        def reader(stage: list) -> list[RecordBatch]:
+            return [stage[src][0][0][me] for src in range(self.size)]
+
+        shared, received = self.staged((list(batches), sizes),
+                                        self._size_scan, reader)
+        t, max_send, max_recv, total_bytes, send_tot, recv_tot, _ = shared
+        recv_bytes = int(recv_tot[me])
         self.mem.alloc(recv_bytes)
-        total_bytes = sum(sum(s) for s in all_sizes)
-        self.set_clock(self._max_clock(entries)
-                       + self.cost.alltoallv_time(self.size, max(max_send, max_recv),
-                                                  ranks_per_node=self.ranks_per_node,
-                                                  total_bytes=total_bytes))
+        self.set_clock(t + self.cost.alltoallv_time(
+            self.size, max(max_send, max_recv),
+            ranks_per_node=self.ranks_per_node, total_bytes=total_bytes))
         self.count("coll.alltoallv")
         self.count("bytes.recv", recv_bytes)
-        self.count("bytes.sent",
-                   sum(s for i, s in enumerate(sizes) if i != self.rank))
+        self.count("bytes.sent", int(send_tot[me]))
         return received
 
     def alltoallv_async(self, batches: Sequence[RecordBatch]
@@ -379,26 +478,33 @@ class Comm:
         """
         if len(batches) != self.size:
             raise ValueError(f"alltoallv needs {self.size} batches, got {len(batches)}")
-        entries = self._stage_exchange(list(batches))
-        start = self._max_clock(entries)
-        received = [entries[src][0][self.rank] for src in range(self.size)]
-        recv_bytes = sum(b.nbytes for i, b in enumerate(received) if i != self.rank)
+        sizes = [b.nbytes for b in batches]
+        me = self.rank
+
+        def reader(stage: list) -> list[RecordBatch]:
+            return [stage[src][0][0][me] for src in range(self.size)]
+
+        shared, received = self.staged((list(batches), sizes),
+                                        self._size_scan, reader)
+        start = shared[0]
+        recv_tot, size_matrix = shared[5], shared[6]
+        inbound = size_matrix[:, me].tolist()  # bytes arriving per source
+        recv_bytes = int(recv_tot[me])
         self.mem.alloc(recv_bytes)
         spec = self.machine
         bw = (spec.nic_bandwidth if self.ranks_per_node > 1
               else spec.single_stream_bandwidth)
         bw *= spec.async_bandwidth_factor
         # ring schedule: receive from rank+1, rank+2, ... wrapping around
-        order = [(self.rank + off) % self.size for off in range(1, self.size)]
+        order = [(me + off) % self.size for off in range(1, self.size)]
         arrivals: list[tuple[int, RecordBatch, float]] = []
         t = start + spec.net_latency
         node_factor = min(self.ranks_per_node, self.size)
         for src in order:
-            b = received[src]
-            t += (b.nbytes * node_factor) / bw + spec.per_message_overhead
-            arrivals.append((src, b, t))
+            t += (inbound[src] * node_factor) / bw + spec.per_message_overhead
+            arrivals.append((src, received[src], t))
         # own chunk is available immediately
-        arrivals.insert(0, (self.rank, received[self.rank], start))
+        arrivals.insert(0, (me, received[me], start))
         self.set_clock(start + self.cost.async_progress_overhead(self.size))
         self.count("coll.alltoallv_async")
         self.count("bytes.recv", recv_bytes)
@@ -413,12 +519,12 @@ class Comm:
         ``color=None`` (MPI_UNDEFINED) opts out and returns ``None``.
         """
         mykey = self.rank if key is None else key
-        entries = self._stage_exchange((color, mykey))
-        pairs = [(o, t) for o, t in entries]
         ctx = self._ctx
-        if self.rank == 0:
+        world = self._world
+
+        def compute(stage: list) -> tuple:
             groups: dict[int, list[tuple[int, int]]] = {}
-            for r, ((col, k), _) in enumerate(pairs):
+            for r, ((col, k), _t) in enumerate(stage):
                 if col is None:
                     continue
                 groups.setdefault(col, []).append((k, r))
@@ -426,16 +532,18 @@ class Comm:
             for col, members in groups.items():
                 members.sort()
                 gids = [ctx.group[r] for _, r in members]
-                contexts[col] = CommContext(gids, self._world.abort)
-            ctx.scratch = contexts
-        ctx.sync()
-        contexts = ctx.scratch
-        newctx: CommContext | None = contexts.get(color) if color is not None else None
-        ctx.sync()
-        self.set_clock(self._max_clock(entries) + self.cost.barrier_time(self.size))
+                contexts[col] = CommContext(gids, world.abort)
+            return contexts, _max_clock(stage)
+
+        # the contexts dict lives only in this generation's barrier
+        # payload, so repeated splits can never observe a stale one
+        (contexts, t), _ = self.staged((color, mykey), compute)
+        newctx: CommContext | None = (contexts.get(color)
+                                      if color is not None else None)
+        self.set_clock(t + self.cost.barrier_time(self.size))
         if newctx is None:
             return None
-        return Comm(self._world, newctx, newctx.group.index(self.grank))
+        return Comm(world, newctx, newctx.group.index(self.grank))
 
     def node_split(self) -> tuple["Comm", "Comm | None"]:
         """SdssRefineComm (Section 2.3): node-local and leader communicators.
@@ -464,10 +572,7 @@ class Comm:
 
     def _try_recv(self, source: int, tag: int):
         ch = self._world.channel(self._ctx.group[source], self.grank, tag)
-        try:
-            return ch.get_nowait()
-        except queue.Empty:
-            return None
+        return ch.get_nowait()
 
     def _complete_recv(self, obj: Any, sent_clock: float) -> Any:
         arrival = sent_clock + self.cost.p2p_time(payload_nbytes(obj))
@@ -476,15 +581,18 @@ class Comm:
         return obj
 
     def recv(self, source: int, tag: int = 0) -> Any:
-        """Blocking (abortable) receive from ``source``."""
+        """Blocking (abortable, event-driven) receive from ``source``.
+
+        Wall-clock seconds spent blocked waiting for the message are
+        accumulated in the ``p2p.wait`` counter.
+        """
         ch = self._world.channel(self._ctx.group[source], self.grank, tag)
-        while True:
-            try:
-                obj, t = ch.get(timeout=_POLL)
-                break
-            except queue.Empty:
-                self._world.abort.check()
-        return self._complete_recv(obj, t)
+        got = ch.get_nowait()
+        if got is None:
+            t0 = time.perf_counter()
+            got = ch.get(self._world.abort)
+            self.count("p2p.wait", time.perf_counter() - t0)
+        return self._complete_recv(*got)
 
     def irecv(self, source: int, tag: int = 0) -> Request:
         """Post a nonblocking receive; complete via ``test``/``wait``."""

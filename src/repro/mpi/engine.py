@@ -1,9 +1,13 @@
 """SPMD launcher: run the same function on ``p`` simulated ranks.
 
 ``run_spmd(fn, p)`` is the simulation counterpart of
-``mpiexec -n p python script.py``: it spawns one thread per rank, hands
-each a :class:`~repro.mpi.comm.Comm`, and gathers results, virtual
-clocks, phase breakdowns and memory statistics.
+``mpiexec -n p python script.py``: it hands each of ``p`` rank threads
+a :class:`~repro.mpi.comm.Comm`, and gathers results, virtual clocks,
+phase breakdowns and memory statistics.
+
+Rank threads come from a persistent :class:`SpmdPool` (grown on demand,
+reused across ``run_spmd`` invocations), so benchmark sweeps that launch
+hundreds of worlds pay thread start-up once instead of per data point.
 
 Failure semantics: if any rank raises, the world aborts; sibling ranks
 unwind with :class:`SimAbort` at their next blocking call, and the
@@ -14,6 +18,7 @@ benches report the paper's HykSort OOM entries instead of crashing.
 
 from __future__ import annotations
 
+import sys
 import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
@@ -23,8 +28,153 @@ from .comm import Comm, World
 from .errors import RankFailure, SimAbort
 
 #: Per-thread stack size; rank programs are shallow, so a small stack
-#: lets runs with hundreds of ranks stay cheap.
+#: lets runs with thousands of ranks stay cheap.
 _STACK_BYTES = 512 * 1024
+
+#: Worlds at least this large run under a coarser GIL switch interval.
+#: CPython's default 5 ms preemption quantum makes a thousand runnable
+#: rank threads thrash: each forced GIL hand-off wakes another thread
+#: for a sliver of bytecode, and the convoy multiplies host CPU by 3-4x
+#: (measured at p=1024: ~25 s vs ~9 s for the same run).  Rank threads
+#: block voluntarily at every collective, so coarse preemption costs
+#: nothing in responsiveness.
+_COARSE_SWITCH_RANKS = 64
+_COARSE_SWITCH_INTERVAL = 0.05
+
+
+class _Latch:
+    """Count-down completion latch for one SPMD run."""
+
+    def __init__(self, parties: int):
+        self._remaining = parties
+        self._cond = threading.Condition()
+
+    def count_down(self) -> None:
+        with self._cond:
+            self._remaining -= 1
+            if self._remaining == 0:
+                self._cond.notify_all()
+
+    def wait(self) -> None:
+        with self._cond:
+            while self._remaining:
+                self._cond.wait()
+
+
+class _Worker(threading.Thread):
+    """One pool thread hosting a simulated rank for the current run.
+
+    Idles on a condition variable between runs (zero CPU); a submitted
+    task is ``(fn, rank, latch)`` and the worker always counts the
+    latch down, even if the rank program escapes the engine's own
+    exception handling.
+    """
+
+    def __init__(self, index: int):
+        super().__init__(name=f"spmd-worker-{index}", daemon=True)
+        self._cond = threading.Condition()
+        self._task: tuple[Callable[[int], None], int, _Latch] | None = None
+        self._halt = False
+
+    def submit(self, fn: Callable[[int], None], rank: int, latch: _Latch) -> None:
+        with self._cond:
+            self._task = (fn, rank, latch)
+            self._cond.notify()
+
+    def stop(self) -> None:
+        with self._cond:
+            self._halt = True
+            self._cond.notify()
+
+    def run(self) -> None:
+        while True:
+            with self._cond:
+                while self._task is None and not self._halt:
+                    self._cond.wait()
+                if self._halt:
+                    return
+                fn, rank, latch = self._task
+                self._task = None
+            try:
+                fn(rank)
+            except BaseException:  # noqa: BLE001 - runner() already records
+                pass  # never let a stray exception kill the pool thread
+            finally:
+                latch.count_down()
+
+
+class SpmdPool:
+    """Persistent pool of rank threads shared by ``run_spmd`` calls.
+
+    The pool grows to the largest ``p`` it has served and never
+    shrinks; workers are daemon threads with small stacks that sleep
+    between runs, so an idle pool costs memory only.  One pool runs one
+    world at a time (``run`` holds the pool lock for the whole
+    invocation); nested ``run_spmd`` calls from inside a rank program
+    must pass their own pool (or rely on the p==1 inline path).
+    """
+
+    def __init__(self) -> None:
+        self._workers: list[_Worker] = []
+        self._lock = threading.Lock()
+
+    @property
+    def size(self) -> int:
+        """Current number of pool threads."""
+        return len(self._workers)
+
+    def _grow(self, p: int) -> None:
+        if len(self._workers) >= p:
+            return
+        old_stack = threading.stack_size(_STACK_BYTES)
+        try:
+            while len(self._workers) < p:
+                w = _Worker(len(self._workers))
+                w.start()
+                self._workers.append(w)
+        finally:
+            threading.stack_size(old_stack)
+
+    def run(self, fn: Callable[[int], None], p: int) -> None:
+        """Execute ``fn(rank)`` concurrently for every rank in ``[0, p)``."""
+        with self._lock:
+            old_si = sys.getswitchinterval()
+            coarse = (p >= _COARSE_SWITCH_RANKS
+                      and old_si < _COARSE_SWITCH_INTERVAL)
+            if coarse:
+                sys.setswitchinterval(_COARSE_SWITCH_INTERVAL)
+            try:
+                self._grow(p)
+                latch = _Latch(p)
+                for r in range(p):
+                    self._workers[r].submit(fn, r, latch)
+                latch.wait()
+            finally:
+                if coarse:
+                    sys.setswitchinterval(old_si)
+
+    def shutdown(self) -> None:
+        """Stop and join all pool threads (mainly for tests)."""
+        with self._lock:
+            for w in self._workers:
+                w.stop()
+            for w in self._workers:
+                w.join()
+            self._workers.clear()
+
+
+_default_pool: SpmdPool | None = None
+_default_pool_lock = threading.Lock()
+
+
+def default_pool() -> SpmdPool:
+    """The process-wide rank-thread pool used by :func:`run_spmd`."""
+    global _default_pool
+    if _default_pool is None:
+        with _default_pool_lock:
+            if _default_pool is None:
+                _default_pool = SpmdPool()
+    return _default_pool
 
 
 @dataclass
@@ -64,7 +214,8 @@ def run_spmd(fn: Callable[..., Any], p: int, *,
              mem_capacity: int | None = None,
              args: Sequence[Any] = (),
              kwargs: dict[str, Any] | None = None,
-             check: bool = True) -> SpmdResult:
+             check: bool = True,
+             pool: SpmdPool | None = None) -> SpmdResult:
     """Execute ``fn(comm, *args, **kwargs)`` on ``p`` simulated ranks.
 
     Parameters
@@ -84,6 +235,9 @@ def run_spmd(fn: Callable[..., Any], p: int, *,
         If True (default) raise :class:`RankFailure` when a rank fails;
         if False, return the partial :class:`SpmdResult` with
         ``failure`` set instead.
+    pool:
+        Rank-thread pool to run on (default: the process-wide
+        :func:`default_pool`, reused across invocations).
     """
     if p < 1:
         raise ValueError("p must be >= 1")
@@ -107,18 +261,7 @@ def run_spmd(fn: Callable[..., Any], p: int, *,
     if p == 1:
         runner(0)
     else:
-        old_stack = threading.stack_size(_STACK_BYTES)
-        try:
-            threads = [
-                threading.Thread(target=runner, args=(r,), name=f"simrank-{r}")
-                for r in range(p)
-            ]
-        finally:
-            threading.stack_size(old_stack)
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join()
+        (pool or default_pool()).run(runner, p)
 
     failure: RankFailure | None = None
     if failures:

@@ -51,8 +51,47 @@ class RecordBatch:
 
     @property
     def nbytes(self) -> int:
-        """Total bytes of key and payload storage."""
-        return int(self.keys.nbytes) + sum(int(c.nbytes) for c in self.payload.values())
+        """Total bytes of key and payload storage.
+
+        Cached after the first query: the simulated communicator sizes
+        every staged batch at least twice (sender-side size vectors,
+        receiver-side accounting), and batches are treated as immutable
+        once handed to the engine.  In-place column mutation after a
+        size query would go unnoticed — create a new batch instead.
+        """
+        nb = self.__dict__.get("_nbytes")
+        if nb is None:
+            nb = int(self.keys.nbytes) + sum(int(c.nbytes)
+                                             for c in self.payload.values())
+            self.__dict__["_nbytes"] = nb
+        return nb
+
+    @classmethod
+    def _unsafe(cls, keys: np.ndarray,
+                payload: dict[str, np.ndarray]) -> "RecordBatch":
+        """Validation-free constructor for internal structural ops.
+
+        Callers guarantee ``keys``/``payload`` are aligned ndarrays
+        (slices or fancy-indexed views of an already-validated batch).
+        Skipping ``__post_init__`` matters: the exchange path creates
+        ``p`` sub-batches per rank, i.e. p^2 per collective.
+        """
+        b = object.__new__(cls)
+        b.keys = keys
+        b.payload = payload
+        return b
+
+    @property
+    def row_nbytes(self) -> int:
+        """Storage bytes per record, robust to multi-dimensional payload.
+
+        ``len(b) * b.row_nbytes == b.nbytes`` for contiguous batches;
+        the communicator uses it to size the ``p^2`` logical sub-batches
+        of an exchange without materialising them.
+        """
+        return self.keys.dtype.itemsize + sum(
+            c.dtype.itemsize * int(np.prod(c.shape[1:], dtype=np.int64))
+            for c in self.payload.values())
 
     @property
     def record_bytes(self) -> int:
@@ -73,14 +112,14 @@ class RecordBatch:
     # ------------------------------------------------------------------
     def take(self, indices: np.ndarray) -> "RecordBatch":
         """Select records by index (also used to apply sort permutations)."""
-        return RecordBatch(
+        return RecordBatch._unsafe(
             self.keys[indices],
             {k: v[indices] for k, v in self.payload.items()},
         )
 
     def slice(self, start: int, stop: int) -> "RecordBatch":
         """Contiguous sub-batch ``[start, stop)`` (views, no copy)."""
-        return RecordBatch(
+        return RecordBatch._unsafe(
             self.keys[start:stop],
             {k: v[start:stop] for k, v in self.payload.items()},
         )
@@ -90,14 +129,26 @@ class RecordBatch:
 
         ``displs`` must be non-decreasing with ``displs[0] == 0`` and
         ``displs[-1] == len(self)`` — exactly the send-displacement
-        array the partitioners produce.
+        array the partitioners produce.  Children get their ``nbytes``
+        cache pre-filled from one vectorised per-record-width multiply,
+        saving the communicator a per-chunk column walk when sizing the
+        p^2 sub-batches of an exchange.
         """
         d = np.asarray(displs, dtype=np.int64)
         if d[0] != 0 or d[-1] != len(self):
             raise ValueError("displacements must span [0, len)")
         if np.any(np.diff(d) < 0):
             raise ValueError("displacements must be non-decreasing")
-        return [self.slice(int(d[i]), int(d[i + 1])) for i in range(len(d) - 1)]
+        keys, payload = self.keys, self.payload
+        rec_bytes = self.row_nbytes
+        bounds = d.tolist()
+        out = []
+        for lo, hi in zip(bounds[:-1], bounds[1:]):
+            b = RecordBatch._unsafe(
+                keys[lo:hi], {k: v[lo:hi] for k, v in payload.items()})
+            b.__dict__["_nbytes"] = (hi - lo) * rec_bytes
+            out.append(b)
+        return out
 
     def sort(self, *, stable: bool = False) -> "RecordBatch":
         """Return a copy sorted by key, payload reordered alongside."""

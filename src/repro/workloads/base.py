@@ -13,6 +13,12 @@ from dataclasses import dataclass, field
 from typing import Any, Protocol
 
 import numpy as np
+# Bound once at import: ``np.random`` goes through numpy's module-level
+# ``__getattr__``, which re-runs the submodule import (and takes the
+# interpreter's per-module import lock) on EVERY attribute access —
+# with a thousand rank threads calling ``shard`` that lock becomes the
+# simulator's hottest serialisation point.
+from numpy.random import SeedSequence, default_rng
 
 from ..records import RecordBatch
 
@@ -43,8 +49,12 @@ class Workload:
         """Generate rank ``rank``'s ``n`` records of a ``p``-rank dataset."""
         if not 0 <= rank < p:
             raise ValueError(f"rank {rank} out of range for p={p}")
-        child = np.random.SeedSequence(seed).spawn(p)[rank]
-        return self.fn(n, np.random.default_rng(child))
+        # equivalent to SeedSequence(seed).spawn(p)[rank] — same
+        # entropy, same spawn_key=(rank,), hence the identical stream —
+        # but O(1) instead of materialising all p children on each of
+        # the p ranks (an O(p^2) term that dominated large exact runs)
+        child = SeedSequence(seed, spawn_key=(rank,))
+        return self.fn(n, default_rng(child))
 
     def generate(self, n: int, seed: int = 0) -> RecordBatch:
         """Generate ``n`` records as a single shard (for local studies)."""

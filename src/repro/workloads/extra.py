@@ -22,6 +22,9 @@ ground:
 from __future__ import annotations
 
 import numpy as np
+# See base.py: avoid numpy's lazy ``np.random`` __getattr__ (it takes
+# the import lock per access) on per-rank call paths.
+from numpy.random import SeedSequence, default_rng
 
 from ..records import RecordBatch
 from .base import Workload
@@ -81,8 +84,9 @@ class StaggeredWorkload(Workload):
     def shard(self, n: int, p: int, rank: int, seed: int = 0) -> RecordBatch:
         if not 0 <= rank < p:
             raise ValueError(f"rank {rank} out of range for p={p}")
-        child = np.random.SeedSequence(seed).spawn(p)[rank]
-        rng = np.random.default_rng(child)
+        # O(1) equivalent of SeedSequence(seed).spawn(p)[rank] (see base.py)
+        child = SeedSequence(seed, spawn_key=(rank,))
+        rng = default_rng(child)
         src = p - 1 - rank  # my values belong at the opposite end
         lo, hi = src / p, (src + 1) / p
         return RecordBatch(rng.uniform(lo, hi, n))
