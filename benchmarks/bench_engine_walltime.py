@@ -2,8 +2,8 @@
 
 Unlike the per-figure benches (which reproduce paper numbers in
 *virtual* time), this one tracks the **host** wall-clock of the exact
-thread engine itself — the quantity the fused-collective overhaul
-optimises and the one that used to wall every ``bench_fig*`` sweep at
+thread engine itself — the quantity the fused-collective overhauls
+optimise and the one that used to wall every ``bench_fig*`` sweep at
 p >= 512.  Results land in ``BENCH_engine.json`` at the repo root
 (checked in, so the perf trajectory is visible across PRs) and in
 ``benchmarks/out/engine_walltime.txt``.
@@ -13,8 +13,16 @@ Baselines recorded in the JSON:
 * ``seed_issue`` — the seed engine as measured for ISSUE 1
   (0.48 s at p=256, 14.3 s at p=512);
 * ``seed_host`` — the seed engine re-measured on this repo's reference
-  host right before the overhaul (same host as the ``after`` numbers,
-  so the speedup column compares like with like).
+  host right before the PR-1 overhaul (same host as the ``after``
+  numbers, so the speedup column compares like with like);
+* ``pre_fusion`` — the PR-1 engine with the *unfused* synchronous /
+  stable pipeline (per-rank ``split_for_sends`` + ``alltoallv`` +
+  ``order_received``, stable layout via plain allgather), measured on
+  the reference host right before the sync-exchange fusion.  The
+  stable and forced-sync configurations compare against these.
+
+Schema v2 adds the stable-mode and forced-sync configurations; the
+original overlapped-path configs and their baselines are unchanged.
 
 Run directly (``python benchmarks/bench_engine_walltime.py``) or via
 pytest.  ``REPRO_BENCH_QUICK`` drops the p=1024 point.
@@ -39,55 +47,75 @@ from _helpers import emit, fmt_time, quick  # noqa: E402
 ROOT = Path(__file__).resolve().parent.parent
 JSON_PATH = ROOT / "BENCH_engine.json"
 
-#: (p, records/rank) — the ISSUE's tracked configurations.
-CONFIGS = [(64, 2000), (256, 2000), (512, 2000), (1024, 1000)]
+#: (name, p, records/rank, SdsParams overrides).  The first four are
+#: the ISSUE-1 tracked configurations (overlapped exchange); the last
+#: three exercise the synchronous/stable pipeline fused in this PR.
+CONFIGS = [
+    ("p64_n2000", 64, 2000, {}),
+    ("p256_n2000", 256, 2000, {}),
+    ("p512_n2000", 512, 2000, {}),
+    ("p1024_n1000", 1024, 1000, {}),
+    ("p256_n2000_stable", 256, 2000, {"stable": True}),
+    ("p512_n2000_stable", 512, 2000, {"stable": True}),
+    ("p512_n2000_sync", 512, 2000, {"tau_o": 0}),
+]
 
 #: Seed-engine wall seconds on this repo's reference host (1-vCPU VM),
-#: measured immediately before the fused-collective overhaul.
+#: measured immediately before the PR-1 fused-collective overhaul.
 SEED_HOST = {"p64_n2000": 0.342, "p256_n2000": 6.954,
              "p512_n2000": 46.555, "p1024_n1000": 56.32}
 
 #: Seed numbers quoted by ISSUE 1 (different host).
 SEED_ISSUE = {"p256_n2000": 0.48, "p512_n2000": 14.3}
 
+#: PR-1 engine, unfused sync/stable pipeline, reference host, best of 2
+#: — measured immediately before the sync-exchange fusion.
+PRE_FUSION = {"p256_n2000_stable": 0.8093, "p512_n2000_stable": 3.1532,
+              "p512_n2000_sync": 2.8366}
 
-def _prog(comm, n):
+
+def _prog(comm, n, overrides):
     shard = uniform().shard(n, comm.size, comm.rank, 0)
     shard = tag_provenance(shard, comm.rank)
-    out = sds_sort(comm, shard, SdsParams(node_merge_enabled=False))
+    out = sds_sort(comm, shard,
+                   SdsParams(node_merge_enabled=False, **overrides))
     return len(out.batch)
 
 
 def measure(reps: int = 2) -> dict:
     """Best-of-``reps`` wall seconds per configuration."""
     runs = {}
-    configs = CONFIGS[:-1] if quick() else CONFIGS
-    for p, n in configs:
+    configs = [c for c in CONFIGS if not (quick() and c[1] >= 1024)]
+    for name, p, n, overrides in configs:
         best = float("inf")
         for _ in range(reps):
             t0 = time.perf_counter()
-            res = run_spmd(_prog, p, machine=EDISON, args=(n,))
+            res = run_spmd(_prog, p, machine=EDISON, args=(n, overrides))
             best = min(best, time.perf_counter() - t0)
             assert res.ok and sum(res.results) == p * n
-        runs[f"p{p}_n{n}"] = {"p": p, "n_per_rank": n,
-                              "wall_seconds": round(best, 4)}
+        runs[name] = {"p": p, "n_per_rank": n, "params": overrides,
+                      "wall_seconds": round(best, 4)}
     return runs
 
 
 def write_report(runs: dict) -> list[str]:
-    rows = [f"{'config':>14s} {'seed(s)':>9s} {'now(s)':>8s} {'speedup':>8s}"]
+    rows = [f"{'config':>18s} {'base(s)':>9s} {'now(s)':>8s} {'speedup':>8s}"]
     for name, r in runs.items():
-        seed = SEED_HOST.get(name)
-        r["seed_host_seconds"] = seed
-        r["speedup_vs_seed"] = round(seed / r["wall_seconds"], 1) if seed else None
-        rows.append(f"{name:>14s} {fmt_time(seed) if seed else '-':>9s} "
+        base = SEED_HOST.get(name) or PRE_FUSION.get(name)
+        r["baseline_seconds"] = base
+        r["baseline"] = ("seed_host" if name in SEED_HOST
+                         else "pre_fusion" if name in PRE_FUSION else None)
+        r["speedup_vs_baseline"] = (round(base / r["wall_seconds"], 1)
+                                    if base else None)
+        rows.append(f"{name:>18s} {fmt_time(base) if base else '-':>9s} "
                     f"{fmt_time(r['wall_seconds']):>8s} "
-                    f"{str(r['speedup_vs_seed']) + 'x' if seed else '-':>8s}")
+                    f"{str(r['speedup_vs_baseline']) + 'x' if base else '-':>8s}")
     JSON_PATH.write_text(json.dumps({
-        "schema": "bench_engine_walltime/v1",
+        "schema": "bench_engine_walltime/v2",
         "machine": "EDISON cost model, uniform workload, node_merge off",
         "seed_issue": SEED_ISSUE,
         "seed_host": SEED_HOST,
+        "pre_fusion": PRE_FUSION,
         "runs": runs,
     }, indent=1) + "\n")
     return rows
@@ -98,13 +126,18 @@ def test_engine_walltime():
     rows = write_report(runs)
     emit("engine_walltime", rows)
     # generous budgets: the ISSUE's acceptance numbers with headroom for
-    # slow CI hosts (the overhauled engine beats them by an order of
-    # magnitude on the reference host)
+    # slow CI hosts (the engine beats them by an order of magnitude on
+    # the reference host)
     assert runs["p256_n2000"]["wall_seconds"] < 60.0
     if "p512_n2000" in runs:
         assert runs["p512_n2000"]["wall_seconds"] < SEED_HOST["p512_n2000"] / 5
     if "p1024_n1000" in runs:
         assert runs["p1024_n1000"]["wall_seconds"] < 5.0
+    # this PR's acceptance: fused sync/stable pipeline at p=512 must be
+    # >= 5x the unfused pipeline measured on the reference host
+    if "p512_n2000_stable" in runs:
+        assert (runs["p512_n2000_stable"]["wall_seconds"]
+                < PRE_FUSION["p512_n2000_stable"] / 5)
 
 
 if __name__ == "__main__":

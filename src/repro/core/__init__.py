@@ -7,6 +7,7 @@ from .exchange import (
     exchange_overlapped,
     exchange_overlapped_fused,
     exchange_sync,
+    exchange_sync_fused,
     order_received,
     split_for_sends,
 )
@@ -22,8 +23,10 @@ from .partition import (
     partition_fast,
     partition_full_scan,
     partition_local_pivots,
+    partition_stable_arrays,
     partition_stable_local,
     run_dup_counts,
+    stable_layout_collective,
 )
 from .sampling import (
     local_pivots,
@@ -31,7 +34,7 @@ from .sampling import (
     select_pivots_gather,
     select_pivots_oversample,
 )
-from .sdssort import SortOutcome, local_delta, sds_sort
+from .sdssort import SortOutcome, local_delta, pivot_pad_value, sds_sort
 from .tuning import auto_params, derive_tau_m, derive_tau_o, derive_tau_s
 
 __all__ = [
@@ -49,6 +52,7 @@ __all__ = [
     "exchange_overlapped",
     "exchange_overlapped_fused",
     "exchange_sync",
+    "exchange_sync_fused",
     "order_received",
     "split_for_sends",
     "SharedSortStats",
@@ -68,12 +72,15 @@ __all__ = [
     "partition_fast",
     "partition_full_scan",
     "partition_local_pivots",
+    "partition_stable_arrays",
     "partition_stable_local",
     "run_dup_counts",
+    "stable_layout_collective",
     "local_pivots",
     "select_pivots_bitonic",
     "select_pivots_gather",
     "select_pivots_oversample",
     "SortOutcome",
+    "pivot_pad_value",
     "sds_sort",
 ]

@@ -25,10 +25,12 @@ from typing import Sequence
 
 import numpy as np
 
+from ..kernels import natural_merge_sort_perm, sequential_argsort
 from ..mpi import Comm
 from ..records import (
     RecordBatch,
     adaptive_sort_batch,
+    concat_batch_arrays,
     kway_merge_batches,
     sort_batch,
 )
@@ -77,6 +79,135 @@ def order_received(comm: Comm, chunks: Sequence[RecordBatch], *,
     comm.mem.free(sum(c.nbytes for c in chunks))
     comm.mem.alloc(out.nbytes)
     return out, ExchangeStats("sync", ordering, m, len(chunks))
+
+
+def exchange_sync_fused(comm: Comm, batch: RecordBatch, displs: np.ndarray,
+                        *, stable: bool, tau_s: int, delta_hint: float = 0.0
+                        ) -> tuple[RecordBatch, ExchangeStats]:
+    """The synchronous exchange + local ordering, as one staged collective.
+
+    Bit-for-bit identical (clocks, phase breakdowns, counters, memory
+    charges, outputs) to splitting ``batch`` at ``displs`` and running
+    :func:`exchange_sync` (``alltoallv``) followed by
+    :func:`order_received`, but none of the seed-era per-rank costs are
+    paid: the p^2 ``RecordBatch`` sub-batches are never materialised,
+    the p x p size matrix is derived once from the ``(batch, displs)``
+    deposits (counts x row bytes — the same integers
+    ``RecordBatch.split`` pre-computes), and the final ordering of
+    every destination happens once, inside the designated-rank action.
+    Each rank then reads back its clock, counters, memory charges and
+    output slice in O(m + p).
+
+    ``stable`` and ``tau_s`` must be SPMD-uniform (they are fields of
+    the communicator-uniform ``SdsParams``); ``delta_hint`` is per-rank
+    and only enters the rank's own local-ordering charge.
+
+    Exactness notes (audited against the per-rank formulation):
+
+    * ``alltoallv`` accounting reuses :meth:`Comm.size_scan_matrix` —
+      the exact quantities ``Comm._size_scan`` derives from staged size
+      vectors — and each rank replays the same scalar
+      ``alltoallv_time`` / ordering-cost calls the unfused path makes,
+      so every IEEE operation sequence is unchanged;
+    * destination ``d``'s input is its chunks concatenated in **source
+      order** (the ``alltoallv`` delivery-order guarantee);
+    * for the ``merge`` branch (``p < tau_s``) the k-way merge of
+      sorted source runs with earlier-chunk tie-breaking produces the
+      unique stable permutation, so one ``np.argsort(kind="stable")``
+      per destination equals ``kway_merge_batches``;
+    * the ``sort`` branch applies the *same kernels* the unfused path
+      dispatches to (``natural_merge_sort_perm`` when stable,
+      ``sequential_argsort`` otherwise) on value-identical key arrays,
+      so even the unstable introsort permutation is reproduced.
+
+    Phase attribution mirrors the driver's unfused structure: the
+    ``alltoallv`` clock advance and the send-buffer release land in
+    ``exchange``, the ordering charge in ``local_ordering``.
+    """
+    p, me = comm.size, comm.rank
+    d = np.asarray(displs, dtype=np.int64)
+    if len(d) != p + 1 or d[0] != 0 or d[-1] != len(batch):
+        raise ValueError("displacements must span [0, len) with p+1 bounds")
+    if np.any(np.diff(d) < 0):
+        raise ValueError("displacements must be non-decreasing")
+    merge = p < tau_s
+
+    def compute(stage: list) -> dict:
+        start = max(e[1] for e in stage)
+        batches = [e[0][0] for e in stage]
+        D = np.stack([e[0][1] for e in stage])            # (p, p+1) bounds
+        C = np.diff(D, axis=1)                            # counts[src, dst]
+        widths = np.array([b.row_nbytes for b in batches], dtype=np.int64)
+        S = C * widths[:, None]                           # bytes[src, dst]
+        max_send, max_recv, total, send_tot, recv_tot = \
+            Comm.size_scan_matrix(S)
+        all_keys, all_cols, O = concat_batch_arrays(batches)
+
+        # -- gather indices, destination-major in source order --
+        starts = O[:-1][None, :] + D[:, :p].T             # (dst, src)
+        lens = C.T                                        # (dst, src)
+        flat_lens = lens.ravel()
+        N = int(O[-1])
+        excl = np.cumsum(flat_lens) - flat_lens
+        G = (np.repeat(starts.ravel() - excl, flat_lens)
+             + np.arange(N, dtype=np.int64))
+        m_per_dst = C.sum(axis=0)
+        bounds = np.zeros(p + 1, dtype=np.int64)
+        np.cumsum(m_per_dst, out=bounds[1:])
+
+        # -- final local ordering of every destination, once --
+        keys_g = all_keys[G]
+        final = np.empty(N, dtype=np.int64)
+        for r in range(p):
+            lo, hi = int(bounds[r]), int(bounds[r + 1])
+            seg = keys_g[lo:hi]
+            if merge:
+                perm = np.argsort(seg, kind="stable")
+            elif stable:
+                _, perm = natural_merge_sort_perm(seg)
+            else:
+                perm = sequential_argsort(seg, stable=False)
+            final[lo:hi] = G[lo:hi][perm]
+        return {
+            "t": start,
+            "max_send": max_send, "max_recv": max_recv, "total": total,
+            "send_tot": send_tot, "recv_tot": recv_tot,
+            "recv_all": S.sum(axis=0),                    # includes own chunk
+            "m": m_per_dst,
+            "keys": all_keys, "cols": all_cols,
+            "final": final, "bounds": bounds,
+        }
+
+    with comm.phase("exchange"):
+        shared, _ = comm.staged((batch, d), compute)
+        recv_bytes = int(shared["recv_tot"][me])
+        comm.mem.alloc(recv_bytes)
+        comm.set_clock(shared["t"] + comm.cost.alltoallv_time(
+            p, max(shared["max_send"], shared["max_recv"]),
+            ranks_per_node=comm.ranks_per_node,
+            total_bytes=shared["total"]))
+        comm.count("coll.alltoallv")
+        comm.count("bytes.recv", recv_bytes)
+        comm.count("bytes.sent", int(shared["send_tot"][me]))
+        comm.mem.free(batch.nbytes)                       # send buffer released
+
+    with comm.phase("local_ordering"):
+        m = int(shared["m"][me])
+        if merge:
+            comm.charge(comm.cost.merge_time(m, max(2, p)))
+            ordering = "merge"
+        else:
+            comm.charge(comm.cost.final_sort_time(m, p, stable=stable,
+                                                  delta=delta_hint))
+            ordering = "sort"
+        lo, hi = int(shared["bounds"][me]), int(shared["bounds"][me + 1])
+        idx = shared["final"][lo:hi]
+        out = RecordBatch._unsafe(
+            shared["keys"][idx],
+            {name: col[idx] for name, col in shared["cols"].items()})
+        comm.mem.free(int(shared["recv_all"][me]))
+        comm.mem.alloc(out.nbytes)
+    return out, ExchangeStats("sync", ordering, m, p)
 
 
 def _counter_leaf_order(p: int) -> list[int]:
@@ -145,11 +276,7 @@ def exchange_overlapped_fused(comm: Comm, batch: RecordBatch,
         C = np.diff(D, axis=1)                            # counts[src, dst]
         widths = np.array([b.row_nbytes for b in batches], dtype=np.int64)
         S = C * widths[:, None]                           # bytes[src, dst]
-        schema = batches[0].columns
-        for b in batches[1:]:
-            if b.columns != schema:
-                raise ValueError(
-                    f"payload schema mismatch: {b.columns} != {schema}")
+        all_keys, all_cols, O = concat_batch_arrays(batches)
 
         # -- per-destination arrival schedules (ring order, from dst+1) --
         nodes = np.asarray(group, dtype=np.int64) // cpn
@@ -203,11 +330,6 @@ def exchange_overlapped_fused(comm: Comm, batch: RecordBatch,
                     t_cpu += (tot * 1.0) * rate           # merge_time(n, 2)
 
         # -- global data materialisation --
-        O = np.zeros(p + 1, dtype=np.int64)
-        np.cumsum([len(b) for b in batches], out=O[1:])
-        all_keys = np.concatenate([b.keys for b in batches])
-        all_cols = {name: np.concatenate([b.payload[name] for b in batches])
-                    for name in schema}
         s_idx = (dst[:, None] + leaf[None, :]) % p        # src per slot
         starts = (O[s_idx] + D[s_idx, dst[:, None]]).ravel()
         lens = C[s_idx, dst[:, None]].ravel()

@@ -74,10 +74,14 @@ def shared_merge_loads(keys: np.ndarray, c: int, *, stable: bool = False,
     """
     keys = np.asarray(keys)
     c = max(1, int(c))
-    chunks = chunk_sort(keys, c, stable=stable)
-    chunk_sizes = tuple(len(ch) for ch in chunks)
+    # chunk boundaries as chunk_sort would cut them; for the degenerate
+    # cases the stats don't need the chunks actually sorted (the caller
+    # sorts the batch itself), so skip the redundant host sort
+    bounds = np.linspace(0, keys.size, c + 1).astype(np.int64)
+    chunk_sizes = tuple(int(b - a) for a, b in zip(bounds[:-1], bounds[1:]))
     if c == 1 or keys.size == 0:
         return SharedSortStats(c, chunk_sizes, (keys.size,), stable)
+    chunks = chunk_sort(keys, c, stable=stable)
     # regular sampling over the sorted chunks, exactly like the
     # distributed pivot selection but with cores in place of ranks
     samples = np.sort(np.concatenate([local_pivots(ch, c) for ch in chunks if len(ch)]))

@@ -50,6 +50,19 @@ class ReplicatedRun:
     value: object
 
 
+def _replicated_run_bounds(pg: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """``(starts, lengths)`` of the replicated (length >= 2) pivot runs."""
+    if pg.size == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty
+    bounds = np.concatenate(
+        ([0], np.nonzero(pg[1:] != pg[:-1])[0] + 1, [pg.size])
+    ).astype(np.int64)
+    lengths = np.diff(bounds)
+    rep = lengths >= 2
+    return bounds[:-1][rep], lengths[rep]
+
+
 def find_replicated_runs(pg: np.ndarray) -> list[ReplicatedRun]:
     """Detect maximal runs of equal values in the sorted global pivots.
 
@@ -57,16 +70,9 @@ def find_replicated_runs(pg: np.ndarray) -> list[ReplicatedRun]:
     every pivot, but in one vectorised pass.
     """
     pg = np.asarray(pg)
-    if pg.size == 0:
-        return []
-    boundaries = np.concatenate(
-        ([0], np.nonzero(pg[1:] != pg[:-1])[0] + 1, [pg.size])
-    )
-    runs = []
-    for b, e in zip(boundaries[:-1], boundaries[1:]):
-        if e - b >= 2:
-            runs.append(ReplicatedRun(start=int(b), length=int(e - b), value=pg[b]))
-    return runs
+    starts, lengths = _replicated_run_bounds(pg)
+    return [ReplicatedRun(start=int(b), length=int(n), value=pg[b])
+            for b, n in zip(starts, lengths)]
 
 
 def _checked(sorted_keys: np.ndarray, pg: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -97,14 +103,19 @@ def partition_fast(sorted_keys: np.ndarray, pg: np.ndarray) -> np.ndarray:
     """
     a, pg = _checked(sorted_keys, pg)
     displs = partition_classic(a, pg)
-    for run in find_replicated_runs(pg):
-        lo = int(np.searchsorted(a, run.value, side="left"))
-        hi = int(np.searchsorted(a, run.value, side="right"))
-        dups = hi - lo
-        rs = run.length
-        for k in range(rs):
-            displs[run.start + k + 1] = lo + (dups * (k + 1)) // rs
-        # displs[start + rs] is upper_bound(value) == hi already
+    starts, rs = _replicated_run_bounds(pg)
+    if starts.size == 0:
+        return displs
+    vals = pg[starts]
+    lo = np.searchsorted(a, vals, side="left").astype(np.int64)
+    hi = np.searchsorted(a, vals, side="right").astype(np.int64)
+    dups = hi - lo
+    # one flat expression over every (run, k) pair, k = 1..rs per run;
+    # the k == rs entry rewrites upper_bound(value) with itself
+    run = np.repeat(np.arange(rs.size), rs)
+    k = (np.arange(int(rs.sum()), dtype=np.int64)
+         - np.repeat(np.cumsum(rs) - rs, rs) + 1)
+    displs[np.repeat(starts, rs) + k] = lo[run] + (dups[run] * k) // rs[run]
     return displs
 
 
@@ -157,12 +168,69 @@ def run_dup_counts(sorted_keys: np.ndarray, pg: np.ndarray) -> np.ndarray:
     ``totals`` inputs of :func:`partition_stable_local`.
     """
     a, pg = _checked(sorted_keys, pg)
-    counts = []
-    for run in find_replicated_runs(pg):
-        lo = int(np.searchsorted(a, run.value, side="left"))
-        hi = int(np.searchsorted(a, run.value, side="right"))
-        counts.append(hi - lo)
-    return np.asarray(counts, dtype=np.int64)
+    starts, _ = _replicated_run_bounds(pg)
+    vals = pg[starts]
+    lo = np.searchsorted(a, vals, side="left")
+    hi = np.searchsorted(a, vals, side="right")
+    return (hi - lo).astype(np.int64)
+
+
+def stable_layout_collective(comm, counts: np.ndarray
+                             ) -> tuple[np.ndarray, np.ndarray]:
+    """Fused replacement for ``allgather(counts)`` + per-rank assembly.
+
+    One staged collective over the ``(p, runs)`` int64 counts matrix:
+    the designated rank stacks every deposit and computes all exclusive
+    prefixes and totals at once; each rank reads back its prefix row.
+    Clock and counter accounting go through
+    :meth:`~repro.mpi.comm.Comm.allgather_staged`, so virtual time is
+    bit-for-bit what ``allgather(run_dup_counts(...))`` +
+    :func:`assemble_stable_inputs` charged — only the O(p * runs)
+    python re-assembly on every rank is gone.
+
+    Returns ``(my_prefix, totals)`` as arrays indexed by run ordinal
+    (the :func:`find_replicated_runs` order), the inputs of
+    :func:`partition_stable_arrays`.
+    """
+    def layout(all_counts: list) -> tuple[np.ndarray, np.ndarray]:
+        matrix = np.stack(all_counts)
+        totals = matrix.sum(axis=0)
+        prefix = np.zeros_like(matrix)
+        np.cumsum(matrix[:-1], axis=0, out=prefix[1:])
+        return prefix, totals
+
+    prefix, totals = comm.allgather_staged(counts, layout)
+    return prefix[comm.rank], totals
+
+
+def partition_stable_arrays(sorted_keys: np.ndarray, pg: np.ndarray,
+                            my_prefix: np.ndarray,
+                            totals: np.ndarray) -> np.ndarray:
+    """:func:`partition_stable_local` with array inputs, vectorised.
+
+    ``my_prefix`` / ``totals`` are indexed by run ordinal (the layout
+    :func:`stable_layout_collective` hands back) instead of dicts keyed
+    by run start.  The per-group overlap loop is one array expression;
+    the results are integer-identical to the scalar formulation.
+    """
+    a, pg = _checked(sorted_keys, pg)
+    displs = partition_classic(a, pg)
+    starts, lengths = _replicated_run_bounds(pg)
+    for i in range(starts.size):
+        start, rs = int(starts[i]), int(lengths[i])
+        value = pg[start]
+        lo = int(np.searchsorted(a, value, side="left"))
+        hi = int(np.searchsorted(a, value, side="right"))
+        cr = hi - lo
+        total = int(totals[i])
+        sb = int(my_prefix[i])
+        # group g owns global duplicate positions [g*total//rs, (g+1)*total//rs);
+        # my overlap with each group, prefix-summed, is my cut sequence
+        gb = (total * np.arange(rs + 1, dtype=np.int64)) // rs
+        overlap = (np.minimum(sb + cr, gb[1:])
+                   - np.maximum(sb, gb[:-1])).clip(min=0)
+        displs[start + 1:start + rs + 1] = lo + np.cumsum(overlap)
+    return displs
 
 
 def assemble_stable_inputs(all_counts: list[np.ndarray], rank: int,

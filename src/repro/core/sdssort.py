@@ -33,19 +33,17 @@ from ..records import RecordBatch
 from .exchange import (
     ExchangeStats,
     exchange_overlapped_fused,
-    exchange_sync,
-    order_received,
-    split_for_sends,
+    exchange_sync_fused,
 )
 from .localsort import sdss_local_sort
 from .nodemerge import node_merge
 from .params import SdsParams
 from .partition import (
-    assemble_stable_inputs,
     partition_classic,
     partition_fast,
-    partition_stable_local,
+    partition_stable_arrays,
     run_dup_counts,
+    stable_layout_collective,
 )
 from .sampling import (
     local_pivots,
@@ -64,6 +62,27 @@ class SortOutcome:
     active: bool = True
     exchange: ExchangeStats | None = None
     info: dict[str, Any] = field(default_factory=dict)
+
+
+def pivot_pad_value(pg: np.ndarray, key_dtype: np.dtype):
+    """Fill value for padding a short global pivot vector.
+
+    Phantom pivots stand for *empty* ranges, so the pad must never sort
+    above a real pivot nor land inside the key domain: use the last
+    real pivot when one exists, else the dtype's ordered minimum.
+    (Padding with a literal 0, as the seed did, breaks all-negative key
+    domains: every record compares below the phantom pivots and the
+    whole dataset collapses onto rank 0 — and with any real pivot
+    present, a 0 pad above it would unsort the pivot vector outright.)
+    """
+    if pg.size:
+        return pg[-1]
+    dtype = np.dtype(key_dtype)
+    if dtype.kind == "f":
+        return dtype.type(-np.inf)
+    if dtype.kind in "iu":
+        return dtype.type(np.iinfo(dtype).min)
+    return dtype.type(0)
 
 
 def local_delta(sorted_keys: np.ndarray) -> float:
@@ -155,7 +174,7 @@ def sds_sort(comm: Comm, batch: RecordBatch,
                   else sortedb.keys[:0])
             pg = select_pivots_gather(active, pl)
             if pg.size < p - 1:  # too few samples: pad (empty ranges)
-                fill = pg[-1] if pg.size else sortedb.keys.dtype.type(0)
+                fill = pivot_pad_value(pg, sortedb.keys.dtype)
                 pg = np.concatenate(
                     [pg, np.full(p - 1 - pg.size, fill, dtype=pg.dtype)])
 
@@ -165,9 +184,9 @@ def sds_sort(comm: Comm, batch: RecordBatch,
             displs = partition_classic(sortedb.keys, pg)
         elif params.stable:
             counts = run_dup_counts(sortedb.keys, pg)
-            all_counts = active.allgather(counts)
-            prefix, totals = assemble_stable_inputs(all_counts, active.rank, pg)
-            displs = partition_stable_local(sortedb.keys, pg, prefix, totals)
+            prefix_row, totals = stable_layout_collective(active, counts)
+            displs = partition_stable_arrays(sortedb.keys, pg, prefix_row,
+                                             totals)
         else:
             displs = partition_fast(sortedb.keys, pg)
         # cost: the local-pivot two-level search (Section 2.5.1) does
@@ -183,15 +202,13 @@ def sds_sort(comm: Comm, batch: RecordBatch,
     # --------------------------------------- exchange + local ordering
     overlap = (not params.stable) and p < params.tau_o
     if not overlap:
-        sends = split_for_sends(sortedb, displs)
-        with comm.phase("exchange"):
-            chunks = exchange_sync(active, sends)
-            comm.mem.free(send_buf_bytes)  # send buffer released
-        with comm.phase("local_ordering"):
-            out, xstats = order_received(
-                active, chunks, stable=params.stable, tau_s=params.tau_s,
-                delta_hint=delta,
-            )
+        # fused path: one staged collective computes the size matrix and
+        # every rank's final ordering; no p^2 sub-batch materialisation
+        # (phases "exchange"/"local_ordering" are entered inside)
+        out, xstats = exchange_sync_fused(
+            active, sortedb, displs, stable=params.stable,
+            tau_s=params.tau_s, delta_hint=delta,
+        )
     else:
         # fused path: no p^2 sub-batch materialisation (see exchange.py)
         with comm.phase("exchange"):

@@ -293,14 +293,31 @@ class Comm:
             return objs
         return None
 
-    def allgather(self, obj: Any) -> list[Any]:
-        def compute(stage: list) -> tuple:
-            objs = [e[0] for e in stage]
-            return objs, _max_clock(stage), max(map(payload_nbytes, objs))
+    def allgather_staged(self, obj: Any,
+                         compute: Callable[[list[Any]], Any]) -> Any:
+        """Allgather-accounted staged collective (fused-collective hook).
 
-        (objs, t, nbytes), _ = self.staged(obj, compute)
+        ``compute(objs)`` sees the list of deposited payloads exactly
+        once — on the designated (last-arriver) rank — and its result is
+        shared by reference with every rank.  Clock and counter
+        accounting are **identical** to :meth:`allgather` of the same
+        payloads, so algorithm layers can fuse the "allgather + every
+        rank re-derives the same aggregate" pattern into one vectorised
+        pass without disturbing virtual time (the stable-partition
+        layout of :mod:`repro.core.partition` is the canonical user).
+        """
+        def produce(stage: list) -> tuple:
+            objs = [e[0] for e in stage]
+            return compute(objs), _max_clock(stage), max(map(payload_nbytes,
+                                                             objs))
+
+        (shared, t, nbytes), _ = self.staged(obj, produce)
         self.set_clock(t + self.cost.allgather_time(self.size, nbytes))
         self.count("coll.allgather")
+        return shared
+
+    def allgather(self, obj: Any) -> list[Any]:
+        objs = self.allgather_staged(obj, lambda objs: objs)
         return list(objs)  # private list per rank; elements stay shared
 
     def scatter(self, objs: Sequence[Any] | None, root: int = 0) -> Any:
@@ -424,15 +441,32 @@ class Comm:
         return received
 
     @staticmethod
+    def size_scan_matrix(sizes: np.ndarray) -> tuple:
+        """Alltoallv accounting quantities from a ``(p, p)`` byte matrix.
+
+        Returns ``(max_send, max_recv, total_bytes, send_tot, recv_tot)``
+        where the per-rank totals exclude the diagonal (a rank's chunk
+        to itself never crosses the wire) while ``total_bytes`` includes
+        it (the fabric-cap term of :meth:`CostModel.alltoallv_time` is
+        calibrated on gross volume).  Public so fused exchanges that
+        *derive* the size matrix (counts x row bytes) charge the exact
+        integers :meth:`alltoallv` computes from staged size vectors.
+        """
+        diag = np.diagonal(sizes)
+        send_tot = sizes.sum(axis=1) - diag
+        recv_tot = sizes.sum(axis=0) - diag
+        return (int(send_tot.max()), int(recv_tot.max()),
+                int(sizes.sum()), send_tot, recv_tot)
+
+    @staticmethod
     def _size_scan(stage: list) -> tuple:
         """Shared alltoallv accounting: one vectorised pass over the
         p x p size matrix instead of O(p) Python scans on every rank."""
         sizes = np.array([e[0][1] for e in stage], dtype=np.int64)
-        diag = np.diagonal(sizes)
-        send_tot = sizes.sum(axis=1) - diag
-        recv_tot = sizes.sum(axis=0) - diag
-        return (_max_clock(stage), int(send_tot.max()), int(recv_tot.max()),
-                int(sizes.sum()), send_tot, recv_tot, sizes)
+        max_send, max_recv, total, send_tot, recv_tot = \
+            Comm.size_scan_matrix(sizes)
+        return (_max_clock(stage), max_send, max_recv, total,
+                send_tot, recv_tot, sizes)
 
     def alltoallv(self, batches: Sequence[RecordBatch]) -> list[RecordBatch]:
         """Synchronous all-to-all of record batches (MPI_Alltoallv).

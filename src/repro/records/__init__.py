@@ -1,6 +1,13 @@
 """Record containers: sort keys with aligned payload columns."""
 
-from .batch import SRC_POS, SRC_RANK, RecordBatch, from_mapping, tag_provenance
+from .batch import (
+    SRC_POS,
+    SRC_RANK,
+    RecordBatch,
+    concat_batch_arrays,
+    from_mapping,
+    tag_provenance,
+)
 from .ops import (
     adaptive_sort_batch,
     kway_merge_batches,
@@ -12,6 +19,7 @@ __all__ = [
     "SRC_POS",
     "SRC_RANK",
     "RecordBatch",
+    "concat_batch_arrays",
     "from_mapping",
     "tag_provenance",
     "adaptive_sort_batch",

@@ -186,6 +186,35 @@ class RecordBatch:
         )
 
 
+def concat_batch_arrays(
+    batches: Sequence[RecordBatch],
+) -> tuple[np.ndarray, dict[str, np.ndarray], np.ndarray]:
+    """Concatenate keys and payload columns of schema-identical batches.
+
+    Returns ``(keys, columns, offsets)`` where ``offsets`` is the
+    ``(len(batches) + 1,)`` int64 start offset of each batch within the
+    concatenation.  This is the slice-free gather the fused exchanges
+    build on: rather than materialising ``p^2`` sub-batches, they
+    concatenate each rank's *whole* batch once and address sub-ranges as
+    ``offsets[src] + local_displacement``.  Raises on payload-schema
+    mismatch (the same check :meth:`RecordBatch.concat` performs).
+    """
+    batches = list(batches)
+    if not batches:
+        return (np.zeros(0), {}, np.zeros(1, dtype=np.int64))
+    schema = batches[0].columns
+    for b in batches[1:]:
+        if b.columns != schema:
+            raise ValueError(
+                f"payload schema mismatch: {b.columns} != {schema}")
+    offsets = np.zeros(len(batches) + 1, dtype=np.int64)
+    np.cumsum([len(b) for b in batches], out=offsets[1:])
+    keys = np.concatenate([b.keys for b in batches])
+    columns = {name: np.concatenate([b.payload[name] for b in batches])
+               for name in schema}
+    return keys, columns, offsets
+
+
 def tag_provenance(batch: RecordBatch, rank: int) -> RecordBatch:
     """Return a copy with ``_src_rank``/``_src_pos`` provenance columns.
 

@@ -76,11 +76,15 @@ def _fingerprint(res):
             res.results)
 
 
-# the overlapped (fused) path and the synchronous kway-merge path
+# the overlapped (fused) path and the fused synchronous paths: kway
+# merge, stable merge (stable layout collective + stable argsort) and
+# stable adaptive-sort (tau_s=1 forces the natural-merge-sort branch)
 PARAMS = {
     "overlapped": SdsParams(node_merge_enabled=False),
     "sync-kway": SdsParams(node_merge_enabled=False, tau_o=0),
     "sync-stable": SdsParams(node_merge_enabled=False, stable=True),
+    "sync-stable-sort": SdsParams(node_merge_enabled=False, stable=True,
+                                  tau_s=1),
 }
 
 
@@ -98,6 +102,53 @@ def test_scheduling_jitter_changes_nothing(path):
         jit = run_spmd(_sort_prog, 64, machine=EDISON,
                        args=(400, PARAMS[path]))
     assert _fingerprint(ref) == _fingerprint(jit)
+
+
+def test_exchange_paths_have_identical_mem_peaks():
+    """Memory-accounting audit (regression): both exchange paths charge
+    the same sequence of net buffers — ``alltoallv`` allocates
+    ``recv_tot`` with the own-rank diagonal excluded, matching the
+    overlapped path's incremental chunk accounting — so per-rank peaks
+    are identical across the overlapped, sync-kway and sync-stable
+    pipelines on the same data."""
+    peaks = {
+        path: run_spmd(_sort_prog, 16, machine=EDISON,
+                       args=(300, PARAMS[path])).mem_peaks
+        for path in ("overlapped", "sync-kway", "sync-stable")
+    }
+    assert peaks["sync-kway"] == peaks["overlapped"]
+    assert peaks["sync-stable"] == peaks["overlapped"]
+
+
+def test_stable_fused_sync_non_power_of_two_p():
+    """Stability validated end-to-end through the fused sync exchange
+    at p=12 (non-power-of-two: gather pivot selection, uneven chunk
+    matrix), on a duplicate-heavy workload — and the run is invariant
+    under scheduling jitter, which reshuffles which rank computes the
+    stable layout collective and the fused exchange."""
+    from repro.metrics import check_sorted
+    from repro.workloads import zipf
+
+    def prog(comm):
+        shard = zipf(1.3).shard(500, comm.size, comm.rank, 3)
+        shard = tag_provenance(shard, comm.rank)
+        out = sds_sort(comm, shard,
+                       SdsParams(node_merge_enabled=False, stable=True))
+        return shard, out.batch
+
+    ref = run_spmd(prog, 12, machine=EDISON)
+    assert ref.ok
+    check_sorted([r[0] for r in ref.results],
+                 [r[1] for r in ref.results], stable=True)
+    with scheduling_jitter():
+        jit = run_spmd(prog, 12, machine=EDISON)
+    assert jit.clocks == ref.clocks
+    assert jit.phase_times == ref.phase_times
+    assert jit.mem_peaks == ref.mem_peaks
+    for (sa, oa), (sb, ob) in zip(ref.results, jit.results):
+        assert np.array_equal(oa.keys, ob.keys)
+        assert np.array_equal(oa.payload["_src_rank"], ob.payload["_src_rank"])
+        assert np.array_equal(oa.payload["_src_pos"], ob.payload["_src_pos"])
 
 
 def test_fused_bitonic_matches_message_rounds():

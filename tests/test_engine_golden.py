@@ -24,23 +24,30 @@ from repro.core import SdsParams, sds_sort
 from repro.machine import EDISON
 from repro.mpi import run_spmd
 from repro.records import tag_provenance
-from repro.workloads import uniform
+from repro.workloads import uniform, zipf
 
 GOLDEN = json.loads(
     (Path(__file__).parent / "data" / "golden_engine.json").read_text())
 
+WORKLOADS = {"uniform": uniform, "zipf": zipf}
 
-def _prog(comm, n):
-    shard = uniform().shard(n, comm.size, comm.rank, 0)
+
+def _prog(comm, n, workload, params):
+    shard = WORKLOADS[workload]().shard(n, comm.size, comm.rank, 0)
     shard = tag_provenance(shard, comm.rank)
-    out = sds_sort(comm, shard, SdsParams(node_merge_enabled=False))
+    out = sds_sort(comm, shard,
+                   SdsParams(node_merge_enabled=False, **params))
     return float(out.batch.keys.sum()), len(out.batch)
 
 
 @pytest.mark.parametrize("case", sorted(GOLDEN))
 def test_matches_seed_engine_exactly(case):
     ref = GOLDEN[case]
-    res = run_spmd(_prog, ref["p"], machine=EDISON, args=(ref["n_per_rank"],))
+    res = run_spmd(
+        _prog, ref["p"], machine=EDISON,
+        args=(ref["n_per_rank"], ref.get("workload", "uniform"),
+              ref.get("params", {})),
+    )
     assert res.ok
     # == on float lists is exact equality — no tolerance, by design
     assert res.clocks == ref["clocks"]

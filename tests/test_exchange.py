@@ -1,10 +1,12 @@
 """Adaptive exchange and final local ordering (Sections 2.6-2.7)."""
 
 import numpy as np
+import pytest
 
 from repro.core import (
     exchange_overlapped,
     exchange_sync,
+    exchange_sync_fused,
     order_received,
     split_for_sends,
 )
@@ -60,6 +62,68 @@ class TestSyncExchangeAndOrdering:
         total_in = sum(len(s) for s, _, _ in out)
         total_out = sum(len(o) for _, o, _ in out)
         assert total_in == total_out
+
+
+class TestFusedSyncExchange:
+    """exchange_sync_fused == split + alltoallv + order_received,
+    bit-for-bit: outputs, clocks, phase times, counters, mem peaks."""
+
+    P = 5  # non-power-of-two on purpose
+
+    @staticmethod
+    def _mk(comm, n=60):
+        rng = np.random.default_rng(comm.rank + 5)
+        keys = np.sort(rng.integers(0, 12, n).astype(float))  # duplicates
+        batch = RecordBatch(keys, {"src": np.full(n, comm.rank),
+                                   "pos": np.arange(n)})
+        displs = np.searchsorted(
+            keys, np.arange(comm.size + 1) * 12.0 / comm.size).astype(np.int64)
+        displs[0], displs[-1] = 0, n
+        return batch, displs
+
+    @classmethod
+    def _legacy(cls, comm, stable, tau_s):
+        batch, displs = cls._mk(comm)
+        comm.mem.alloc(batch.nbytes)
+        sends = split_for_sends(batch, displs)
+        with comm.phase("exchange"):
+            chunks = exchange_sync(comm, sends)
+            comm.mem.free(batch.nbytes)
+        with comm.phase("local_ordering"):
+            out, stats = order_received(comm, chunks, stable=stable,
+                                        tau_s=tau_s, delta_hint=0.0)
+        return (out.keys.tobytes(), out.payload["src"].tobytes(),
+                out.payload["pos"].tobytes(), comm.clock, stats)
+
+    @classmethod
+    def _fused(cls, comm, stable, tau_s):
+        batch, displs = cls._mk(comm)
+        comm.mem.alloc(batch.nbytes)
+        out, stats = exchange_sync_fused(comm, batch, displs, stable=stable,
+                                         tau_s=tau_s, delta_hint=0.0)
+        return (out.keys.tobytes(), out.payload["src"].tobytes(),
+                out.payload["pos"].tobytes(), comm.clock, stats)
+
+    @pytest.mark.parametrize("stable,tau_s", [
+        (False, 10**9),  # merge branch
+        (True, 10**9),   # merge branch, stable
+        (False, 1),      # adaptive-sort branch, unstable quicksort
+        (True, 1),       # natural merge sort branch
+    ])
+    def test_matches_legacy_pipeline(self, stable, tau_s):
+        a = run_spmd(self._legacy, self.P, args=(stable, tau_s))
+        b = run_spmd(self._fused, self.P, args=(stable, tau_s))
+        assert a.results == b.results
+        assert a.clocks == b.clocks
+        assert a.phase_times == b.phase_times
+        # host-time observability counters are the one non-deterministic
+        # exception (same exclusion as test_engine_determinism)
+        wall = {"coll.sync_wait", "p2p.wait"}
+        assert ([{k: v for k, v in c.items() if k not in wall}
+                 for c in a.counters]
+                == [{k: v for k, v in c.items() if k not in wall}
+                    for c in b.counters])
+        assert a.mem_peaks == b.mem_peaks
 
 
 class TestOverlappedExchange:

@@ -20,6 +20,7 @@ from repro.core import (
     partition_fast,
     partition_full_scan,
     partition_local_pivots,
+    partition_stable_arrays,
     partition_stable_local,
     run_dup_counts,
 )
@@ -197,6 +198,81 @@ class TestLoadsFromDispls:
 
     def test_empty(self):
         assert loads_from_displs([]).size == 0
+
+
+# ----------------------------------------------------------------------
+# vectorised partitioners vs. the per-run loop oracle
+# ----------------------------------------------------------------------
+def _fast_oracle(a, pg):
+    """The seed's per-run double loop, kept verbatim as the oracle for
+    the vectorised :func:`partition_fast` (``find_replicated_runs`` is
+    the reference run detector it is built on)."""
+    displs = partition_classic(a, pg)
+    for run in find_replicated_runs(pg):
+        lo = int(np.searchsorted(a, run.value, side="left"))
+        hi = int(np.searchsorted(a, run.value, side="right"))
+        dups = hi - lo
+        rs = run.length
+        for k in range(rs):
+            displs[run.start + k + 1] = lo + (dups * (k + 1)) // rs
+    return displs
+
+
+def _dup_counts_oracle(a, pg):
+    counts = []
+    for run in find_replicated_runs(pg):
+        lo = int(np.searchsorted(a, run.value, side="left"))
+        hi = int(np.searchsorted(a, run.value, side="right"))
+        counts.append(hi - lo)
+    return np.asarray(counts, dtype=np.int64)
+
+
+class TestVectorisedAgainstOracle:
+    """partition_fast / run_dup_counts / partition_stable_arrays are
+    single-expression rewrites; the per-run loops stay as oracles."""
+
+    def _cases(self):
+        rng = np.random.default_rng(7)
+        yield np.array([]), np.array([5.0, 5.0])
+        yield np.full(17, 3.0), np.array([3.0, 3.0, 3.0])
+        yield np.array([1.0, 2.0, 9.0]), np.array([5.0, 5.0])
+        for _ in range(40):
+            n = int(rng.integers(0, 80))
+            np_p = int(rng.integers(1, 12))
+            a = np.sort(rng.integers(0, 9, n).astype(float))
+            pg = np.sort(rng.integers(0, 9, np_p).astype(float))
+            yield a, pg
+
+    def test_fast_matches_loop_oracle(self):
+        for a, pg in self._cases():
+            got = partition_fast(a, pg)
+            want = _fast_oracle(a, pg)
+            assert np.array_equal(got, want), (a, pg)
+
+    def test_dup_counts_match_loop_oracle(self):
+        for a, pg in self._cases():
+            assert np.array_equal(run_dup_counts(a, pg),
+                                  _dup_counts_oracle(a, pg))
+
+    def test_stable_arrays_match_dict_oracle(self):
+        rng = np.random.default_rng(11)
+        for trial in range(30):
+            p = int(rng.integers(2, 7))
+            shards = [np.sort(rng.integers(0, 6, int(rng.integers(0, 40)))
+                              .astype(float)) for _ in range(p)]
+            pg = np.sort(rng.integers(0, 6, p - 1).astype(float))
+            counts = [run_dup_counts(s, pg) for s in shards]
+            matrix = np.stack(counts) if counts else np.zeros((p, 0))
+            totals = matrix.sum(axis=0)
+            prefix = np.zeros_like(matrix)
+            np.cumsum(matrix[:-1], axis=0, out=prefix[1:])
+            for r, s in enumerate(shards):
+                legacy_prefix, legacy_totals = assemble_stable_inputs(
+                    counts, r, pg)
+                want = partition_stable_local(s, pg, legacy_prefix,
+                                              legacy_totals)
+                got = partition_stable_arrays(s, pg, prefix[r], totals)
+                assert np.array_equal(got, want), (trial, r)
 
 
 # ----------------------------------------------------------------------

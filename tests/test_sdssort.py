@@ -203,3 +203,68 @@ class TestDegenerateShards:
                            tau_m_bytes=10**9)
         ins, outs, _ = run_sds(zipf(1.4), 16, 60, params=params)
         check_sorted(ins, [o.batch for o in outs], stable=True)
+
+
+class TestPivotPadding:
+    """When samples run short the pivot vector is padded with *empty*
+    ranges: the last real pivot, or the dtype minimum in the all-empty
+    world.  (The seed padded with literal 0, which unsorts the pivot
+    vector whenever the key domain is negative.)"""
+
+    def test_pad_value_floats(self):
+        from repro.core import pivot_pad_value
+        assert pivot_pad_value(np.array([], dtype=np.float64),
+                               np.dtype(np.float64)) == -np.inf
+
+    def test_pad_value_ints(self):
+        from repro.core import pivot_pad_value
+        fill = pivot_pad_value(np.array([], dtype=np.int64),
+                               np.dtype(np.int64))
+        assert fill == np.iinfo(np.int64).min
+
+    def test_pad_value_prefers_last_real_pivot(self):
+        from repro.core import pivot_pad_value
+        pg = np.array([-9.0, -3.0])
+        assert pivot_pad_value(pg, np.dtype(np.float64)) == -3.0
+
+    def test_padded_vector_stays_sorted_on_negative_domain(self):
+        from repro.core import pivot_pad_value
+        pg = np.array([-9.0, -3.0])
+        fill = pivot_pad_value(pg, pg.dtype)
+        padded = np.concatenate([pg, np.full(3, fill, dtype=pg.dtype)])
+        assert np.all(np.diff(padded) >= 0)  # 0-padding would break this
+
+    def test_negative_keys_with_empty_rank(self):
+        """All-negative key domain plus one empty rank: exercises the
+        min_n == 0 fallback (gather selection + padding path)."""
+        from repro.records import RecordBatch
+
+        def prog(comm):
+            rng = np.random.default_rng(comm.rank)
+            n = 0 if comm.rank == 0 else 50
+            keys = np.sort(-1.0 - 100.0 * rng.random(n))
+            shard = tag_provenance(RecordBatch(keys), comm.rank)
+            out = sds_sort(comm, shard, SdsParams(node_merge_enabled=False))
+            return shard, out.batch
+
+        res = run_spmd(prog, 4)
+        assert res.ok
+        check_sorted([r[0] for r in res.results],
+                     [r[1] for r in res.results])
+
+    def test_negative_keys_with_empty_rank_stable(self):
+        from repro.records import RecordBatch
+
+        def prog(comm):
+            rng = np.random.default_rng(comm.rank)
+            n = 0 if comm.rank == 2 else 40
+            keys = np.sort(-rng.integers(1, 6, n).astype(np.float64))
+            shard = tag_provenance(RecordBatch(keys), comm.rank)
+            out = sds_sort(comm, shard,
+                           SdsParams(node_merge_enabled=False, stable=True))
+            return shard, out.batch
+
+        res = run_spmd(prog, 4)
+        assert res.ok
+        check_sorted([r[0] for r in res.results],
+                     [r[1] for r in res.results], stable=True)
