@@ -68,7 +68,7 @@ def test_ablation_node_merge_slow_network(benchmark):
         return rows
 
     rows = benchmark.pedantic(compute, rounds=1, iterations=1)
-    lines = [f"2 MB/rank exchange, merged vs unmerged:"]
+    lines = ["2 MB/rank exchange, merged vs unmerged:"]
     for name, merged, unmerged in rows:
         lines.append(f"  {name:9s} merged={merged:.4f}s unmerged={unmerged:.4f}s "
                      f"({'merge wins' if merged < unmerged else 'no merge'})")

@@ -23,6 +23,11 @@ Baselines recorded in the JSON:
 
 Schema v2 adds the stable-mode and forced-sync configurations; the
 original overlapped-path configs and their baselines are unchanged.
+Schema v3 resolves algorithms through the :data:`repro.runner.ALGORITHMS`
+spec registry and records rank 0's decision trace per configuration
+(which exchange path ran, which local ordering, the node-merge verdict
+— with the thresholds that decided them); v2 baselines carry over
+unchanged.
 
 Run directly (``python benchmarks/bench_engine_walltime.py``) or via
 pytest.  ``REPRO_BENCH_QUICK`` drops the p=1024 point.
@@ -35,10 +40,10 @@ import sys
 import time
 from pathlib import Path
 
-from repro.core import SdsParams, sds_sort
 from repro.machine import EDISON
 from repro.mpi import run_spmd
 from repro.records import tag_provenance
+from repro.runner import ALGORITHMS
 from repro.workloads import uniform
 
 sys.path.insert(0, str(Path(__file__).parent))
@@ -47,17 +52,19 @@ from _helpers import emit, fmt_time, quick  # noqa: E402
 ROOT = Path(__file__).resolve().parent.parent
 JSON_PATH = ROOT / "BENCH_engine.json"
 
-#: (name, p, records/rank, SdsParams overrides).  The first four are
-#: the ISSUE-1 tracked configurations (overlapped exchange); the last
-#: three exercise the synchronous/stable pipeline fused in this PR.
+#: (name, algorithm, p, records/rank, algo_opts).  The first four are
+#: the ISSUE-1 tracked configurations (overlapped exchange); the next
+#: three exercise the synchronous/stable pipeline fused in PR 2.  The
+#: algorithm resolves through the :data:`repro.runner.ALGORITHMS` spec
+#: registry, exactly as ``run_sort`` and the CLI do.
 CONFIGS = [
-    ("p64_n2000", 64, 2000, {}),
-    ("p256_n2000", 256, 2000, {}),
-    ("p512_n2000", 512, 2000, {}),
-    ("p1024_n1000", 1024, 1000, {}),
-    ("p256_n2000_stable", 256, 2000, {"stable": True}),
-    ("p512_n2000_stable", 512, 2000, {"stable": True}),
-    ("p512_n2000_sync", 512, 2000, {"tau_o": 0}),
+    ("p64_n2000", "sds", 64, 2000, {}),
+    ("p256_n2000", "sds", 256, 2000, {}),
+    ("p512_n2000", "sds", 512, 2000, {}),
+    ("p1024_n1000", "sds", 1024, 1000, {}),
+    ("p256_n2000_stable", "sds", 256, 2000, {"stable": True}),
+    ("p512_n2000_stable", "sds", 512, 2000, {"stable": True}),
+    ("p512_n2000_sync", "sds", 512, 2000, {"tau_o": 0}),
 ]
 
 #: Seed-engine wall seconds on this repo's reference host (1-vCPU VM),
@@ -74,27 +81,31 @@ PRE_FUSION = {"p256_n2000_stable": 0.8093, "p512_n2000_stable": 3.1532,
               "p512_n2000_sync": 2.8366}
 
 
-def _prog(comm, n, overrides):
+def _prog(comm, algo, n, opts):
     shard = uniform().shard(n, comm.size, comm.rank, 0)
     shard = tag_provenance(shard, comm.rank)
-    out = sds_sort(comm, shard,
-                   SdsParams(node_merge_enabled=False, **overrides))
-    return len(out.batch)
+    out = ALGORITHMS[algo].invoke(comm, shard,
+                                  {"node_merge_enabled": False, **opts})
+    decisions = out.info.get("decisions") if comm.rank == 0 else None
+    return len(out.batch), decisions
 
 
 def measure(reps: int = 2) -> dict:
     """Best-of-``reps`` wall seconds per configuration."""
     runs = {}
-    configs = [c for c in CONFIGS if not (quick() and c[1] >= 1024)]
-    for name, p, n, overrides in configs:
+    configs = [c for c in CONFIGS if not (quick() and c[2] >= 1024)]
+    for name, algo, p, n, opts in configs:
         best = float("inf")
+        decisions = None
         for _ in range(reps):
             t0 = time.perf_counter()
-            res = run_spmd(_prog, p, machine=EDISON, args=(n, overrides))
+            res = run_spmd(_prog, p, machine=EDISON, args=(algo, n, opts))
             best = min(best, time.perf_counter() - t0)
-            assert res.ok and sum(res.results) == p * n
-        runs[name] = {"p": p, "n_per_rank": n, "params": overrides,
-                      "wall_seconds": round(best, 4)}
+            assert res.ok and sum(r[0] for r in res.results) == p * n
+            decisions = res.results[0][1]
+        runs[name] = {"algorithm": algo, "p": p, "n_per_rank": n,
+                      "params": opts, "wall_seconds": round(best, 4),
+                      "decisions": decisions}
     return runs
 
 
@@ -111,7 +122,7 @@ def write_report(runs: dict) -> list[str]:
                     f"{fmt_time(r['wall_seconds']):>8s} "
                     f"{str(r['speedup_vs_baseline']) + 'x' if base else '-':>8s}")
     JSON_PATH.write_text(json.dumps({
-        "schema": "bench_engine_walltime/v2",
+        "schema": "bench_engine_walltime/v3",
         "machine": "EDISON cost model, uniform workload, node_merge off",
         "seed_issue": SEED_ISSUE,
         "seed_host": SEED_HOST,

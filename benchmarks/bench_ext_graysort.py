@@ -13,7 +13,7 @@ from __future__ import annotations
 from repro.machine import EDISON
 from repro.runner import run_sort
 from repro.simfast import UniverseModel, weak_scaling_point
-from repro.workloads import graysort, uniform
+from repro.workloads import graysort
 
 from _helpers import emit, fmt_time, quick
 

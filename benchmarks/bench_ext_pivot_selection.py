@@ -10,10 +10,8 @@ plus the rank-0 memory footprint that rules gathering out at scale.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.machine import EDISON, CostModel
-from repro.metrics import rdfa
 from repro.runner import run_sort
 from repro.workloads import uniform, zipf
 

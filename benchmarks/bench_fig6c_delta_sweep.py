@@ -13,7 +13,6 @@ the full sorts at p = 64 for timing/shape.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.runner import MEM_FACTOR, run_sort
 from repro.simfast import evaluate_loads

@@ -8,7 +8,6 @@ generated datasets.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.metrics import replication_ratio

@@ -12,7 +12,7 @@ assert.
 from __future__ import annotations
 
 from ..core.bitonic import is_power_of_two
-from ..core.sdssort import SortOutcome
+from ..core.pipeline import SortOutcome
 from ..kernels import merge_two_perm
 from ..mpi import Comm
 from ..records import RecordBatch, sort_batch

@@ -23,11 +23,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.exchange import exchange_sync
 from ..core.histosel import histogram_refine
 from ..core.partition import partition_classic
-from ..core.sdssort import SortOutcome, local_delta
+from ..core.pipeline import RunContext, SortOutcome, get_phase
+from ..core.plan import SortPlan
 from ..mpi import Comm
-from ..records import RecordBatch, kway_merge_batches, sort_batch
+from ..records import RecordBatch, kway_merge_batches
 
 
 @dataclass(frozen=True)
@@ -79,12 +81,10 @@ def hyksort(comm: Comm, batch: RecordBatch,
     capacity — reported by benches as the paper's OOM entries.
     """
     cost = comm.cost
-    comm.mem.alloc(batch.nbytes)
-
-    with comm.phase("local_sort"):
-        cur = sort_batch(batch)
-        delta = local_delta(cur.keys)
-        comm.charge(cost.sort_time(len(cur), delta=delta))
+    ctx = RunContext.start(comm, batch, None, SortPlan.fixed())
+    # shared strategy with SDS-Sort/PSRS: plain per-rank local sort
+    get_phase("local_sort")(kernel="plain").run(ctx)
+    cur = ctx.batch
 
     active = comm
     level = 0
@@ -104,7 +104,7 @@ def hyksort(comm: Comm, batch: RecordBatch,
         for g in range(kk):
             sends[g * gs + my_index] = buckets[g]
         with comm.phase("exchange"):
-            chunks = active.alltoallv(sends)
+            chunks = exchange_sync(active, sends)
             comm.mem.free(cur.nbytes)
         with comm.phase("local_ordering"):
             incoming = [c for c in chunks if len(c)]
@@ -121,4 +121,5 @@ def hyksort(comm: Comm, batch: RecordBatch,
         level += 1
 
     return SortOutcome(batch=cur, received=len(cur),
-                       info={"levels": level, "p_active": comm.size})
+                       info={"levels": level, "p_active": comm.size,
+                             "decisions": ctx.decisions()})

@@ -1,20 +1,28 @@
 """Classic Parallel Sorting by Regular Sampling (Li et al., 1993).
 
-The textbook PSS algorithm the paper builds on: local sort, regular
+The textbook PSRS algorithm the paper builds on: local sort, regular
 sampling, gather-based pivot selection, *classic* upper-bound
 partitioning (no skew handling), synchronous all-to-all, k-way merge.
 Its ``O(2N/p)`` balance guarantee holds only without duplicated keys —
 the contrast SDS-Sort's Theorem 1 is about.
+
+PSRS is composed from the same registered phase strategies as the
+SDS-Sort driver (:mod:`repro.core.pipeline`) with every adaptive
+decision pinned: gather pivots, classic partition, synchronous fused
+exchange, k-way merge.  What the pipeline makes explicit is exactly
+what PSRS lacks — no node merge, no skew-aware split, no overlap, no
+adaptive final ordering.
 """
 
 from __future__ import annotations
 
-from ..core.exchange import exchange_sync, order_received, split_for_sends
-from ..core.partition import partition_classic
-from ..core.sampling import local_pivots, select_pivots_gather
-from ..core.sdssort import SortOutcome, local_delta
+from ..core.pipeline import RunContext, SortOutcome, get_phase
+from ..core.plan import SortPlan
 from ..mpi import Comm
-from ..records import RecordBatch, sort_batch
+from ..records import RecordBatch
+
+#: tau_s pinned far above any real p: PSRS always k-way merges.
+_ALWAYS_MERGE = 2**62
 
 
 def psrs_sort(comm: Comm, batch: RecordBatch, *, stable: bool = False) -> SortOutcome:
@@ -25,34 +33,21 @@ def psrs_sort(comm: Comm, batch: RecordBatch, *, stable: bool = False) -> SortOu
     cross-rank stability is *not* guaranteed (that is SDS-Sort's
     contribution).
     """
-    cost = comm.cost
-    n = len(batch)
-    comm.mem.alloc(batch.nbytes)
+    ctx = RunContext.start(comm, batch, None, SortPlan.fixed())
 
-    with comm.phase("local_sort"):
-        sortedb = sort_batch(batch, stable=stable)
-        delta = local_delta(sortedb.keys)
-        comm.charge(cost.sort_time(n, stable=stable, delta=delta))
-
+    get_phase("local_sort")(kernel="plain", stable=stable).run(ctx)
     if comm.size == 1:
-        return SortOutcome(batch=sortedb, received=n, info={"p_active": 1})
+        return SortOutcome(batch=ctx.batch, received=ctx.n,
+                           info={"p_active": 1,
+                                 "decisions": ctx.decisions()})
 
-    with comm.phase("pivot_selection"):
-        pl = local_pivots(sortedb.keys, comm.size)
-        pg = select_pivots_gather(comm, pl)
+    get_phase("pivot_select")(method="gather", guard_empty=False).run(ctx)
+    get_phase("partition")(variant="classic",
+                           local_pivot_accel=False).run(ctx)
+    get_phase("exchange")(mode="sync", tau_s=_ALWAYS_MERGE,
+                          stable=stable).run(ctx)
 
-    with comm.phase("partition"):
-        displs = partition_classic(sortedb.keys, pg)
-        comm.charge(cost.binary_search_time(n, searches=max(1, comm.size - 1)))
-
-    sends = split_for_sends(sortedb, displs)
-    with comm.phase("exchange"):
-        chunks = exchange_sync(comm, sends)
-        comm.mem.free(sortedb.nbytes)
-
-    with comm.phase("local_ordering"):
-        out, xstats = order_received(comm, chunks, stable=stable,
-                                     tau_s=2**62, delta_hint=delta)
-
-    return SortOutcome(batch=out, received=len(out), exchange=xstats,
-                       info={"p_active": comm.size, "displs": displs})
+    return SortOutcome(batch=ctx.out, received=len(ctx.out),
+                       exchange=ctx.xstats,
+                       info={"p_active": comm.size, "displs": ctx.displs,
+                             "decisions": ctx.decisions()})

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.sdssort import SortOutcome, local_delta
+from ..core.pipeline import SortOutcome, local_delta
 from ..mpi import Comm
 from ..records import RecordBatch, sort_batch
 

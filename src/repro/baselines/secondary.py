@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.sdssort import SortOutcome
+from ..core.pipeline import SortOutcome
 from ..mpi import Comm
 from ..records import RecordBatch
 from .hyksort import HykParams, hyksort

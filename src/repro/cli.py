@@ -66,7 +66,7 @@ def cmd_sort(args: argparse.Namespace) -> int:
         print(f"status    : FAILED ({'OOM' if r.oom else 'error'})")
         print(f"            {r.failure}")
         return 1
-    print(f"status    : ok (validated)")
+    print("status    : ok (validated)")
     print(f"sim time  : {r.elapsed:.6f} s  "
           f"({r.throughput_tb_min:,.2f} TB/min at scale)")
     print(f"RDFA      : {r.rdfa:.4f}")
@@ -74,6 +74,12 @@ def cmd_sort(args: argparse.Namespace) -> int:
         print("phases    :")
         for name, t in sorted(r.phase_times.items(), key=lambda kv: -kv[1]):
             print(f"  {name:16s} {t:.6f} s")
+    if getattr(args, "explain", False):
+        from .core.plan import explain_lines
+        decisions = r.extras.get("decisions") or []
+        print("decisions :" if decisions else "decisions : (none recorded)")
+        for line in explain_lines(decisions):
+            print(f"  {line}")
     if getattr(args, "trace", False):
         from .viz import gantt
         print()
@@ -279,7 +285,11 @@ def cmd_dataset(args: argparse.Namespace) -> int:
 
 
 def cmd_info(args: argparse.Namespace) -> int:
-    print("algorithms:", ", ".join(sorted(ALGORITHMS)))
+    print("algorithms:")
+    for name in sorted(ALGORITHMS):
+        spec = ALGORITHMS[name]
+        mark = " [stable]" if spec.stable else ""
+        print(f"  {name:12s} {spec.summary}{mark}")
     print("workloads : uniform, zipf (--alpha), runs, nearly-sorted, "
           "ptf, cosmology")
     print("machines  :")
@@ -312,6 +322,9 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--no-node-merge", action="store_true")
     ps.add_argument("--sync", action="store_true",
                     help="force the synchronous exchange (tau_o = 0)")
+    ps.add_argument("--explain", action="store_true",
+                    help="print every adaptive decision the sort made "
+                         "(thresholds, measured values, winners)")
     ps.add_argument("--trace", action="store_true",
                     help="render a per-rank phase timeline (gantt)")
     ps.set_defaults(fn=cmd_sort)

@@ -141,13 +141,13 @@ def exchange_sync_fused(comm: Comm, batch: RecordBatch, displs: np.ndarray,
         S = C * widths[:, None]                           # bytes[src, dst]
         max_send, max_recv, total, send_tot, recv_tot = \
             Comm.size_scan_matrix(S)
-        all_keys, all_cols, O = concat_batch_arrays(batches)
+        all_keys, all_cols, offs = concat_batch_arrays(batches)
 
         # -- gather indices, destination-major in source order --
-        starts = O[:-1][None, :] + D[:, :p].T             # (dst, src)
+        starts = offs[:-1][None, :] + D[:, :p].T          # (dst, src)
         lens = C.T                                        # (dst, src)
         flat_lens = lens.ravel()
-        N = int(O[-1])
+        N = int(offs[-1])
         excl = np.cumsum(flat_lens) - flat_lens
         G = (np.repeat(starts.ravel() - excl, flat_lens)
              + np.arange(N, dtype=np.int64))
@@ -276,7 +276,7 @@ def exchange_overlapped_fused(comm: Comm, batch: RecordBatch,
         C = np.diff(D, axis=1)                            # counts[src, dst]
         widths = np.array([b.row_nbytes for b in batches], dtype=np.int64)
         S = C * widths[:, None]                           # bytes[src, dst]
-        all_keys, all_cols, O = concat_batch_arrays(batches)
+        all_keys, all_cols, offs = concat_batch_arrays(batches)
 
         # -- per-destination arrival schedules (ring order, from dst+1) --
         nodes = np.asarray(group, dtype=np.int64) // cpn
@@ -331,9 +331,9 @@ def exchange_overlapped_fused(comm: Comm, batch: RecordBatch,
 
         # -- global data materialisation --
         s_idx = (dst[:, None] + leaf[None, :]) % p        # src per slot
-        starts = (O[s_idx] + D[s_idx, dst[:, None]]).ravel()
+        starts = (offs[s_idx] + D[s_idx, dst[:, None]]).ravel()
         lens = C[s_idx, dst[:, None]].ravel()
-        N = int(O[-1])
+        N = int(offs[-1])
         excl = np.cumsum(lens) - lens
         G = np.repeat(starts - excl, lens) + np.arange(N, dtype=np.int64)
         m_per_dst = CS[:, p]

@@ -10,6 +10,14 @@ TAU_M_BYTES = 160 * 2**20   # node-merge when per-node exchange volume below thi
 TAU_O = 4096                # overlap exchange+ordering when p below this
 TAU_S = 4000                # k-way merge below this, adaptive sort above
 
+#: Valid pivot-selection strategies (Section 2.4) — the single source of
+#: truth shared by parameter validation, the decision policy and the
+#: pipeline's pivot dispatch.
+PIVOT_METHODS = ("bitonic", "gather", "histogram", "oversample")
+
+#: Valid partitioning variants (Figure 2).
+PARTITION_VARIANTS = ("classic", "fast", "stable")
+
 
 @dataclass(frozen=True)
 class SdsParams:
@@ -61,13 +69,14 @@ class SdsParams:
     node_merge_enabled: bool = True
 
     def __post_init__(self) -> None:
-        if self.pivot_method not in ("bitonic", "gather", "histogram",
-                                     "oversample"):
+        if self.pivot_method not in PIVOT_METHODS:
             raise ValueError(
-                "pivot_method must be 'bitonic', 'gather', 'histogram' "
-                "or 'oversample'")
-        if self.tau_m_bytes < 0 or self.tau_o < 0 or self.tau_s < 0:
-            raise ValueError("thresholds must be non-negative")
+                f"unknown pivot_method {self.pivot_method!r}; options: "
+                f"{', '.join(repr(m) for m in PIVOT_METHODS)}")
+        for name in ("tau_m_bytes", "tau_o", "tau_s"):
+            if getattr(self, name) < 0:
+                raise ValueError(
+                    f"{name} must be non-negative, got {getattr(self, name)}")
 
     def with_overrides(self, **kwargs: Any) -> "SdsParams":
         return replace(self, **kwargs)

@@ -1,0 +1,430 @@
+"""The phase pipeline: SDS-Sort's stages as registered, reusable strategies.
+
+The driver (:func:`repro.core.sdssort.sds_sort`) is a thin composition
+of phase objects sharing one :class:`RunContext`::
+
+    LocalSort -> NodeMerge -> PivotSelect -> Partition -> Exchange
+
+Each phase is a small frozen dataclass registered under a stable name
+(:data:`PHASE_REGISTRY`), so baselines compose the *same* strategies
+instead of reimplementing them: PSRS is ``LocalSort(kernel="plain") ->
+PivotSelect(method="gather") -> Partition(variant="classic") ->
+Exchange(mode="sync")``, and HykSort reuses ``LocalSort`` plus the
+shared synchronous exchange.  Every adaptive choice a phase makes goes
+through the :class:`~repro.core.plan.SortPlan` carried by the context,
+which records it into the run's decision trace.
+
+Exactness contract: phase bodies are the driver's historical inline
+code, moved verbatim — same phase annotations, same collectives in the
+same order, same cost charges and memory accounting.  The golden-engine
+suite (``tests/data/golden_engine.json``) pins virtual clocks, phase
+breakdowns, counters and outputs bit-for-bit across this refactor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from ..mpi import Comm
+from ..records import RecordBatch, sort_batch
+from .exchange import (
+    ExchangeStats,
+    exchange_overlapped_fused,
+    exchange_sync_fused,
+)
+from .localsort import sdss_local_sort
+from .nodemerge import node_merge
+from .params import PIVOT_METHODS, SdsParams
+from .partition import (
+    partition_classic,
+    partition_fast,
+    partition_stable_arrays,
+    run_dup_counts,
+    stable_layout_collective,
+)
+from .plan import Decision, SortPlan
+from .sampling import (
+    local_pivots,
+    select_pivots_bitonic,
+    select_pivots_gather,
+    select_pivots_oversample,
+)
+
+__all__ = [
+    "SortOutcome",
+    "RunContext",
+    "PHASE_REGISTRY",
+    "register_phase",
+    "get_phase",
+    "LocalSort",
+    "NodeMerge",
+    "PivotSelect",
+    "Partition",
+    "Exchange",
+    "local_delta",
+    "pivot_pad_value",
+    "select_pivots",
+]
+
+
+@dataclass
+class SortOutcome:
+    """Per-rank result of one distributed sort."""
+
+    batch: RecordBatch
+    received: int = 0
+    active: bool = True
+    exchange: ExchangeStats | None = None
+    info: dict[str, Any] = field(default_factory=dict)
+
+
+def pivot_pad_value(pg: np.ndarray, key_dtype: np.dtype):
+    """Fill value for padding a short global pivot vector.
+
+    Phantom pivots stand for *empty* ranges, so the pad must never sort
+    above a real pivot nor land inside the key domain: use the last
+    real pivot when one exists, else the dtype's ordered minimum.
+    (Padding with a literal 0, as the seed did, breaks all-negative key
+    domains: every record compares below the phantom pivots and the
+    whole dataset collapses onto rank 0 — and with any real pivot
+    present, a 0 pad above it would unsort the pivot vector outright.)
+    """
+    if pg.size:
+        return pg[-1]
+    dtype = np.dtype(key_dtype)
+    if dtype.kind == "f":
+        return dtype.type(-np.inf)
+    if dtype.kind in "iu":
+        return dtype.type(np.iinfo(dtype).min)
+    return dtype.type(0)
+
+
+def local_delta(sorted_keys: np.ndarray) -> float:
+    """Replication ratio of already-sorted keys (cheap: one diff pass)."""
+    n = sorted_keys.size
+    if n == 0:
+        return 0.0
+    breaks = np.nonzero(sorted_keys[1:] != sorted_keys[:-1])[0]
+    bounds = np.concatenate(([0], breaks + 1, [n]))
+    return float(np.diff(bounds).max()) / n
+
+
+def select_pivots(comm: Comm, pl: np.ndarray, sorted_keys: np.ndarray,
+                  method: str) -> np.ndarray:
+    """Dispatch to the named pivot selector — strictly.
+
+    Unlike the historical private helper (which silently degraded any
+    unknown name to gather selection), an unrecognised ``method`` is an
+    error; :class:`~repro.core.params.SdsParams` validates the
+    configured name up front and the decision policy resolves the
+    documented fallbacks explicitly, so nothing legitimate reaches the
+    ``raise``.
+    """
+    if method == "bitonic":
+        return select_pivots_bitonic(comm, pl)
+    if method == "histogram":
+        from .histosel import select_pivots_histogram
+        return select_pivots_histogram(comm, sorted_keys)
+    if method == "oversample":
+        return select_pivots_oversample(comm, sorted_keys)
+    if method == "gather":
+        return select_pivots_gather(comm, pl)
+    raise ValueError(f"unknown pivot_method {method!r}; options: "
+                     f"{', '.join(repr(m) for m in PIVOT_METHODS)}")
+
+
+@dataclass
+class RunContext:
+    """Shared state of one pipeline run on one rank.
+
+    ``comm`` is the full communicator (phase annotation and global
+    collectives); ``active`` shrinks to the leader communicator if the
+    node-merge phase fires.  ``plan`` carries the decision policy and
+    the accumulating trace.  The remaining fields are the data flowing
+    between phases.
+    """
+
+    comm: Comm
+    params: SdsParams | None
+    plan: SortPlan
+    batch: RecordBatch
+    n: int
+    record_bytes: int
+    input_nbytes: int
+    active: Comm = None  # type: ignore[assignment]  # set in __post_init__
+    delta: float = 0.0
+    pg: np.ndarray | None = None
+    displs: np.ndarray | None = None
+    out: RecordBatch | None = None
+    xstats: ExchangeStats | None = None
+    outcome: SortOutcome | None = None  # early exit (inactive rank)
+
+    def __post_init__(self) -> None:
+        if self.active is None:
+            self.active = self.comm
+
+    @classmethod
+    def start(cls, comm: Comm, batch: RecordBatch,
+              params: SdsParams | None, plan: SortPlan) -> "RunContext":
+        """Open a run: account the input allocation, snapshot sizes."""
+        n = len(batch)
+        ctx = cls(comm=comm, params=params, plan=plan, batch=batch, n=n,
+                  record_bytes=batch.record_bytes if n else 8,
+                  input_nbytes=batch.nbytes)
+        comm.mem.alloc(batch.nbytes)
+        return ctx
+
+    @property
+    def cost(self):
+        return self.comm.cost
+
+    def decisions(self) -> list[dict[str, Any]]:
+        return self.plan.decisions()
+
+
+#: Registered phase strategies, by stable name.
+PHASE_REGISTRY: dict[str, type] = {}
+
+
+def register_phase(name: str) -> Callable[[type], type]:
+    def deco(cls: type) -> type:
+        if name in PHASE_REGISTRY:
+            raise ValueError(f"phase {name!r} already registered")
+        PHASE_REGISTRY[name] = cls
+        cls.phase_name = name
+        return cls
+    return deco
+
+
+def get_phase(name: str) -> type:
+    try:
+        return PHASE_REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown phase {name!r}; options: "
+                       f"{sorted(PHASE_REGISTRY)}") from None
+
+
+@register_phase("local_sort")
+@dataclass(frozen=True)
+class LocalSort:
+    """Sort the local shard (Figure 1 line 2).
+
+    ``kernel="sdss"`` is the paper's shared-memory skew-aware local
+    sort; ``"plain"`` is the classic per-rank sort baselines use.  Both
+    charge the same modelled cost.
+    """
+
+    kernel: str = "sdss"
+    stable: bool = False
+
+    def run(self, ctx: RunContext) -> None:
+        comm = ctx.comm
+        with comm.phase("local_sort"):
+            if self.kernel == "sdss":
+                sortedb, _stats = sdss_local_sort(ctx.batch, c=1,
+                                                  stable=self.stable)
+            elif self.kernel == "plain":
+                sortedb = sort_batch(ctx.batch, stable=self.stable)
+            else:
+                raise ValueError(f"unknown local-sort kernel {self.kernel!r}")
+            ctx.delta = local_delta(sortedb.keys)
+            comm.charge(ctx.cost.sort_time(ctx.n, stable=self.stable,
+                                           delta=ctx.delta))
+        ctx.batch = sortedb
+
+
+@register_phase("node_merge")
+@dataclass(frozen=True)
+class NodeMerge:
+    """Optional node-level funnelling (Figure 1 lines 3-7, tau_m).
+
+    Evaluates the policy's local verdict, takes the historical
+    allreduce consensus (SPMD-uniform data: all nodes must agree), and
+    records the post-consensus decision.  Non-leader ranks exit the
+    pipeline with an empty outcome, exactly as in the paper (the
+    effective process count drops to ``p/c``).
+    """
+
+    def run(self, ctx: RunContext) -> None:
+        comm = ctx.comm
+        plan = ctx.plan
+        with comm.phase("node_merge"):
+            node_bytes = ctx.n * ctx.record_bytes * comm.ranks_per_node
+            local = plan.policy.node_merge(
+                node_bytes=node_bytes, ranks_per_node=comm.ranks_per_node,
+                comm_size=comm.size)
+            do_merge = local.choice == "merge"
+            merged_all = comm.allreduce(1 if do_merge else 0)
+            plan.decide(plan.policy.node_merge_consensus(
+                local, agreeing=merged_all, comm_size=comm.size))
+            if merged_all == comm.size:  # all nodes agree (SPMD-uniform data)
+                res = node_merge(comm, ctx.batch)
+                if not res.is_leader:
+                    comm.mem.free(ctx.input_nbytes)
+                    ctx.outcome = SortOutcome(
+                        batch=RecordBatch.empty_like(ctx.batch),
+                        received=0,
+                        active=False,
+                        info={"node_merged": True, "p_active": 0,
+                              "decisions": plan.decisions()},
+                    )
+                    return
+                assert res.active_comm is not None and res.batch is not None
+                ctx.active = res.active_comm
+                comm.mem.free(ctx.input_nbytes)  # shard absorbed into merge
+                ctx.batch = res.batch
+                ctx.n = len(res.batch)
+
+
+@register_phase("pivot_select")
+@dataclass(frozen=True)
+class PivotSelect:
+    """Regular sampling + global pivot selection (Figure 1 lines 8-9).
+
+    ``method=None`` routes through the decision policy (configured
+    method plus the documented empty-rank and non-power-of-two
+    fallbacks); a fixed ``method`` pins the selector, as PSRS does with
+    gather.  ``guard_empty`` is the min-shard allreduce that detects
+    empty ranks; algorithms that cannot tolerate them skip it.
+    """
+
+    method: str | None = None
+    guard_empty: bool = True
+
+    def run(self, ctx: RunContext) -> None:
+        comm, active = ctx.comm, ctx.active
+        p = active.size
+        plan = ctx.plan
+        with comm.phase("pivot_selection"):
+            if not self.guard_empty:
+                choice = plan.decide(Decision(
+                    "pivot_method", self.method, measured={"p": p},
+                    reason="fixed by algorithm"))
+                pl = local_pivots(ctx.batch.keys, p)
+                pg = select_pivots(active, pl, ctx.batch.keys, choice)
+            else:
+                min_n = active.allreduce(ctx.n, op=min)
+                choice = plan.decide(plan.policy.pivot_method(
+                    p=p, min_n=min_n))
+                if min_n > 0:
+                    pl = local_pivots(ctx.batch.keys, p)
+                    pg = select_pivots(active, pl, ctx.batch.keys, choice)
+                else:
+                    # some rank holds no data (legal, if unusual): the
+                    # policy already degraded the choice to gather over
+                    # whatever samples exist
+                    pl = (local_pivots(ctx.batch.keys, p) if ctx.n > 0
+                          else ctx.batch.keys[:0])
+                    pg = select_pivots_gather(active, pl)
+                    if pg.size < p - 1:  # too few samples: pad (empty ranges)
+                        fill = pivot_pad_value(pg, ctx.batch.keys.dtype)
+                        pg = np.concatenate(
+                            [pg, np.full(p - 1 - pg.size, fill,
+                                         dtype=pg.dtype)])
+        ctx.pg = pg
+
+
+@register_phase("partition")
+@dataclass(frozen=True)
+class Partition:
+    """Skew-aware partitioning (Figure 1 line 10, Figure 2).
+
+    ``variant=None`` consults the policy (classic/fast/stable per the
+    skew-aware and stability switches); a fixed variant pins it.
+    ``local_pivot_accel`` selects the two-level local-pivot search cost
+    of Section 2.5.1 (``None`` defers to ``params``).
+    """
+
+    variant: str | None = None
+    local_pivot_accel: bool | None = None
+
+    def run(self, ctx: RunContext) -> None:
+        comm, active = ctx.comm, ctx.active
+        p = active.size
+        plan = ctx.plan
+        with comm.phase("partition"):
+            if self.variant is not None:
+                variant = plan.decide(Decision(
+                    "partition", self.variant, reason="fixed by algorithm"))
+            else:
+                variant = plan.decide(plan.policy.partition_variant())
+            if variant == "classic":
+                displs = partition_classic(ctx.batch.keys, ctx.pg)
+            elif variant == "stable":
+                counts = run_dup_counts(ctx.batch.keys, ctx.pg)
+                prefix_row, totals = stable_layout_collective(active, counts)
+                displs = partition_stable_arrays(ctx.batch.keys, ctx.pg,
+                                                 prefix_row, totals)
+            elif variant == "fast":
+                displs = partition_fast(ctx.batch.keys, ctx.pg)
+            else:
+                raise ValueError(f"unknown partition variant {variant!r}")
+            # cost: the local-pivot two-level search (Section 2.5.1) does
+            # two binary searches over O(n/p) instead of one over O(n)
+            accel = (ctx.params.local_pivot_accel
+                     if self.local_pivot_accel is None
+                     else self.local_pivot_accel)
+            if accel:
+                comm.charge(ctx.cost.binary_search_time(
+                    max(1, ctx.n // p), searches=2 * max(1, p - 1)))
+            else:
+                comm.charge(ctx.cost.binary_search_time(
+                    ctx.n, searches=max(1, p - 1)))
+        ctx.displs = displs
+
+
+@register_phase("exchange")
+@dataclass(frozen=True)
+class Exchange:
+    """All-to-all exchange + final local ordering (Figure 1 lines 15-27).
+
+    ``mode=None`` routes the tau_o decision through the policy
+    (``"sync"``/``"overlapped"`` pin it); ``tau_s`` overrides the
+    merge-vs-sort threshold (``None`` defers to ``params``).  Both
+    paths run the fused staged collectives — no p^2 sub-batch
+    materialisation (see exchange.py).
+    """
+
+    mode: str | None = None
+    tau_s: int | None = None
+    stable: bool = False
+
+    def run(self, ctx: RunContext) -> None:
+        comm, active = ctx.comm, ctx.active
+        p = active.size
+        plan = ctx.plan
+        tau_s = self.tau_s
+        if self.mode is not None:
+            mode = plan.decide(Decision(
+                "exchange", self.mode, measured={"p": p},
+                reason="fixed by algorithm"))
+            plan.decide(Decision(
+                "local_ordering", "merge" if p < tau_s else "sort",
+                threshold="tau_s", threshold_value=tau_s,
+                measured={"p": p}, reason="fixed by algorithm"))
+        else:
+            mode = plan.decide(plan.policy.exchange_mode(p=p))
+            plan.decide(plan.policy.local_ordering(p=p, exchange=mode))
+            if tau_s is None:
+                tau_s = ctx.params.tau_s
+        send_buf_bytes = ctx.batch.nbytes
+        if mode == "sync":
+            # fused path: one staged collective computes the size matrix
+            # and every rank's final ordering; no p^2 sub-batch
+            # materialisation (phases "exchange"/"local_ordering" are
+            # entered inside)
+            out, xstats = exchange_sync_fused(
+                active, ctx.batch, ctx.displs, stable=self.stable,
+                tau_s=tau_s, delta_hint=ctx.delta,
+            )
+        else:
+            # fused path: no p^2 sub-batch materialisation (exchange.py)
+            with comm.phase("exchange"):
+                out, xstats = exchange_overlapped_fused(active, ctx.batch,
+                                                        ctx.displs)
+                comm.mem.free(send_buf_bytes)
+        ctx.out = out
+        ctx.xstats = xstats

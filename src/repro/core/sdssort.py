@@ -1,20 +1,28 @@
-"""The SDS-Sort driver (paper Figure 1).
+"""The SDS-Sort driver (paper Figure 1), as a phase pipeline.
 
 One call per rank, collectively::
 
     out = sds_sort(comm, my_batch, SdsParams(stable=True))
 
-Phases, mirroring the pseudocode:
+The driver is a thin composition of the registered phase strategies of
+:mod:`repro.core.pipeline`, mirroring the pseudocode:
 
-1. ``local_sort``   — sort the local shard (line 2);
-2. ``node_merge``   — optional node-level funnelling when messages
+1. ``LocalSort``    — sort the local shard (line 2);
+2. ``NodeMerge``    — optional node-level funnelling when messages
    would be small (lines 3-7, threshold ``tau_m``);
-3. ``pivot_selection`` — regular sampling + parallel bitonic selection
+3. ``PivotSelect``  — regular sampling + parallel bitonic selection
    (lines 8-9);
-4. ``partition``    — skew-aware fast/stable partitioning (line 10);
-5. ``exchange`` / ``local_ordering`` — synchronous exchange plus k-way
-   merge or adaptive sort (lines 15-21), or the overlapped
-   exchange+merge (lines 22-27), per thresholds ``tau_o``/``tau_s``.
+4. ``Partition``    — skew-aware fast/stable partitioning (line 10);
+5. ``Exchange``     — synchronous exchange plus k-way merge or adaptive
+   sort (lines 15-21), or the overlapped exchange+merge (lines 22-27),
+   per thresholds ``tau_o``/``tau_s``.
+
+Every adaptive choice (tau_m/tau_o/tau_s, pivot method, partition
+variant) is evaluated by the :class:`~repro.core.plan.DecisionPolicy`
+at its phase boundary and recorded into the run's decision trace,
+returned as ``SortOutcome.info["decisions"]`` — the runner surfaces it
+as ``RunResult.extras["decisions"]`` and the CLI renders it under
+``--explain``.
 
 Ranks that handed their data to a node leader in phase 2 return an
 empty batch; the sorted output then lives on the leader ranks, exactly
@@ -23,88 +31,28 @@ as in the paper (the effective process count drops to ``p/c``).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any
-
 import numpy as np
 
 from ..mpi import Comm
 from ..records import RecordBatch
-from .exchange import (
-    ExchangeStats,
-    exchange_overlapped_fused,
-    exchange_sync_fused,
-)
-from .localsort import sdss_local_sort
-from .nodemerge import node_merge
 from .params import SdsParams
-from .partition import (
-    partition_classic,
-    partition_fast,
-    partition_stable_arrays,
-    run_dup_counts,
-    stable_layout_collective,
+from .pipeline import (
+    RunContext,
+    SortOutcome,
+    get_phase,
+    local_delta,
+    pivot_pad_value,
 )
-from .sampling import (
-    local_pivots,
-    select_pivots_bitonic,
-    select_pivots_gather,
-    select_pivots_oversample,
-)
+from .plan import SortPlan
+
+__all__ = ["SortOutcome", "local_delta", "pivot_pad_value", "sds_sort"]
 
 
-@dataclass
-class SortOutcome:
-    """Per-rank result of one distributed sort."""
-
-    batch: RecordBatch
-    received: int = 0
-    active: bool = True
-    exchange: ExchangeStats | None = None
-    info: dict[str, Any] = field(default_factory=dict)
-
-
-def pivot_pad_value(pg: np.ndarray, key_dtype: np.dtype):
-    """Fill value for padding a short global pivot vector.
-
-    Phantom pivots stand for *empty* ranges, so the pad must never sort
-    above a real pivot nor land inside the key domain: use the last
-    real pivot when one exists, else the dtype's ordered minimum.
-    (Padding with a literal 0, as the seed did, breaks all-negative key
-    domains: every record compares below the phantom pivots and the
-    whole dataset collapses onto rank 0 — and with any real pivot
-    present, a 0 pad above it would unsort the pivot vector outright.)
-    """
-    if pg.size:
-        return pg[-1]
-    dtype = np.dtype(key_dtype)
-    if dtype.kind == "f":
-        return dtype.type(-np.inf)
-    if dtype.kind in "iu":
-        return dtype.type(np.iinfo(dtype).min)
-    return dtype.type(0)
-
-
-def local_delta(sorted_keys: np.ndarray) -> float:
-    """Replication ratio of already-sorted keys (cheap: one diff pass)."""
-    n = sorted_keys.size
-    if n == 0:
-        return 0.0
-    breaks = np.nonzero(sorted_keys[1:] != sorted_keys[:-1])[0]
-    bounds = np.concatenate(([0], breaks + 1, [n]))
-    return float(np.diff(bounds).max()) / n
-
-
-def _select_pivots(comm: Comm, pl: np.ndarray, sorted_keys: np.ndarray,
-                   method: str) -> np.ndarray:
-    if method == "bitonic":
-        return select_pivots_bitonic(comm, pl)
-    if method == "histogram":
-        from .histosel import select_pivots_histogram
-        return select_pivots_histogram(comm, sorted_keys)
-    if method == "oversample":
-        return select_pivots_oversample(comm, sorted_keys)
-    return select_pivots_gather(comm, pl)
+def _singleton_outcome(ctx: RunContext) -> SortOutcome:
+    """The one-rank short-circuit: locally sorted data is the answer."""
+    return SortOutcome(batch=ctx.batch, received=ctx.n,
+                       info={"p_active": 1, "delta_local": ctx.delta,
+                             "decisions": ctx.decisions()})
 
 
 def sds_sort(comm: Comm, batch: RecordBatch,
@@ -114,115 +62,32 @@ def sds_sort(comm: Comm, batch: RecordBatch,
     Returns this rank's slice of the globally sorted data (empty on
     ranks that merged their data into a node leader).
     """
-    cost = comm.cost
-    n = len(batch)
-    record_bytes = batch.record_bytes if n else 8
-    comm.mem.alloc(batch.nbytes)
+    plan = SortPlan.for_params(params)
+    ctx = RunContext.start(comm, batch, params, plan)
 
-    # ------------------------------------------------------ local sort
-    with comm.phase("local_sort"):
-        sortedb, _stats = sdss_local_sort(batch, c=1, stable=params.stable)
-        delta = local_delta(sortedb.keys)
-        comm.charge(cost.sort_time(n, stable=params.stable, delta=delta))
-
+    get_phase("local_sort")(stable=params.stable).run(ctx)
     if comm.size == 1:
-        return SortOutcome(batch=sortedb, received=n,
-                           info={"p_active": 1, "delta_local": delta})
+        return _singleton_outcome(ctx)
 
-    # ------------------------------------------------------ node merge
-    active = comm
-    with comm.phase("node_merge"):
-        node_bytes = n * record_bytes * comm.ranks_per_node
-        do_merge = (
-            params.node_merge_enabled
-            and comm.ranks_per_node > 1
-            and comm.size > comm.ranks_per_node  # pointless on one node
-            and node_bytes <= params.tau_m_bytes
-        )
-        merged_all = comm.allreduce(1 if do_merge else 0)
-        if merged_all == comm.size:  # all nodes agree (SPMD-uniform data)
-            res = node_merge(comm, sortedb)
-            if not res.is_leader:
-                comm.mem.free(batch.nbytes)
-                return SortOutcome(
-                    batch=RecordBatch.empty_like(sortedb),
-                    received=0,
-                    active=False,
-                    info={"node_merged": True, "p_active": 0},
-                )
-            assert res.active_comm is not None and res.batch is not None
-            active = res.active_comm
-            comm.mem.free(batch.nbytes)  # shard absorbed into merged buffer
-            sortedb = res.batch
-            n = len(sortedb)
+    get_phase("node_merge")().run(ctx)
+    if ctx.outcome is not None:  # handed data to the node leader
+        return ctx.outcome
+    if ctx.active.size == 1:
+        return _singleton_outcome(ctx)
 
-    p = active.size
-    if p == 1:
-        return SortOutcome(batch=sortedb, received=n,
-                           info={"p_active": 1, "delta_local": delta})
-
-    # ------------------------------------------------- pivot selection
-    with comm.phase("pivot_selection"):
-        min_n = active.allreduce(n, op=min)
-        if min_n > 0:
-            pl = local_pivots(sortedb.keys, p)
-            pg = _select_pivots(active, pl, sortedb.keys, params.pivot_method)
-        else:
-            # some rank holds no data (legal, if unusual): fall back to
-            # gather selection over whatever samples exist
-            pl = (local_pivots(sortedb.keys, p) if n > 0
-                  else sortedb.keys[:0])
-            pg = select_pivots_gather(active, pl)
-            if pg.size < p - 1:  # too few samples: pad (empty ranges)
-                fill = pivot_pad_value(pg, sortedb.keys.dtype)
-                pg = np.concatenate(
-                    [pg, np.full(p - 1 - pg.size, fill, dtype=pg.dtype)])
-
-    # --------------------------------------------------------- partition
-    with comm.phase("partition"):
-        if not params.skew_aware:
-            displs = partition_classic(sortedb.keys, pg)
-        elif params.stable:
-            counts = run_dup_counts(sortedb.keys, pg)
-            prefix_row, totals = stable_layout_collective(active, counts)
-            displs = partition_stable_arrays(sortedb.keys, pg, prefix_row,
-                                             totals)
-        else:
-            displs = partition_fast(sortedb.keys, pg)
-        # cost: the local-pivot two-level search (Section 2.5.1) does
-        # two binary searches over O(n/p) instead of one over O(n)
-        if params.local_pivot_accel:
-            comm.charge(cost.binary_search_time(max(1, n // p),
-                                                searches=2 * max(1, p - 1)))
-        else:
-            comm.charge(cost.binary_search_time(n, searches=max(1, p - 1)))
-
-    send_buf_bytes = sortedb.nbytes
-
-    # --------------------------------------- exchange + local ordering
-    overlap = (not params.stable) and p < params.tau_o
-    if not overlap:
-        # fused path: one staged collective computes the size matrix and
-        # every rank's final ordering; no p^2 sub-batch materialisation
-        # (phases "exchange"/"local_ordering" are entered inside)
-        out, xstats = exchange_sync_fused(
-            active, sortedb, displs, stable=params.stable,
-            tau_s=params.tau_s, delta_hint=delta,
-        )
-    else:
-        # fused path: no p^2 sub-batch materialisation (see exchange.py)
-        with comm.phase("exchange"):
-            out, xstats = exchange_overlapped_fused(active, sortedb, displs)
-            comm.mem.free(send_buf_bytes)
+    get_phase("pivot_select")().run(ctx)
+    get_phase("partition")().run(ctx)
+    get_phase("exchange")(stable=params.stable).run(ctx)
 
     return SortOutcome(
-        batch=out,
-        received=len(out),
-        exchange=xstats,
+        batch=ctx.out,
+        received=len(ctx.out),
+        exchange=ctx.xstats,
         info={
-            "p_active": p,
-            "delta_local": delta,
-            "n_pivots": int(np.asarray(pg).size),
-            "displs": displs,
+            "p_active": ctx.active.size,
+            "delta_local": ctx.delta,
+            "n_pivots": int(np.asarray(ctx.pg).size),
+            "displs": ctx.displs,
+            "decisions": ctx.decisions(),
         },
     )

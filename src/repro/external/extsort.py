@@ -24,11 +24,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from ..core.histosel import histogram_refine
 from ..core.partition import partition_classic
-from ..core.sdssort import SortOutcome, local_delta
+from ..core.pipeline import SortOutcome, local_delta
 from ..mpi import Comm
 from ..records import RecordBatch, kway_merge_batches, sort_batch
 from .disk import DiskModel, SpillStore

@@ -34,47 +34,63 @@ from .workloads import Workload
 MEM_FACTOR = 6.7
 
 
-def _sds(comm: Comm, batch: RecordBatch, opts: dict[str, Any]):
-    return sds_sort(comm, batch, SdsParams(**opts))
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """One registered distributed-sort algorithm.
+
+    ``ctor`` is the collective entry point ``(comm, batch, ...)``.  When
+    ``params_type`` is set, user options (merged over ``defaults``) are
+    packed into one ``params_type(**opts)`` value and passed as the
+    third positional argument; otherwise they are passed as keyword
+    arguments.  ``stable`` declares that equal-key output order is
+    guaranteed stable — the runner validates accordingly and benches /
+    the CLI no longer need a separate stable-algorithm set.
+    """
+
+    name: str
+    ctor: Callable[..., Any]
+    params_type: type | None = None
+    defaults: dict[str, Any] = field(default_factory=dict)
+    stable: bool = False
+    summary: str = ""
+
+    def invoke(self, comm: Comm, batch: RecordBatch,
+               opts: dict[str, Any] | None = None) -> Any:
+        """Run the algorithm collectively with ``opts`` over defaults."""
+        merged = {**self.defaults, **(opts or {})}
+        if self.params_type is not None:
+            return self.ctor(comm, batch, self.params_type(**merged))
+        return self.ctor(comm, batch, **merged)
 
 
-def _sds_stable(comm: Comm, batch: RecordBatch, opts: dict[str, Any]):
-    return sds_sort(comm, batch, SdsParams(stable=True, **opts))
-
-
-def _psrs(comm: Comm, batch: RecordBatch, opts: dict[str, Any]):
-    return psrs_sort(comm, batch, **opts)
-
-
-def _hyksort(comm: Comm, batch: RecordBatch, opts: dict[str, Any]):
-    return hyksort(comm, batch, HykParams(**opts) if opts else HykParams())
-
-
-def _bitonic(comm: Comm, batch: RecordBatch, opts: dict[str, Any]):
-    return bitonic_sort_batch(comm, batch)
-
-
-def _hyksort_sk(comm: Comm, batch: RecordBatch, opts: dict[str, Any]):
-    return hyksort_secondary_key(comm, batch,
-                                 HykParams(**opts) if opts else HykParams())
-
-
-def _radix(comm: Comm, batch: RecordBatch, opts: dict[str, Any]):
-    return radix_sort(comm, batch)
-
-
-ALGORITHMS: dict[str, Callable[[Comm, RecordBatch, dict[str, Any]], Any]] = {
-    "sds": _sds,
-    "sds-stable": _sds_stable,
-    "psrs": _psrs,
-    "hyksort": _hyksort,
-    "hyksort-sk": _hyksort_sk,
-    "bitonic": _bitonic,
-    "radix": _radix,
+ALGORITHMS: dict[str, AlgorithmSpec] = {
+    spec.name: spec
+    for spec in (
+        AlgorithmSpec(
+            "sds", sds_sort, params_type=SdsParams,
+            summary="SDS-Sort (the paper): skew-aware adaptive samplesort"),
+        AlgorithmSpec(
+            "sds-stable", sds_sort, params_type=SdsParams,
+            defaults={"stable": True}, stable=True,
+            summary="SDS-Sort with the stable partition/merge pipeline"),
+        AlgorithmSpec(
+            "psrs", psrs_sort,
+            summary="classic PSRS: regular sampling, no skew handling"),
+        AlgorithmSpec(
+            "hyksort", hyksort, params_type=HykParams,
+            summary="HykSort: k-way hypercube samplesort (comparator)"),
+        AlgorithmSpec(
+            "hyksort-sk", hyksort_secondary_key, params_type=HykParams,
+            stable=True,
+            summary="HykSort on (key, provenance): stability workaround"),
+        AlgorithmSpec(
+            "bitonic", bitonic_sort_batch,
+            summary="full bitonic sort network (small-p baseline)"),
+        AlgorithmSpec(
+            "radix", radix_sort,
+            summary="distributed LSD radix sort (integer keys)"),
+    )
 }
-
-#: Algorithms whose equal-key output order is guaranteed stable.
-STABLE_ALGORITHMS = frozenset({"sds-stable", "hyksort-sk"})
 
 
 @dataclass
@@ -132,12 +148,12 @@ def run_sort(algorithm: str, workload: Workload, *, n_per_rank: int, p: int,
     keep_outputs: retain per-rank output batches on the result.
     """
     try:
-        algo = ALGORITHMS[algorithm]
+        spec = ALGORITHMS[algorithm]
     except KeyError:
         raise KeyError(f"unknown algorithm {algorithm!r}; "
                        f"options: {sorted(ALGORITHMS)}") from None
     opts = dict(algo_opts or {})
-    stable = algorithm in STABLE_ALGORITHMS
+    stable = spec.stable
 
     probe = workload.shard(max(1, min(n_per_rank, 64)), p, 0, seed)
     record_bytes = probe.record_bytes + 12  # + provenance columns
@@ -147,7 +163,7 @@ def run_sort(algorithm: str, workload: Workload, *, n_per_rank: int, p: int,
     def prog(comm: Comm):
         shard = workload.shard(n_per_rank, comm.size, comm.rank, seed)
         shard = tag_provenance(shard, comm.rank)
-        out = algo(comm, shard, opts)
+        out = spec.invoke(comm, shard, opts)
         return shard, out
 
     res = run_spmd(prog, p, machine=machine, mem_capacity=capacity, check=False)
@@ -176,6 +192,7 @@ def run_sort(algorithm: str, workload: Workload, *, n_per_rank: int, p: int,
         outputs=outputs if keep_outputs else None,
         extras={
             "mem_peaks": res.mem_peaks,
+            "decisions": outcomes[0].info.get("decisions"),
             "p_active": sum(1 for o in outcomes if o.active),
             "bytes_sent": sum(c.get("bytes.sent", 0) for c in res.counters),
             "messages": sum(c.get("p2p.send", 0) for c in res.counters),

@@ -41,6 +41,31 @@ class TestCli:
         )
         assert code == 0
 
+    def test_sort_explain(self, capsys):
+        code, out = run_cli(
+            capsys, "sort", "--algorithm", "sds", "--p", "8", "--n", "400",
+            "--no-node-merge", "--explain",
+        )
+        assert code == 0
+        assert "decisions :" in out
+        assert "exchange" in out and "overlapped" in out
+        assert "tau_o=" in out
+        assert "node_merge" in out and "local_ordering" in out
+
+    def test_sort_explain_stable_names_sync(self, capsys):
+        code, out = run_cli(
+            capsys, "sort", "--algorithm", "sds-stable", "--p", "4",
+            "--n", "300", "--no-node-merge", "--explain",
+        )
+        assert code == 0
+        assert "-> sync" in out and "-> stable" in out
+
+    def test_info_lists_spec_summaries(self, capsys):
+        code, out = run_cli(capsys, "info")
+        assert code == 0
+        assert "skew-aware adaptive samplesort" in out
+        assert "[stable]" in out
+
     def test_scaling(self, capsys):
         code, out = run_cli(
             capsys, "scaling", "--workload", "uniform",

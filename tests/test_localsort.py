@@ -1,7 +1,6 @@
 """Shared-memory skew-aware local sort (Section 2.2)."""
 
 import numpy as np
-import pytest
 
 from repro.core import sdss_local_sort, shared_merge_loads
 from repro.machine import EDISON, CostModel

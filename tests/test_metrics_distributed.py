@@ -1,13 +1,12 @@
 """In-situ distributed validation (no gathering)."""
 
 import numpy as np
-import pytest
 
 from repro.core import SdsParams, sds_sort
 from repro.metrics import multiset_checksum, validate_distributed
 from repro.mpi import run_spmd
 from repro.records import RecordBatch, tag_provenance
-from repro.workloads import uniform, zipf
+from repro.workloads import zipf
 
 
 class TestChecksum:

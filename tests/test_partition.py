@@ -7,7 +7,6 @@ invariants that Theorem 1 rests on.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

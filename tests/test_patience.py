@@ -1,7 +1,6 @@
 """Patience-style adaptive run sort (the paper's [9])."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

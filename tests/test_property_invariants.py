@@ -6,7 +6,6 @@ pmfs, and structural round-trips of RecordBatch operations.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -222,6 +222,25 @@ class TestPivotPadding:
                                np.dtype(np.int64))
         assert fill == np.iinfo(np.int64).min
 
+    def test_pad_value_float32(self):
+        from repro.core import pivot_pad_value
+        fill = pivot_pad_value(np.array([], dtype=np.float32),
+                               np.dtype(np.float32))
+        assert fill == -np.inf and fill.dtype == np.float32
+
+    @pytest.mark.parametrize("dtype", [np.uint8, np.uint32, np.uint64])
+    def test_pad_value_unsigned_ints(self, dtype):
+        """Unsigned minimum is 0 — the ordered floor, not a sentinel."""
+        from repro.core import pivot_pad_value
+        fill = pivot_pad_value(np.array([], dtype=dtype), np.dtype(dtype))
+        assert fill == 0 and fill.dtype == np.dtype(dtype)
+
+    @pytest.mark.parametrize("dtype", [np.int8, np.int16, np.int32])
+    def test_pad_value_narrow_signed_ints(self, dtype):
+        from repro.core import pivot_pad_value
+        fill = pivot_pad_value(np.array([], dtype=dtype), np.dtype(dtype))
+        assert fill == np.iinfo(dtype).min
+
     def test_pad_value_prefers_last_real_pivot(self):
         from repro.core import pivot_pad_value
         pg = np.array([-9.0, -3.0])
@@ -251,6 +270,33 @@ class TestPivotPadding:
         assert res.ok
         check_sorted([r[0] for r in res.results],
                      [r[1] for r in res.results])
+
+    @pytest.mark.parametrize("method",
+                             ["bitonic", "gather", "histogram", "oversample"])
+    def test_empty_rank_every_pivot_method(self, method):
+        """The min_n == 0 guard degrades *every* configured selector to
+        gather-and-pad; the run must stay correct and record the
+        fallback in the decision trace."""
+        from repro.records import RecordBatch
+
+        def prog(comm):
+            rng = np.random.default_rng(comm.rank)
+            n = 0 if comm.rank == 1 else 60
+            shard = tag_provenance(RecordBatch(np.sort(rng.random(n))),
+                                   comm.rank)
+            out = sds_sort(comm, shard,
+                           SdsParams(node_merge_enabled=False,
+                                     pivot_method=method))
+            return shard, out
+
+        res = run_spmd(prog, 4)
+        assert res.ok
+        outcomes = [r[1] for r in res.results]
+        check_sorted([r[0] for r in res.results],
+                     [o.batch for o in outcomes])
+        trace = {d["decision"]: d for d in outcomes[0].info["decisions"]}
+        assert trace["pivot_method"]["choice"] == "gather"
+        assert trace["pivot_method"]["measured"]["min_n"] == 0
 
     def test_negative_keys_with_empty_rank_stable(self):
         from repro.records import RecordBatch

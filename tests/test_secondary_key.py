@@ -1,7 +1,6 @@
 """Secondary-sort-key HykSort (the workaround the paper declines)."""
 
 import numpy as np
-import pytest
 
 from repro.baselines import hyksort_secondary_key
 from repro.metrics import check_sorted, check_stable, rdfa

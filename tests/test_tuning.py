@@ -1,6 +1,5 @@
 """Automatic threshold derivation (core.tuning)."""
 
-import pytest
 
 from repro.core.tuning import auto_params, derive_tau_m, derive_tau_o, derive_tau_s
 from repro.machine import EDISON, EDISON_SLOW_NET, LAPTOP

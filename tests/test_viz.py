@@ -32,7 +32,7 @@ class TestLineChart:
         out = line_chart({"a": pts}, logx=True, width=40, height=8)
         # log x spreads the early doublings: the marker column of x=2
         # and x=4 must differ
-        rows = [l for l in out.splitlines() if "|" in l]
+        rows = [line for line in out.splitlines() if "|" in line]
         assert any("*" in r for r in rows)
 
     def test_axis_labels(self):
