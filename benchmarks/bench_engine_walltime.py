@@ -27,7 +27,10 @@ Schema v3 resolves algorithms through the :data:`repro.runner.ALGORITHMS`
 spec registry and records rank 0's decision trace per configuration
 (which exchange path ran, which local ordering, the node-merge verdict
 — with the thresholds that decided them); v2 baselines carry over
-unchanged.
+unchanged.  Schema v4 adds the ``chaos`` section written by
+``bench_chaos_overhead.py`` (fault/recovery overhead at p in
+{256, 512}); both benches read-modify-write the file, preserving each
+other's sections and all v3 baselines.
 
 Run directly (``python benchmarks/bench_engine_walltime.py``) or via
 pytest.  ``REPRO_BENCH_QUICK`` drops the p=1024 point.
@@ -121,14 +124,21 @@ def write_report(runs: dict) -> list[str]:
         rows.append(f"{name:>18s} {fmt_time(base) if base else '-':>9s} "
                     f"{fmt_time(r['wall_seconds']):>8s} "
                     f"{str(r['speedup_vs_baseline']) + 'x' if base else '-':>8s}")
-    JSON_PATH.write_text(json.dumps({
-        "schema": "bench_engine_walltime/v3",
+    # read-modify-write: bench_chaos_overhead.py owns the "chaos"
+    # section of the same file, and each bench preserves the other's
+    existing = (json.loads(JSON_PATH.read_text())
+                if JSON_PATH.exists() else {})
+    payload = {
+        "schema": "bench_engine_walltime/v4",
         "machine": "EDISON cost model, uniform workload, node_merge off",
         "seed_issue": SEED_ISSUE,
         "seed_host": SEED_HOST,
         "pre_fusion": PRE_FUSION,
         "runs": runs,
-    }, indent=1) + "\n")
+    }
+    if "chaos" in existing:
+        payload["chaos"] = existing["chaos"]
+    JSON_PATH.write_text(json.dumps(payload, indent=1) + "\n")
     return rows
 
 

@@ -3,6 +3,8 @@
 Installed as ``sdssort`` (or run as ``python -m repro``)::
 
     sdssort sort --algorithm sds --workload zipf --alpha 0.9 --p 32
+    sdssort sort --fault-spec drop --fault-seed 3 --explain
+    sdssort chaos --p 64 --seeds 0..4
     sdssort scaling --workload uniform --algorithms sds,hyksort
     sdssort rdfa --p 512,8192,131072
     sdssort tune --machine edison
@@ -47,6 +49,78 @@ def _int_list(text: str) -> list[int]:
     return [int(x) for x in text.split(",") if x]
 
 
+def _positive_int(text: str) -> int:
+    """argparse type: integer >= 1 (clear error, no engine traceback)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _nonneg_int(text: str) -> int:
+    """argparse type: integer >= 0."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """argparse type: float > 0."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
+    return value
+
+
+def _seed_list(text: str) -> list[int]:
+    """Seeds as ``0..4`` (inclusive range) or ``0,3,7`` (explicit list)."""
+    if ".." in text:
+        lo, _, hi = text.partition("..")
+        try:
+            start, stop = int(lo), int(hi)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"{text!r} is not a seed range (expected e.g. 0..4)")
+        if stop < start:
+            raise argparse.ArgumentTypeError(
+                f"empty seed range {text!r}")
+        return list(range(start, stop + 1))
+    try:
+        return [int(x) for x in text.split(",") if x]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"{text!r} is not a seed list (expected e.g. 0,1,2 or 0..4)")
+
+
+def _fault_spec(text: str):
+    """A chaos preset name or an inline JSON FaultSpec."""
+    import json
+
+    from .faults.chaos import PRESETS as FAULT_PRESETS
+    from .faults.spec import FaultSpec
+
+    if text in FAULT_PRESETS:
+        return FAULT_PRESETS[text]
+    if text.lstrip().startswith("{"):
+        try:
+            return FaultSpec.from_dict(json.loads(text))
+        except (ValueError, TypeError) as exc:
+            raise argparse.ArgumentTypeError(f"bad fault spec: {exc}")
+    raise argparse.ArgumentTypeError(
+        f"unknown fault preset {text!r} (options: "
+        f"{', '.join(sorted(FAULT_PRESETS))}) and not inline JSON")
+
+
 def cmd_sort(args: argparse.Namespace) -> int:
     machine = get_machine(args.machine)
     opts = {}
@@ -58,7 +132,8 @@ def cmd_sort(args: argparse.Namespace) -> int:
     r = run_sort(args.algorithm, _workload(args), n_per_rank=args.n,
                  p=args.p, machine=machine, seed=args.seed,
                  mem_factor=None if args.no_mem_limit else args.mem_factor,
-                 algo_opts=opts)
+                 algo_opts=opts, faults=args.fault_spec,
+                 fault_seed=args.fault_seed)
     print(f"algorithm : {r.algorithm}")
     print(f"workload  : {r.workload}  (N = {args.n * args.p:,} records)")
     print(f"machine   : {machine.name}, p = {args.p}")
@@ -70,6 +145,15 @@ def cmd_sort(args: argparse.Namespace) -> int:
     print(f"sim time  : {r.elapsed:.6f} s  "
           f"({r.throughput_tb_min:,.2f} TB/min at scale)")
     print(f"RDFA      : {r.rdfa:.4f}")
+    if args.fault_spec is not None and "faults" in r.extras:
+        counters = r.extras["faults"]
+        crashed = r.extras.get("crashed_ranks", [])
+        injected = sum(v for k, v in counters.items()
+                       if k.startswith("faults."))
+        print(f"faults    : {injected:.0f} injected "
+              f"(fault seed {args.fault_seed}), "
+              f"retry time {counters.get('retry.time', 0.0):.6f} s, "
+              f"crashed ranks {crashed if crashed else 'none'}")
     if r.phase_times:
         print("phases    :")
         for name, t in sorted(r.phase_times.items(), key=lambda kv: -kv[1]):
@@ -284,6 +368,28 @@ def cmd_dataset(args: argparse.Namespace) -> int:
     raise SystemExit(f"unknown dataset action {args.action!r}")
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from .faults.chaos import run_chaos
+    from .faults.report import render_report
+
+    machine = get_machine(args.machine)
+    report = run_chaos(
+        p=args.p, n_per_rank=args.n, seeds=args.seeds,
+        specs=args.specs.split(",") if args.specs else None,
+        algorithms=args.algorithms.split(","),
+        workload=args.workload, machine=machine)
+    for line in render_report(report):
+        print(line)
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report.as_dict(), fh, indent=2, sort_keys=True)
+        print(f"\nfull report written to {args.json}")
+    summary = report.summary()
+    return 0 if summary["recovery_rate"] == 1.0 else 1
+
+
 def cmd_info(args: argparse.Namespace) -> int:
     print("algorithms:")
     for name in sorted(ALGORITHMS):
@@ -312,16 +418,25 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--workload", default="uniform")
     ps.add_argument("--alpha", type=float, default=0.7,
                     help="Zipf exponent (zipf workload only)")
-    ps.add_argument("--n", type=int, default=2000, help="records per rank")
-    ps.add_argument("--p", type=int, default=16, help="simulated ranks")
+    ps.add_argument("--n", type=_nonneg_int, default=2000,
+                    help="records per rank")
+    ps.add_argument("--p", type=_positive_int, default=16,
+                    help="simulated ranks")
     ps.add_argument("--machine", default="edison")
     ps.add_argument("--seed", type=int, default=0)
-    ps.add_argument("--mem-factor", type=float, default=6.7,
+    ps.add_argument("--mem-factor", type=_positive_float, default=6.7,
                     help="per-rank memory capacity as multiple of input")
     ps.add_argument("--no-mem-limit", action="store_true")
     ps.add_argument("--no-node-merge", action="store_true")
     ps.add_argument("--sync", action="store_true",
                     help="force the synchronous exchange (tau_o = 0)")
+    ps.add_argument("--fault-spec", type=_fault_spec, default=None,
+                    metavar="PRESET|JSON",
+                    help="inject faults: a chaos preset name or an inline "
+                         "JSON FaultSpec")
+    ps.add_argument("--fault-seed", type=int, default=0,
+                    help="seed of the fault schedule (independent of the "
+                         "data seed)")
     ps.add_argument("--explain", action="store_true",
                     help="print every adaptive decision the sort made "
                          "(thresholds, measured values, winners)")
@@ -383,6 +498,24 @@ def build_parser() -> argparse.ArgumentParser:
     pd.add_argument("--seed", type=int, default=0)
     pd.add_argument("--overwrite", action="store_true")
     pd.set_defaults(fn=cmd_dataset)
+
+    px = sub.add_parser(
+        "chaos",
+        help="run a seeded fault matrix and report resilience")
+    px.add_argument("--p", type=_positive_int, default=64,
+                    help="simulated ranks")
+    px.add_argument("--n", type=_nonneg_int, default=256,
+                    help="records per rank")
+    px.add_argument("--seeds", type=_seed_list, default=[0, 1, 2],
+                    help="fault/data seeds: 0..4 (inclusive) or 0,1,2")
+    px.add_argument("--specs", default=None,
+                    help="comma-separated chaos presets (default: all)")
+    px.add_argument("--algorithms", default="sds,sds-stable")
+    px.add_argument("--workload", default="uniform")
+    px.add_argument("--machine", default="edison")
+    px.add_argument("--json", default=None, metavar="PATH",
+                    help="also write the full report as JSON")
+    px.set_defaults(fn=cmd_chaos)
 
     pi = sub.add_parser("info", help="list algorithms, workloads, machines")
     pi.set_defaults(fn=cmd_info)

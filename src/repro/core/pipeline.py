@@ -64,6 +64,7 @@ __all__ = [
     "PivotSelect",
     "Partition",
     "Exchange",
+    "fault_health_check",
     "local_delta",
     "pivot_pad_value",
     "select_pivots",
@@ -183,6 +184,63 @@ class RunContext:
 
     def decisions(self) -> list[dict[str, Any]]:
         return self.plan.decisions()
+
+
+def fault_health_check(ctx: RunContext, boundary: str) -> str | None:
+    """Cooperative crash barrier at a pipeline phase boundary.
+
+    When the active fault plan schedules crashes, every active rank
+    allgathers its crash verdict for ``boundary`` and the group splits
+    into survivors and victims:
+
+    * a **victim** participates in the split (opting out with a None
+      colour, like MPI_UNDEFINED), releases the memory it still holds
+      and exits the pipeline with an inactive outcome — returns
+      ``"crashed"``;
+    * **survivors** shrink ``ctx.active`` to the reduced communicator
+      and record the recovery in the decision trace — returns
+      ``"recovered"`` so the driver can re-run the phases whose results
+      depend on the communicator size;
+    * with no victim at this boundary the check is a cheap allgather of
+      zeros — returns ``None``.
+
+    Fault-free runs (no plan, or a plan without crashes) skip the
+    collectives entirely, so healthy virtual clocks are untouched.
+    """
+    comm, active = ctx.comm, ctx.active
+    fplan = comm.faults
+    if fplan is None or not fplan.has_crashes:
+        return None
+    with comm.phase("fault_recovery"):
+        me_dead = fplan.crash_at(comm.grank, boundary)
+        verdicts = active.allgather(comm.grank if me_dead else -1)
+        crashed = sorted(g for g in verdicts if g >= 0)
+        if not crashed:
+            return None
+        survivor = active.split(None if me_dead else 0, key=active.rank)
+        if me_dead:
+            comm.count("faults.crashed")
+            comm.mem.free(ctx.batch.nbytes)
+            ctx.outcome = SortOutcome(
+                batch=RecordBatch.empty_like(ctx.batch),
+                received=0,
+                active=False,
+                info={"crashed": True, "crash_boundary": boundary,
+                      "p_active": 0, "decisions": ctx.plan.decisions()},
+            )
+            return "crashed"
+        assert survivor is not None
+        comm.count("faults.peer_crash_detected", len(crashed))
+        ctx.active = survivor
+        ctx.plan.decide(Decision(
+            "fault_recovery", "shrink",
+            measured={"boundary": boundary,
+                      "crashed_ranks": list(crashed),
+                      "p_active": survivor.size},
+            reason=f"rank(s) {', '.join(map(str, crashed))} crashed at "
+                   f"the {boundary} boundary: continuing degraded on "
+                   f"{survivor.size} survivors"))
+        return "recovered"
 
 
 #: Registered phase strategies, by stable name.

@@ -39,6 +39,7 @@ from .params import SdsParams
 from .pipeline import (
     RunContext,
     SortOutcome,
+    fault_health_check,
     get_phase,
     local_delta,
     pivot_pad_value,
@@ -75,8 +76,27 @@ def sds_sort(comm: Comm, batch: RecordBatch,
     if ctx.active.size == 1:
         return _singleton_outcome(ctx)
 
+    # crash barriers run only under a fault plan that schedules crashes;
+    # they are no-ops (not even a collective) on healthy runs
+    if fault_health_check(ctx, "pivot_select") == "crashed":
+        return ctx.outcome
+    if ctx.active.size == 1:  # every peer of this rank crashed
+        return _singleton_outcome(ctx)
+
     get_phase("pivot_select")().run(ctx)
     get_phase("partition")().run(ctx)
+
+    status = fault_health_check(ctx, "exchange")
+    if status == "crashed":
+        return ctx.outcome
+    if status == "recovered":
+        if ctx.active.size == 1:
+            return _singleton_outcome(ctx)
+        # pivots and displacements are functions of the communicator
+        # size: survivors must re-derive both over the reduced world
+        get_phase("pivot_select")().run(ctx)
+        get_phase("partition")().run(ctx)
+
     get_phase("exchange")(stable=params.stable).run(ctx)
 
     return SortOutcome(

@@ -1,0 +1,46 @@
+"""Deterministic fault injection & resilience for the simulated cluster.
+
+Declare a campaign as a :class:`FaultSpec`, compile it against a world
+shape into a :class:`FaultPlan`, and hand the plan to the engine
+(``run_spmd(..., faults=plan)`` or ``run_sort(..., faults=spec)``):
+
+* the schedule is a pure function of ``(spec, p, seed)`` — same triple,
+  same faults, same sorted output, same report;
+* a plan of ``None`` (or an empty spec) leaves the engine bit-for-bit
+  identical to a fault-free run;
+* recovery (retries, degraded completion) is priced through the LogGP
+  cost model, so resilience shows up in simulated walltime.
+
+The chaos harness (:mod:`repro.faults.chaos`) imports the runner and is
+deliberately not re-exported here — import it directly to avoid the
+package cycle.  See docs/faults.md for the taxonomy and contracts.
+"""
+
+from .plan import CollectivePenalty, FaultPlan, MessageEvent
+from .report import ChaosReport, RunRecord, canonical_hash, render_report
+from .spec import (
+    CRASH_BOUNDARIES,
+    CollectiveFaults,
+    CrashFault,
+    FaultSpec,
+    MessageFaults,
+    RetryPolicy,
+    StragglerFault,
+)
+
+__all__ = [
+    "CRASH_BOUNDARIES",
+    "StragglerFault",
+    "MessageFaults",
+    "CollectiveFaults",
+    "CrashFault",
+    "RetryPolicy",
+    "FaultSpec",
+    "FaultPlan",
+    "MessageEvent",
+    "CollectivePenalty",
+    "ChaosReport",
+    "RunRecord",
+    "canonical_hash",
+    "render_report",
+]

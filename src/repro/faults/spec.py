@@ -1,0 +1,242 @@
+"""Fault taxonomy: what can go wrong, declared as data.
+
+A :class:`FaultSpec` is the user-facing, machine-independent description
+of a fault campaign — *which* failure modes are enabled and at what
+intensity.  It deliberately contains no randomness and no resolved
+schedule: compiling it against a world shape and a seed
+(:meth:`FaultSpec.compile`) produces the fully deterministic
+:class:`~repro.faults.plan.FaultPlan` the engine hooks consult.
+
+Four fault families (see docs/faults.md for the full taxonomy):
+
+* **stragglers** — named or seed-drawn ranks whose *compute* charges
+  are scaled by a slowdown factor (the virtual-clock analogue of a
+  thermally throttled or oversubscribed node);
+* **messages** — per-message drop / delay / duplication, applied to
+  point-to-point traffic and (drops) to the per-peer message trials of
+  every staged collective;
+* **collectives** — transient whole-collective failures (a failed
+  allreduce/alltoallv attempt that must be retried);
+* **crashes** — a rank dies at a named phase boundary of the sort
+  pipeline; surviving ranks complete degraded on the reduced
+  communicator.
+
+The :class:`RetryPolicy` prices recovery: every retransmission or
+retried collective attempt charges its timeout (with exponential
+backoff) plus the LogGP resend cost to the affected rank's virtual
+clock, so resilience shows up in simulated walltime, not just counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Mapping, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .plan import FaultPlan
+
+__all__ = [
+    "CRASH_BOUNDARIES",
+    "StragglerFault",
+    "MessageFaults",
+    "CollectiveFaults",
+    "CrashFault",
+    "RetryPolicy",
+    "FaultSpec",
+]
+
+#: Pipeline boundaries at which a :class:`CrashFault` may fire.  The
+#: names match the phase the crashing rank would have entered next:
+#: ``"pivot_select"`` kills it right after local sort / node merge;
+#: ``"exchange"`` kills it after partitioning, forcing survivors to
+#: re-run pivot selection and partitioning over the reduced world.
+CRASH_BOUNDARIES = ("pivot_select", "exchange")
+
+
+def _check_rate(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be a probability in [0, 1], "
+                         f"got {value!r}")
+
+
+@dataclass(frozen=True)
+class StragglerFault:
+    """Slow ranks: compute charges scaled by ``slowdown``.
+
+    ``rank >= 0`` names the straggler explicitly; ``rank == -1`` lets
+    the plan draw ``count`` distinct ranks from the seed.
+    """
+
+    rank: int = -1
+    count: int = 1
+    slowdown: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.rank < -1:
+            raise ValueError(f"rank must be >= 0 or -1 (seed-drawn), "
+                             f"got {self.rank}")
+        if self.count < 1:
+            raise ValueError(f"count must be >= 1, got {self.count}")
+        if self.slowdown < 1.0:
+            raise ValueError(f"slowdown must be >= 1, got {self.slowdown}")
+
+
+@dataclass(frozen=True)
+class MessageFaults:
+    """Per-message transport faults.
+
+    ``drop_rate`` applies per transmission attempt — a dropped message
+    is retransmitted by the reliable layer until delivered or
+    :attr:`RetryPolicy.max_retries` is exhausted.  ``delay`` seconds of
+    extra latency are injected with probability ``delay_rate``;
+    duplicates cost the sender an extra injection and the receiver a
+    discard, with probability ``duplicate_rate``.
+    """
+
+    drop_rate: float = 0.0
+    delay_rate: float = 0.0
+    delay: float = 1e-3
+    duplicate_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check_rate("drop_rate", self.drop_rate)
+        _check_rate("delay_rate", self.delay_rate)
+        _check_rate("duplicate_rate", self.duplicate_rate)
+        if self.delay < 0:
+            raise ValueError(f"delay must be >= 0, got {self.delay}")
+
+    @property
+    def any(self) -> bool:
+        return (self.drop_rate > 0 or self.delay_rate > 0
+                or self.duplicate_rate > 0)
+
+
+@dataclass(frozen=True)
+class CollectiveFaults:
+    """Transient whole-collective failures.
+
+    Each staged collective independently fails ``k`` consecutive
+    attempts with per-attempt probability ``transient_rate``; every
+    participant charges the retry timeouts plus a re-synchronisation
+    barrier per failed attempt.
+    """
+
+    transient_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check_rate("transient_rate", self.transient_rate)
+
+
+@dataclass(frozen=True)
+class CrashFault:
+    """A rank dies at a named pipeline boundary.
+
+    ``rank >= 0`` names the victim; ``rank == -1`` draws it from the
+    seed.  ``phase`` must be one of :data:`CRASH_BOUNDARIES`.
+    """
+
+    rank: int = -1
+    phase: str = "exchange"
+
+    def __post_init__(self) -> None:
+        if self.rank < -1:
+            raise ValueError(f"rank must be >= 0 or -1 (seed-drawn), "
+                             f"got {self.rank}")
+        if self.phase not in CRASH_BOUNDARIES:
+            raise ValueError(f"unknown crash phase {self.phase!r}; "
+                             f"options: {', '.join(CRASH_BOUNDARIES)}")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How recovery is priced in virtual time.
+
+    A failed attempt ``i`` (0-based) charges ``timeout * backoff**i``
+    of detection latency before the retransmission; the resend itself
+    is charged through the LogGP cost model (``p2p_time`` for messages,
+    ``barrier_time`` for collective re-synchronisation).  Delivery
+    failing ``max_retries + 1`` consecutive times is unrecoverable and
+    surfaces as :class:`~repro.mpi.errors.MessageLostError`.
+    """
+
+    timeout: float = 1e-3
+    backoff: float = 2.0
+    max_retries: int = 8
+
+    def __post_init__(self) -> None:
+        if self.timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {self.timeout}")
+        if self.backoff < 1.0:
+            raise ValueError(f"backoff must be >= 1, got {self.backoff}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, "
+                             f"got {self.max_retries}")
+
+    def detection_time(self, failed_attempts: int) -> float:
+        """Total timeout latency of ``failed_attempts`` consecutive drops."""
+        return sum(self.timeout * self.backoff ** i
+                   for i in range(failed_attempts))
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One complete, seedless fault campaign description.
+
+    Compile against a world shape to obtain the deterministic schedule::
+
+        plan = FaultSpec(messages=MessageFaults(drop_rate=0.1)).compile(
+            p=256, seed=0)
+
+    The same ``(spec, p, seed)`` triple always compiles to the same
+    :class:`~repro.faults.plan.FaultPlan` — the determinism contract
+    chaos runs, CI hashes and the golden suite rely on.
+    """
+
+    stragglers: tuple[StragglerFault, ...] = ()
+    messages: MessageFaults = field(default_factory=MessageFaults)
+    collectives: CollectiveFaults = field(default_factory=CollectiveFaults)
+    crashes: tuple[CrashFault, ...] = ()
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+
+    def __post_init__(self) -> None:
+        # tolerate lists in hand-written specs
+        if not isinstance(self.stragglers, tuple):
+            object.__setattr__(self, "stragglers", tuple(self.stragglers))
+        if not isinstance(self.crashes, tuple):
+            object.__setattr__(self, "crashes", tuple(self.crashes))
+
+    @property
+    def empty(self) -> bool:
+        """True when no fault family is enabled."""
+        return (not self.stragglers and not self.crashes
+                and not self.messages.any
+                and self.collectives.transient_rate == 0)
+
+    def compile(self, p: int, seed: int) -> "FaultPlan":
+        """Resolve this spec into a deterministic per-world schedule."""
+        from .plan import FaultPlan
+        return FaultPlan(self, p, seed)
+
+    # ------------------------------------------------------------ (de)ser
+    def as_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultSpec":
+        """Build a spec from a plain dict (CLI / JSON configs)."""
+        d = dict(data)
+        unknown = set(d) - {"stragglers", "messages", "collectives",
+                            "crashes", "retry"}
+        if unknown:
+            raise ValueError(f"unknown FaultSpec fields: {sorted(unknown)}")
+        return cls(
+            stragglers=tuple(StragglerFault(**s)
+                             for s in d.get("stragglers", ())),
+            messages=MessageFaults(**d.get("messages", {})),
+            collectives=CollectiveFaults(**d.get("collectives", {})),
+            crashes=tuple(CrashFault(**c) for c in d.get("crashes", ())),
+            retry=RetryPolicy(**d.get("retry", {})),
+        )
+
+    def with_overrides(self, **kwargs: Any) -> "FaultSpec":
+        return replace(self, **kwargs)

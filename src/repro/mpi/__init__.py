@@ -7,7 +7,7 @@ plain functions over a :class:`Comm`; see DESIGN.md section 6.
 from .comm import Comm, Request, World, payload_nbytes
 from .context import AbortFlag, Channel, CommContext
 from .engine import SpmdPool, SpmdResult, default_pool, run_spmd
-from .errors import RankFailure, SimAbort
+from .errors import MessageLostError, RankFailure, SimAbort
 
 __all__ = [
     "Comm",
@@ -21,6 +21,7 @@ __all__ = [
     "SpmdResult",
     "default_pool",
     "run_spmd",
+    "MessageLostError",
     "RankFailure",
     "SimAbort",
 ]

@@ -40,6 +40,7 @@ import numpy as np
 from ..machine import CostModel, MachineSpec, MemoryTracker
 from ..records import RecordBatch
 from .context import AbortFlag, Channel, CommContext
+from .errors import MessageLostError
 
 
 def payload_nbytes(obj: Any) -> int:
@@ -74,7 +75,8 @@ class World:
     """Process-global state of one simulated run."""
 
     def __init__(self, p: int, machine: MachineSpec,
-                 mem_capacity: int | None = None):
+                 mem_capacity: int | None = None,
+                 faults: Any = None):
         self.p = p
         self.machine = machine
         self.cost = CostModel(machine)
@@ -88,6 +90,19 @@ class World:
         self._channels: dict[tuple[int, int, int], Channel] = {}
         self._channels_lock = threading.Lock()
         self.world_ctx = CommContext(range(p), self.abort)
+        #: compiled :class:`~repro.faults.plan.FaultPlan` or None.  A
+        #: plan with ``active == False`` is treated exactly like None,
+        #: so an empty FaultSpec never perturbs the virtual clocks.
+        if faults is not None and not getattr(faults, "active", True):
+            faults = None
+        self.faults = faults
+        if faults is not None:
+            # per-(edge, tag) message sequence numbers; index [grank]
+            # is touched only by that rank's thread, so no locking.
+            self.p2p_send_seq: list[dict[tuple[int, int], int]] = \
+                [dict() for _ in range(p)]
+            self.p2p_recv_seq: list[dict[tuple[int, int], int]] = \
+                [dict() for _ in range(p)]
 
     def node_of(self, grank: int) -> int:
         """Node hosting a global rank (dense one-rank-per-core placement)."""
@@ -121,7 +136,8 @@ class Request:
             return True
         got = self._comm._try_recv(self._source, self._tag)
         if got is not None:
-            self._value = self._comm._complete_recv(*got)
+            gsrc = self._comm._ctx.group[self._source]
+            self._value = self._comm._complete_recv(gsrc, self._tag, *got)
             self._done = True
         return self._done
 
@@ -143,6 +159,22 @@ class Comm:
         self.size = ctx.size
         self.grank = ctx.group[rank]
         self._rpn: int | None = None  # cached ranks_per_node
+        faults = world.faults
+        self._faults = faults
+        if faults is not None:
+            self._slowdown = faults.slowdown(self.grank)
+            self._fault_debt = 0.0   # collective penalties, folded into
+            #                          the next set_clock (collectives
+            #                          overwrite the clock absolutely)
+            self._coll_seq = 0       # per-communicator collective counter
+            self._send_seq = world.p2p_send_seq[self.grank]
+            self._recv_seq = world.p2p_recv_seq[self.grank]
+            if self._slowdown != 1.0 and ctx is world.world_ctx:
+                # mark the condition once per rank per run (world-comm
+                # construction), so reports can count stragglers
+                self.count("faults.straggler", 1.0)
+        else:
+            self._slowdown = 1.0
 
     # ------------------------------------------------------------------
     # introspection / accounting
@@ -164,13 +196,33 @@ class Comm:
         """This rank's virtual time, in simulated seconds."""
         return self._world.clocks[self.grank]
 
+    @property
+    def faults(self) -> Any:
+        """The active :class:`~repro.faults.plan.FaultPlan`, or None."""
+        return self._faults
+
     def charge(self, seconds: float) -> None:
-        """Advance the virtual clock by a modelled compute cost."""
+        """Advance the virtual clock by a modelled compute cost.
+
+        Straggler faults scale CPU-side charges here: everything the
+        rank *computes* (including software messaging overheads) runs
+        slow, while pure network time — p2p flight times and collective
+        costs applied via :meth:`set_clock` — is unaffected.
+        """
         if seconds < 0:
             raise ValueError("cannot charge negative time")
+        if self._slowdown != 1.0:
+            seconds *= self._slowdown
+        self._world.clocks[self.grank] += seconds
+
+    def _advance(self, seconds: float) -> None:
+        """Raw clock advance (retry timeouts; never straggler-scaled)."""
         self._world.clocks[self.grank] += seconds
 
     def set_clock(self, t: float) -> None:
+        if self._faults is not None and self._fault_debt:
+            t += self._fault_debt
+            self._fault_debt = 0.0
         self._world.clocks[self.grank] = t
 
     def count(self, name: str, value: float = 1.0) -> None:
@@ -261,7 +313,41 @@ class Comm:
 
         shared = self._sync(produce)
         mine = reader(stage) if reader is not None else None
+        f = self._faults
+        if f is not None and f.affects_collectives:
+            self._charge_collective_faults()
         return shared, mine
+
+    def _charge_collective_faults(self) -> None:
+        """Deterministic per-collective fault debt (drops + transients).
+
+        Every rank of the communicator calls collectives in lockstep,
+        so the private ``_coll_seq`` counters agree across ranks and
+        each rank derives its verdict from the fault plan without any
+        extra communication.  The resulting debt is accumulated and
+        folded into the next :meth:`set_clock` — which is always the
+        collective's own cost application — because collectives
+        overwrite the clock absolutely.
+        """
+        seq = self._coll_seq
+        self._coll_seq = seq + 1
+        pen = self._faults.collective_penalty(self._ctx.group, seq, self.rank)
+        if pen is None:
+            return
+        if pen.lost:
+            raise MessageLostError(
+                f"collective #{seq} on a {self.size}-rank communicator: "
+                f"rank {self.grank} exhausted "
+                f"{self._faults.spec.retry.max_retries} retries")
+        debt = pen.detect_seconds
+        if pen.resend_messages:
+            debt += pen.resend_messages * self.cost.p2p_time(0)
+            self.count("faults.coll_msg_dropped", pen.dropped)
+        if pen.resync_rounds:
+            debt += pen.resync_rounds * self.cost.barrier_time(self.size)
+            self.count("faults.coll_transient", pen.resync_rounds)
+        self._fault_debt += debt
+        self.count("retry.time", debt)
 
     # ------------------------------------------------------------------
     # collectives
@@ -597,10 +683,49 @@ class Comm:
     # point-to-point
     # ------------------------------------------------------------------
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
-        """Eager send to ``dest`` (communicator rank)."""
+        """Eager send to ``dest`` (communicator rank).
+
+        Under a fault plan, transport faults for this message are
+        resolved here deterministically (see
+        :meth:`~repro.faults.plan.FaultPlan.p2p_event`).  Drops are
+        *modelled, not enacted*: the reliable layer retransmits until
+        delivery, so the payload crosses the wire exactly once while
+        the sender's clock absorbs the detection timeouts and resend
+        costs — protocols above never see a missing message and cannot
+        deadlock.  Delays inflate the carried send timestamp;
+        duplicates charge the sender one extra injection (the receiver
+        discards its copy in :meth:`_complete_recv` from the same
+        deterministic event, so no spurious payload enters the
+        channel).
+        """
         self.charge(self.machine.per_message_overhead)
-        ch = self._world.channel(self.grank, self._ctx.group[dest], tag)
-        ch.put((obj, self.clock))
+        gdest = self._ctx.group[dest]
+        sent_clock = None
+        f = self._faults
+        if f is not None and f.has_message_faults:
+            key = (gdest, tag)
+            seq = self._send_seq.get(key, 0)
+            self._send_seq[key] = seq + 1
+            ev = f.p2p_event(self.grank, gdest, tag, seq)
+            if ev.lost:
+                raise MessageLostError(
+                    f"message {self.grank}->{gdest} (tag {tag}, seq {seq}) "
+                    f"dropped more than {f.spec.retry.max_retries} times")
+            if ev.drops:
+                penalty = (f.spec.retry.detection_time(ev.drops)
+                           + ev.drops * self.cost.p2p_time(
+                               payload_nbytes(obj)))
+                self._advance(penalty)
+                self.count("faults.msg_dropped", ev.drops)
+                self.count("retry.time", penalty)
+            if ev.delay:
+                sent_clock = self.clock + ev.delay
+                self.count("faults.msg_delayed")
+            if ev.duplicate:
+                self._advance(self.machine.per_message_overhead)
+                self.count("faults.msg_duplicated")
+        ch = self._world.channel(self.grank, gdest, tag)
+        ch.put((obj, self.clock if sent_clock is None else sent_clock))
         self.count("p2p.send")
         self.count("bytes.sent", payload_nbytes(obj))
 
@@ -608,9 +733,22 @@ class Comm:
         ch = self._world.channel(self._ctx.group[source], self.grank, tag)
         return ch.get_nowait()
 
-    def _complete_recv(self, obj: Any, sent_clock: float) -> Any:
+    def _complete_recv(self, gsrc: int, tag: int, obj: Any,
+                       sent_clock: float) -> Any:
         arrival = sent_clock + self.cost.p2p_time(payload_nbytes(obj))
         self.set_clock(max(self.clock, arrival))
+        f = self._faults
+        if f is not None and f.has_message_faults:
+            key = (gsrc, tag)
+            seq = self._recv_seq.get(key, 0)
+            self._recv_seq[key] = seq + 1
+            # channels are FIFO per (src, dst, tag), so the receiver's
+            # private counter names the same message the sender drew —
+            # both sides resolve the identical MessageEvent.
+            ev = f.p2p_event(gsrc, self.grank, tag, seq)
+            if ev.duplicate:
+                self._advance(self.machine.per_message_overhead)
+                self.count("faults.dup_discarded")
         self.count("p2p.recv")
         return obj
 
@@ -620,13 +758,14 @@ class Comm:
         Wall-clock seconds spent blocked waiting for the message are
         accumulated in the ``p2p.wait`` counter.
         """
-        ch = self._world.channel(self._ctx.group[source], self.grank, tag)
+        gsrc = self._ctx.group[source]
+        ch = self._world.channel(gsrc, self.grank, tag)
         got = ch.get_nowait()
         if got is None:
             t0 = time.perf_counter()
             got = ch.get(self._world.abort)
             self.count("p2p.wait", time.perf_counter() - t0)
-        return self._complete_recv(*got)
+        return self._complete_recv(gsrc, tag, *got)
 
     def irecv(self, source: int, tag: int = 0) -> Request:
         """Post a nonblocking receive; complete via ``test``/``wait``."""

@@ -215,7 +215,8 @@ def run_spmd(fn: Callable[..., Any], p: int, *,
              args: Sequence[Any] = (),
              kwargs: dict[str, Any] | None = None,
              check: bool = True,
-             pool: SpmdPool | None = None) -> SpmdResult:
+             pool: SpmdPool | None = None,
+             faults: Any = None) -> SpmdResult:
     """Execute ``fn(comm, *args, **kwargs)`` on ``p`` simulated ranks.
 
     Parameters
@@ -238,11 +239,19 @@ def run_spmd(fn: Callable[..., Any], p: int, *,
     pool:
         Rank-thread pool to run on (default: the process-wide
         :func:`default_pool`, reused across invocations).
+    faults:
+        Optional compiled :class:`~repro.faults.plan.FaultPlan` (for
+        ``p`` ranks) injected at the Comm hook points.  ``None`` — the
+        default — leaves every code path bit-for-bit identical to a
+        fault-free engine.
     """
     if p < 1:
         raise ValueError("p must be >= 1")
+    if faults is not None and getattr(faults, "p", p) != p:
+        raise ValueError(f"fault plan compiled for p={faults.p}, "
+                         f"world has p={p}")
     kwargs = dict(kwargs or {})
-    world = World(p, machine, mem_capacity=mem_capacity)
+    world = World(p, machine, mem_capacity=mem_capacity, faults=faults)
     results: list[Any] = [None] * p
     failures: list[tuple[int, BaseException]] = []
     failures_lock = threading.Lock()
@@ -266,10 +275,9 @@ def run_spmd(fn: Callable[..., Any], p: int, *,
     failure: RankFailure | None = None
     if failures:
         failures.sort(key=lambda rf: rf[0])
-        rank, cause = failures[0]
-        failure = RankFailure(rank, cause)
+        failure = RankFailure(failures)
         if check:
-            raise failure from cause
+            raise failure from failure.cause
 
     return SpmdResult(
         p=p,

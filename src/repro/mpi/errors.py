@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import Sequence
+
 
 class SimAbort(RuntimeError):
     """Raised inside a rank whose world was aborted by another rank.
@@ -13,16 +15,49 @@ class SimAbort(RuntimeError):
     """
 
 
+class MessageLostError(RuntimeError):
+    """A message exhausted the retry budget and could not be delivered.
+
+    Raised by the reliable transport layer when a fault plan drops the
+    same message more than :attr:`~repro.faults.spec.RetryPolicy.max_retries`
+    consecutive times (or a collective's retransmission chain never
+    drains).  Unrecoverable by design: it aborts the world and surfaces
+    through :class:`RankFailure` like any other rank exception.
+    """
+
+
 class RankFailure(RuntimeError):
-    """A simulated run failed; wraps the first per-rank exception.
+    """A simulated run failed; aggregates every rank's exception.
+
+    All failed ranks are reported, in rank order, with their original
+    exception objects (tracebacks intact).  The engine raises the
+    aggregate ``from`` the first exception, so ``__cause__`` chains to
+    the primary failure while :attr:`failures` preserves the rest —
+    multi-rank faults (routine under fault injection) are never
+    silently collapsed to one rank.
 
     Attributes
     ----------
-    rank: the global rank whose exception aborted the run.
-    cause: the original exception instance.
+    failures: ordered tuple of ``(rank, exception)`` for every failed rank.
+    rank: the lowest-numbered failed rank (primary failure).
+    cause: that rank's exception instance.
     """
 
-    def __init__(self, rank: int, cause: BaseException):
-        self.rank = rank
-        self.cause = cause
-        super().__init__(f"rank {rank} failed: {cause!r}")
+    def __init__(self, failures: Sequence[tuple[int, BaseException]]):
+        self.failures = tuple(failures)
+        if not self.failures:
+            raise ValueError("RankFailure needs at least one (rank, exc)")
+        self.rank, self.cause = self.failures[0]
+        if len(self.failures) == 1:
+            msg = f"rank {self.rank} failed: {self.cause!r}"
+        else:
+            head = ", ".join(f"rank {r}: {type(e).__name__}"
+                             for r, e in self.failures)
+            msg = (f"{len(self.failures)} ranks failed ({head}); "
+                   f"primary: rank {self.rank} failed: {self.cause!r}")
+        super().__init__(msg)
+
+    @property
+    def ranks(self) -> tuple[int, ...]:
+        """All failed ranks, ascending."""
+        return tuple(r for r, _ in self.failures)

@@ -130,11 +130,16 @@ class RunResult:
         return tb_per_min(self.total_bytes, self.elapsed)
 
 
+#: Counter prefixes aggregated into ``RunResult.extras["faults"]``.
+_FAULT_COUNTER_PREFIXES = ("faults.", "retry.")
+
+
 def run_sort(algorithm: str, workload: Workload, *, n_per_rank: int, p: int,
              machine: MachineSpec = EDISON, seed: int = 0,
              mem_factor: float | None = MEM_FACTOR,
              validate: bool = True, keep_outputs: bool = False,
-             algo_opts: dict[str, Any] | None = None) -> RunResult:
+             algo_opts: dict[str, Any] | None = None,
+             faults: Any = None, fault_seed: int = 0) -> RunResult:
     """Run one distributed sort end to end on the simulated machine.
 
     Parameters
@@ -146,6 +151,11 @@ def run_sort(algorithm: str, workload: Workload, *, n_per_rank: int, p: int,
         shard's bytes (default: Edison's 6.7x).  ``None`` disables OOM.
     validate: check sortedness/stability/multiset on success.
     keep_outputs: retain per-rank output batches on the result.
+    faults: optional :class:`~repro.faults.spec.FaultSpec`; compiled
+        against ``(p, fault_seed)`` into the deterministic plan the
+        engine injects.  ``None`` (or an empty spec) runs fault-free.
+    fault_seed: seed for the fault schedule, independent of the data
+        ``seed`` so the same dataset can face different fault draws.
     """
     try:
         spec = ALGORITHMS[algorithm]
@@ -154,6 +164,8 @@ def run_sort(algorithm: str, workload: Workload, *, n_per_rank: int, p: int,
                        f"options: {sorted(ALGORITHMS)}") from None
     opts = dict(algo_opts or {})
     stable = spec.stable
+    fplan = (faults.compile(p, fault_seed)
+             if faults is not None and not faults.empty else None)
 
     probe = workload.shard(max(1, min(n_per_rank, 64)), p, 0, seed)
     record_bytes = probe.record_bytes + 12  # + provenance columns
@@ -166,7 +178,8 @@ def run_sort(algorithm: str, workload: Workload, *, n_per_rank: int, p: int,
         out = spec.invoke(comm, shard, opts)
         return shard, out
 
-    res = run_spmd(prog, p, machine=machine, mem_capacity=capacity, check=False)
+    res = run_spmd(prog, p, machine=machine, mem_capacity=capacity,
+                   check=False, faults=fplan)
 
     if res.failure is not None:
         cause = res.failure.cause
@@ -180,8 +193,37 @@ def run_sort(algorithm: str, workload: Workload, *, n_per_rank: int, p: int,
     inputs = [r[0] for r in res.results]
     outcomes = [r[1] for r in res.results]
     outputs = [o.batch for o in outcomes]
+    crashed_ranks = [r for r, o in enumerate(outcomes)
+                     if o.info.get("crashed")]
     if validate:
-        check_sorted(inputs, outputs, stable=stable)
+        # degraded completion: a crashed rank's input left the world
+        # with it — survivors must deliver *their* data sorted
+        live_inputs = (inputs if not crashed_ranks
+                       else [inp for r, inp in enumerate(inputs)
+                             if r not in set(crashed_ranks)])
+        check_sorted(live_inputs, outputs, stable=stable)
+
+    # the decision trace lives on active ranks (a crashed rank's trace
+    # stops at the crash and lacks the recovery record)
+    traced = next((o for o in outcomes if o.active), outcomes[0])
+
+    extras: dict[str, Any] = {
+        "mem_peaks": res.mem_peaks,
+        "decisions": traced.info.get("decisions"),
+        "p_active": sum(1 for o in outcomes if o.active),
+        "bytes_sent": sum(c.get("bytes.sent", 0) for c in res.counters),
+        "messages": sum(c.get("p2p.send", 0) for c in res.counters),
+        "traces": res.traces,
+    }
+    if fplan is not None:
+        agg: dict[str, float] = {}
+        for c in res.counters:
+            for k, v in c.items():
+                if k.startswith(_FAULT_COUNTER_PREFIXES):
+                    agg[k] = agg.get(k, 0.0) + v
+        extras["faults"] = {k: agg[k] for k in sorted(agg)}
+        extras["crashed_ranks"] = crashed_ranks
+        extras["fault_plan"] = fplan.describe()
 
     return RunResult(
         algorithm=algorithm, workload=workload.name, p=p,
@@ -190,12 +232,5 @@ def run_sort(algorithm: str, workload: Workload, *, n_per_rank: int, p: int,
         loads=[len(b) for b in outputs],
         phase_times=res.phase_breakdown(),
         outputs=outputs if keep_outputs else None,
-        extras={
-            "mem_peaks": res.mem_peaks,
-            "decisions": outcomes[0].info.get("decisions"),
-            "p_active": sum(1 for o in outcomes if o.active),
-            "bytes_sent": sum(c.get("bytes.sent", 0) for c in res.counters),
-            "messages": sum(c.get("p2p.send", 0) for c in res.counters),
-            "traces": res.traces,
-        },
+        extras=extras,
     )

@@ -89,6 +89,107 @@ class TestFailureInjection:
         assert res.results[1] is None
 
 
+class TestFusedCollectiveAbort:
+    """Abort semantics under the fused staged collectives.
+
+    A rank raising mid-deposit (its payload already in the stage, the
+    barrier not yet released) must unwind every sibling with SimAbort:
+    no deadlock, no reuse of the half-filled stage by a later
+    collective.
+    """
+
+    @pytest.mark.parametrize("p", [7, 64])
+    def test_raise_mid_staged_unwinds_all(self, p):
+        boom = p // 2
+
+        def prog(comm):
+            comm.allgather(comm.rank)  # healthy collective first
+
+            def compute(stage):
+                raise RuntimeError("mid-deposit failure")
+
+            if comm.rank == boom:
+                # deposit, then die before reaching the barrier
+                comm._ctx.stage[comm.rank] = ("poison", comm.clock)
+                raise RuntimeError("mid-deposit failure")
+            return comm.staged(comm.rank, lambda stage: len(stage))
+
+        res = run_spmd(prog, p, check=False)
+        assert res.failure is not None
+        assert res.failure.rank == boom
+        assert isinstance(res.failure.cause, RuntimeError)
+        # siblings unwound with SimAbort (recorded as no result), never
+        # a deadlock or a second failure
+        assert all(r is None for r in res.results)
+        assert len(res.failure.failures) == 1
+
+    @pytest.mark.parametrize("p", [7, 64])
+    def test_raise_in_compute_action_unwinds_all(self, p):
+        """The designated last-arriver's compute action failing aborts
+        the world before the barrier releases anyone."""
+
+        def prog(comm):
+            def compute(objs):
+                raise ValueError("compute action failure")
+            comm.allgather_staged(comm.rank, compute)
+
+        res = run_spmd(prog, p, check=False)
+        assert res.failure is not None
+        # which rank arrives last is scheduling-dependent; the cause
+        # and clean unwind are not
+        assert isinstance(res.failure.cause, ValueError)
+        assert all(r is None for r in res.results)
+
+    @pytest.mark.parametrize("p", [7, 64])
+    def test_no_partial_payload_reuse_after_abort(self, p):
+        """A fresh world's collectives never observe a poisoned stage
+        from an aborted predecessor run."""
+        def bad(comm):
+            if comm.rank == 1:
+                comm._ctx.stage[comm.rank] = ("stale", comm.clock)
+                raise RuntimeError("die with deposit in place")
+            comm.allgather(comm.rank)
+
+        res = run_spmd(bad, p, check=False)
+        assert res.failure is not None
+
+        def good(comm):
+            return comm.allgather(comm.rank)
+
+        out = run_spmd(good, p)
+        assert out.results == [list(range(p))] * p
+
+    def test_multi_rank_failures_aggregate(self):
+        """RankFailure reports every failed rank, in rank order, with
+        the original exceptions preserved."""
+        def prog(comm):
+            # no blocking call before the raise: the abort flag cannot
+            # convert any of these failures into a SimAbort unwind, so
+            # all three deterministically surface
+            if comm.rank in (2, 5, 11):
+                raise ValueError(f"rank {comm.rank} dies")
+            comm.barrier()
+
+        res = run_spmd(prog, 16, check=False)
+        f = res.failure
+        assert f is not None
+        assert f.ranks == (2, 5, 11)
+        assert f.rank == 2
+        assert all(isinstance(e, ValueError) for _, e in f.failures)
+        assert f.cause is f.failures[0][1]
+
+    def test_rank_failure_cause_chain(self):
+        def prog(comm):
+            if comm.rank == 0:
+                raise KeyError("primary")
+            comm.barrier()
+
+        with pytest.raises(RankFailure) as ei:
+            run_spmd(prog, 4)
+        assert isinstance(ei.value.__cause__, KeyError)
+        assert ei.value.failures[0][0] == 0
+
+
 class TestDeterminism:
     def test_sds_deterministic_across_runs(self):
         def prog(comm):
