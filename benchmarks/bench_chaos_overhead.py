@@ -10,10 +10,10 @@ sit on the engine's per-message hot path, so a hook regression shows
 up here before it shows up in the tier-1 suite).
 
 Results land in the ``chaos`` section of ``BENCH_engine.json`` (schema
-v4).  Both this bench and ``bench_engine_walltime.py`` read-modify-
-write the file, each preserving the other's section, so the v3 engine
-baselines (seed_issue / seed_host / pre_fusion and the walltime runs)
-carry over unchanged.
+v5).  This bench, ``bench_engine_walltime.py`` and
+``bench_trace_overhead.py`` all read-modify-write the file, each
+preserving the others' sections, so the engine baselines (seed_issue /
+seed_host / pre_fusion and the walltime runs) carry over unchanged.
 
 Run directly (``python benchmarks/bench_chaos_overhead.py``) or via
 pytest.  ``REPRO_BENCH_QUICK`` drops the p=512 points.
@@ -35,7 +35,7 @@ from _helpers import emit, fmt_time, quick  # noqa: E402
 
 ROOT = Path(__file__).resolve().parent.parent
 JSON_PATH = ROOT / "BENCH_engine.json"
-SCHEMA = "bench_engine_walltime/v4"
+SCHEMA = "bench_engine_walltime/v5"
 
 #: (name, spec) — one scenario per recovery path.  Node merging is
 #: disabled throughout so every rank stays crash-eligible and the p2p

@@ -30,7 +30,10 @@ spec registry and records rank 0's decision trace per configuration
 unchanged.  Schema v4 adds the ``chaos`` section written by
 ``bench_chaos_overhead.py`` (fault/recovery overhead at p in
 {256, 512}); both benches read-modify-write the file, preserving each
-other's sections and all v3 baselines.
+other's sections and all v3 baselines.  Schema v5 adds the
+``trace_overhead`` section written by ``bench_trace_overhead.py``
+(host cost of the observability hooks, tracing off vs on); all v4
+sections and baselines carry over unchanged.
 
 Run directly (``python benchmarks/bench_engine_walltime.py``) or via
 pytest.  ``REPRO_BENCH_QUICK`` drops the p=1024 point.
@@ -125,19 +128,21 @@ def write_report(runs: dict) -> list[str]:
                     f"{fmt_time(r['wall_seconds']):>8s} "
                     f"{str(r['speedup_vs_baseline']) + 'x' if base else '-':>8s}")
     # read-modify-write: bench_chaos_overhead.py owns the "chaos"
-    # section of the same file, and each bench preserves the other's
+    # section and bench_trace_overhead.py the "trace_overhead" section
+    # of the same file; every bench preserves the others'
     existing = (json.loads(JSON_PATH.read_text())
                 if JSON_PATH.exists() else {})
     payload = {
-        "schema": "bench_engine_walltime/v4",
+        "schema": "bench_engine_walltime/v5",
         "machine": "EDISON cost model, uniform workload, node_merge off",
         "seed_issue": SEED_ISSUE,
         "seed_host": SEED_HOST,
         "pre_fusion": PRE_FUSION,
         "runs": runs,
     }
-    if "chaos" in existing:
-        payload["chaos"] = existing["chaos"]
+    for section in ("chaos", "trace_overhead"):
+        if section in existing:
+            payload[section] = existing[section]
     JSON_PATH.write_text(json.dumps(payload, indent=1) + "\n")
     return rows
 

@@ -12,7 +12,9 @@ tests/test_sdssort.py::TestNodeMerging).
 from __future__ import annotations
 
 from repro.machine import EDISON, EDISON_SLOW_NET
+from repro.runner import run_sort
 from repro.simfast import crossover, fig5a_merging
+from repro.workloads import by_name
 
 from _helpers import emit, fmt_time
 
@@ -49,3 +51,35 @@ def test_fig5a_slow_network_ablation(benchmark):
         f"slow-net crossover: {'none (merging always wins)' if x_slow is None else f'{x_slow / MB:.0f} MB'}",
     ])
     assert x_slow is None or x_slow > x_fast
+
+
+def test_fig5a_traced_breakdown(benchmark):
+    """Functional companion: the exchange/node-merge columns derived
+    from the tracer, node merging on vs off at 2 Edison nodes.  The
+    per-node volume here (~100 KB) sits far left of the tau_m
+    crossover, so merging must win, and the tracer's per-phase columns
+    must agree with the engine's own phase accounting."""
+    wl = by_name("uniform")
+
+    def run(merge: bool):
+        return run_sort("sds", wl, n_per_rank=500, p=48, mem_factor=None,
+                        algo_opts={"node_merge_enabled": merge}, trace=True)
+
+    on = benchmark(lambda: run(True))
+    off = run(False)
+    rows = [f"{'column':>16s} {'merged(s)':>12s} {'unmerged(s)':>12s}"]
+    cols = {}
+    for label, r in (("merged", on), ("unmerged", off)):
+        bd = r.extras["trace"].phase_breakdown()
+        # the tracer-derived columns are the engine's own, independently
+        for name, t in bd.items():
+            assert abs(t - r.phase_times.get(name, 0.0)) < 1e-12, name
+        cols[label] = bd
+    for name in ("exchange", "node_merge"):
+        rows.append(f"{name:>16s} {fmt_time(cols['merged'].get(name, 0.0)):>12s} "
+                    f"{fmt_time(cols['unmerged'].get(name, 0.0)):>12s}")
+    emit("fig5a_traced_breakdown", rows)
+
+    t_on = cols["merged"]["exchange"] + cols["merged"].get("node_merge", 0.0)
+    t_off = cols["unmerged"]["exchange"] + cols["unmerged"].get("node_merge", 0.0)
+    assert t_on < t_off        # small volume: left of the tau_m crossover

@@ -8,7 +8,9 @@ tau_o is set at the crossover.
 from __future__ import annotations
 
 from repro.machine import EDISON
+from repro.runner import run_sort
 from repro.simfast import crossover, fig5b_overlap, fmt_p
+from repro.workloads import by_name
 
 from _helpers import PAPER_N_PER_RANK, emit, fmt_time
 
@@ -31,3 +33,45 @@ def test_fig5b_overlap(benchmark):
     assert x is not None and 2000 < x < 8000
     # both series grow with p (weak scaling)
     assert pts[-1].b > pts[0].b
+
+
+def test_fig5b_traced_costsplit(benchmark):
+    """Functional companion: the tracer's LogGP cost split for the
+    overlapped vs synchronous exchange.  The two paths attribute the
+    same makespan through different buckets — the sync path pays an
+    explicit barrier wait (the zipf skew makes ranks arrive staggered),
+    the overlapped path pays the nonblocking progress overhead in the
+    latency bucket (the very term that swamps the benefit past tau_o)
+    — and each split must reconcile with the engine's clocks."""
+    wl = by_name("zipf", alpha=1.2)
+    opts = {"node_merge_enabled": False}
+
+    def run(tau_o=None):
+        o = dict(opts) if tau_o is None else {**opts, "tau_o": tau_o}
+        return run_sort("sds", wl, n_per_rank=500, p=32, mem_factor=None,
+                        algo_opts=o, trace=True)
+
+    ov = benchmark(lambda: run())        # p=32 < tau_o: overlapped
+    sy = run(tau_o=0)                    # forced synchronous
+    rows = [f"{'bucket':>12s} {'overlap(s)':>12s} {'sync(s)':>12s}"]
+    splits = {}
+    for label, r in (("overlap", ov), ("sync", sy)):
+        rep = r.extras["trace"]
+        rec = rep.reconcile()
+        assert rec["max_cost_gap"] < 1e-9, (label, rec)
+        # tracer-derived exchange column == engine's own
+        assert abs(rep.phase_breakdown()["exchange"]
+                   - r.phase_times["exchange"]) < 1e-12
+        splits[label] = rep.cost_split()
+    for bucket in sorted(splits["overlap"]):
+        rows.append(f"{bucket[5:]:>12s} "
+                    f"{fmt_time(splits['overlap'][bucket]):>12s} "
+                    f"{fmt_time(splits['sync'][bucket]):>12s}")
+    emit("fig5b_traced_costsplit", rows)
+
+    # the synchronous path synchronises and pays measurable wait under
+    # skew; the overlapped path instead pays the async progress
+    # overhead, booked as latency — the term that grows with p and
+    # sets the tau_o crossover
+    assert splits["sync"]["cost.wait"] > 0.0
+    assert splits["overlap"]["cost.latency"] > splits["sync"]["cost.latency"]

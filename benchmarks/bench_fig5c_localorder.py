@@ -17,7 +17,9 @@ import numpy as np
 
 from repro.kernels import kway_merge, natural_merge_sort
 from repro.machine import EDISON
+from repro.runner import run_sort
 from repro.simfast import crossover, fig5c_local_order, fmt_p
+from repro.workloads import by_name
 
 from _helpers import PAPER_N_PER_RANK, emit, fmt_time
 
@@ -108,3 +110,37 @@ def test_fig5c_adaptive_sort_exploits_runs(benchmark):
     assert t_few < t_many
 
     benchmark(lambda: natural_merge_sort(few))
+
+
+def test_fig5c_traced_kernel_attribution(benchmark):
+    """Functional companion: the tracer's merge-vs-sort kernel columns
+    for the two local-ordering strategies (tau_s ablation).  The merge
+    path orders received runs by k-way merging; forcing ``tau_s = 0``
+    re-sorts the concatenation instead, which must show up as sort
+    records doubling (input sort + final sort) while merge records
+    drop to the pivot-selection floor."""
+    wl = by_name("uniform")
+    base = {"node_merge_enabled": False, "tau_o": 0}
+
+    def run(**extra):
+        return run_sort("sds", wl, n_per_rank=500, p=32, mem_factor=None,
+                        algo_opts={**base, **extra}, trace=True)
+
+    mg = benchmark(lambda: run())          # p=32 < tau_s: k-way merge
+    st = run(tau_s=0)                      # forced final sort
+    rows = [f"{'kernel column':>22s} {'merge-path':>12s} {'sort-path':>12s}"]
+    kern = {}
+    for label, r in (("merge", mg), ("sort", st)):
+        kern[label] = r.extras["trace"].counter_totals("kernel.")
+    for name in sorted(kern["merge"]):
+        rows.append(f"{name:>22s} {kern['merge'][name]:>12.6g} "
+                    f"{kern['sort'].get(name, 0.0):>12.6g}")
+    emit("fig5c_traced_kernels", rows)
+
+    n_in = 500 * 32
+    # sort path: every record sorted twice (ingest + local ordering)
+    assert kern["sort"]["kernel.sort.records"] == 2 * n_in
+    # merge path: every record k-way merged once in local ordering
+    assert kern["merge"]["kernel.sort.records"] == n_in
+    assert (kern["merge"]["kernel.merge.records"]
+            >= kern["sort"]["kernel.merge.records"] + n_in)

@@ -4,6 +4,9 @@ Installed as ``sdssort`` (or run as ``python -m repro``)::
 
     sdssort sort --algorithm sds --workload zipf --alpha 0.9 --p 32
     sdssort sort --fault-spec drop --fault-seed 3 --explain
+    sdssort sort --trace run.json --json
+    sdssort trace run.json              # summarize an exported trace
+    sdssort trace before.json after.json  # diff two traces
     sdssort chaos --p 64 --seeds 0..4
     sdssort scaling --workload uniform --algorithms sds,hyksort
     sdssort rdfa --p 512,8192,131072
@@ -121,6 +124,32 @@ def _fault_spec(text: str):
         f"{', '.join(sorted(FAULT_PRESETS))}) and not inline JSON")
 
 
+def _sort_json_doc(args: argparse.Namespace, machine, r) -> dict:
+    """The ``sort --json`` document (schema ``sdssort.sort/v1``)."""
+    report = r.extras.get("trace")
+    return {
+        "schema": "sdssort.sort/v1",
+        "algorithm": r.algorithm,
+        "workload": r.workload,
+        "machine": machine.name,
+        "p": r.p,
+        "n_per_rank": r.n_per_rank,
+        "seed": args.seed,
+        "fault_seed": args.fault_seed,
+        "ok": r.ok,
+        "oom": r.oom,
+        "failure": r.failure,
+        "elapsed": r.elapsed if r.ok else None,
+        "throughput_tb_min": r.throughput_tb_min if r.ok else None,
+        "rdfa": r.rdfa if r.ok else None,
+        "phases": r.phase_times,
+        "decisions": r.extras.get("decisions") or [],
+        "faults": r.extras.get("faults"),
+        "crashed_ranks": r.extras.get("crashed_ranks"),
+        "trace": report.summary() if report is not None else None,
+    }
+
+
 def cmd_sort(args: argparse.Namespace) -> int:
     machine = get_machine(args.machine)
     opts = {}
@@ -129,11 +158,21 @@ def cmd_sort(args: argparse.Namespace) -> int:
             opts["node_merge_enabled"] = False
         if args.sync:
             opts["tau_o"] = 0
+    want_trace = args.trace is not None or args.json
     r = run_sort(args.algorithm, _workload(args), n_per_rank=args.n,
                  p=args.p, machine=machine, seed=args.seed,
                  mem_factor=None if args.no_mem_limit else args.mem_factor,
                  algo_opts=opts, faults=args.fault_spec,
-                 fault_seed=args.fault_seed)
+                 fault_seed=args.fault_seed, trace=want_trace)
+    report = r.extras.get("trace")
+    if args.trace is not None and report is not None:
+        from .obs import write_chrome_trace
+        write_chrome_trace(report, args.trace)
+    if args.json:
+        import json
+        print(json.dumps(_sort_json_doc(args, machine, r),
+                         indent=2, sort_keys=True))
+        return 0 if r.ok else 1
     print(f"algorithm : {r.algorithm}")
     print(f"workload  : {r.workload}  (N = {args.n * args.p:,} records)")
     print(f"machine   : {machine.name}, p = {args.p}")
@@ -164,11 +203,28 @@ def cmd_sort(args: argparse.Namespace) -> int:
         print("decisions :" if decisions else "decisions : (none recorded)")
         for line in explain_lines(decisions):
             print(f"  {line}")
-    if getattr(args, "trace", False):
-        from .viz import gantt
+    if args.trace is not None and report is not None:
+        from .obs import comm_heat, phase_flame
         print()
-        print(gantt(r.extras.get("traces", []),
-                    title="per-rank timeline (virtual time)"))
+        print(phase_flame(report))
+        print()
+        print(comm_heat(report))
+        print(f"\ntrace written to {args.trace}")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from .obs import diff_traces, summarize_trace
+
+    if len(args.files) == 1:
+        lines = summarize_trace(args.files[0])
+    elif len(args.files) == 2:
+        lines = diff_traces(args.files[0], args.files[1])
+    else:
+        raise SystemExit(
+            "trace takes one file (summarize) or two files (diff)")
+    for line in lines:
+        print(line)
     return 0
 
 
@@ -440,9 +496,21 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--explain", action="store_true",
                     help="print every adaptive decision the sort made "
                          "(thresholds, measured values, winners)")
-    ps.add_argument("--trace", action="store_true",
-                    help="render a per-rank phase timeline (gantt)")
+    ps.add_argument("--trace", default=None, metavar="PATH",
+                    help="record a virtual-time trace, write it as "
+                         "Chrome/Perfetto trace-event JSON to PATH, and "
+                         "print the phase-flame / comm-heat summary")
+    ps.add_argument("--json", action="store_true",
+                    help="machine-readable JSON result on stdout "
+                         "(schema sdssort.sort/v1; implies tracing)")
     ps.set_defaults(fn=cmd_sort)
+
+    ptr = sub.add_parser(
+        "trace",
+        help="summarize one exported trace file, or diff two")
+    ptr.add_argument("files", nargs="+", metavar="TRACE",
+                     help="trace-event JSON written by sort --trace")
+    ptr.set_defaults(fn=cmd_trace)
 
     pc = sub.add_parser("scaling", help="weak-scaling model series (Fig 7/8)")
     pc.add_argument("--workload", default="uniform")

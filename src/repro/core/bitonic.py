@@ -74,7 +74,28 @@ def bitonic_sort(comm: Comm, keys: np.ndarray) -> np.ndarray:
     rounds = stages * (stages + 1) // 2
     for _ in range(rounds):
         t = ((t + pmo) + p2p) + mt
-    comm.set_clock(t)
+    tr = comm.tracer
+    if tr is None:
+        comm.set_clock(t)
+    else:
+        c0 = comm.clock
+        debt = comm._fault_debt if comm.faults is not None else 0.0
+        comm.set_clock(t)
+        g = comm.grank
+        tr.span(g, "p2p", "bitonic_rounds", c0, comm.clock,
+                {"rounds": rounds, "bytes": rounds * nb})
+        lat0 = comm.cost.p2p_time(0)
+        tr.add(g, "cost.compute", rounds * (pmo + mt))
+        tr.add(g, "cost.latency", rounds * lat0)
+        tr.add(g, "cost.bandwidth", rounds * (p2p - lat0))
+        if debt:
+            tr.add(g, "cost.fault_debt", debt)
+        tr.add(g, "kernel.merge.records", float(rounds * 2 * n))
+        tr.add(g, "kernel.merge.seconds", rounds * mt)
+        group = comm._ctx.group
+        for i in range(stages):
+            for j in range(i, -1, -1):
+                tr.edge(g, group[rank ^ (1 << j)], nb)
     comm.count("p2p.send", rounds)
     comm.count("p2p.recv", rounds)
     comm.count("bytes.sent", float(rounds * nb))

@@ -64,15 +64,21 @@ def order_received(comm: Comm, chunks: Sequence[RecordBatch], *,
     m = sum(len(c) for c in chunks)
     if p < tau_s:
         out = kway_merge_batches(list(chunks))
-        comm.charge(comm.cost.merge_time(m, max(2, len(chunks))))
+        dt = comm.cost.merge_time(m, max(2, len(chunks)))
+        comm.charge(dt)
+        comm.trace_counter("kernel.merge.records", float(m))
+        comm.trace_counter("kernel.merge.seconds", dt)
         ordering = "merge"
     else:
         concat = RecordBatch.concat(chunks)
         # functionally: any (stable) sort of the p concatenated runs;
         # cost: the std::sort-style flat curve of Figure 5c
         out = adaptive_sort_batch(concat) if stable else sort_batch(concat)
-        comm.charge(comm.cost.final_sort_time(m, len(chunks), stable=stable,
-                                              delta=delta_hint))
+        dt = comm.cost.final_sort_time(m, len(chunks), stable=stable,
+                                       delta=delta_hint)
+        comm.charge(dt)
+        comm.trace_counter("kernel.sort.records", float(m))
+        comm.trace_counter("kernel.sort.seconds", dt)
         ordering = "sort"
     # streaming ordering: consumed chunks are released as the output
     # fills, so peak memory is input + output rather than 2x input
@@ -173,6 +179,7 @@ def exchange_sync_fused(comm: Comm, batch: RecordBatch, displs: np.ndarray,
             "max_send": max_send, "max_recv": max_recv, "total": total,
             "send_tot": send_tot, "recv_tot": recv_tot,
             "recv_all": S.sum(axis=0),                    # includes own chunk
+            "S": S,                                       # bytes[src, dst]
             "m": m_per_dst,
             "keys": all_keys, "cols": all_cols,
             "final": final, "bounds": bounds,
@@ -182,10 +189,17 @@ def exchange_sync_fused(comm: Comm, batch: RecordBatch, displs: np.ndarray,
         shared, _ = comm.staged((batch, d), compute)
         recv_bytes = int(shared["recv_tot"][me])
         comm.mem.alloc(recv_bytes)
-        comm.set_clock(shared["t"] + comm.cost.alltoallv_time(
+        dt = comm.cost.alltoallv_time(
             p, max(shared["max_send"], shared["max_recv"]),
             ranks_per_node=comm.ranks_per_node,
-            total_bytes=shared["total"]))
+            total_bytes=shared["total"])
+        if comm.tracer is None:
+            comm.set_clock(shared["t"] + dt)
+        else:
+            comm.trace_collective(
+                "alltoallv", shared["t"], dt, comm.cost.alltoallv_time(
+                    p, 0, ranks_per_node=comm.ranks_per_node, total_bytes=0))
+            comm.trace_edges(shared["S"][me])
         comm.count("coll.alltoallv")
         comm.count("bytes.recv", recv_bytes)
         comm.count("bytes.sent", int(shared["send_tot"][me]))
@@ -194,11 +208,17 @@ def exchange_sync_fused(comm: Comm, batch: RecordBatch, displs: np.ndarray,
     with comm.phase("local_ordering"):
         m = int(shared["m"][me])
         if merge:
-            comm.charge(comm.cost.merge_time(m, max(2, p)))
+            dt = comm.cost.merge_time(m, max(2, p))
+            comm.charge(dt)
+            comm.trace_counter("kernel.merge.records", float(m))
+            comm.trace_counter("kernel.merge.seconds", dt)
             ordering = "merge"
         else:
-            comm.charge(comm.cost.final_sort_time(m, p, stable=stable,
-                                                  delta=delta_hint))
+            dt = comm.cost.final_sort_time(m, p, stable=stable,
+                                           delta=delta_hint)
+            comm.charge(dt)
+            comm.trace_counter("kernel.sort.records", float(m))
+            comm.trace_counter("kernel.sort.seconds", dt)
             ordering = "sort"
         lo, hi = int(shared["bounds"][me]), int(shared["bounds"][me + 1])
         idx = shared["final"][lo:hi]
@@ -268,6 +288,7 @@ def exchange_overlapped_fused(comm: Comm, batch: RecordBatch,
     rate = comm.cost.spec.merge_cost_per_elem
     group = comm._ctx.group
     cpn = spec.cores_per_node
+    traced = comm.tracer is not None  # world-uniform: safe in the action
 
     def compute(stage: list) -> dict:
         start = max(e[1] for e in stage)
@@ -304,12 +325,16 @@ def exchange_overlapped_fused(comm: Comm, batch: RecordBatch,
         CS = np.zeros((p, p + 1), dtype=np.int64)
         np.cumsum(L, axis=1, out=CS[:, 1:])
         t_cpu = np.full(p, start + comm.cost.async_progress_overhead(p))
+        msec = np.zeros(p) if traced else None  # merge seconds per dst
         for i in range(p):
             np.maximum(t_cpu, T[:, i], out=t_cpu)
             b = 0
             while (i >> b) & 1:
                 runs = CS[:, i + 1] - CS[:, i + 1 - (1 << (b + 1))]
-                t_cpu += (runs * 1.0) * rate              # merge_time(n, 2)
+                inc = (runs * 1.0) * rate                 # merge_time(n, 2)
+                t_cpu += inc
+                if traced:
+                    msec += inc
                 b += 1
         leaf = np.asarray(_counter_leaf_order(p), dtype=np.int64)
         if p & (p - 1):  # non power of two: final fold merges leftovers
@@ -327,7 +352,10 @@ def exchange_overlapped_fused(comm: Comm, batch: RecordBatch,
                     tot = seg
                 else:
                     tot = tot + seg
-                    t_cpu += (tot * 1.0) * rate           # merge_time(n, 2)
+                    inc = (tot * 1.0) * rate              # merge_time(n, 2)
+                    t_cpu += inc
+                    if traced:
+                        msec += inc
 
         # -- global data materialisation --
         s_idx = (dst[:, None] + leaf[None, :]) % p        # src per slot
@@ -348,8 +376,11 @@ def exchange_overlapped_fused(comm: Comm, batch: RecordBatch,
         diag = np.diagonal(S)
         return {
             "t_cpu": t_cpu,
+            "start": start,
+            "msec": msec,
             "recv_net": S.sum(axis=0) - diag,             # excludes own chunk
             "recv_all": S.sum(axis=0),                    # includes own chunk
+            "S": S,                                       # bytes[src, dst]
             "m": m_per_dst,
             "keys": all_keys, "cols": all_cols,
             "final": final, "bounds": bounds,
@@ -363,12 +394,40 @@ def exchange_overlapped_fused(comm: Comm, batch: RecordBatch,
     out = RecordBatch._unsafe(
         shared["keys"][idx],
         {name: col[idx] for name, col in shared["cols"].items()})
-    comm.set_clock(max(comm.clock, float(shared["t_cpu"][me])))
+    m = int(shared["m"][me])
+    tr = comm.tracer
+    if tr is None:
+        comm.set_clock(max(comm.clock, float(shared["t_cpu"][me])))
+    else:
+        # one fused advance covers barrier skew, the async progress
+        # CPU, and the network/merge interleave; the interleaved
+        # remainder is attributed to bandwidth (the merge CPU it hides
+        # is reported separately via kernel.merge.*)
+        c0 = comm.clock
+        debt = comm._fault_debt if comm.faults is not None else 0.0
+        comm.set_clock(max(comm.clock, float(shared["t_cpu"][me])))
+        adv = comm.clock - c0
+        g = comm.grank
+        tr.span(g, "coll", "alltoallv_async+merge", c0, comm.clock,
+                {"bytes": recv_bytes, "records": m})
+        if adv > 0.0:
+            wait = max(0.0, min(adv, float(shared["start"]) - c0))
+            lat = min(adv - wait, comm.cost.async_progress_overhead(p))
+            tr.add(g, "cost.wait", wait)
+            tr.add(g, "cost.latency", lat)
+            rest = adv - wait - lat - debt
+            if rest > 0.0:
+                tr.add(g, "cost.bandwidth", rest)
+            if debt:
+                tr.add(g, "cost.fault_debt", debt)
+        comm.trace_edges(shared["S"][me])
+        comm.trace_counter("kernel.merge.records", float(m))
+        comm.trace_counter("kernel.merge.seconds",
+                           float(shared["msec"][me]))
     comm.mem.free(int(shared["recv_all"][me]))
     comm.mem.alloc(out.nbytes)
     comm.count("coll.alltoallv_async")
     comm.count("bytes.recv", recv_bytes)
-    m = int(shared["m"][me])
     return out, ExchangeStats("overlap", "overlap-merge", m, p)
 
 
@@ -426,7 +485,22 @@ def exchange_overlapped(comm: Comm, sends: Sequence[RecordBatch]
         cat = RecordBatch.concat([arrivals[i][1] for i in order])
         perm = np.argsort(cat.keys, kind="stable")
         out = cat.take(perm)
-    comm.set_clock(max(comm.clock, t_cpu))
+    tr = comm.tracer
+    if tr is None:
+        comm.set_clock(max(comm.clock, t_cpu))
+    else:
+        # oracle path: the arrival/merge interleave past the async
+        # progress charge (attributed inside alltoallv_async) is one
+        # bandwidth-bucket advance
+        c0 = comm.clock
+        comm.set_clock(max(comm.clock, t_cpu))
+        adv = comm.clock - c0
+        if adv > 0.0:
+            g = comm.grank
+            tr.span(g, "coll", "overlap_merge", c0, comm.clock,
+                    {"records": m})
+            tr.add(g, "cost.bandwidth", adv)
+        comm.trace_counter("kernel.merge.records", float(m))
     comm.mem.free(sum(b.nbytes for _, b, _ in arrivals))
     comm.mem.alloc(out.nbytes)
     return out, ExchangeStats("overlap", "overlap-merge", m, len(arrivals))

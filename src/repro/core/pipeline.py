@@ -176,6 +176,10 @@ class RunContext:
                   record_bytes=batch.record_bytes if n else 8,
                   input_nbytes=batch.nbytes)
         comm.mem.alloc(batch.nbytes)
+        # observed input volume: what throughput metrics divide by
+        # (tracer-measured bytes, not a re-estimated record size)
+        comm.trace_counter("bytes.input", float(batch.nbytes))
+        comm.trace_counter("records.input", float(n))
         return ctx
 
     @property
@@ -220,6 +224,7 @@ def fault_health_check(ctx: RunContext, boundary: str) -> str | None:
         survivor = active.split(None if me_dead else 0, key=active.rank)
         if me_dead:
             comm.count("faults.crashed")
+            comm.trace_instant("fault", "crash", {"boundary": boundary})
             comm.mem.free(ctx.batch.nbytes)
             ctx.outcome = SortOutcome(
                 batch=RecordBatch.empty_like(ctx.batch),
@@ -231,6 +236,8 @@ def fault_health_check(ctx: RunContext, boundary: str) -> str | None:
             return "crashed"
         assert survivor is not None
         comm.count("faults.peer_crash_detected", len(crashed))
+        comm.trace_instant("fault", "peer_crash_detected",
+                           {"boundary": boundary, "crashed": list(crashed)})
         ctx.active = survivor
         ctx.plan.decide(Decision(
             "fault_recovery", "shrink",
@@ -289,8 +296,11 @@ class LocalSort:
             else:
                 raise ValueError(f"unknown local-sort kernel {self.kernel!r}")
             ctx.delta = local_delta(sortedb.keys)
-            comm.charge(ctx.cost.sort_time(ctx.n, stable=self.stable,
-                                           delta=ctx.delta))
+            dt = ctx.cost.sort_time(ctx.n, stable=self.stable,
+                                    delta=ctx.delta)
+            comm.charge(dt)
+            comm.trace_counter("kernel.sort.records", float(ctx.n))
+            comm.trace_counter("kernel.sort.seconds", dt)
         ctx.batch = sortedb
 
 

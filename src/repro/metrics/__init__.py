@@ -3,7 +3,12 @@
 from .balance import LoadStats, rdfa, workload_bound_factor
 from .distributed import DistributedReport, multiset_checksum, validate_distributed
 from .replication import KeyProfile, replication_ratio
-from .throughput import paper_scale_bytes, tb_per_min
+from .throughput import (
+    observed_input_bytes,
+    paper_scale_bytes,
+    tb_per_min,
+    tb_per_min_observed,
+)
 from .validate import (
     ValidationError,
     check_globally_ordered,
@@ -22,8 +27,10 @@ __all__ = [
     "workload_bound_factor",
     "KeyProfile",
     "replication_ratio",
+    "observed_input_bytes",
     "paper_scale_bytes",
     "tb_per_min",
+    "tb_per_min_observed",
     "ValidationError",
     "check_globally_ordered",
     "check_locally_sorted",

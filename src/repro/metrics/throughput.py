@@ -1,6 +1,16 @@
-"""Throughput metrics in the paper's units (TB/min)."""
+"""Throughput metrics in the paper's units (TB/min).
+
+Two ways to get the byte count: the *estimated* path
+(:func:`paper_scale_bytes`, records x a probed record size) and the
+*observed* path (:func:`observed_input_bytes`, the tracer's per-rank
+``bytes.input`` counters, which measure the batches the pipeline
+actually ingested).  They agree for the stock workloads; the observed
+path is authoritative whenever a trace is available.
+"""
 
 from __future__ import annotations
+
+from typing import Any
 
 TB = 1e12
 
@@ -19,3 +29,23 @@ def tb_per_min(total_bytes: int, seconds: float) -> float:
 def paper_scale_bytes(n_per_rank: int, p: int, record_bytes: int) -> int:
     """Total dataset size for a weak-scaling point, in bytes."""
     return n_per_rank * p * record_bytes
+
+
+def observed_input_bytes(report: Any) -> int:
+    """Total input bytes as counted by the tracer, not re-estimated.
+
+    Sums the per-rank ``bytes.input`` counters a traced run records at
+    batch ingest (:class:`~repro.obs.report.TraceReport`).  Raises if
+    the trace carries no such counters (e.g. an algorithm outside the
+    SDS pipeline, or tracing was off).
+    """
+    total = report.counter_totals("bytes.input").get("bytes.input", 0.0)
+    if total <= 0:
+        raise ValueError("trace has no bytes.input counters "
+                         "(run with tracing on, SDS pipeline)")
+    return int(round(total))
+
+
+def tb_per_min_observed(report: Any) -> float:
+    """Throughput in TB/min from a run's trace (observed bytes + makespan)."""
+    return tb_per_min(observed_input_bytes(report), report.elapsed)

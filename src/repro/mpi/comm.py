@@ -76,10 +76,17 @@ class World:
 
     def __init__(self, p: int, machine: MachineSpec,
                  mem_capacity: int | None = None,
-                 faults: Any = None):
+                 faults: Any = None, tracer: Any = None):
         self.p = p
         self.machine = machine
         self.cost = CostModel(machine)
+        #: optional :class:`~repro.obs.tracer.Tracer` (None = tracing
+        #: off; every hook below is a single attribute check away from
+        #: the untraced instruction stream)
+        if tracer is not None and getattr(tracer, "p", p) != p:
+            raise ValueError(f"tracer allocated for p={tracer.p}, "
+                             f"world has p={p}")
+        self.tracer = tracer
         self.abort = AbortFlag()
         self.clocks: list[float] = [0.0] * p
         self.mem = [MemoryTracker(capacity=mem_capacity, rank=r) for r in range(p)]
@@ -159,6 +166,7 @@ class Comm:
         self.size = ctx.size
         self.grank = ctx.group[rank]
         self._rpn: int | None = None  # cached ranks_per_node
+        self._tracer = world.tracer
         faults = world.faults
         self._faults = faults
         if faults is not None:
@@ -173,6 +181,9 @@ class Comm:
                 # mark the condition once per rank per run (world-comm
                 # construction), so reports can count stragglers
                 self.count("faults.straggler", 1.0)
+                if self._tracer is not None:
+                    self._tracer.instant(self.grank, "fault", "straggler",
+                                         0.0, {"slowdown": self._slowdown})
         else:
             self._slowdown = 1.0
 
@@ -212,12 +223,21 @@ class Comm:
         if seconds < 0:
             raise ValueError("cannot charge negative time")
         if self._slowdown != 1.0:
-            seconds *= self._slowdown
-        self._world.clocks[self.grank] += seconds
+            scaled = seconds * self._slowdown
+        else:
+            scaled = seconds
+        self._world.clocks[self.grank] += scaled
+        tr = self._tracer
+        if tr is not None:
+            tr.add(self.grank, "cost.compute", seconds)
+            if scaled != seconds:  # straggler surcharge is fault debt
+                tr.add(self.grank, "cost.fault_debt", scaled - seconds)
 
     def _advance(self, seconds: float) -> None:
         """Raw clock advance (retry timeouts; never straggler-scaled)."""
         self._world.clocks[self.grank] += seconds
+        if self._tracer is not None:  # only fault paths call _advance
+            self._tracer.add(self.grank, "cost.fault_debt", seconds)
 
     def set_clock(self, t: float) -> None:
         if self._faults is not None and self._fault_debt:
@@ -245,6 +265,8 @@ class Comm:
             pt = self._world.phase_times[self.grank]
             pt[name] = pt.get(name, 0.0) + (t1 - t0)
             self._world.traces[self.grank].append((t0, t1, name))
+            if self._tracer is not None:
+                self._tracer.span(self.grank, "phase", name, t0, t1)
 
     @property
     def ranks_per_node(self) -> int:
@@ -261,6 +283,65 @@ class Comm:
             rpn = sum(1 for g in self._ctx.group if node_of(g) == mine)
             self._rpn = rpn
         return rpn
+
+    # ------------------------------------------------------------------
+    # tracing hooks
+    # ------------------------------------------------------------------
+    @property
+    def tracer(self) -> Any:
+        """The world's :class:`~repro.obs.tracer.Tracer`, or None."""
+        return self._tracer
+
+    def trace_counter(self, name: str, value: float = 1.0) -> None:
+        """Accumulate a tracer counter on this rank (no-op untraced)."""
+        tr = self._tracer
+        if tr is not None:
+            tr.add(self.grank, name, value)
+
+    def trace_instant(self, cat: str, name: str,
+                      args: dict | None = None) -> None:
+        """Record a zero-width marker at the current virtual time."""
+        tr = self._tracer
+        if tr is not None:
+            tr.instant(self.grank, cat, name, self.clock, args)
+
+    def trace_edges(self, sizes: Sequence[int]) -> None:
+        """Record this rank's per-destination sent bytes (one entry per
+        member of this communicator, in communicator rank order)."""
+        tr = self._tracer
+        if tr is not None:
+            row = np.zeros(self._world.p, dtype=np.int64)
+            row[list(self._ctx.group)] = np.asarray(sizes, dtype=np.int64)
+            tr.edge_row(self.grank, row)
+
+    def trace_collective(self, name: str, t: float, dt: float,
+                         lat: float) -> None:
+        """Traced twin of the collectives' ``set_clock(t + dt)``.
+
+        Records the op span (entry clock to new clock) and splits the
+        clock advance into the LogGP cost buckets: skipping forward to
+        the barrier release ``t`` is **wait**, ``lat`` (the same cost
+        function evaluated at zero bytes) is **latency**, the remainder
+        of ``dt`` is **bandwidth**, and any pending collective fault
+        debt (consumed by :meth:`set_clock` here) is **fault_debt**.
+        Callers only reach this with a tracer installed; ``t + dt`` is
+        computed exactly as in the untraced branch, so virtual clocks
+        are bit-for-bit unchanged by tracing.
+        """
+        c0 = self.clock
+        debt = self._fault_debt if self._faults is not None else 0.0
+        self.set_clock(t + dt)
+        tr = self._tracer
+        g = self.grank
+        tr.span(g, "coll", name, c0, self.clock)
+        wait = t - c0
+        if wait > 0.0:
+            tr.add(g, "cost.wait", wait)
+        tr.add(g, "cost.latency", lat)
+        if dt > lat:
+            tr.add(g, "cost.bandwidth", dt - lat)
+        if debt:
+            tr.add(g, "cost.fault_debt", debt)
 
     # ------------------------------------------------------------------
     # staged-collective plumbing
@@ -343,9 +424,17 @@ class Comm:
         if pen.resend_messages:
             debt += pen.resend_messages * self.cost.p2p_time(0)
             self.count("faults.coll_msg_dropped", pen.dropped)
+            if self._tracer is not None:
+                self._tracer.instant(self.grank, "fault", "coll_msg_dropped",
+                                     self.clock, {"seq": seq,
+                                                  "dropped": pen.dropped})
         if pen.resync_rounds:
             debt += pen.resync_rounds * self.cost.barrier_time(self.size)
             self.count("faults.coll_transient", pen.resync_rounds)
+            if self._tracer is not None:
+                self._tracer.instant(self.grank, "fault", "coll_transient",
+                                     self.clock, {"seq": seq,
+                                                  "rounds": pen.resync_rounds})
         self._fault_debt += debt
         self.count("retry.time", debt)
 
@@ -354,7 +443,11 @@ class Comm:
     # ------------------------------------------------------------------
     def barrier(self) -> None:
         t, _ = self.staged(None, _max_clock)
-        self.set_clock(t + self.cost.barrier_time(self.size))
+        dt = self.cost.barrier_time(self.size)
+        if self._tracer is None:
+            self.set_clock(t + dt)
+        else:
+            self.trace_collective("barrier", t, dt, dt)
 
     def bcast(self, obj: Any, root: int = 0) -> Any:
         def compute(stage: list) -> tuple:
@@ -363,7 +456,12 @@ class Comm:
 
         (value, t, nbytes), _ = self.staged(
             obj if self.rank == root else None, compute)
-        self.set_clock(t + self.cost.tree_collective_time(self.size, nbytes))
+        dt = self.cost.tree_collective_time(self.size, nbytes)
+        if self._tracer is None:
+            self.set_clock(t + dt)
+        else:
+            self.trace_collective(
+                "bcast", t, dt, self.cost.tree_collective_time(self.size, 0))
         self.count("coll.bcast")
         return value
 
@@ -373,7 +471,12 @@ class Comm:
             return objs, _max_clock(stage), max(map(payload_nbytes, objs))
 
         (objs, t, nbytes), _ = self.staged(obj, compute)
-        self.set_clock(t + self.cost.tree_collective_time(self.size, nbytes))
+        dt = self.cost.tree_collective_time(self.size, nbytes)
+        if self._tracer is None:
+            self.set_clock(t + dt)
+        else:
+            self.trace_collective(
+                "gather", t, dt, self.cost.tree_collective_time(self.size, 0))
         self.count("coll.gather")
         if self.rank == root:
             return objs
@@ -398,7 +501,12 @@ class Comm:
                                                              objs))
 
         (shared, t, nbytes), _ = self.staged(obj, produce)
-        self.set_clock(t + self.cost.allgather_time(self.size, nbytes))
+        dt = self.cost.allgather_time(self.size, nbytes)
+        if self._tracer is None:
+            self.set_clock(t + dt)
+        else:
+            self.trace_collective(
+                "allgather", t, dt, self.cost.allgather_time(self.size, 0))
         self.count("coll.allgather")
         return shared
 
@@ -416,8 +524,13 @@ class Comm:
 
         (sent, t), _ = self.staged(
             list(objs) if self.rank == root else None, compute)
-        self.set_clock(t + self.cost.tree_collective_time(
-            self.size, payload_nbytes(sent[self.rank])))
+        dt = self.cost.tree_collective_time(
+            self.size, payload_nbytes(sent[self.rank]))
+        if self._tracer is None:
+            self.set_clock(t + dt)
+        else:
+            self.trace_collective(
+                "scatter", t, dt, self.cost.tree_collective_time(self.size, 0))
         self.count("coll.scatter")
         return sent[self.rank]
 
@@ -439,8 +552,13 @@ class Comm:
             return self._fold(stage, op), _max_clock(stage)
 
         (acc, t), _ = self.staged(value, compute)
-        self.set_clock(t + self.cost.tree_collective_time(
-            self.size, payload_nbytes(value)))
+        dt = self.cost.tree_collective_time(self.size, payload_nbytes(value))
+        if self._tracer is None:
+            self.set_clock(t + dt)
+        else:
+            self.trace_collective(
+                "allreduce", t, dt,
+                self.cost.tree_collective_time(self.size, 0))
         self.count("coll.allreduce")
         return acc
 
@@ -451,8 +569,12 @@ class Comm:
             return self._fold(stage, op), _max_clock(stage)
 
         (acc, t), _ = self.staged(value, compute)
-        self.set_clock(t + self.cost.tree_collective_time(
-            self.size, payload_nbytes(value)))
+        dt = self.cost.tree_collective_time(self.size, payload_nbytes(value))
+        if self._tracer is None:
+            self.set_clock(t + dt)
+        else:
+            self.trace_collective(
+                "reduce", t, dt, self.cost.tree_collective_time(self.size, 0))
         self.count("coll.reduce")
         return acc if self.rank == root else None
 
@@ -469,8 +591,12 @@ class Comm:
             return prefix, _max_clock(stage)
 
         (prefix, t), _ = self.staged(value, compute)
-        self.set_clock(t + self.cost.tree_collective_time(
-            self.size, payload_nbytes(value)))
+        dt = self.cost.tree_collective_time(self.size, payload_nbytes(value))
+        if self._tracer is None:
+            self.set_clock(t + dt)
+        else:
+            self.trace_collective(
+                "scan", t, dt, self.cost.tree_collective_time(self.size, 0))
         self.count("coll.scan")
         return prefix[self.rank]
 
@@ -495,8 +621,12 @@ class Comm:
             return prefix, _max_clock(stage)
 
         (prefix, t), _ = self.staged((value, zero), compute)
-        self.set_clock(t + self.cost.tree_collective_time(
-            self.size, payload_nbytes(value)))
+        dt = self.cost.tree_collective_time(self.size, payload_nbytes(value))
+        if self._tracer is None:
+            self.set_clock(t + dt)
+        else:
+            self.trace_collective(
+                "exscan", t, dt, self.cost.tree_collective_time(self.size, 0))
         self.count("coll.exscan")
         return prefix[self.rank]
 
@@ -521,8 +651,15 @@ class Comm:
 
         t, received = self.staged(list(objs), _max_clock, reader)
         nbytes = max(payload_nbytes(o) for o in received) if received else 0
-        self.set_clock(t + self.cost.alltoallv_time(
-            self.size, nbytes, ranks_per_node=self.ranks_per_node))
+        dt = self.cost.alltoallv_time(
+            self.size, nbytes, ranks_per_node=self.ranks_per_node)
+        if self._tracer is None:
+            self.set_clock(t + dt)
+        else:
+            self.trace_collective(
+                "alltoall", t, dt, self.cost.alltoallv_time(
+                    self.size, 0, ranks_per_node=self.ranks_per_node))
+            self.trace_edges([payload_nbytes(o) for o in objs])
         self.count("coll.alltoall")
         return received
 
@@ -576,9 +713,17 @@ class Comm:
         t, max_send, max_recv, total_bytes, send_tot, recv_tot, _ = shared
         recv_bytes = int(recv_tot[me])
         self.mem.alloc(recv_bytes)
-        self.set_clock(t + self.cost.alltoallv_time(
+        dt = self.cost.alltoallv_time(
             self.size, max(max_send, max_recv),
-            ranks_per_node=self.ranks_per_node, total_bytes=total_bytes))
+            ranks_per_node=self.ranks_per_node, total_bytes=total_bytes)
+        if self._tracer is None:
+            self.set_clock(t + dt)
+        else:
+            self.trace_collective(
+                "alltoallv", t, dt, self.cost.alltoallv_time(
+                    self.size, 0, ranks_per_node=self.ranks_per_node,
+                    total_bytes=0))
+            self.trace_edges(sizes)
         self.count("coll.alltoallv")
         self.count("bytes.recv", recv_bytes)
         self.count("bytes.sent", int(send_tot[me]))
@@ -625,7 +770,14 @@ class Comm:
             arrivals.append((src, received[src], t))
         # own chunk is available immediately
         arrivals.insert(0, (me, received[me], start))
-        self.set_clock(start + self.cost.async_progress_overhead(self.size))
+        dt = self.cost.async_progress_overhead(self.size)
+        if self._tracer is None:
+            self.set_clock(start + dt)
+        else:
+            # the byte time is overlapped by the caller against the
+            # arrival schedule; only the progress CPU is charged here
+            self.trace_collective("alltoallv_async", start, dt, dt)
+            self.trace_edges(sizes)
         self.count("coll.alltoallv_async")
         self.count("bytes.recv", recv_bytes)
         return arrivals
@@ -660,7 +812,11 @@ class Comm:
         (contexts, t), _ = self.staged((color, mykey), compute)
         newctx: CommContext | None = (contexts.get(color)
                                       if color is not None else None)
-        self.set_clock(t + self.cost.barrier_time(self.size))
+        dt = self.cost.barrier_time(self.size)
+        if self._tracer is None:
+            self.set_clock(t + dt)
+        else:
+            self.trace_collective("split", t, dt, dt)
         if newctx is None:
             return None
         return Comm(world, newctx, newctx.group.index(self.grank))
@@ -698,6 +854,8 @@ class Comm:
         deterministic event, so no spurious payload enters the
         channel).
         """
+        tr = self._tracer
+        t0 = self.clock
         self.charge(self.machine.per_message_overhead)
         gdest = self._ctx.group[dest]
         sent_clock = None
@@ -718,16 +876,30 @@ class Comm:
                 self._advance(penalty)
                 self.count("faults.msg_dropped", ev.drops)
                 self.count("retry.time", penalty)
+                if tr is not None:
+                    tr.instant(self.grank, "fault", "msg_dropped", self.clock,
+                               {"dst": gdest, "drops": ev.drops})
             if ev.delay:
                 sent_clock = self.clock + ev.delay
                 self.count("faults.msg_delayed")
+                if tr is not None:
+                    tr.instant(self.grank, "fault", "msg_delayed", self.clock,
+                               {"dst": gdest, "delay": ev.delay})
             if ev.duplicate:
                 self._advance(self.machine.per_message_overhead)
                 self.count("faults.msg_duplicated")
+                if tr is not None:
+                    tr.instant(self.grank, "fault", "msg_duplicated",
+                               self.clock, {"dst": gdest})
         ch = self._world.channel(self.grank, gdest, tag)
         ch.put((obj, self.clock if sent_clock is None else sent_clock))
         self.count("p2p.send")
         self.count("bytes.sent", payload_nbytes(obj))
+        if tr is not None:
+            nbytes = payload_nbytes(obj)
+            tr.span(self.grank, "p2p", f"send->{gdest}", t0, self.clock,
+                    {"bytes": nbytes})
+            tr.edge(self.grank, gdest, nbytes)
 
     def _try_recv(self, source: int, tag: int):
         ch = self._world.channel(self._ctx.group[source], self.grank, tag)
@@ -735,8 +907,32 @@ class Comm:
 
     def _complete_recv(self, gsrc: int, tag: int, obj: Any,
                        sent_clock: float) -> Any:
-        arrival = sent_clock + self.cost.p2p_time(payload_nbytes(obj))
-        self.set_clock(max(self.clock, arrival))
+        tr = self._tracer
+        if tr is None:
+            arrival = sent_clock + self.cost.p2p_time(payload_nbytes(obj))
+            self.set_clock(max(self.clock, arrival))
+        else:
+            nbytes = payload_nbytes(obj)
+            flight = self.cost.p2p_time(nbytes)
+            arrival = sent_clock + flight
+            c0 = self.clock
+            self.set_clock(max(self.clock, arrival))
+            adv = self.clock - c0
+            if adv > 0.0:
+                # advance = (waiting on a late sender) + flight time;
+                # split the in-flight part into its zero-byte latency
+                # and byte-proportional remainder
+                wait = max(0.0, adv - flight)
+                rest = adv - wait
+                lat = min(rest, self.cost.p2p_time(0))
+                g = self.grank
+                tr.span(g, "p2p", f"recv<-{gsrc}", c0, self.clock,
+                        {"bytes": nbytes})
+                if wait > 0.0:
+                    tr.add(g, "cost.wait", wait)
+                tr.add(g, "cost.latency", lat)
+                if rest > lat:
+                    tr.add(g, "cost.bandwidth", rest - lat)
         f = self._faults
         if f is not None and f.has_message_faults:
             key = (gsrc, tag)
@@ -749,6 +945,9 @@ class Comm:
             if ev.duplicate:
                 self._advance(self.machine.per_message_overhead)
                 self.count("faults.dup_discarded")
+                if tr is not None:
+                    tr.instant(self.grank, "fault", "dup_discarded",
+                               self.clock, {"src": gsrc})
         self.count("p2p.recv")
         return obj
 

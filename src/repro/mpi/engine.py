@@ -216,7 +216,8 @@ def run_spmd(fn: Callable[..., Any], p: int, *,
              kwargs: dict[str, Any] | None = None,
              check: bool = True,
              pool: SpmdPool | None = None,
-             faults: Any = None) -> SpmdResult:
+             faults: Any = None,
+             tracer: Any = None) -> SpmdResult:
     """Execute ``fn(comm, *args, **kwargs)`` on ``p`` simulated ranks.
 
     Parameters
@@ -244,6 +245,12 @@ def run_spmd(fn: Callable[..., Any], p: int, *,
         ``p`` ranks) injected at the Comm hook points.  ``None`` — the
         default — leaves every code path bit-for-bit identical to a
         fault-free engine.
+    tracer:
+        Optional :class:`~repro.obs.tracer.Tracer` (allocated for ``p``
+        ranks) collecting virtual-time spans, cost-split counters and
+        edge bytes.  ``None`` — the default — keeps every hook a single
+        attribute check; the tracer is purely observational either way,
+        so virtual clocks are identical with tracing on or off.
     """
     if p < 1:
         raise ValueError("p must be >= 1")
@@ -251,7 +258,8 @@ def run_spmd(fn: Callable[..., Any], p: int, *,
         raise ValueError(f"fault plan compiled for p={faults.p}, "
                          f"world has p={p}")
     kwargs = dict(kwargs or {})
-    world = World(p, machine, mem_capacity=mem_capacity, faults=faults)
+    world = World(p, machine, mem_capacity=mem_capacity, faults=faults,
+                  tracer=tracer)
     results: list[Any] = [None] * p
     failures: list[tuple[int, BaseException]] = []
     failures_lock = threading.Lock()

@@ -1,0 +1,44 @@
+"""Observability: virtual-time tracing, cost attribution and export.
+
+The subsystem has three stages, one module each:
+
+* :mod:`repro.obs.tracer` — :class:`Tracer`, the per-rank recorder the
+  engine writes into (zero overhead when absent);
+* :mod:`repro.obs.report` — :class:`TraceReport`, the frozen aggregate
+  (phase stats, critical path, LogGP cost split, comm matrix);
+* :mod:`repro.obs.export` / :mod:`repro.obs.viz` — Chrome/Perfetto
+  trace-event JSON and the terminal renderings.
+
+See ``docs/observability.md`` for the span model and the counter
+taxonomy, and ``tests/test_obs.py`` for the contracts (determinism,
+reconciliation, off-path bit-equality).
+"""
+
+from .export import (
+    diff_traces,
+    load_trace,
+    summarize_trace,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from .report import PhaseStat, TraceReport
+from .tracer import COST_COUNTERS, SPAN_CATEGORIES, Tracer
+from .viz import comm_heat, phase_flame, rank_timeline
+
+__all__ = [
+    "Tracer",
+    "COST_COUNTERS",
+    "SPAN_CATEGORIES",
+    "TraceReport",
+    "PhaseStat",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "load_trace",
+    "validate_chrome_trace",
+    "summarize_trace",
+    "diff_traces",
+    "phase_flame",
+    "comm_heat",
+    "rank_timeline",
+]

@@ -1,0 +1,218 @@
+"""Chrome/Perfetto trace-event export, plus file-level summarize/diff.
+
+The exporter turns a :class:`~repro.obs.report.TraceReport` into the
+Chrome trace-event JSON object format (`chrome://tracing`, Perfetto's
+legacy loader):
+
+* one **process** per rank (``pid = rank``, named via ``M`` metadata
+  events) with two threads — ``tid 0`` carries the pipeline *phase*
+  spans, ``tid 1`` the communication *op* spans (collectives, p2p) so
+  ops visually nest under their phase without relying on the viewer's
+  stack heuristics;
+* spans are ``"X"`` complete events; timestamps and durations are
+  **virtual** seconds scaled to microseconds (the trace-event unit), so
+  the timeline one scrubs through in Perfetto is simulated Edison time,
+  not host time;
+* injected faults and crash verdicts are ``"i"`` instant events;
+* the report's digest rides along under the top-level ``"sdssort"``
+  key (the object format permits extra keys), which is what
+  ``sdssort trace summarize/diff`` read back — no re-run needed.
+
+Exports are canonical: keys sorted, virtual quantities only, so equal
+runs produce byte-equal files (pinned by ``tests/test_obs.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from .report import TraceReport
+
+__all__ = [
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "load_trace",
+    "validate_chrome_trace",
+    "summarize_trace",
+    "diff_traces",
+]
+
+#: virtual seconds -> trace-event microseconds
+_US = 1e6
+
+#: event phases this exporter emits (subset of the trace-event spec)
+_EMITTED_PH = ("X", "i", "M")
+
+
+def _round6(x: float) -> float:
+    """Stabilise exported timestamps against float formatting noise."""
+    return round(x, 6)
+
+
+def to_chrome_trace(report: TraceReport) -> dict[str, Any]:
+    """Render a report as a Chrome trace-event JSON object."""
+    events: list[dict[str, Any]] = []
+    for r in range(report.p):
+        events.append({"ph": "M", "pid": r, "tid": 0,
+                       "name": "process_name",
+                       "args": {"name": f"rank {r}"}})
+        events.append({"ph": "M", "pid": r, "tid": 0,
+                       "name": "thread_name", "args": {"name": "phases"}})
+        events.append({"ph": "M", "pid": r, "tid": 1,
+                       "name": "thread_name", "args": {"name": "ops"}})
+        for t0, t1, cat, name, args in report.spans[r]:
+            ev: dict[str, Any] = {
+                "ph": "X", "pid": r,
+                "tid": 0 if cat == "phase" else 1,
+                "cat": cat, "name": name,
+                "ts": _round6((t0) * _US),
+                "dur": _round6((t1 - t0) * _US),
+            }
+            if args:
+                ev["args"] = args
+            events.append(ev)
+        for t, cat, name, args in report.instants[r]:
+            ev = {"ph": "i", "pid": r, "tid": 1, "cat": cat, "name": name,
+                  "ts": _round6(t * _US), "s": "t"}
+            if args:
+                ev["args"] = args
+            events.append(ev)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "sdssort": report.summary(),
+    }
+
+
+def write_chrome_trace(report: TraceReport, path: str | Path) -> Path:
+    """Export ``report`` to ``path``; returns the written path."""
+    path = Path(path)
+    path.write_text(json.dumps(to_chrome_trace(report), sort_keys=True,
+                               separators=(",", ":")) + "\n")
+    return path
+
+
+def load_trace(path: str | Path) -> dict[str, Any]:
+    """Load an exported trace file (object or bare-array format)."""
+    obj = json.loads(Path(path).read_text())
+    if isinstance(obj, list):                    # bare-array variant
+        obj = {"traceEvents": obj}
+    if not isinstance(obj, dict) or "traceEvents" not in obj:
+        raise ValueError(f"{path}: not a Chrome trace-event file")
+    return obj
+
+
+def validate_chrome_trace(obj: dict[str, Any]) -> list[str]:
+    """Structural check against the trace-event spec subset we emit.
+
+    Returns a list of problems (empty = valid).  Used by the CI smoke
+    job and the export tests, so it is deliberately strict about the
+    fields a viewer needs rather than merely "is JSON".
+    """
+    problems: list[str] = []
+    if isinstance(obj, list):                    # bare-array variant
+        obj = {"traceEvents": obj}
+    if not isinstance(obj, dict):
+        return ["not a trace-event object or array"]
+    events = obj.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            problems.append(f"event {i}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in _EMITTED_PH:
+            problems.append(f"event {i}: unexpected ph={ph!r}")
+            continue
+        for key in ("pid", "tid", "name"):
+            if key not in ev:
+                problems.append(f"event {i}: missing {key}")
+        if ph == "X":
+            if not isinstance(ev.get("ts"), (int, float)):
+                problems.append(f"event {i}: X event without numeric ts")
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"event {i}: X event with bad dur={dur!r}")
+        elif ph == "i":
+            if not isinstance(ev.get("ts"), (int, float)):
+                problems.append(f"event {i}: i event without numeric ts")
+        elif ph == "M":
+            if not isinstance(ev.get("args"), dict):
+                problems.append(f"event {i}: M event without args")
+    return problems
+
+
+# ----------------------------------------------------------------------
+# file-level analysis (the `sdssort trace` subcommand)
+# ----------------------------------------------------------------------
+def _digest(obj: dict[str, Any], path: str | Path) -> dict[str, Any]:
+    summary = obj.get("sdssort")
+    if not isinstance(summary, dict):
+        raise ValueError(
+            f"{path}: no embedded 'sdssort' summary "
+            "(was this exported by `sdssort sort --trace`?)")
+    return summary
+
+
+def summarize_trace(path: str | Path) -> list[str]:
+    """Human-readable digest of one exported trace file."""
+    summary = _digest(load_trace(path), path)
+    lines = [f"trace {path}"]
+    meta = summary.get("meta") or {}
+    if meta:
+        pairs = ", ".join(f"{k}={v}" for k, v in sorted(meta.items()))
+        lines.append(f"  run: {pairs}")
+    lines.append(f"  p={summary['p']}  sim={summary['elapsed']:.6f}s  "
+                 f"spans={summary['spans']}  "
+                 f"fault_markers={summary['fault_markers']}")
+    lines.append("  phases (max over ranks):")
+    for ph in summary.get("phases", []):
+        share = (ph["max_seconds"] / summary["elapsed"]
+                 if summary["elapsed"] > 0 else 0.0)
+        lines.append(f"    {ph['name']:<16s} {ph['max_seconds']:>12.6f}s  "
+                     f"{share:>6.1%}  critical rank {ph['critical_rank']}")
+    split = summary.get("cost_split") or {}
+    total = sum(split.values())
+    if total > 0:
+        parts = "  ".join(f"{k.split('.', 1)[1]}={v / total:.1%}"
+                          for k, v in split.items())
+        lines.append(f"  cost split (rank-seconds): {parts}")
+    comm = summary.get("comm") or {}
+    if comm:
+        lines.append(f"  comm: {comm.get('wire_bytes', 0):,} wire bytes over "
+                     f"{comm.get('edges_used', 0)} edges "
+                     f"(max edge {comm.get('max_edge_bytes', 0):,})")
+    return lines
+
+
+def diff_traces(path_a: str | Path, path_b: str | Path) -> list[str]:
+    """Compare two exported traces phase by phase (B relative to A)."""
+    a = _digest(load_trace(path_a), path_a)
+    b = _digest(load_trace(path_b), path_b)
+    lines = [f"A: {path_a}  (p={a['p']}, sim={a['elapsed']:.6f}s)",
+             f"B: {path_b}  (p={b['p']}, sim={b['elapsed']:.6f}s)"]
+    if a["p"] != b["p"]:
+        lines.append("  note: different p — per-phase deltas are "
+                     "shape, not speed")
+    d = b["elapsed"] - a["elapsed"]
+    rel = (d / a["elapsed"]) if a["elapsed"] > 0 else 0.0
+    lines.append(f"  sim time: {d:+.6f}s ({rel:+.1%})")
+    pa = {ph["name"]: ph["max_seconds"] for ph in a.get("phases", [])}
+    pb = {ph["name"]: ph["max_seconds"] for ph in b.get("phases", [])}
+    order = list(pa) + [n for n in pb if n not in pa]
+    lines.append(f"  {'phase':<16s} {'A(s)':>12s} {'B(s)':>12s} "
+                 f"{'delta':>12s}")
+    for name in order:
+        va, vb = pa.get(name, 0.0), pb.get(name, 0.0)
+        lines.append(f"  {name:<16s} {va:>12.6f} {vb:>12.6f} "
+                     f"{vb - va:>+12.6f}")
+    ca = a.get("comm", {}).get("wire_bytes", 0)
+    cb = b.get("comm", {}).get("wire_bytes", 0)
+    lines.append(f"  wire bytes: {ca:,} -> {cb:,} ({cb - ca:+,})")
+    fa, fb = a.get("fault_markers", 0), b.get("fault_markers", 0)
+    if fa or fb:
+        lines.append(f"  fault markers: {fa} -> {fb}")
+    return lines

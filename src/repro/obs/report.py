@@ -1,0 +1,257 @@
+"""Trace aggregation: from raw per-rank spans to the paper's breakdowns.
+
+A :class:`TraceReport` freezes one run's :class:`~repro.obs.tracer.Tracer`
+together with the engine's clocks and counters and answers the
+questions the paper's figures ask:
+
+* **phase breakdown** (Fig 5a-c, Fig 6, Fig 9/10): per-phase virtual
+  time, per rank and max-over-ranks;
+* **critical path**: which rank pays for each phase, and how much of
+  the end-to-end makespan each phase's slowest rank explains;
+* **cost split** (the LogGP attribution): compute / wait / latency /
+  bandwidth / fault-debt totals that reconcile with the clocks;
+* **communication volume**: the per-edge byte matrix behind the
+  comm-volume heat map.
+
+Everything here is a pure function of virtual quantities, so reports
+(and their canonical hashes) are reproducible across hosts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from .tracer import COST_COUNTERS, Tracer
+
+__all__ = ["PhaseStat", "TraceReport"]
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce numpy scalars/arrays into canonical JSON-safe values."""
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+@dataclass(frozen=True)
+class PhaseStat:
+    """Aggregate of one phase across ranks."""
+
+    name: str
+    start: float          # earliest span start over all ranks
+    max_seconds: float    # slowest rank's total time in the phase
+    critical_rank: int    # the rank paying max_seconds
+    mean_seconds: float   # average over ranks *that entered the phase*
+    total_seconds: float  # sum over ranks
+    ranks: int            # ranks that entered the phase
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "start": self.start,
+            "max_seconds": self.max_seconds,
+            "critical_rank": self.critical_rank,
+            "mean_seconds": self.mean_seconds,
+            "total_seconds": self.total_seconds,
+            "ranks": self.ranks,
+        }
+
+
+@dataclass
+class TraceReport:
+    """One run's trace, aggregated and ready for export/analysis."""
+
+    p: int
+    elapsed: float                               # simulated makespan
+    clocks: list[float]                          # final per-rank clocks
+    spans: list[list[tuple]]                     # (t0, t1, cat, name, args)
+    instants: list[list[tuple]]                  # (t, cat, name, args)
+    counters: list[dict[str, float]]             # tracer counters per rank
+    engine_counters: list[dict[str, float]] = field(default_factory=list)
+    edges: np.ndarray | None = None              # (p, p) bytes [src, dst]
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_run(cls, tracer: Tracer, *, clocks: list[float],
+                 engine_counters: list[dict[str, float]] | None = None,
+                 meta: dict[str, Any] | None = None) -> "TraceReport":
+        """Freeze a finished run's tracer into a report."""
+        return cls(
+            p=tracer.p,
+            elapsed=max(clocks) if clocks else 0.0,
+            clocks=list(clocks),
+            spans=[list(s) for s in tracer.spans],
+            instants=[list(i) for i in tracer.instants],
+            counters=[dict(c) for c in tracer.counters],
+            engine_counters=[dict(c) for c in (engine_counters or [])],
+            edges=tracer.edge_matrix(),
+            meta={**tracer.meta, **(meta or {})},
+        )
+
+    # ------------------------------------------------------------------
+    # phase analysis
+    # ------------------------------------------------------------------
+    def phase_stats(self) -> list[PhaseStat]:
+        """Per-phase aggregates, ordered by earliest start (run order)."""
+        per_phase: dict[str, dict[int, float]] = {}
+        starts: dict[str, float] = {}
+        for r, spans in enumerate(self.spans):
+            for t0, t1, cat, name, _args in spans:
+                if cat != "phase":
+                    continue
+                per_rank = per_phase.setdefault(name, {})
+                per_rank[r] = per_rank.get(r, 0.0) + (t1 - t0)
+                if name not in starts or t0 < starts[name]:
+                    starts[name] = t0
+        out = []
+        for name, per_rank in per_phase.items():
+            crit = max(per_rank, key=lambda r: (per_rank[r], -r))
+            total = sum(per_rank.values())
+            out.append(PhaseStat(
+                name=name, start=starts[name],
+                max_seconds=per_rank[crit], critical_rank=crit,
+                mean_seconds=total / len(per_rank), total_seconds=total,
+                ranks=len(per_rank)))
+        out.sort(key=lambda s: (s.start, s.name))
+        return out
+
+    def phase_breakdown(self) -> dict[str, float]:
+        """Max-over-ranks seconds per phase (the stacked-bar columns)."""
+        return {s.name: s.max_seconds for s in self.phase_stats()}
+
+    def critical_path(self) -> dict[str, Any]:
+        """Phase-level critical-path decomposition of the makespan.
+
+        Collectives synchronise the ranks at (nearly) every phase
+        boundary, so the makespan decomposes as the sum over phases of
+        the slowest rank's time in that phase.  ``coverage`` reports
+        how much of ``elapsed`` the decomposition explains (1.0 for the
+        SDS pipeline, whose phases tile each rank's timeline; lower
+        when an algorithm advances clocks outside any phase).
+        """
+        stats = self.phase_stats()
+        total = sum(s.max_seconds for s in stats)
+        return {
+            "elapsed": self.elapsed,
+            "explained": total,
+            "coverage": (total / self.elapsed) if self.elapsed > 0 else 1.0,
+            "steps": [
+                {"phase": s.name, "rank": s.critical_rank,
+                 "seconds": s.max_seconds,
+                 "share": (s.max_seconds / total) if total > 0 else 0.0}
+                for s in stats
+            ],
+        }
+
+    # ------------------------------------------------------------------
+    # counters
+    # ------------------------------------------------------------------
+    def counter_totals(self, prefix: str = "") -> dict[str, float]:
+        """Sum tracer counters over ranks, optionally filtered by prefix."""
+        agg: dict[str, float] = {}
+        for c in self.counters:
+            for k, v in c.items():
+                if k.startswith(prefix):
+                    agg[k] = agg.get(k, 0.0) + v
+        return dict(sorted(agg.items()))
+
+    def cost_split(self) -> dict[str, float]:
+        """Run-wide LogGP attribution (sum over ranks, all buckets)."""
+        totals = self.counter_totals("cost.")
+        return {name: totals.get(name, 0.0) for name in COST_COUNTERS}
+
+    def reconcile(self) -> dict[str, float]:
+        """How well the trace explains the clocks (both should be ~0).
+
+        * ``max_cost_gap``: worst per-rank ``|sum(cost.*) - clock|`` —
+          the cost-split buckets must account for every clock advance;
+        * ``max_phase_gap``: worst per-rank ``|sum(phase spans) - clock|``
+          — for pipelines whose phases tile the timeline (SDS-Sort),
+          the phase spans must cover the whole run.
+        """
+        max_cost = 0.0
+        max_phase = 0.0
+        for r in range(self.p):
+            clock = self.clocks[r]
+            cost = sum(self.counters[r].get(k, 0.0) for k in COST_COUNTERS)
+            max_cost = max(max_cost, abs(cost - clock))
+            phase = sum(t1 - t0 for t0, t1, cat, _n, _a in self.spans[r]
+                        if cat == "phase")
+            max_phase = max(max_phase, abs(phase - clock))
+        return {"max_cost_gap": max_cost, "max_phase_gap": max_phase}
+
+    # ------------------------------------------------------------------
+    # communication
+    # ------------------------------------------------------------------
+    def comm_matrix(self) -> np.ndarray:
+        """The ``(p, p)`` bytes-sent matrix (``[src, dst]``)."""
+        if self.edges is None:
+            return np.zeros((self.p, self.p), dtype=np.int64)
+        return self.edges
+
+    def comm_totals(self) -> dict[str, int]:
+        m = self.comm_matrix()
+        off_diag = int(m.sum() - np.diagonal(m).sum())
+        return {
+            "total_bytes": int(m.sum()),
+            "wire_bytes": off_diag,           # excludes rank-to-self
+            "max_edge_bytes": int(m.max()) if m.size else 0,
+            "edges_used": int((m > 0).sum()),
+        }
+
+    def fault_markers(self) -> list[dict[str, Any]]:
+        """All injected-event markers, ordered by (time, rank)."""
+        out = []
+        for r, instants in enumerate(self.instants):
+            for t, cat, name, args in instants:
+                if cat == "fault":
+                    out.append({"t": t, "rank": r, "name": name,
+                                "args": _jsonable(args) if args else None})
+        out.sort(key=lambda e: (e["t"], e["rank"], e["name"]))
+        return out
+
+    # ------------------------------------------------------------------
+    # serialisation
+    # ------------------------------------------------------------------
+    def summary(self) -> dict[str, Any]:
+        """Compact JSON-safe digest (what ``--json`` and exports embed)."""
+        return _jsonable({
+            "p": self.p,
+            "elapsed": self.elapsed,
+            "spans": sum(len(s) for s in self.spans),
+            "phases": [s.as_dict() for s in self.phase_stats()],
+            "critical_path": self.critical_path(),
+            "cost_split": self.cost_split(),
+            "comm": self.comm_totals(),
+            "kernels": self.counter_totals("kernel."),
+            "fault_markers": len(self.fault_markers()),
+            "reconciliation": self.reconcile(),
+            "meta": self.meta,
+        })
+
+    def as_dict(self) -> dict[str, Any]:
+        """Full JSON-safe dump (spans, instants, counters, edges)."""
+        return _jsonable({
+            "summary": self.summary(),
+            "clocks": list(self.clocks),
+            "spans": [[list(s) for s in spans] for spans in self.spans],
+            "instants": [[list(i) for i in ins] for ins in self.instants],
+            "counters": [dict(sorted(c.items())) for c in self.counters],
+            "engine_counters": [dict(sorted(c.items()))
+                                for c in self.engine_counters],
+            "edges": self.comm_matrix(),
+        })

@@ -1,0 +1,95 @@
+"""Text renderings of a trace: phase flame summary and comm heat matrix.
+
+Same philosophy as :mod:`repro.viz` — no plotting dependency offline,
+so the renderings the CLI prints are pure functions returning strings.
+The Perfetto JSON (:mod:`repro.obs.export`) is the high-fidelity view;
+these are the at-a-glance terminal companions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .report import TraceReport
+
+__all__ = ["phase_flame", "comm_heat", "rank_timeline"]
+
+#: intensity ramp for the heat matrix (low -> high)
+_RAMP = " .:-=+*#%@"
+
+
+def phase_flame(report: TraceReport, *, width: int = 48) -> str:
+    """Flame-style phase summary: one bar per phase, sized by critical
+    time, annotated with the skew between the slowest and mean rank.
+
+    The "flame" here is one level deep by construction — pipeline
+    phases do not nest — so the interesting axis is skew, not depth:
+    a phase whose max is far above its mean is where load imbalance
+    (or a straggler) lives.
+    """
+    stats = report.phase_stats()
+    if not stats:
+        return "(no phase spans)"
+    t_max = max(s.max_seconds for s in stats) or 1.0
+    name_w = max(len(s.name) for s in stats)
+    lines = [f"{'phase':<{name_w}}  {'max(s)':>12s} {'mean(s)':>12s} "
+             f"{'skew':>6s}  critical"]
+    for s in stats:
+        bar = "#" * max(1, int(round(s.max_seconds / t_max * width)))
+        skew = s.max_seconds / s.mean_seconds if s.mean_seconds > 0 else 1.0
+        lines.append(
+            f"{s.name:<{name_w}}  {s.max_seconds:>12.6f} "
+            f"{s.mean_seconds:>12.6f} {skew:>5.2f}x  rank {s.critical_rank}")
+        lines.append(f"{'':<{name_w}}  |{bar}")
+    cp = report.critical_path()
+    lines.append(f"{'':<{name_w}}  phase sum {cp['explained']:.6f}s "
+                 f"explains {cp['coverage']:.1%} of {cp['elapsed']:.6f}s")
+    return "\n".join(lines)
+
+
+def comm_heat(report: TraceReport, *, max_cells: int = 32) -> str:
+    """Byte-volume heat matrix, senders as rows, receivers as columns.
+
+    Worlds larger than ``max_cells`` ranks are tiled down by summing
+    contiguous rank blocks, so the p=512 matrix still fits a terminal
+    while preserving totals.  Intensity is linear in bytes within the
+    displayed matrix.
+    """
+    m = report.comm_matrix()
+    p = m.shape[0]
+    if m.sum() == 0:
+        return "(no communication recorded)"
+    if p > max_cells:
+        blocks = max_cells
+        edges = np.linspace(0, p, blocks + 1).astype(np.int64)
+        tiled = np.zeros((blocks, blocks), dtype=np.int64)
+        for i in range(blocks):
+            rows = m[edges[i]:edges[i + 1]]
+            for j in range(blocks):
+                tiled[i, j] = rows[:, edges[j]:edges[j + 1]].sum()
+        m = tiled
+        label = (f"{p} ranks tiled to {blocks}x{blocks} blocks "
+                 f"(block = {p // blocks}+ ranks)")
+    else:
+        label = f"{p} ranks"
+    peak = m.max() or 1
+    lines = [f"bytes sent, src rows -> dst cols ({label}; "
+             f"peak cell {int(peak):,} B)"]
+    for i in range(m.shape[0]):
+        row = "".join(
+            _RAMP[min(len(_RAMP) - 1, int(m[i, j] / peak * (len(_RAMP) - 1)))]
+            for j in range(m.shape[1]))
+        lines.append(f"{i:>4d} |{row}|")
+    lines.append(f"{'':>4s}  scale: '{_RAMP[0]}'=0 .. '{_RAMP[-1]}'=peak")
+    return "\n".join(lines)
+
+
+def rank_timeline(report: TraceReport, *, width: int = 64,
+                  max_ranks: int = 12) -> str:
+    """Per-rank phase gantt, reusing :func:`repro.viz.gantt`."""
+    from repro.viz import gantt
+
+    traces = [[(t0, t1, name) for t0, t1, cat, name, _a in spans
+               if cat == "phase"] for spans in report.spans]
+    return gantt(traces, width=width, max_ranks=max_ranks,
+                 title=f"virtual-time phases, p={report.p}")

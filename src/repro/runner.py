@@ -139,7 +139,8 @@ def run_sort(algorithm: str, workload: Workload, *, n_per_rank: int, p: int,
              mem_factor: float | None = MEM_FACTOR,
              validate: bool = True, keep_outputs: bool = False,
              algo_opts: dict[str, Any] | None = None,
-             faults: Any = None, fault_seed: int = 0) -> RunResult:
+             faults: Any = None, fault_seed: int = 0,
+             trace: bool = False) -> RunResult:
     """Run one distributed sort end to end on the simulated machine.
 
     Parameters
@@ -156,6 +157,10 @@ def run_sort(algorithm: str, workload: Workload, *, n_per_rank: int, p: int,
         engine injects.  ``None`` (or an empty spec) runs fault-free.
     fault_seed: seed for the fault schedule, independent of the data
         ``seed`` so the same dataset can face different fault draws.
+    trace: collect a virtual-time trace of the run; the resulting
+        :class:`~repro.obs.report.TraceReport` lands in
+        ``extras["trace"]``.  Tracing is purely observational — the
+        simulated clocks are identical with it on or off.
     """
     try:
         spec = ALGORITHMS[algorithm]
@@ -178,8 +183,19 @@ def run_sort(algorithm: str, workload: Workload, *, n_per_rank: int, p: int,
         out = spec.invoke(comm, shard, opts)
         return shard, out
 
+    tracer = None
+    if trace:
+        from .obs import Tracer
+        tracer = Tracer(p)
+        tracer.meta.update({
+            "algorithm": algorithm, "workload": workload.name,
+            "p": p, "n_per_rank": n_per_rank, "seed": seed,
+            "machine": machine.name,
+            "faults": faults.as_dict() if fplan is not None else None,
+        })
+
     res = run_spmd(prog, p, machine=machine, mem_capacity=capacity,
-                   check=False, faults=fplan)
+                   check=False, faults=fplan, tracer=tracer)
 
     if res.failure is not None:
         cause = res.failure.cause
@@ -224,6 +240,10 @@ def run_sort(algorithm: str, workload: Workload, *, n_per_rank: int, p: int,
         extras["faults"] = {k: agg[k] for k in sorted(agg)}
         extras["crashed_ranks"] = crashed_ranks
         extras["fault_plan"] = fplan.describe()
+    if tracer is not None:
+        from .obs import TraceReport
+        extras["trace"] = TraceReport.from_run(
+            tracer, clocks=res.clocks, engine_counters=res.counters)
 
     return RunResult(
         algorithm=algorithm, workload=workload.name, p=p,

@@ -105,6 +105,83 @@ class TestCli:
             main([])
 
 
+class TestCliTrace:
+    def test_sort_trace_writes_valid_file(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "run.json"
+        code, out = run_cli(
+            capsys, "sort", "--p", "8", "--n", "300", "--trace", str(path),
+        )
+        assert code == 0
+        assert "trace written to" in out
+        assert "critical" in out          # phase flame rendered
+        assert "bytes sent" in out        # comm heat rendered
+        obj = json.loads(path.read_text())
+        assert obj["sdssort"]["p"] == 8
+        assert any(e.get("ph") == "X" for e in obj["traceEvents"])
+
+    def test_sort_json_schema(self, capsys):
+        import json
+
+        code, out = run_cli(
+            capsys, "sort", "--p", "8", "--n", "300", "--json",
+        )
+        assert code == 0
+        doc = json.loads(out)
+        assert doc["schema"] == "sdssort.sort/v1"
+        assert doc["ok"] is True
+        for key in ("algorithm", "workload", "p", "n_per_rank", "elapsed",
+                    "throughput_tb_min", "rdfa", "phases", "decisions",
+                    "faults", "trace"):
+            assert key in doc, key
+        assert doc["elapsed"] > 0
+        assert doc["decisions"] and "choice" in doc["decisions"][0]
+        assert doc["trace"]["spans"] > 0
+        assert doc["trace"]["reconciliation"]["max_cost_gap"] < 1e-9
+
+    def test_sort_json_failure(self, capsys):
+        import json
+
+        code, out = run_cli(
+            capsys, "sort", "--algorithm", "hyksort", "--workload", "zipf",
+            "--alpha", "2.1", "--p", "16", "--n", "800", "--json",
+        )
+        assert code == 1
+        doc = json.loads(out)
+        assert doc["ok"] is False and doc["oom"] is True
+        assert doc["elapsed"] is None
+
+    def test_sort_json_faults(self, capsys):
+        import json
+
+        code, out = run_cli(
+            capsys, "sort", "--p", "8", "--n", "300",
+            "--fault-spec", "straggler", "--fault-seed", "2", "--json",
+        )
+        assert code == 0
+        doc = json.loads(out)
+        assert doc["faults"]["faults.straggler"] == 2.0
+        assert doc["trace"]["fault_markers"] == 2
+
+    def test_trace_summarize_and_diff(self, capsys, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        run_cli(capsys, "sort", "--p", "8", "--n", "300",
+                "--trace", str(a))
+        run_cli(capsys, "sort", "--p", "8", "--n", "300", "--sync",
+                "--trace", str(b))
+        code, out = run_cli(capsys, "trace", str(a))
+        assert code == 0
+        assert "phases" in out and "cost split" in out
+        code, out = run_cli(capsys, "trace", str(a), str(b))
+        assert code == 0
+        assert "sim time:" in out and "delta" in out
+
+    def test_trace_rejects_three_files(self, capsys, tmp_path):
+        with pytest.raises(SystemExit):
+            run_cli(capsys, "trace", "a", "b", "c")
+
+
 class TestCliViz:
     def test_scaling_plot(self, capsys):
         code, out = run_cli(
