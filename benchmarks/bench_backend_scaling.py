@@ -1,0 +1,182 @@
+"""Backend scaling: the thread ceiling, the proc crossover, hybrid giant-p.
+
+Tracks the host wall-clock of full functional `sds` runs through
+``run_sort`` on both functional backends, and the hybrid backend's
+modelled points with their validation evidence.  On the 1-core
+reference host the two functional backends are at parity through a
+few Ki ranks (both are bound by the same per-collective thread
+wakeups; the proc backend's IPC stays in the noise).  The thread
+backend's GIL traffic becomes the bottleneck at p=16Ki: the proc run
+completes in ~23 min while the thread run was capped still running at
+95 min (:data:`THREAD_16KI_FLOOR`) — and on multi-core hosts, where
+worker interpreters actually run in parallel, the crossover moves
+down.  Beyond the functional ceiling, the hybrid backend covers
+p = 64Ki / 128Ki: full analytic phase arithmetic plus a sampled-rank
+functional leg.
+
+Results land in the ``backend_scaling`` section of
+``BENCH_engine.json`` (schema v6).  This bench and the other three
+``bench_engine_walltime``-family benches read-modify-write the file,
+each preserving the others' sections.
+
+Wall times are best-of-2 per configuration, so proc numbers reflect a
+warm ``ProcPool`` (the first repetition pays the one-time spawn).
+``REPRO_BENCH_QUICK`` keeps only the p=1024 functional pair and the
+p=64Ki hybrid point.  Run directly or via pytest; direct runs need the
+``__main__`` guard below (the proc backend spawns workers, and spawn
+re-imports ``__main__``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+from repro.runner import run_sort
+from repro.workloads import by_name
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _helpers import emit, fmt_time, quick  # noqa: E402
+
+ROOT = Path(__file__).resolve().parent.parent
+JSON_PATH = ROOT / "BENCH_engine.json"
+SCHEMA = "bench_engine_walltime/v6"
+
+#: (name, p, n_per_rank, measure_thread, reps).  The p=16Ki proc point
+#: runs once (a repetition costs tens of minutes: at that scale both
+#: backends are dominated by waking 16Ki rank threads per collective
+#: on the reference host's single core; the proc wall includes the
+#: 8-worker pool spawn, a few seconds of it).  The thread backend at
+#: p=16Ki is not re-measured per run: on the reference host it was
+#: still running after 95 minutes when the measurement was capped
+#: (:data:`THREAD_16KI_FLOOR`), > 4x the proc wall — one interpreter
+#: hand-carrying 16Ki threads through every GIL switch loses to eight
+#: interpreters carrying 2Ki each even on a single core.
+FUNCTIONAL = [
+    ("p1024", 1024, 64, True, 2),
+    ("p4096", 4096, 64, True, 2),
+    ("p16384", 16384, 64, False, 1),
+]
+
+#: Lower bound on the thread-backend wall at p=16Ki, n=64/rank on the
+#: reference host (run capped after 95 min, like the SEED_HOST
+#: baselines of bench_engine_walltime this is a recorded measurement,
+#: not recomputed per run).
+THREAD_16KI_FLOOR = 5700.0
+
+#: Hybrid points: (name, p, n_per_rank).
+HYBRID = [
+    ("p65536_hybrid", 65536, 2000),
+    ("p131072_hybrid", 131072, 2000),
+]
+
+
+def _wall(backend: str, p: int, n: int, reps: int = 2):
+    wl = by_name("uniform")
+    best, result = float("inf"), None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        r = run_sort("sds", wl, n_per_rank=n, p=p, mem_factor=None,
+                     backend=backend)
+        best = min(best, time.perf_counter() - t0)
+        assert r.ok, (backend, p, r.failure)
+        result = r
+    return round(best, 4), result
+
+
+def measure() -> dict:
+    runs = {}
+    functional = [c for c in FUNCTIONAL if not (quick() and c[1] > 1024)]
+    for name, p, n, with_thread, reps in functional:
+        proc_wall, r = _wall("proc", p, n, reps=reps)
+        entry = {"backend": "proc", "p": p, "n_per_rank": n,
+                 "workers": r.extras["engine"]["workers"],
+                 "wall_seconds": proc_wall,
+                 "thread_wall_seconds": None,
+                 "speedup_vs_thread": None}
+        if with_thread:
+            thread_wall, _ = _wall("thread", p, n, reps=reps)
+            entry["thread_wall_seconds"] = thread_wall
+            entry["speedup_vs_thread"] = round(thread_wall / proc_wall, 2)
+        elif p == 16384:
+            entry["thread_wall_floor_seconds"] = THREAD_16KI_FLOOR
+            entry["speedup_vs_thread_floor"] = round(
+                THREAD_16KI_FLOOR / proc_wall, 2)
+        runs[name] = entry
+    hybrid = [c for c in HYBRID if not (quick() and c[1] > 65536)]
+    for name, p, n in hybrid:
+        t0 = time.perf_counter()
+        r = run_sort("sds", by_name("zipf"), n_per_rank=n, p=p,
+                     mem_factor=None, backend="hybrid")
+        wall = round(time.perf_counter() - t0, 4)
+        assert r.ok, (name, r.failure)
+        hyb = r.extras["hybrid"]
+        runs[name] = {"backend": "hybrid", "p": p, "n_per_rank": n,
+                      "wall_seconds": wall,
+                      "sim_seconds": round(r.elapsed, 6),
+                      "throughput_tb_min": round(r.throughput_tb_min, 2),
+                      "validated": bool(hyb["local_sort_ok"]
+                                        and hyb["deterministic"]),
+                      "max_load_rel_err": round(hyb["max_load_rel_err"], 4),
+                      "rdfa_rel_err": round(hyb["rdfa_rel_err"], 4),
+                      "sampled_ranks": hyb["sampled_ranks"]}
+    return runs
+
+
+def write_report(runs: dict) -> list[str]:
+    rows = [f"{'config':>16s} {'backend':>8s} {'wall(s)':>9s} "
+            f"{'thread(s)':>10s} {'speedup':>8s}"]
+    for name, r in runs.items():
+        tw = r.get("thread_wall_seconds")
+        sp = r.get("speedup_vs_thread")
+        ft, fs = "", ""
+        if tw is None and "thread_wall_floor_seconds" in r:
+            tw = r["thread_wall_floor_seconds"]
+            sp = r["speedup_vs_thread_floor"]
+            ft, fs = ">", ">"  # capped measurement, a floor
+        rows.append(f"{name:>16s} {r['backend']:>8s} "
+                    f"{fmt_time(r['wall_seconds']):>9s} "
+                    f"{ft + fmt_time(tw) if tw else '-':>10s} "
+                    f"{fs + str(sp) + 'x' if sp else '-':>8s}")
+    existing = (json.loads(JSON_PATH.read_text())
+                if JSON_PATH.exists() else {})
+    existing["schema"] = SCHEMA
+    existing["backend_scaling"] = {
+        "machine": "EDISON cost model, uniform (functional) / zipf (hybrid)"
+                   ", no memory limit",
+        "host_cores": os.cpu_count(),
+        "runs": runs,
+    }
+    JSON_PATH.write_text(json.dumps(existing, indent=1) + "\n")
+    return rows
+
+
+def test_backend_scaling():
+    runs = measure()
+    rows = write_report(runs)
+    emit("backend_scaling", rows)
+    # On a single-core host proc and thread are both bound by the same
+    # per-collective wakeups up to a few Ki ranks — the contract there
+    # is parity (IPC overhead must stay in the noise).  The outright
+    # win appears where the single interpreter's GIL traffic becomes
+    # the bottleneck: p=16Ki proc completes in ~23 min against a
+    # capped >95 min thread run (THREAD_16KI_FLOOR).  Multi-core hosts
+    # move the crossover down — host_cores is recorded for that.
+    assert (runs["p1024"]["wall_seconds"]
+            < runs["p1024"]["thread_wall_seconds"] * 1.5)
+    if "p4096" in runs:
+        assert (runs["p4096"]["wall_seconds"]
+                < runs["p4096"]["thread_wall_seconds"] * 1.25)
+    if "p16384" in runs:
+        assert runs["p16384"]["wall_seconds"] < THREAD_16KI_FLOOR
+    for name, r in runs.items():
+        if r["backend"] == "hybrid":
+            assert r["validated"], name
+
+
+if __name__ == "__main__":
+    test_backend_scaling()
+    print(f"wrote {JSON_PATH}")

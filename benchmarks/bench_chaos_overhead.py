@@ -10,7 +10,7 @@ sit on the engine's per-message hot path, so a hook regression shows
 up here before it shows up in the tier-1 suite).
 
 Results land in the ``chaos`` section of ``BENCH_engine.json`` (schema
-v5).  This bench, ``bench_engine_walltime.py`` and
+v6).  This bench, ``bench_engine_walltime.py`` and
 ``bench_trace_overhead.py`` all read-modify-write the file, each
 preserving the others' sections, so the engine baselines (seed_issue /
 seed_host / pre_fusion and the walltime runs) carry over unchanged.
@@ -35,7 +35,7 @@ from _helpers import emit, fmt_time, quick  # noqa: E402
 
 ROOT = Path(__file__).resolve().parent.parent
 JSON_PATH = ROOT / "BENCH_engine.json"
-SCHEMA = "bench_engine_walltime/v5"
+SCHEMA = "bench_engine_walltime/v6"
 
 #: (name, spec) — one scenario per recovery path.  Node merging is
 #: disabled throughout so every rank stays crash-eligible and the p2p

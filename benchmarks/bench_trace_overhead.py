@@ -9,7 +9,7 @@ collects.  Virtual clocks must be bit-for-bit equal either way — that
 is asserted here on every pair, not just in the unit tests.
 
 Results land in the ``trace_overhead`` section of
-``BENCH_engine.json`` (schema v5).  This bench,
+``BENCH_engine.json`` (schema v6).  This bench,
 ``bench_engine_walltime.py`` and ``bench_chaos_overhead.py`` all
 read-modify-write the file, each preserving the others' sections, so
 the v4 baselines carry over unchanged.
@@ -33,7 +33,7 @@ from _helpers import emit, fmt_time, quick  # noqa: E402
 
 ROOT = Path(__file__).resolve().parent.parent
 JSON_PATH = ROOT / "BENCH_engine.json"
-SCHEMA = "bench_engine_walltime/v5"
+SCHEMA = "bench_engine_walltime/v6"
 
 N_PER_RANK = 500
 REPS = 2

@@ -147,6 +147,8 @@ def _sort_json_doc(args: argparse.Namespace, machine, r) -> dict:
         "faults": r.extras.get("faults"),
         "crashed_ranks": r.extras.get("crashed_ranks"),
         "trace": report.summary() if report is not None else None,
+        "engine": r.extras.get("engine"),
+        "hybrid": r.extras.get("hybrid"),
     }
 
 
@@ -158,12 +160,16 @@ def cmd_sort(args: argparse.Namespace) -> int:
             opts["node_merge_enabled"] = False
         if args.sync:
             opts["tau_o"] = 0
-    want_trace = args.trace is not None or args.json
+    # hybrid carries no rank timelines, so it cannot honour tracing;
+    # --json still works there (the doc reports the validation evidence).
+    want_trace = ((args.trace is not None or args.json)
+                  and args.backend != "hybrid")
     r = run_sort(args.algorithm, _workload(args), n_per_rank=args.n,
                  p=args.p, machine=machine, seed=args.seed,
                  mem_factor=None if args.no_mem_limit else args.mem_factor,
                  algo_opts=opts, faults=args.fault_spec,
-                 fault_seed=args.fault_seed, trace=want_trace)
+                 fault_seed=args.fault_seed, trace=want_trace,
+                 backend=args.backend, procs=args.procs)
     report = r.extras.get("trace")
     if args.trace is not None and report is not None:
         from .obs import write_chrome_trace
@@ -180,6 +186,18 @@ def cmd_sort(args: argparse.Namespace) -> int:
         print(f"status    : FAILED ({'OOM' if r.oom else 'error'})")
         print(f"            {r.failure}")
         return 1
+    engine = r.extras.get("engine", {})
+    if engine.get("backend") == "proc":
+        print(f"backend   : proc ({engine['workers']} workers, "
+              f"shards {engine['shards']})")
+    elif engine.get("backend") == "hybrid":
+        hyb = r.extras.get("hybrid", {})
+        print(f"backend   : hybrid (analytic at p={args.p}, functional "
+              f"sample ranks {hyb.get('sampled_ranks')})")
+        print(f"validated : max-load rel err "
+              f"{hyb.get('max_load_rel_err', 0.0):.3f}, RDFA rel err "
+              f"{hyb.get('rdfa_rel_err', 0.0):.3f} "
+              f"(tolerance {hyb.get('tolerance', 0.0):.2f})")
     print("status    : ok (validated)")
     print(f"sim time  : {r.elapsed:.6f} s  "
           f"({r.throughput_tb_min:,.2f} TB/min at scale)")
@@ -435,7 +453,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         p=args.p, n_per_rank=args.n, seeds=args.seeds,
         specs=args.specs.split(",") if args.specs else None,
         algorithms=args.algorithms.split(","),
-        workload=args.workload, machine=machine)
+        workload=args.workload, machine=machine,
+        backend=args.backend, procs=args.procs)
     for line in render_report(report):
         print(line)
     if args.json:
@@ -479,6 +498,15 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--p", type=_positive_int, default=16,
                     help="simulated ranks")
     ps.add_argument("--machine", default="edison")
+    ps.add_argument("--backend", default="thread",
+                    choices=["thread", "proc", "hybrid"],
+                    help="engine backend: rank threads in-process, rank "
+                         "blocks sharded over worker processes "
+                         "(bit-for-bit identical), or analytic+sampled "
+                         "hybrid for giant p (4Ki..128Ki+)")
+    ps.add_argument("--procs", type=_positive_int, default=None,
+                    help="worker processes for --backend proc "
+                         "(default: scale heuristic)")
     ps.add_argument("--seed", type=int, default=0)
     ps.add_argument("--mem-factor", type=_positive_float, default=6.7,
                     help="per-rank memory capacity as multiple of input")
@@ -581,6 +609,11 @@ def build_parser() -> argparse.ArgumentParser:
     px.add_argument("--algorithms", default="sds,sds-stable")
     px.add_argument("--workload", default="uniform")
     px.add_argument("--machine", default="edison")
+    px.add_argument("--backend", default="thread",
+                    choices=["thread", "proc"],
+                    help="engine backend (report hash is backend-invariant)")
+    px.add_argument("--procs", type=_positive_int, default=None,
+                    help="worker processes for --backend proc")
     px.add_argument("--json", default=None, metavar="PATH",
                     help="also write the full report as JSON")
     px.set_defaults(fn=cmd_chaos)

@@ -76,6 +76,7 @@ def run_chaos(*, p: int, n_per_rank: int = 256,
               machine: MachineSpec = EDISON,
               mem_factor: float | None = None,
               extra_specs: Mapping[str, FaultSpec] | None = None,
+              backend: str = "thread", procs: int | None = None,
               ) -> ChaosReport:
     """Run a seeded fault matrix and aggregate the resilience report.
 
@@ -85,6 +86,10 @@ def run_chaos(*, p: int, n_per_rank: int = 256,
     computed once per (algorithm, seed) and shared across presets.
     ``mem_factor=None`` disables the OOM model — chaos campaigns probe
     fault tolerance, not capacity.
+
+    ``backend``/``procs`` select the engine backend per cell; the
+    report hash is backend-invariant (the determinism contract the
+    cross-backend tests pin down).
     """
     seeds = list(seeds)
     chosen = resolve_specs(specs, extra_specs)
@@ -97,7 +102,8 @@ def run_chaos(*, p: int, n_per_rank: int = 256,
         for seed in seeds:
             base = run_sort(algorithm, wl, n_per_rank=n_per_rank, p=p,
                             machine=machine, seed=seed,
-                            mem_factor=mem_factor)
+                            mem_factor=mem_factor,
+                            backend=backend, procs=procs)
             baselines[(algorithm, seed)] = base.elapsed
 
     for spec_name, spec in chosen.items():
@@ -107,7 +113,8 @@ def run_chaos(*, p: int, n_per_rank: int = 256,
                     res = run_sort(algorithm, wl, n_per_rank=n_per_rank,
                                    p=p, machine=machine, seed=seed,
                                    mem_factor=mem_factor,
-                                   faults=spec, fault_seed=seed)
+                                   faults=spec, fault_seed=seed,
+                                   backend=backend, procs=procs)
                     ok = res.ok
                     failure = res.failure
                     elapsed = res.elapsed

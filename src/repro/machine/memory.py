@@ -31,6 +31,14 @@ class SimOOMError(MemoryError):
             f"({in_use} B in use of {capacity} B)"
         )
 
+    def __reduce__(self):
+        # default exception pickling replays __init__ with self.args (the
+        # formatted message), which doesn't match the 4-argument
+        # signature; reconstruct from the structured fields instead so
+        # process-sharded runs can ship the failure back to the parent
+        return (SimOOMError,
+                (self.rank, self.requested, self.in_use, self.capacity))
+
 
 @dataclass
 class MemoryTracker:

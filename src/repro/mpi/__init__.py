@@ -8,6 +8,7 @@ from .comm import Comm, Request, World, payload_nbytes
 from .context import AbortFlag, Channel, CommContext
 from .engine import SpmdPool, SpmdResult, default_pool, run_spmd
 from .errors import MessageLostError, RankFailure, SimAbort
+from .procpool import ProcPool, default_proc_pool
 
 __all__ = [
     "Comm",
@@ -19,7 +20,9 @@ __all__ = [
     "CommContext",
     "SpmdPool",
     "SpmdResult",
+    "ProcPool",
     "default_pool",
+    "default_proc_pool",
     "run_spmd",
     "MessageLostError",
     "RankFailure",

@@ -87,7 +87,7 @@ class World:
             raise ValueError(f"tracer allocated for p={tracer.p}, "
                              f"world has p={p}")
         self.tracer = tracer
-        self.abort = AbortFlag()
+        self.abort = self._make_abort()
         self.clocks: list[float] = [0.0] * p
         self.mem = [MemoryTracker(capacity=mem_capacity, rank=r) for r in range(p)]
         self.phase_times: list[dict[str, float]] = [dict() for _ in range(p)]
@@ -96,7 +96,7 @@ class World:
         self.traces: list[list[tuple[float, float, str]]] = [[] for _ in range(p)]
         self._channels: dict[tuple[int, int, int], Channel] = {}
         self._channels_lock = threading.Lock()
-        self.world_ctx = CommContext(range(p), self.abort)
+        self.world_ctx = self.make_context(range(p))
         #: compiled :class:`~repro.faults.plan.FaultPlan` or None.  A
         #: plan with ``active == False`` is treated exactly like None,
         #: so an empty FaultSpec never perturbs the virtual clocks.
@@ -110,6 +110,20 @@ class World:
                 [dict() for _ in range(p)]
             self.p2p_recv_seq: list[dict[tuple[int, int], int]] = \
                 [dict() for _ in range(p)]
+
+    def _make_abort(self) -> AbortFlag:
+        """Abort-flag factory (hook for backends with wider failure fan-out)."""
+        return AbortFlag()
+
+    def make_context(self, group: Sequence[int],
+                     parent: Any = None, key: Any = None) -> CommContext:
+        """Shared-context factory for new communicators.
+
+        ``parent``/``key`` name a split child deterministically — the
+        process-sharded world overrides this to mint identities that
+        agree across worker processes; the thread world ignores them.
+        """
+        return CommContext(group, self.abort)
 
     def node_of(self, grank: int) -> int:
         """Node hosting a global rank (dense one-rank-per-core placement)."""
@@ -801,10 +815,10 @@ class Comm:
                     continue
                 groups.setdefault(col, []).append((k, r))
             contexts = {}
-            for col, members in groups.items():
+            for col, members in sorted(groups.items()):
                 members.sort()
                 gids = [ctx.group[r] for _, r in members]
-                contexts[col] = CommContext(gids, world.abort)
+                contexts[col] = world.make_context(gids, parent=ctx, key=col)
             return contexts, _max_clock(stage)
 
         # the contexts dict lives only in this generation's barrier

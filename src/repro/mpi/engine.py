@@ -18,10 +18,11 @@ benches report the paper's HykSort OOM entries instead of crashing.
 
 from __future__ import annotations
 
+import atexit
 import sys
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Callable, Sequence
+from typing import Any, Callable, Iterable, Sequence
 
 from ..machine import LAPTOP, MachineSpec
 from .comm import Comm, World
@@ -40,6 +41,32 @@ _STACK_BYTES = 512 * 1024
 #: nothing in responsiveness.
 _COARSE_SWITCH_RANKS = 64
 _COARSE_SWITCH_INTERVAL = 0.05
+
+# ``sys.setswitchinterval`` is process-global, so the coarse-mode toggle
+# is refcounted here instead of living inside one pool's lock: two pools
+# running concurrently would otherwise each save-and-restore, and the
+# second restore could reinstate the *coarse* interval as "the original".
+_switch_lock = threading.Lock()
+_switch_depth = 0
+_switch_saved = 0.0
+
+
+def _coarse_enter() -> None:
+    global _switch_depth, _switch_saved
+    with _switch_lock:
+        if _switch_depth == 0:
+            _switch_saved = sys.getswitchinterval()
+            if _switch_saved < _COARSE_SWITCH_INTERVAL:
+                sys.setswitchinterval(_COARSE_SWITCH_INTERVAL)
+        _switch_depth += 1
+
+
+def _coarse_exit() -> None:
+    global _switch_depth
+    with _switch_lock:
+        _switch_depth -= 1
+        if _switch_depth == 0:
+            sys.setswitchinterval(_switch_saved)
 
 
 class _Latch:
@@ -137,21 +164,32 @@ class SpmdPool:
 
     def run(self, fn: Callable[[int], None], p: int) -> None:
         """Execute ``fn(rank)`` concurrently for every rank in ``[0, p)``."""
+        self.run_ranks(fn, range(p))
+
+    def run_ranks(self, fn: Callable[[int], None],
+                  ranks: Iterable[int]) -> None:
+        """Execute ``fn(rank)`` concurrently for an explicit rank subset.
+
+        The proc backend's workers host contiguous *blocks* of a larger
+        world's rank ids on their local pools; ``run`` is the
+        ``ranks == range(p)`` special case.
+        """
+        ranks = list(ranks)
+        if not ranks:
+            return
         with self._lock:
-            old_si = sys.getswitchinterval()
-            coarse = (p >= _COARSE_SWITCH_RANKS
-                      and old_si < _COARSE_SWITCH_INTERVAL)
+            coarse = len(ranks) >= _COARSE_SWITCH_RANKS
             if coarse:
-                sys.setswitchinterval(_COARSE_SWITCH_INTERVAL)
+                _coarse_enter()
             try:
-                self._grow(p)
-                latch = _Latch(p)
-                for r in range(p):
-                    self._workers[r].submit(fn, r, latch)
+                self._grow(len(ranks))
+                latch = _Latch(len(ranks))
+                for w, r in zip(self._workers, ranks):
+                    w.submit(fn, r, latch)
                 latch.wait()
             finally:
                 if coarse:
-                    sys.setswitchinterval(old_si)
+                    _coarse_exit()
 
     def shutdown(self) -> None:
         """Stop and join all pool threads (mainly for tests)."""
@@ -174,6 +212,9 @@ def default_pool() -> SpmdPool:
         with _default_pool_lock:
             if _default_pool is None:
                 _default_pool = SpmdPool()
+                # join the daemon workers before interpreter teardown
+                # starts tearing down the condition variables under them
+                atexit.register(_default_pool.shutdown)
     return _default_pool
 
 
@@ -217,7 +258,9 @@ def run_spmd(fn: Callable[..., Any], p: int, *,
              check: bool = True,
              pool: SpmdPool | None = None,
              faults: Any = None,
-             tracer: Any = None) -> SpmdResult:
+             tracer: Any = None,
+             backend: str = "thread",
+             procs: int | None = None) -> SpmdResult:
     """Execute ``fn(comm, *args, **kwargs)`` on ``p`` simulated ranks.
 
     Parameters
@@ -251,6 +294,14 @@ def run_spmd(fn: Callable[..., Any], p: int, *,
         edge bytes.  ``None`` — the default — keeps every hook a single
         attribute check; the tracer is purely observational either way,
         so virtual clocks are identical with tracing on or off.
+    backend:
+        ``"thread"`` (default) hosts every rank as a pool thread in this
+        process; ``"proc"`` shards the rank ids across worker processes
+        (see :mod:`repro.mpi.procpool`).  Virtual clocks, results and
+        trace counters are bit-for-bit identical across backends.
+    procs:
+        Worker-process count for ``backend="proc"`` (default: a scale-
+        dependent heuristic).  Ignored by the thread backend.
     """
     if p < 1:
         raise ValueError("p must be >= 1")
@@ -258,6 +309,18 @@ def run_spmd(fn: Callable[..., Any], p: int, *,
         raise ValueError(f"fault plan compiled for p={faults.p}, "
                          f"world has p={p}")
     kwargs = dict(kwargs or {})
+    if backend == "proc":
+        if p > 1:
+            from .procpool import run_spmd_proc
+            return run_spmd_proc(
+                fn, p, machine=machine, mem_capacity=mem_capacity,
+                args=args, kwargs=kwargs, check=check, faults=faults,
+                tracer=tracer, procs=procs)
+        # p == 1 shares the inline path below (identical semantics,
+        # nothing to shard)
+    elif backend != "thread":
+        raise ValueError(f"unknown backend {backend!r}; "
+                         "options: 'thread', 'proc'")
     world = World(p, machine, mem_capacity=mem_capacity, faults=faults,
                   tracer=tracer)
     results: list[Any] = [None] * p
@@ -277,8 +340,11 @@ def run_spmd(fn: Callable[..., Any], p: int, *,
 
     if p == 1:
         runner(0)
+        pool_threads = 0
     else:
-        (pool or default_pool()).run(runner, p)
+        run_pool = pool or default_pool()
+        run_pool.run(runner, p)
+        pool_threads = run_pool.size
 
     failure: RankFailure | None = None
     if failures:
@@ -296,4 +362,11 @@ def run_spmd(fn: Callable[..., Any], p: int, *,
         mem_peaks=[m.peak for m in world.mem],
         failure=failure,
         traces=[list(t) for t in world.traces],
+        extras={
+            "backend": "thread",
+            "workers": 1,
+            "pool_threads": pool_threads,
+            "shards": [[0, p]],
+            "coarse_switch": p >= _COARSE_SWITCH_RANKS,
+        },
     )

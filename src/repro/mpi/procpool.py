@@ -1,0 +1,830 @@
+"""Process-sharded SPMD backend: rank blocks across worker processes.
+
+``run_spmd(..., backend="proc")`` breaks the thread ceiling: the ``p``
+rank ids are sharded into contiguous blocks across ``N`` spawned worker
+processes, each hosting its block as threads from a child-local
+:class:`~repro.mpi.engine.SpmdPool`.  The per-rank programming model
+(:class:`~repro.mpi.comm.Comm` over a shared context) is unchanged —
+what changes is where a context's members live.
+
+Cross-process collectives reuse the staged single-barrier protocol
+(PRs 1-2) unchanged: because every collective already funnels its data
+through one designated compute action, a collective spanning ``K``
+processes costs ``K-1`` *deposit* blob writes (each remote process's
+local stage entries, pickled into a warm shared-memory arena) plus one
+*release* blob (the computed payload and the fully merged stage) — not
+per-edge IPC.  The **home** process (lowest worker index holding a
+member) runs the compute action; queue messages carry only shm segment
+names and generation numbers.
+
+Determinism contract: virtual clocks, results, failure reprs, chaos
+report hashes and trace counters are **bit-for-bit identical** to the
+threaded backend, for any worker count.  The argument, piece by piece:
+deposits carry ``(obj, clock)`` exactly as staged locally; the compute
+actions are rank-agnostic pure functions of the stage; reductions fold
+in rank order on the merged stage; pickling of floats and numpy arrays
+is value-exact; and the only host-dependent quantities the engine
+records (``coll.sync_wait`` / ``p2p.wait`` counters) are excluded from
+every golden.
+
+Worker processes are **spawned** (never forked — the parent holds live
+pool threads) and persist in a :class:`ProcPool`, so sweeps pay
+interpreter start-up once; shm arenas stay warm across runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import queue
+import threading
+from bisect import bisect_right
+from pathlib import Path
+from typing import Any, Callable, Sequence
+
+import multiprocessing as mp
+
+from .comm import Comm, World
+from .context import _SAFETY_TIMEOUT, AbortFlag, _CondBarrier
+from .engine import _COARSE_SWITCH_RANKS, SpmdPool, SpmdResult
+from .errors import RankFailure, SimAbort
+from .shm import ShmArena, ShmAttachCache
+
+__all__ = ["ProcPool", "default_proc_pool", "run_spmd_proc", "shard_bounds"]
+
+#: True inside a worker process (guards against nested proc backends).
+_IN_WORKER = False
+
+#: The worker's world for the run in progress — the anchor
+#: :func:`_rebuild_ctx` resolves unpickled context identities against.
+#: One run is active per worker at a time, so a single slot suffices.
+_CURRENT_WORLD: "ProcWorld | None" = None
+
+
+def shard_bounds(p: int, nprocs: int) -> list[int]:
+    """Contiguous block bounds: worker ``i`` owns ``[b[i], b[i+1])``."""
+    base, rem = divmod(p, nprocs)
+    bounds = [0]
+    for i in range(nprocs):
+        bounds.append(bounds[-1] + base + (1 if i < rem else 0))
+    return bounds
+
+
+def _ctx_digest(ctx_id: tuple) -> str:
+    """Short stable digest of a context identity (shm arena naming)."""
+    return hashlib.blake2s(repr(ctx_id).encode(), digest_size=6).hexdigest()
+
+
+def _rebuild_ctx(ctx_id: tuple, group: tuple) -> "ProcCommContext":
+    """Unpickle hook: resolve a context identity in the local world."""
+    world = _CURRENT_WORLD
+    if world is None:
+        raise RuntimeError("no active proc-backend world in this process")
+    return world._get_or_create(ctx_id, group)
+
+
+class _ProcAbortFlag(AbortFlag):
+    """Abort flag whose ``set`` also fans out to sibling processes.
+
+    ``set_local`` is what the router calls on receiving a sibling's
+    abort broadcast — it must not echo the broadcast back.
+    """
+
+    def __init__(self, state: "_WorkerState", run_id: int):
+        super().__init__()
+        self._state = state
+        self._run_id = run_id
+        self._bcast_lock = threading.Lock()
+        self._bcast_done = False
+
+    def set(self) -> None:
+        with self._bcast_lock:
+            first = not self._bcast_done
+            self._bcast_done = True
+        super().set()
+        if first:
+            self._state.broadcast_abort(self._run_id)
+
+    def set_local(self) -> None:
+        with self._bcast_lock:
+            self._bcast_done = True
+        super().set()
+
+
+class _ProxyChannel:
+    """Send-side stand-in for a channel whose receiver lives elsewhere."""
+
+    __slots__ = ("_world", "_owner", "_src", "_dst", "_tag")
+
+    def __init__(self, world: "ProcWorld", owner: int, src: int, dst: int,
+                 tag: int):
+        self._world = world
+        self._owner = owner
+        self._src = src
+        self._dst = dst
+        self._tag = tag
+
+    def put(self, item: Any) -> None:
+        self._world._state.send(
+            self._owner,
+            ("p2p", self._world.run_id, self._src, self._dst, self._tag,
+             item))
+
+    def get_nowait(self) -> Any:  # pragma: no cover - receive is local-only
+        raise RuntimeError("cannot receive on a remote rank's channel")
+
+    def get(self, abort: AbortFlag) -> Any:  # pragma: no cover - see above
+        raise RuntimeError("cannot receive on a remote rank's channel")
+
+
+class ProcCommContext:
+    """Context twin of :class:`CommContext` whose members span processes.
+
+    All-local groups (the common case after a few splits) delegate to
+    the exact thread-backend barrier.  Multi-process groups run a
+    two-level barrier: local members arrive on a condition variable;
+    the last local arriver becomes the process *representative*.  A
+    non-home representative publishes its local deposits (shm blob) to
+    the home process and waits; the home representative merges every
+    process's deposits into the captured stage, runs the collective's
+    action exactly once, publishes ``(payload, merged_stage)``, and
+    releases.  Local deposit objects are never pickled for their own
+    process — readers see them by reference, as on the thread backend.
+    """
+
+    def __init__(self, ctx_id: tuple, group: Sequence[int],
+                 world: "ProcWorld"):
+        self.ctx_id = ctx_id
+        self.group: tuple[int, ...] = tuple(group)
+        self.size = len(self.group)
+        self.abort = world.abort
+        self._world = world
+        self.stage: list[Any] = [None] * self.size
+        state = world._state
+        owner = world.owner
+        me = state.proc_index
+        procs = sorted({owner(g) for g in self.group})
+        self._procs = procs
+        self._home = procs[0]
+        self._local = [i for i, g in enumerate(self.group) if owner(g) == me]
+        self._multi = len(procs) > 1
+        if not self._multi:
+            self._barrier = _CondBarrier(self.size, self.abort)
+            return
+        self._is_home = self._home == me
+        self._cond = threading.Condition()
+        self.abort.register(self._cond)
+        self._count = 0
+        self._gen = 0
+        self._payload: Any = None
+        self._remote: dict[int, dict[int, Any]] = {}
+        self._early: list[tuple[int, int, dict[int, Any]]] = []
+
+    def __reduce__(self):
+        return (_rebuild_ctx, (self.ctx_id, self.group))
+
+    # -- CommContext API -------------------------------------------------
+    def fresh_stage(self) -> list:
+        self.stage = [None] * self.size
+        return self.stage
+
+    def _current_gen(self) -> int:
+        """Generation counter (context-identity minting during splits)."""
+        if self._multi:
+            return self._gen
+        return self._barrier._generation
+
+    def sync(self, action: Callable[[], Any] | None = None) -> Any:
+        if not self._multi:
+            return self._barrier.wait(self.abort, action)
+        abort = self.abort
+        abort.check()
+        with self._cond:
+            gen = self._gen
+            self._count += 1
+            if self._count == len(self._local):
+                try:
+                    if self._is_home:
+                        payload = self._home_cycle(gen, action)
+                    else:
+                        payload = self._remote_cycle(gen)
+                except BaseException:
+                    abort.set()
+                    raise
+                return payload
+            while self._gen == gen and not abort.is_set:
+                self._cond.wait(timeout=_SAFETY_TIMEOUT)
+            payload = self._payload
+        abort.check()
+        return payload
+
+    # -- representative paths (called with self._cond held) --------------
+    def _home_cycle(self, gen: int, action: Callable[[], Any] | None) -> Any:
+        abort = self.abort
+        needed = len(self._procs) - 1
+        while len(self._remote) < needed and not abort.is_set:
+            self._cond.wait(timeout=_SAFETY_TIMEOUT)
+        abort.check()
+        stage = self.stage  # captured before action may swap it
+        for deposits in self._remote.values():
+            for i, entry in deposits.items():
+                stage[i] = entry
+        self._remote = {}
+        payload = action() if action is not None else None
+        state = self._world._state
+        run_id = self._world.run_id
+        blob = pickle.dumps((payload, stage), protocol=5)
+        name, nbytes = state.arena(self.ctx_id, "r").write(blob)
+        for proc in self._procs[1:]:
+            state.send(proc,
+                       ("release", run_id, self.ctx_id, gen, name, nbytes))
+        self._payload = payload
+        self._count = 0
+        self._gen = gen + 1
+        self._drain_early()
+        self._cond.notify_all()
+        return payload
+
+    def _remote_cycle(self, gen: int) -> Any:
+        abort = self.abort
+        stage = self.stage
+        deposits = {i: stage[i] for i in self._local}
+        state = self._world._state
+        run_id = self._world.run_id
+        blob = pickle.dumps(deposits, protocol=5)
+        name, nbytes = state.arena(self.ctx_id, "d").write(blob)
+        state.send(self._home,
+                   ("stage", run_id, self.ctx_id, gen, state.proc_index,
+                    name, nbytes))
+        while self._gen == gen and not abort.is_set:
+            self._cond.wait(timeout=_SAFETY_TIMEOUT)
+        abort.check()
+        return self._payload
+
+    # -- router deliveries (any thread; takes self._cond) -----------------
+    def _deliver_stage(self, gen: int, src_proc: int,
+                       deposits: dict[int, Any]) -> None:
+        with self._cond:
+            if gen != self._gen:
+                self._early.append((gen, src_proc, deposits))
+                return
+            self._remote[src_proc] = deposits
+            self._cond.notify_all()
+
+    def _drain_early(self) -> None:
+        """Move buffered next-generation deposits into place (cond held)."""
+        if not self._early:
+            return
+        keep = []
+        for gen, src_proc, deposits in self._early:
+            if gen == self._gen:
+                self._remote[src_proc] = deposits
+            else:
+                keep.append((gen, src_proc, deposits))
+        self._early = keep
+
+    def _deliver_release(self, gen: int, payload: Any,
+                         merged: list[Any]) -> None:
+        with self._cond:
+            if gen != self._gen:  # pragma: no cover - protocol invariant
+                raise RuntimeError(
+                    f"release for gen {gen} arrived at gen {self._gen} "
+                    f"on ctx {self.ctx_id}")
+            stage = self.stage
+            for i, entry in enumerate(merged):
+                if stage[i] is None:
+                    stage[i] = entry
+            self.stage = [None] * self.size
+            self._payload = payload
+            self._count = 0
+            self._remote = {}
+            self._gen = gen + 1
+            self._drain_early()
+            self._cond.notify_all()
+
+
+class ProcWorld(World):
+    """World of one worker process: local state for owned ranks, proxies
+    and context identities for everything else."""
+
+    def __init__(self, p: int, machine: Any, *, mem_capacity: int | None,
+                 faults: Any, tracer: Any, state: "_WorkerState",
+                 run_id: int, bounds: list[int]):
+        self._state = state
+        self.run_id = run_id
+        self._bounds = bounds
+        self._registry: dict[tuple, ProcCommContext] = {}
+        self._reg_lock = threading.RLock()
+        self._pending_stage: dict[tuple, list] = {}
+        self._proxies: dict[tuple[int, int, int], _ProxyChannel] = {}
+        super().__init__(p, machine, mem_capacity=mem_capacity,
+                         faults=faults, tracer=tracer)
+
+    def _make_abort(self) -> AbortFlag:
+        return _ProcAbortFlag(self._state, self.run_id)
+
+    def owner(self, grank: int) -> int:
+        """Worker index hosting a global rank."""
+        return bisect_right(self._bounds, grank) - 1
+
+    def make_context(self, group: Sequence[int], parent: Any = None,
+                     key: Any = None) -> ProcCommContext:
+        if parent is None:
+            ctx_id = ("w",)
+        else:
+            # minted exactly once, by the (single) thread running the
+            # parent collective's compute action on the parent's home
+            # process; every other process receives the identity inside
+            # the pickled release payload
+            ctx_id = (*parent.ctx_id, parent._current_gen(), key)
+        return self._get_or_create(ctx_id, tuple(group))
+
+    def _get_or_create(self, ctx_id: tuple,
+                       group: tuple) -> ProcCommContext:
+        with self._reg_lock:
+            ctx = self._registry.get(ctx_id)
+            if ctx is not None:
+                return ctx
+            ctx = ProcCommContext(ctx_id, group, self)
+            self._registry[ctx_id] = ctx
+            pending = self._pending_stage.pop(ctx_id, [])
+        for gen, src_proc, deposits in pending:
+            ctx._deliver_stage(gen, src_proc, deposits)
+        return ctx
+
+    def deliver_stage(self, ctx_id: tuple, gen: int, src_proc: int,
+                      deposits: dict[int, Any]) -> None:
+        with self._reg_lock:
+            ctx = self._registry.get(ctx_id)
+            if ctx is None:
+                # remote ranks can race ahead of this process's local
+                # ranks and deposit into a split child we have not
+                # created yet; park the deposits on the world
+                self._pending_stage.setdefault(ctx_id, []).append(
+                    (gen, src_proc, deposits))
+                return
+        ctx._deliver_stage(gen, src_proc, deposits)
+
+    def deliver_release(self, ctx_id: tuple, gen: int, payload: Any,
+                        merged: list[Any]) -> None:
+        with self._reg_lock:
+            ctx = self._registry.get(ctx_id)
+        if ctx is None:  # pragma: no cover - protocol invariant
+            raise RuntimeError(f"release for unknown ctx {ctx_id}")
+        ctx._deliver_release(gen, payload, merged)
+
+    def channel(self, src: int, dst: int, tag: int):
+        me = self._state.proc_index
+        if self._bounds[me] <= dst < self._bounds[me + 1]:
+            return super().channel(src, dst, tag)
+        key = (src, dst, tag)
+        ch = self._proxies.get(key)
+        if ch is None:
+            with self._channels_lock:
+                ch = self._proxies.get(key)
+                if ch is None:
+                    ch = _ProxyChannel(self, self.owner(dst), src, dst, tag)
+                    self._proxies[key] = ch
+        return ch
+
+
+# ---------------------------------------------------------------------------
+# worker process
+# ---------------------------------------------------------------------------
+class _WorkerState:
+    """Everything persistent inside one worker process.
+
+    The main thread is the **router**: it drains this worker's inbox,
+    forwarding p2p items into local channels, stage/release blobs into
+    contexts, and abort broadcasts into the world flag.  Each submitted
+    run is driven by a short-lived driver thread hosting the local rank
+    block on a child-local (warm) :class:`SpmdPool`.
+    """
+
+    def __init__(self, proc_index: int, nprocs: int, inboxes: list,
+                 results: Any, uid: str):
+        self.proc_index = proc_index
+        self.nprocs = nprocs
+        self.inboxes = inboxes
+        self.results = results
+        self.uid = uid
+        self.pool = SpmdPool()
+        self.attach = ShmAttachCache()
+        self._arenas: dict[tuple[str, tuple], ShmArena] = {}
+        self._arena_lock = threading.Lock()
+        self._lock = threading.Lock()
+        self.world: ProcWorld | None = None
+        self.run_id: int | None = None
+        self._pending: dict[int, list] = {}
+
+    # -- outbound ------------------------------------------------------
+    def send(self, proc: int, msg: tuple) -> None:
+        self.inboxes[proc].put(msg)
+
+    def broadcast_abort(self, run_id: int) -> None:
+        for i in range(self.nprocs):
+            if i != self.proc_index:
+                self.send(i, ("abort", run_id))
+
+    def arena(self, ctx_id: tuple, kind: str) -> ShmArena:
+        key = (kind, ctx_id)
+        with self._arena_lock:
+            a = self._arenas.get(key)
+            if a is None:
+                a = ShmArena(f"sds{self.uid}w{self.proc_index}"
+                             f"{kind}{_ctx_digest(ctx_id)}")
+                self._arenas[key] = a
+            return a
+
+    # -- router --------------------------------------------------------
+    def serve(self) -> None:
+        inbox = self.inboxes[self.proc_index]
+        while True:
+            msg = inbox.get()
+            kind = msg[0]
+            if kind == "stop":
+                break
+            if kind == "task":
+                threading.Thread(target=self._drive, args=(msg[1], msg[2]),
+                                 name="spmd-proc-driver",
+                                 daemon=True).start()
+                continue
+            self._dispatch(msg)
+        self._cleanup()
+
+    def _dispatch(self, msg: tuple) -> None:
+        run_id = msg[1]
+        with self._lock:
+            if self.run_id is not None and run_id < self.run_id:
+                return  # stale straggler from a finished run
+            if self.world is None or run_id != self.run_id:
+                self._pending.setdefault(run_id, []).append(msg)
+                return
+            world = self.world
+        self._deliver(world, msg)
+
+    def install_world(self, run_id: int, world: ProcWorld) -> None:
+        global _CURRENT_WORLD
+        with self._lock:
+            _CURRENT_WORLD = world
+            self.world = world
+            self.run_id = run_id
+            for rid in [r for r in self._pending if r < run_id]:
+                del self._pending[rid]
+            pending = self._pending.pop(run_id, [])
+        for msg in pending:
+            self._deliver(world, msg)
+
+    def _deliver(self, world: ProcWorld, msg: tuple) -> None:
+        kind = msg[0]
+        if kind == "p2p":
+            _, _, src, dst, tag, item = msg
+            world.channel(src, dst, tag).put(item)
+        elif kind == "stage":
+            _, _, ctx_id, gen, src_proc, name, nbytes = msg
+            deposits = pickle.loads(self.attach.read(name, nbytes))
+            world.deliver_stage(ctx_id, gen, src_proc, deposits)
+        elif kind == "release":
+            _, _, ctx_id, gen, name, nbytes = msg
+            payload, merged = pickle.loads(self.attach.read(name, nbytes))
+            world.deliver_release(ctx_id, gen, payload, merged)
+        elif kind == "abort":
+            world.abort.set_local()
+
+    # -- driver --------------------------------------------------------
+    def _drive(self, run_id: int, blob: bytes) -> None:
+        try:
+            (fn, args, kwargs, p, machine, mem_capacity, faults,
+             traced) = pickle.loads(blob)
+            bounds = shard_bounds(p, self.nprocs)
+            tracer = None
+            if traced:
+                from ..obs import Tracer
+                tracer = Tracer(p)
+            world = ProcWorld(p, machine, mem_capacity=mem_capacity,
+                              faults=faults, tracer=tracer, state=self,
+                              run_id=run_id, bounds=bounds)
+            self.install_world(run_id, world)
+            ranks = range(bounds[self.proc_index],
+                          bounds[self.proc_index + 1])
+            results: dict[int, Any] = {}
+            failures: list[tuple[int, BaseException]] = []
+            failures_lock = threading.Lock()
+
+            def runner(rank: int) -> None:
+                comm = Comm(world, world.world_ctx, rank)
+                try:
+                    results[rank] = fn(comm, *args, **kwargs)
+                except SimAbort:
+                    pass
+                except BaseException as exc:  # noqa: BLE001
+                    with failures_lock:
+                        failures.append((rank, exc))
+                    world.abort.set()
+
+            self.pool.run_ranks(runner, ranks)
+            data = self._encode_payload(
+                world, list(ranks), results, failures, tracer)
+            self.results.put(("done", run_id, self.proc_index, data))
+        except BaseException as exc:  # noqa: BLE001 - never hang the parent
+            try:
+                self.results.put(("crash", run_id, self.proc_index,
+                                  f"{type(exc).__name__}: {exc}"))
+            except Exception:  # pragma: no cover
+                pass
+
+    def _encode_payload(self, world: ProcWorld, ranks: list[int],
+                        results: dict[int, Any],
+                        failures: list[tuple[int, BaseException]],
+                        tracer: Any) -> bytes:
+        def sane_exc(exc: BaseException) -> BaseException:
+            try:
+                pickle.loads(pickle.dumps(exc))
+                return exc
+            except Exception:
+                return RuntimeError(f"[{type(exc).__name__}] {exc}")
+
+        payload = {
+            "results": results,
+            "clocks": {r: world.clocks[r] for r in ranks},
+            "phase_times": {r: dict(world.phase_times[r]) for r in ranks},
+            "counters": {r: dict(world.counters[r]) for r in ranks},
+            "mem_peaks": {r: world.mem[r].peak for r in ranks},
+            "traces": {r: list(world.traces[r]) for r in ranks},
+            "failures": [(r, sane_exc(e)) for r, e in failures],
+        }
+        if tracer is not None:
+            payload["trace"] = {
+                "spans": {r: tracer.spans[r] for r in ranks},
+                "instants": {r: tracer.instants[r] for r in ranks},
+                "counters": {r: tracer.counters[r] for r in ranks},
+                "edges": {r: tracer._edges[r] for r in ranks
+                          if tracer._edges[r] is not None},
+            }
+        try:
+            return pickle.dumps(payload, protocol=5)
+        except Exception:
+            payload["results"] = {
+                r: self._sanitize_result(v) for r, v in results.items()}
+            return pickle.dumps(payload, protocol=5)
+
+    @staticmethod
+    def _sanitize_result(value: Any) -> Any:
+        try:
+            pickle.dumps(value)
+            return value
+        except Exception:
+            return f"<unpicklable result: {type(value).__name__}>"
+
+    def _cleanup(self) -> None:
+        for arena in self._arenas.values():
+            arena.close()
+        self.attach.close()
+
+
+def _worker_main(proc_index: int, nprocs: int, inboxes: list, results: Any,
+                 uid: str) -> None:
+    global _IN_WORKER
+    _IN_WORKER = True
+    _WorkerState(proc_index, nprocs, inboxes, results, uid).serve()
+
+
+# ---------------------------------------------------------------------------
+# parent-side pool
+# ---------------------------------------------------------------------------
+_pool_counter = 0
+_pool_counter_lock = threading.Lock()
+
+
+class ProcPool:
+    """Persistent pool of spawned worker processes (one rank block each).
+
+    One pool runs one world at a time; workers idle on their inboxes
+    between runs (zero CPU) with interpreters, rank-thread pools and
+    shm arenas warm.  A pool whose worker died is *broken* and refuses
+    further runs (create a fresh one); :meth:`shutdown` is final.
+    """
+
+    def __init__(self, procs: int):
+        if procs < 1:
+            raise ValueError("procs must be >= 1")
+        global _pool_counter
+        with _pool_counter_lock:
+            _pool_counter += 1
+            self._uid = f"{os.getpid():x}p{_pool_counter}"
+        self.procs = procs
+        self._mp = mp.get_context("spawn")
+        self._inboxes = [self._mp.SimpleQueue() for _ in range(procs)]
+        self._results = self._mp.Queue()
+        self._workers: list = []
+        self._lock = threading.Lock()
+        self._run_seq = 0
+        self._started = False
+        self._broken = False
+
+    @property
+    def size(self) -> int:
+        """Live worker-process count."""
+        return len(self._workers)
+
+    def _ensure_started(self) -> None:
+        if self._started:
+            return
+        # spawn re-imports this package in the child: make sure the
+        # package root is importable even when the parent got it from a
+        # sys.path edit rather than the environment
+        root = str(Path(__file__).resolve().parents[2])
+        old_pp = os.environ.get("PYTHONPATH")
+        if root not in (old_pp or "").split(os.pathsep):
+            os.environ["PYTHONPATH"] = (
+                root if not old_pp else root + os.pathsep + old_pp)
+        try:
+            for i in range(self.procs):
+                w = self._mp.Process(
+                    target=_worker_main, name=f"spmd-proc-{i}",
+                    args=(i, self.procs, self._inboxes, self._results,
+                          self._uid),
+                    daemon=True)
+                w.start()
+                self._workers.append(w)
+        finally:
+            if old_pp is None:
+                os.environ.pop("PYTHONPATH", None)
+            else:
+                os.environ["PYTHONPATH"] = old_pp
+        self._started = True
+
+    def run(self, task: tuple) -> dict[int, dict]:
+        """Broadcast one task; gather every worker's payload dict."""
+        with self._lock:
+            if self._broken:
+                raise RuntimeError("proc pool is broken (a worker died or "
+                                   "was shut down); create a fresh pool")
+            self._ensure_started()
+            self._run_seq += 1
+            run_id = self._run_seq
+            try:
+                blob = pickle.dumps(task, protocol=5)
+            except Exception as exc:
+                raise TypeError(
+                    "backend='proc' ships the rank program to worker "
+                    "processes: fn, args and kwargs must be picklable "
+                    "(module-level callables, no closures)") from exc
+            for q in self._inboxes:
+                q.put(("task", run_id, blob))
+            payloads: dict[int, dict] = {}
+            while len(payloads) < self.procs:
+                try:
+                    msg = self._results.get(timeout=1.0)
+                except queue.Empty:
+                    dead = [i for i, w in enumerate(self._workers)
+                            if not w.is_alive()]
+                    if dead:
+                        self._broken = True
+                        raise RuntimeError(
+                            f"proc backend worker(s) {dead} died "
+                            "mid-run") from None
+                    continue
+                kind, rid, proc, data = msg
+                if rid != run_id:
+                    continue  # straggler from an aborted earlier run
+                if kind == "crash":
+                    self._broken = True
+                    raise RuntimeError(
+                        f"proc backend worker {proc} failed: {data}")
+                payloads[proc] = pickle.loads(data)
+            return payloads
+
+    def shutdown(self) -> None:
+        """Stop workers gracefully (unlinking their shm arenas)."""
+        with self._lock:
+            self._broken = True
+            if not self._started:
+                return
+            for q in self._inboxes:
+                try:
+                    q.put(("stop",))
+                except Exception:  # pragma: no cover - teardown race
+                    pass
+            for w in self._workers:
+                w.join(timeout=5.0)
+            for w in self._workers:
+                if w.is_alive():  # pragma: no cover - hung worker
+                    w.terminate()
+            self._workers.clear()
+            self._started = False
+
+
+_default_pools: dict[int, ProcPool] = {}
+_default_pools_lock = threading.Lock()
+
+
+def default_proc_pool(procs: int) -> ProcPool:
+    """Process-wide warm pool registry, one pool per worker count."""
+    import atexit
+
+    with _default_pools_lock:
+        pool = _default_pools.get(procs)
+        if pool is None or pool._broken:
+            pool = ProcPool(procs)
+            _default_pools[procs] = pool
+            atexit.register(pool.shutdown)
+        return pool
+
+
+def _auto_procs(p: int) -> int:
+    """Scale-dependent default worker count.
+
+    Even on few-core hosts more processes help at large ``p``: the win
+    is fewer threads per interpreter (smaller GIL convoys and wake
+    storms), not core-parallel compute.
+    """
+    if p >= 8192:
+        return 8
+    if p >= 1024:
+        return 4
+    return 2
+
+
+# ---------------------------------------------------------------------------
+# entry point (dispatched from run_spmd)
+# ---------------------------------------------------------------------------
+def run_spmd_proc(fn: Callable[..., Any], p: int, *, machine: Any,
+                  mem_capacity: int | None, args: Sequence[Any],
+                  kwargs: dict[str, Any], check: bool, faults: Any,
+                  tracer: Any, procs: int | None = None,
+                  pool: ProcPool | None = None) -> SpmdResult:
+    """Run one SPMD world sharded across worker processes.
+
+    Same contract as :func:`repro.mpi.engine.run_spmd`; see the module
+    docstring for the bit-for-bit determinism argument.
+    """
+    if _IN_WORKER:
+        raise RuntimeError("nested backend='proc' inside a proc worker")
+    if pool is None:
+        nprocs = min(procs if procs is not None else _auto_procs(p), p)
+        pool = default_proc_pool(nprocs)
+    nprocs = pool.procs
+    bounds = shard_bounds(p, nprocs)
+    task = (fn, tuple(args), dict(kwargs or {}), p, machine, mem_capacity,
+            faults, tracer is not None)
+    payloads = pool.run(task)
+
+    results: list[Any] = [None] * p
+    clocks = [0.0] * p
+    phase_times: list[dict[str, float]] = [dict() for _ in range(p)]
+    counters: list[dict[str, float]] = [dict() for _ in range(p)]
+    mem_peaks = [0] * p
+    traces: list[list] = [[] for _ in range(p)]
+    failures: list[tuple[int, BaseException]] = []
+    for _, payload in sorted(payloads.items()):
+        for r, v in payload["results"].items():
+            results[r] = v
+        for r, v in payload["clocks"].items():
+            clocks[r] = v
+        for r, v in payload["phase_times"].items():
+            phase_times[r] = v
+        for r, v in payload["counters"].items():
+            counters[r] = v
+        for r, v in payload["mem_peaks"].items():
+            mem_peaks[r] = v
+        for r, v in payload["traces"].items():
+            traces[r] = v
+        failures.extend(payload["failures"])
+        shard_trace = payload.get("trace")
+        if tracer is not None and shard_trace is not None:
+            for r, spans in shard_trace["spans"].items():
+                tracer.spans[r] = spans
+            for r, instants in shard_trace["instants"].items():
+                tracer.instants[r] = instants
+            for r, cnt in shard_trace["counters"].items():
+                tracer.counters[r] = cnt
+            for r, row in shard_trace["edges"].items():
+                tracer._edges[r] = row
+
+    failure: RankFailure | None = None
+    if failures:
+        failures.sort(key=lambda rf: rf[0])
+        failure = RankFailure(failures)
+        if check:
+            raise failure from failure.cause
+
+    max_shard = max(bounds[i + 1] - bounds[i] for i in range(nprocs))
+    return SpmdResult(
+        p=p,
+        results=results,
+        clocks=clocks,
+        phase_times=phase_times,
+        counters=counters,
+        mem_peaks=mem_peaks,
+        failure=failure,
+        traces=traces,
+        extras={
+            "backend": "proc",
+            "workers": nprocs,
+            "pool_threads": max_shard,
+            "shards": [[bounds[i], bounds[i + 1]] for i in range(nprocs)],
+            "coarse_switch": max_shard >= _COARSE_SWITCH_RANKS,
+        },
+    )

@@ -1,0 +1,107 @@
+"""Warm shared-memory arenas for the process-sharded engine backend.
+
+The staged-collective protocol funnels every collective's data through
+one designated compute step, so a collective that spans worker
+processes needs exactly two kinds of cross-process blobs: each remote
+process's *deposit* shard (its local ranks' staged entries) and the
+home process's *release* payload (the computed result plus the merged
+stage).  Both travel as pickled bytes in named
+``multiprocessing.shared_memory`` segments; the queue message carries
+only ``(segment_name, nbytes)``.
+
+Segments are **warm**: each (context, kind) pair owns one writer-side
+:class:`ShmArena` that is reused collective after collective and run
+after run, growing by doubling when a blob outgrows it.  Reuse is
+race-free without any locking because collectives on one communicator
+are lockstep — a writer can only reach its next write after every
+reader of the previous generation has consumed the blob (the readers'
+ranks must pass the released barrier, and the writer's next collective
+cannot complete before their next deposits arrive).
+
+Readers attach by name through a :class:`ShmAttachCache`; attached
+segments are kept mapped (names repeat, thanks to the warm arenas), and
+copied out with ``bytes(...)`` before unpickling so no live view ever
+aliases memory the owner will rewrite.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+__all__ = ["ShmArena", "ShmAttachCache"]
+
+#: Smallest segment: 64 KiB (SharedMemory rounds to pages anyway).
+_MIN_EXP = 16
+
+# Note on the resource tracker: CPython < 3.13 registers a segment on
+# *attach* as well as on create, but every ProcPool worker inherits the
+# parent's tracker process (the fd rides along with spawn), and the
+# tracker's cache is a set — so a reader's re-registration of an
+# owner-created name is an idempotent no-op, and the owner's unlink
+# unregisters exactly once.  Explicitly unregistering on attach would
+# be wrong here: it would strip the owner's registration from the
+# shared cache and make the eventual unlink a double-unregister.
+
+
+class ShmArena:
+    """One named, size-doubling shared-memory segment (writer-owned).
+
+    ``base`` must be unique per (pool, worker, context, kind); the
+    capacity exponent is appended to the name, so readers can attach
+    purely by the name carried in the message and a regrown arena never
+    collides with its smaller predecessor.
+    """
+
+    __slots__ = ("_base", "_seg")
+
+    def __init__(self, base: str):
+        self._base = base
+        self._seg: shared_memory.SharedMemory | None = None
+
+    def write(self, blob: bytes) -> tuple[str, int]:
+        """Store ``blob``, growing if needed; returns ``(name, nbytes)``."""
+        need = len(blob)
+        seg = self._seg
+        if seg is None or need > seg.size:
+            exp = max(_MIN_EXP, max(need - 1, 1).bit_length())
+            if seg is not None:
+                seg.close()
+                seg.unlink()
+            seg = shared_memory.SharedMemory(
+                name=f"{self._base}e{exp}", create=True, size=1 << exp)
+            self._seg = seg
+        seg.buf[:need] = blob
+        return seg.name, need
+
+    def close(self) -> None:
+        """Unmap and unlink the backing segment (owner shutdown)."""
+        if self._seg is not None:
+            self._seg.close()
+            try:
+                self._seg.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+            self._seg = None
+
+
+class ShmAttachCache:
+    """Reader-side cache of attached segments, keyed by name."""
+
+    __slots__ = ("_segs",)
+
+    def __init__(self) -> None:
+        self._segs: dict[str, shared_memory.SharedMemory] = {}
+
+    def read(self, name: str, nbytes: int) -> bytes:
+        """Copy ``nbytes`` out of the named segment (attaching once)."""
+        seg = self._segs.get(name)
+        if seg is None:
+            seg = shared_memory.SharedMemory(name=name)
+            self._segs[name] = seg
+        return bytes(seg.buf[:nbytes])
+
+    def close(self) -> None:
+        """Unmap every cached segment (unlinking is the owner's job)."""
+        for seg in self._segs.values():
+            seg.close()
+        self._segs.clear()

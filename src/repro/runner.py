@@ -116,6 +116,8 @@ class RunResult:
         """max/avg load; infinity on failed runs (the paper's convention)."""
         if not self.ok:
             return math.inf
+        if not self.loads:  # hybrid points carry count-space rdfa instead
+            return float(self.extras.get("rdfa", math.nan))
         return rdfa(self.loads)
 
     @property
@@ -134,13 +136,38 @@ class RunResult:
 _FAULT_COUNTER_PREFIXES = ("faults.", "retry.")
 
 
+@dataclass(frozen=True)
+class _SortProgram:
+    """The per-rank program of :func:`run_sort`, as a picklable value.
+
+    The proc backend ships the rank program to worker processes by
+    pickle; a closure over ``run_sort``'s locals cannot travel, so the
+    captured state lives in dataclass fields and the algorithm is
+    re-resolved from :data:`ALGORITHMS` by name on the far side.
+    """
+
+    algorithm: str
+    workload: Workload
+    n_per_rank: int
+    seed: int
+    opts: dict[str, Any]
+
+    def __call__(self, comm: Comm):
+        shard = self.workload.shard(self.n_per_rank, comm.size, comm.rank,
+                                    self.seed)
+        shard = tag_provenance(shard, comm.rank)
+        out = ALGORITHMS[self.algorithm].invoke(comm, shard, self.opts)
+        return shard, out
+
+
 def run_sort(algorithm: str, workload: Workload, *, n_per_rank: int, p: int,
              machine: MachineSpec = EDISON, seed: int = 0,
              mem_factor: float | None = MEM_FACTOR,
              validate: bool = True, keep_outputs: bool = False,
              algo_opts: dict[str, Any] | None = None,
              faults: Any = None, fault_seed: int = 0,
-             trace: bool = False) -> RunResult:
+             trace: bool = False,
+             backend: str = "thread", procs: int | None = None) -> RunResult:
     """Run one distributed sort end to end on the simulated machine.
 
     Parameters
@@ -161,7 +188,20 @@ def run_sort(algorithm: str, workload: Workload, *, n_per_rank: int, p: int,
         :class:`~repro.obs.report.TraceReport` lands in
         ``extras["trace"]``.  Tracing is purely observational — the
         simulated clocks are identical with it on or off.
+    backend: ``"thread"`` (default) and ``"proc"`` run the functional
+        engine — bit-for-bit identical results, with ranks hosted in
+        this process or sharded over worker processes respectively.
+        ``"hybrid"`` computes the point analytically at any ``p`` (up
+        to 128Ki+) while functionally executing a deterministic rank
+        sample for validation; see
+        :func:`repro.simfast.hybrid_scaling_point`.
+    procs: worker-process count for ``backend="proc"``.
     """
+    if backend == "hybrid":
+        return _run_hybrid(algorithm, workload, n_per_rank=n_per_rank, p=p,
+                           machine=machine, seed=seed, mem_factor=mem_factor,
+                           algo_opts=algo_opts, faults=faults, trace=trace,
+                           keep_outputs=keep_outputs)
     try:
         spec = ALGORITHMS[algorithm]
     except KeyError:
@@ -177,11 +217,7 @@ def run_sort(algorithm: str, workload: Workload, *, n_per_rank: int, p: int,
     capacity = (None if mem_factor is None
                 else int(mem_factor * n_per_rank * record_bytes))
 
-    def prog(comm: Comm):
-        shard = workload.shard(n_per_rank, comm.size, comm.rank, seed)
-        shard = tag_provenance(shard, comm.rank)
-        out = spec.invoke(comm, shard, opts)
-        return shard, out
+    prog = _SortProgram(algorithm, workload, n_per_rank, seed, opts)
 
     tracer = None
     if trace:
@@ -195,7 +231,8 @@ def run_sort(algorithm: str, workload: Workload, *, n_per_rank: int, p: int,
         })
 
     res = run_spmd(prog, p, machine=machine, mem_capacity=capacity,
-                   check=False, faults=fplan, tracer=tracer)
+                   check=False, faults=fplan, tracer=tracer,
+                   backend=backend, procs=procs)
 
     if res.failure is not None:
         cause = res.failure.cause
@@ -224,6 +261,7 @@ def run_sort(algorithm: str, workload: Workload, *, n_per_rank: int, p: int,
     traced = next((o for o in outcomes if o.active), outcomes[0])
 
     extras: dict[str, Any] = {
+        "engine": dict(res.extras),
         "mem_peaks": res.mem_peaks,
         "decisions": traced.info.get("decisions"),
         "p_active": sum(1 for o in outcomes if o.active),
@@ -253,4 +291,51 @@ def run_sort(algorithm: str, workload: Workload, *, n_per_rank: int, p: int,
         phase_times=res.phase_breakdown(),
         outputs=outputs if keep_outputs else None,
         extras=extras,
+    )
+
+
+def _run_hybrid(algorithm: str, workload: Workload, *, n_per_rank: int,
+                p: int, machine: MachineSpec, seed: int,
+                mem_factor: float | None, algo_opts: dict[str, Any] | None,
+                faults: Any, trace: bool,
+                keep_outputs: bool) -> RunResult:
+    """``backend="hybrid"``: analytic arithmetic + sampled validation.
+
+    Giant-p points (4Ki..128Ki+) that the functional engine cannot host
+    are computed from the count-space/cost models while a deterministic
+    rank sample runs the functional per-rank pipeline; the agreement
+    evidence lands in ``extras["hybrid"]``.  Faults, tracing, algorithm
+    options and per-rank outputs are functional-engine features and are
+    rejected rather than silently ignored.
+    """
+    from .simfast import hybrid_scaling_point
+
+    unsupported = [name for name, on in (
+        ("faults", faults is not None and not getattr(faults, "empty", False)),
+        ("trace", trace), ("algo_opts", bool(algo_opts)),
+        ("keep_outputs", keep_outputs)) if on]
+    if unsupported:
+        raise ValueError("hybrid backend computes analytically and cannot "
+                         f"honour: {', '.join(unsupported)}")
+
+    point = hybrid_scaling_point(
+        algorithm, workload, n_per_rank=n_per_rank, p=p, machine=machine,
+        seed=seed,
+        mem_factor=math.inf if mem_factor is None else mem_factor)
+    phases = point.phases
+    return RunResult(
+        algorithm=algorithm, workload=workload.name, p=p,
+        n_per_rank=n_per_rank, record_bytes=point.record_bytes,
+        ok=point.ok, oom=phases.oom, elapsed=phases.total,
+        loads=[],  # p-sized load vectors live in count space, not here
+        phase_times=phases.breakdown(),
+        failure=None if point.ok else (
+            "oom (modelled)" if phases.oom else "hybrid validation failed"),
+        extras={
+            "engine": {"backend": "hybrid", "workers": 0,
+                       "sampled_ranks": point.validation["sampled_ranks"]},
+            "hybrid": dict(point.validation),
+            "max_load": point.max_load,
+            "rdfa": point.rdfa,
+        },
     )

@@ -21,6 +21,8 @@ ground:
 
 from __future__ import annotations
 
+from functools import partial
+
 import numpy as np
 # See base.py: avoid numpy's lazy ``np.random`` __getattr__ (it takes
 # the import lock per access) on per-rank call paths.
@@ -48,25 +50,41 @@ def graysort() -> Workload:
                     {"record_bytes": 8 * (1 + GRAYSORT_PAYLOAD_WORDS)})
 
 
-def gaussian(mu: float = 0.0, sigma: float = 1.0) -> Workload:
-    def fn(n: int, rng: np.random.Generator) -> RecordBatch:
-        return RecordBatch(rng.normal(mu, sigma, n))
+def gaussian_batch(n: int, rng: np.random.Generator, *, mu: float,
+                   sigma: float) -> RecordBatch:
+    return RecordBatch(rng.normal(mu, sigma, n))
 
-    return Workload("gaussian", fn, {"mu": mu, "sigma": sigma})
+
+def exponential_batch(n: int, rng: np.random.Generator, *,
+                      scale: float) -> RecordBatch:
+    return RecordBatch(rng.exponential(scale, n))
+
+
+def reverse_sorted_batch(n: int, rng: np.random.Generator) -> RecordBatch:
+    return RecordBatch(np.sort(rng.random(n))[::-1].copy())
+
+
+# module-level generators bound with ``partial`` keep Workloads
+# picklable for the process-sharded engine backend
+
+def gaussian(mu: float = 0.0, sigma: float = 1.0) -> Workload:
+    return Workload("gaussian", partial(gaussian_batch, mu=mu, sigma=sigma),
+                    {"mu": mu, "sigma": sigma})
 
 
 def exponential(scale: float = 1.0) -> Workload:
-    def fn(n: int, rng: np.random.Generator) -> RecordBatch:
-        return RecordBatch(rng.exponential(scale, n))
-
-    return Workload("exponential", fn, {"scale": scale})
+    return Workload("exponential", partial(exponential_batch, scale=scale),
+                    {"scale": scale})
 
 
 def reverse_sorted() -> Workload:
-    def fn(n: int, rng: np.random.Generator) -> RecordBatch:
-        return RecordBatch(np.sort(rng.random(n))[::-1].copy())
+    return Workload("reverse", reverse_sorted_batch)
 
-    return Workload("reverse", fn)
+
+def _staggered_fallback_batch(n: int, rng: np.random.Generator) -> RecordBatch:
+    """Plain-uniform stand-in for ``Workload.fn`` (shard() is overridden);
+    module-level so a staggered Workload still pickles into proc workers."""
+    return RecordBatch(rng.random(n))
 
 
 class StaggeredWorkload(Workload):
@@ -79,7 +97,7 @@ class StaggeredWorkload(Workload):
     """
 
     def __init__(self) -> None:
-        super().__init__("staggered", lambda n, rng: RecordBatch(rng.random(n)))
+        super().__init__("staggered", _staggered_fallback_batch)
 
     def shard(self, n: int, p: int, rank: int, seed: int = 0) -> RecordBatch:
         if not 0 <= rank < p:

@@ -16,6 +16,8 @@ statistics the paper reports, which is all the experiments exercise:
 
 from __future__ import annotations
 
+from functools import partial
+
 import numpy as np
 
 from ..records import RecordBatch
@@ -96,18 +98,15 @@ def cosmology_batch(n: int, rng: np.random.Generator, *,
 
 
 def ptf(delta: float = PTF_DELTA) -> Workload:
-    """PTF-like workload (see :func:`ptf_batch`)."""
+    """PTF-like workload (see :func:`ptf_batch`).
 
-    def fn(n: int, rng: np.random.Generator) -> RecordBatch:
-        return ptf_batch(n, rng, delta=delta)
-
-    return Workload("ptf", fn, {"delta": delta})
+    The generator is a ``partial`` of the module-level batch function —
+    not a closure — so the Workload pickles into proc-backend workers.
+    """
+    return Workload("ptf", partial(ptf_batch, delta=delta), {"delta": delta})
 
 
 def cosmology(delta: float = COSMO_DELTA) -> Workload:
     """Cosmology-like workload (see :func:`cosmology_batch`)."""
-
-    def fn(n: int, rng: np.random.Generator) -> RecordBatch:
-        return cosmology_batch(n, rng, delta=delta)
-
-    return Workload("cosmology", fn, {"delta": delta})
+    return Workload("cosmology", partial(cosmology_batch, delta=delta),
+                    {"delta": delta})

@@ -19,6 +19,8 @@ perturbations.
 
 from __future__ import annotations
 
+from functools import partial
+
 import numpy as np
 
 from ..records import RecordBatch
@@ -94,47 +96,48 @@ def nearly_sorted_batch(n: int, rng: np.random.Generator, *,
     return RecordBatch(keys)
 
 
+def uniform_payload_batch(n: int, rng: np.random.Generator, *,
+                          payload_floats: int) -> RecordBatch:
+    """Uniform keys plus ``payload_floats`` random float64 columns."""
+    batch = uniform_batch(n, rng)
+    batch.payload.update(
+        {f"v{i}": rng.random(n) for i in range(payload_floats)}
+    )
+    return batch
+
+
+# Workload generators are module-level callables bound with ``partial``
+# (not closures) so a Workload pickles — the process-sharded engine
+# backend ships rank programs, and the workloads they hold, to worker
+# processes.
+
 def uniform(payload_floats: int = 0) -> Workload:
     """Uniform workload, optionally with ``payload_floats`` float64 columns."""
     if payload_floats == 0:
         return Workload("uniform", uniform_batch)
-
-    def fn(n: int, rng: np.random.Generator) -> RecordBatch:
-        batch = uniform_batch(n, rng)
-        batch.payload.update(
-            {f"v{i}": rng.random(n) for i in range(payload_floats)}
-        )
-        return batch
-
-    return Workload("uniform", fn, {"payload_floats": payload_floats})
+    return Workload("uniform",
+                    partial(uniform_payload_batch,
+                            payload_floats=payload_floats),
+                    {"payload_floats": payload_floats})
 
 
 def zipf(alpha: float = 0.7, universe: int = ZIPF_UNIVERSE) -> Workload:
     """Zipf workload with the paper's universe calibration."""
-
-    def fn(n: int, rng: np.random.Generator) -> RecordBatch:
-        return zipf_batch(n, rng, alpha=alpha, universe=universe)
-
     return Workload(
         f"zipf-{alpha:g}",
-        fn,
+        partial(zipf_batch, alpha=alpha, universe=universe),
         {"alpha": alpha, "universe": universe, "delta": zipf_delta(alpha, universe)},
     )
 
 
 def partially_ordered(runs: int = 16) -> Workload:
     """Concatenated-sorted-runs workload."""
-
-    def fn(n: int, rng: np.random.Generator) -> RecordBatch:
-        return runs_batch(n, rng, runs=runs)
-
-    return Workload(f"runs-{runs}", fn, {"runs": runs})
+    return Workload(f"runs-{runs}", partial(runs_batch, runs=runs),
+                    {"runs": runs})
 
 
 def nearly_sorted(disorder: float = 0.01) -> Workload:
     """Nearly-sorted workload."""
-
-    def fn(n: int, rng: np.random.Generator) -> RecordBatch:
-        return nearly_sorted_batch(n, rng, disorder=disorder)
-
-    return Workload(f"nearly-sorted-{disorder:g}", fn, {"disorder": disorder})
+    return Workload(f"nearly-sorted-{disorder:g}",
+                    partial(nearly_sorted_batch, disorder=disorder),
+                    {"disorder": disorder})

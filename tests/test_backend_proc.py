@@ -1,0 +1,222 @@
+"""Cross-backend equivalence: the proc backend is bit-for-bit thread.
+
+The process-sharded backend (``run_spmd(..., backend="proc")``) hosts
+rank blocks in worker processes and carries staged-collective deposits
+through shared memory; none of that may be observable in the results.
+These tests pin the determinism contract: virtual clocks, outputs,
+phase times, deterministic counters, memory peaks, chaos report hashes
+and trace reports are identical to the thread backend — only the
+host-wall counters (``coll.sync_wait``, ``p2p.wait``), which differ
+between *any* two runs, are excluded.
+
+The hybrid backend is covered at the runner level: analytic totals,
+sampled-rank validation evidence, and rejection of functional-engine
+features it cannot honour.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.machine import EDISON
+from repro.mpi import run_spmd
+from repro.mpi.procpool import shard_bounds
+from repro.runner import run_sort
+from repro.workloads import by_name
+
+from .test_engine_golden import GOLDEN, _prog
+
+#: Host-wall-clock counters, excluded from the determinism contract.
+WALL_COUNTERS = ("coll.sync_wait", "p2p.wait")
+
+
+def _strip_wall(counters):
+    return [{k: v for k, v in c.items() if k not in WALL_COUNTERS}
+            for c in counters]
+
+
+# ---------------------------------------------------------------------------
+# sharding arithmetic
+# ---------------------------------------------------------------------------
+
+def test_shard_bounds_contiguous_and_complete():
+    for p, nprocs in [(8, 2), (10, 3), (7, 7), (64, 8), (5, 1)]:
+        b = shard_bounds(p, nprocs)
+        assert b[0] == 0 and b[-1] == p and len(b) == nprocs + 1
+        sizes = [b[i + 1] - b[i] for i in range(nprocs)]
+        assert sum(sizes) == p
+        assert max(sizes) - min(sizes) <= 1  # balanced blocks
+
+
+# ---------------------------------------------------------------------------
+# golden equivalence (the acceptance bar: same numbers as the seed engine)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("case", ["p64_n2000", "p64_n2000_stable_zipf",
+                                  "p256_n2000"])
+def test_proc_matches_golden(case):
+    ref = GOLDEN[case]
+    res = run_spmd(
+        _prog, ref["p"], machine=EDISON,
+        args=(ref["n_per_rank"], ref.get("workload", "uniform"),
+              ref.get("params", {})),
+        backend="proc", procs=2,
+    )
+    assert res.ok
+    assert res.clocks == ref["clocks"]
+    assert res.elapsed == ref["elapsed"]
+    assert res.phase_breakdown() == ref["phase_breakdown"]
+    assert [r[0] for r in res.results] == ref["keysums"]
+    assert [r[1] for r in res.results] == ref["out_lens"]
+
+
+def test_proc_worker_count_is_unobservable():
+    ref = GOLDEN["p64_n2000"]
+    args = (ref["n_per_rank"], "uniform", ref.get("params", {}))
+    clocks = None
+    for procs in (2, 3):
+        res = run_spmd(_prog, ref["p"], machine=EDISON, args=args,
+                       backend="proc", procs=procs)
+        assert res.clocks == ref["clocks"]
+        clocks = clocks or res.clocks
+        assert res.clocks == clocks
+
+
+# ---------------------------------------------------------------------------
+# full-run equivalence through the runner (counters, faults, traces)
+# ---------------------------------------------------------------------------
+
+def test_run_sort_proc_equals_thread():
+    wl = by_name("zipf")
+    kw = dict(n_per_rank=300, p=64, mem_factor=None)
+    t = run_sort("sds", wl, **kw)
+    p = run_sort("sds", wl, **kw, backend="proc", procs=2)
+    assert t.ok and p.ok
+    assert t.elapsed == p.elapsed
+    assert t.loads == p.loads
+    assert t.phase_times == p.phase_times
+    assert t.extras["bytes_sent"] == p.extras["bytes_sent"]
+    assert t.extras["messages"] == p.extras["messages"]
+    assert t.extras["decisions"] == p.extras["decisions"]
+    assert t.extras["mem_peaks"] == p.extras["mem_peaks"]
+
+
+def test_chaos_hash_is_backend_invariant():
+    from repro.faults.chaos import run_chaos
+    kw = dict(p=32, n_per_rank=128, seeds=[0],
+              specs=["drop", "crash-exchange"], algorithms=["sds"])
+    rt = run_chaos(**kw)
+    rp = run_chaos(**kw, backend="proc", procs=2)
+    assert rt.report_hash == rp.report_hash
+
+
+def test_trace_report_is_backend_invariant():
+    wl = by_name("uniform")
+    kw = dict(n_per_rank=200, p=64, mem_factor=None, trace=True)
+    t = run_sort("sds", wl, **kw)
+    p = run_sort("sds", wl, **kw, backend="proc", procs=2)
+    dt = t.extras["trace"].as_dict()
+    dp = p.extras["trace"].as_dict()
+    dt["engine_counters"] = _strip_wall(dt["engine_counters"])
+    dp["engine_counters"] = _strip_wall(dp["engine_counters"])
+    assert dt == dp
+
+
+def test_failure_surfaces_identically():
+    # Simultaneous multi-rank OOM: *which* rank records its failure
+    # before siblings unwind is host-scheduling dependent on every
+    # backend (thread runs vary between reruns too), so the contract
+    # covers the failure's kind and shape, not the reporting rank.
+    wl = by_name("uniform")
+    kw = dict(n_per_rank=500, p=64, mem_factor=1.0)
+    t = run_sort("sds", wl, **kw)
+    p = run_sort("sds", wl, **kw, backend="proc", procs=2)
+    assert not t.ok and not p.ok
+    assert t.oom and p.oom
+    assert "SimOOMError" in t.failure and "SimOOMError" in p.failure
+    assert "would exceed capacity" in p.failure  # repr survives pickling
+
+
+# ---------------------------------------------------------------------------
+# extras metadata
+# ---------------------------------------------------------------------------
+
+def test_extras_report_backend_topology():
+    ref = GOLDEN["p64_n2000"]
+    args = (ref["n_per_rank"], "uniform", ref.get("params", {}))
+    t = run_spmd(_prog, 64, machine=EDISON, args=args)
+    assert t.extras["backend"] == "thread"
+    assert t.extras["workers"] == 1
+    assert t.extras["shards"] == [[0, 64]]
+    assert t.extras["coarse_switch"] is True
+    p = run_spmd(_prog, 64, machine=EDISON, args=args,
+                 backend="proc", procs=2)
+    assert p.extras["backend"] == "proc"
+    assert p.extras["workers"] == 2
+    assert p.extras["shards"] == [[0, 32], [32, 64]]
+    assert p.extras["pool_threads"] == 32
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ValueError, match="unknown backend"):
+        run_spmd(lambda comm: None, 2, backend="mpi")
+
+
+# ---------------------------------------------------------------------------
+# hybrid backend through the runner
+# ---------------------------------------------------------------------------
+
+def test_hybrid_point_validates_and_reports():
+    r = run_sort("sds", by_name("zipf"), n_per_rank=2000, p=4096,
+                 backend="hybrid", mem_factor=None)
+    assert r.ok
+    assert r.elapsed > 0
+    hyb = r.extras["hybrid"]
+    assert hyb["local_sort_ok"] and hyb["deterministic"]
+    assert hyb["max_load_rel_err"] <= hyb["tolerance"]
+    assert len(hyb["sampled_ranks"]) >= 2
+    assert r.extras["engine"]["backend"] == "hybrid"
+    # phase breakdown has the paper's stacked-bar categories
+    assert set(r.phase_times) == {"pivot_selection", "exchange",
+                                  "local_ordering", "other"}
+
+
+def test_hybrid_rejects_functional_only_features():
+    from repro.faults.spec import FaultSpec, MessageFaults
+    wl = by_name("uniform")
+    with pytest.raises(ValueError, match="cannot honour"):
+        run_sort("sds", wl, n_per_rank=100, p=4096, backend="hybrid",
+                 trace=True)
+    with pytest.raises(ValueError, match="cannot honour"):
+        run_sort("sds", wl, n_per_rank=100, p=4096, backend="hybrid",
+                 faults=FaultSpec(messages=MessageFaults(drop_rate=0.1)))
+
+
+def test_hybrid_matches_analytic_model():
+    # the analytic leg of a hybrid point is exactly weak_scaling_point
+    from repro.simfast import UniverseModel, weak_scaling_point
+    r = run_sort("sds", by_name("uniform"), n_per_rank=2000, p=4096,
+                 backend="hybrid", mem_factor=None)
+    pt = weak_scaling_point("sds", UniverseModel.uniform(), 2000, 4096,
+                            machine=EDISON, record_bytes=r.record_bytes)
+    assert r.elapsed == pt.total
+
+
+# ---------------------------------------------------------------------------
+# engine hygiene satellites
+# ---------------------------------------------------------------------------
+
+def test_coarse_switch_refcount_restores_interval():
+    import sys
+    from repro.mpi.engine import _coarse_enter, _coarse_exit
+    before = sys.getswitchinterval()
+    _coarse_enter()
+    _coarse_enter()  # nested (two pools running concurrently)
+    assert sys.getswitchinterval() >= 0.045
+    _coarse_exit()
+    assert sys.getswitchinterval() >= 0.045  # still held by outer
+    _coarse_exit()
+    assert sys.getswitchinterval() == before
