@@ -125,10 +125,12 @@ def _fault_spec(text: str):
 
 
 def _sort_json_doc(args: argparse.Namespace, machine, r) -> dict:
-    """The ``sort --json`` document (schema ``sdssort.sort/v1``)."""
+    """The ``sort --json`` document (schema ``sdssort.sort/v2``)."""
     report = r.extras.get("trace")
+    engine = dict(r.extras.get("engine") or {})
+    engine["resolved_backend"] = r.extras.get("backend") or {}
     return {
-        "schema": "sdssort.sort/v1",
+        "schema": "sdssort.sort/v2",
         "algorithm": r.algorithm,
         "workload": r.workload,
         "machine": machine.name,
@@ -147,7 +149,7 @@ def _sort_json_doc(args: argparse.Namespace, machine, r) -> dict:
         "faults": r.extras.get("faults"),
         "crashed_ranks": r.extras.get("crashed_ranks"),
         "trace": report.summary() if report is not None else None,
-        "engine": r.extras.get("engine"),
+        "engine": engine,
         "hybrid": r.extras.get("hybrid"),
     }
 
@@ -187,7 +189,12 @@ def cmd_sort(args: argparse.Namespace) -> int:
         print(f"            {r.failure}")
         return 1
     engine = r.extras.get("engine", {})
-    if engine.get("backend") == "proc":
+    resolved = r.extras.get("backend") or {}
+    if engine.get("backend") == "flat":
+        why = (f" — {resolved['reason']}"
+               if resolved.get("requested") == "auto" else "")
+        print(f"backend   : flat (batched columnar phases, 0 threads){why}")
+    elif engine.get("backend") == "proc":
         print(f"backend   : proc ({engine['workers']} workers, "
               f"shards {engine['shards']})")
     elif engine.get("backend") == "hybrid":
@@ -499,11 +506,14 @@ def build_parser() -> argparse.ArgumentParser:
                     help="simulated ranks")
     ps.add_argument("--machine", default="edison")
     ps.add_argument("--backend", default="thread",
-                    choices=["thread", "proc", "hybrid"],
+                    choices=["thread", "proc", "hybrid", "flat", "auto"],
                     help="engine backend: rank threads in-process, rank "
                          "blocks sharded over worker processes "
-                         "(bit-for-bit identical), or analytic+sampled "
-                         "hybrid for giant p (4Ki..128Ki+)")
+                         "(bit-for-bit identical), analytic+sampled "
+                         "hybrid for giant p (4Ki..128Ki+), whole-world "
+                         "batched columnar phases with no rank threads "
+                         "(bit-for-bit identical, SDS algorithms only), "
+                         "or auto (flat when eligible, else thread)")
     ps.add_argument("--procs", type=_positive_int, default=None,
                     help="worker processes for --backend proc "
                          "(default: scale heuristic)")
@@ -530,7 +540,7 @@ def build_parser() -> argparse.ArgumentParser:
                          "print the phase-flame / comm-heat summary")
     ps.add_argument("--json", action="store_true",
                     help="machine-readable JSON result on stdout "
-                         "(schema sdssort.sort/v1; implies tracing)")
+                         "(schema sdssort.sort/v2; implies tracing)")
     ps.set_defaults(fn=cmd_sort)
 
     ptr = sub.add_parser(
@@ -610,7 +620,7 @@ def build_parser() -> argparse.ArgumentParser:
     px.add_argument("--workload", default="uniform")
     px.add_argument("--machine", default="edison")
     px.add_argument("--backend", default="thread",
-                    choices=["thread", "proc"],
+                    choices=["thread", "proc", "flat"],
                     help="engine backend (report hash is backend-invariant)")
     px.add_argument("--procs", type=_positive_int, default=None,
                     help="worker processes for --backend proc")

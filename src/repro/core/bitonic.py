@@ -18,6 +18,7 @@ import numpy as np
 
 from ..kernels import merge_two
 from ..mpi import Comm
+from ..mpi.flatworld import FlatRun, flat_allgather
 
 _TAG_BITONIC = 71
 
@@ -100,6 +101,96 @@ def bitonic_sort(comm: Comm, keys: np.ndarray) -> np.ndarray:
     comm.count("p2p.recv", rounds)
     comm.count("bytes.sent", float(rounds * nb))
     return block
+
+
+def bitonic_sort_flat(fr: FlatRun, comms: list[Comm],
+                      arrays: list[np.ndarray]) -> list:
+    """:func:`bitonic_sort` for the flat backend: all ranks, one pass.
+
+    ``comms`` is the communicator's full membership in rank order,
+    ``arrays`` the per-rank blocks.  The length allgather, the local
+    sort charge, the staged ``np.sort`` of the concatenation and the
+    closed-form round replay are performed exactly as the thread path
+    does them per rank — the replay loop itself is memoised per
+    distinct entry clock (after the allgather all live ranks sit on the
+    same clock, so it runs once).  Returns the per-rank sorted block
+    (``None`` for ranks recorded as failed).
+    """
+    p = comms[0].size
+    if not is_power_of_two(p):
+        raise ValueError(f"bitonic sort needs a power-of-two communicator, got {p}")
+    arrs = [np.asarray(a) for a in arrays]
+    all_lengths = flat_allgather(fr, comms, [len(a) for a in arrs])
+    for i, c in enumerate(comms):
+        if not fr.alive(c):
+            continue
+        try:
+            lengths = all_lengths[i]
+            if len(set(lengths)) != 1:
+                raise ValueError(
+                    f"bitonic sort needs equal block lengths, got {lengths}")
+            c.charge(c.cost.sort_time(arrs[i].size))
+        except BaseException as exc:
+            fr.fail(c, exc)
+    if p == 1:
+        return [np.sort(a) if fr.alive(c) else None
+                for c, a in zip(comms, arrs)]
+    n = arrs[0].size
+
+    def compute(stage: list) -> np.ndarray:
+        return np.sort(np.concatenate([e[0] for e in stage]))
+
+    # the per-round scalars are rank-independent (same machine, equal
+    # blocks); the sequential accumulation is memoised per entry clock
+    pmo = comms[0].machine.per_message_overhead
+    mt = comms[0].cost.merge_time(2 * n, 2)
+    stages = p.bit_length() - 1
+    rounds = stages * (stages + 1) // 2
+    scalars: dict[int, float] = {}
+    replay: dict[float, float] = {}
+
+    def finish(i: int, c: Comm, sorted_all: np.ndarray):
+        block = sorted_all[i * n:(i + 1) * n]
+        nb = int(block.nbytes)
+        p2p = scalars.get(nb)
+        if p2p is None:
+            p2p = scalars[nb] = c.cost.p2p_time(nb)
+        t0 = c.clock
+        t = replay.get(t0)
+        if t is None:
+            t = t0
+            for _ in range(rounds):
+                t = ((t + pmo) + p2p) + mt
+            replay[t0] = t
+        tr = c.tracer
+        if tr is None:
+            c.set_clock(t)
+        else:
+            c0 = c.clock
+            debt = c._fault_debt if c.faults is not None else 0.0
+            c.set_clock(t)
+            g = c.grank
+            tr.span(g, "p2p", "bitonic_rounds", c0, c.clock,
+                    {"rounds": rounds, "bytes": rounds * nb})
+            lat0 = c.cost.p2p_time(0)
+            tr.add(g, "cost.compute", rounds * (pmo + mt))
+            tr.add(g, "cost.latency", rounds * lat0)
+            tr.add(g, "cost.bandwidth", rounds * (p2p - lat0))
+            if debt:
+                tr.add(g, "cost.fault_debt", debt)
+            tr.add(g, "kernel.merge.records", float(rounds * 2 * n))
+            tr.add(g, "kernel.merge.seconds", rounds * mt)
+            group = c._ctx.group
+            for si in range(stages):
+                for sj in range(si, -1, -1):
+                    tr.edge(g, group[i ^ (1 << sj)], nb)
+        c.count("p2p.send", rounds)
+        c.count("p2p.recv", rounds)
+        c.count("bytes.sent", float(rounds * nb))
+        return block
+
+    _, outs = fr.collective(comms, arrs, compute, finish)
+    return outs
 
 
 def bitonic_sort_rounds(comm: Comm, keys: np.ndarray) -> np.ndarray:

@@ -87,6 +87,139 @@ def order_received(comm: Comm, chunks: Sequence[RecordBatch], *,
     return out, ExchangeStats("sync", ordering, m, len(chunks))
 
 
+def sync_exchange_compute(stage: list, *, p: int, merge: bool,
+                          stable: bool) -> dict:
+    """Whole-world compute of the fused synchronous exchange.
+
+    ``stage`` holds one ``((batch, displs), clock)`` deposit per rank in
+    group-rank order — exactly what :meth:`Comm.staged` hands the
+    designated-rank action.  Shared by the thread/proc backends (as the
+    staged collective's action) and the flat backend (called directly on
+    a synthesized stage); see :func:`exchange_sync_fused` for the
+    exactness audit.
+    """
+    start = max(e[1] for e in stage)
+    batches = [e[0][0] for e in stage]
+    D = np.stack([e[0][1] for e in stage])            # (p, p+1) bounds
+    C = np.diff(D, axis=1)                            # counts[src, dst]
+    widths = np.array([b.row_nbytes for b in batches], dtype=np.int64)
+    S = C * widths[:, None]                           # bytes[src, dst]
+    max_send, max_recv, total, send_tot, recv_tot = \
+        Comm.size_scan_matrix(S)
+    all_keys, all_cols, offs = concat_batch_arrays(batches)
+
+    # -- gather indices, destination-major in source order --
+    starts = offs[:-1][None, :] + D[:, :p].T          # (dst, src)
+    lens = C.T                                        # (dst, src)
+    flat_lens = lens.ravel()
+    N = int(offs[-1])
+    excl = np.cumsum(flat_lens) - flat_lens
+    G = (np.repeat(starts.ravel() - excl, flat_lens)
+         + np.arange(N, dtype=np.int64))
+    m_per_dst = C.sum(axis=0)
+    bounds = np.zeros(p + 1, dtype=np.int64)
+    np.cumsum(m_per_dst, out=bounds[1:])
+
+    # -- final local ordering of every destination, once --
+    keys_g = all_keys[G]
+    final = np.empty(N, dtype=np.int64)
+    for r in range(p):
+        lo, hi = int(bounds[r]), int(bounds[r + 1])
+        seg = keys_g[lo:hi]
+        if merge:
+            perm = np.argsort(seg, kind="stable")
+        elif stable:
+            _, perm = natural_merge_sort_perm(seg)
+        else:
+            perm = sequential_argsort(seg, stable=False)
+        final[lo:hi] = G[lo:hi][perm]
+    return {
+        "t": start,
+        "max_send": max_send, "max_recv": max_recv, "total": total,
+        "send_tot": send_tot, "recv_tot": recv_tot,
+        "recv_all": S.sum(axis=0),                    # includes own chunk
+        "S": S,                                       # bytes[src, dst]
+        "m": m_per_dst,
+        "keys": all_keys, "cols": all_cols,
+        "final": final, "bounds": bounds,
+    }
+
+
+def _sync_exchange_network(comm: Comm, shared: dict,
+                           send_nbytes: int) -> None:
+    """Per-rank ``alltoallv`` epilogue of the fused synchronous exchange.
+
+    Runs inside the ``exchange`` phase: memory for the received data is
+    allocated, the clock advances by the rank's own ``alltoallv_time``
+    replay, byte/collective counters land, and the send buffer is
+    released.  Shared by :func:`exchange_sync_fused` and the flat
+    backend's exchange path.
+    """
+    p, me = comm.size, comm.rank
+    recv_bytes = int(shared["recv_tot"][me])
+    comm.mem.alloc(recv_bytes)
+    dt = comm.cost.alltoallv_time(
+        p, max(shared["max_send"], shared["max_recv"]),
+        ranks_per_node=comm.ranks_per_node,
+        total_bytes=shared["total"])
+    if comm.tracer is None:
+        comm.set_clock(shared["t"] + dt)
+    else:
+        comm.trace_collective(
+            "alltoallv", shared["t"], dt, comm.cost.alltoallv_time(
+                p, 0, ranks_per_node=comm.ranks_per_node, total_bytes=0))
+        comm.trace_edges(shared["S"][me])
+    comm.count("coll.alltoallv")
+    comm.count("bytes.recv", recv_bytes)
+    comm.count("bytes.sent", int(shared["send_tot"][me]))
+    comm.mem.free(send_nbytes)                        # send buffer released
+
+
+def _sync_exchange_ordering(comm: Comm, shared: dict, *, merge: bool,
+                            stable: bool, delta_hint: float
+                            ) -> tuple[RecordBatch, ExchangeStats]:
+    """Per-rank local-ordering epilogue of the fused synchronous exchange.
+
+    Runs inside the ``local_ordering`` phase: charges the rank's own
+    merge/sort cost, materialises the output slice from the whole-world
+    permutation, and settles memory.  Shared by
+    :func:`exchange_sync_fused` and the flat backend's exchange path.
+    """
+    p, me = comm.size, comm.rank
+    m = int(shared["m"][me])
+    if merge:
+        dt = comm.cost.merge_time(m, max(2, p))
+        comm.charge(dt)
+        comm.trace_counter("kernel.merge.records", float(m))
+        comm.trace_counter("kernel.merge.seconds", dt)
+        ordering = "merge"
+    else:
+        dt = comm.cost.final_sort_time(m, p, stable=stable,
+                                       delta=delta_hint)
+        comm.charge(dt)
+        comm.trace_counter("kernel.sort.records", float(m))
+        comm.trace_counter("kernel.sort.seconds", dt)
+        ordering = "sort"
+    lo, hi = int(shared["bounds"][me]), int(shared["bounds"][me + 1])
+    idx = shared["final"][lo:hi]
+    out = RecordBatch._unsafe(
+        shared["keys"][idx],
+        {name: col[idx] for name, col in shared["cols"].items()})
+    comm.mem.free(int(shared["recv_all"][me]))
+    comm.mem.alloc(out.nbytes)
+    return out, ExchangeStats("sync", ordering, m, p)
+
+
+def check_displs(displs: np.ndarray, p: int, n: int) -> np.ndarray:
+    """Validate and canonicalise a rank's partition displacements."""
+    d = np.asarray(displs, dtype=np.int64)
+    if len(d) != p + 1 or d[0] != 0 or d[-1] != n:
+        raise ValueError("displacements must span [0, len) with p+1 bounds")
+    if np.any(np.diff(d) < 0):
+        raise ValueError("displacements must be non-decreasing")
+    return d
+
+
 def exchange_sync_fused(comm: Comm, batch: RecordBatch, displs: np.ndarray,
                         *, stable: bool, tau_s: int, delta_hint: float = 0.0
                         ) -> tuple[RecordBatch, ExchangeStats]:
@@ -130,104 +263,21 @@ def exchange_sync_fused(comm: Comm, batch: RecordBatch, displs: np.ndarray,
     ``alltoallv`` clock advance and the send-buffer release land in
     ``exchange``, the ordering charge in ``local_ordering``.
     """
-    p, me = comm.size, comm.rank
-    d = np.asarray(displs, dtype=np.int64)
-    if len(d) != p + 1 or d[0] != 0 or d[-1] != len(batch):
-        raise ValueError("displacements must span [0, len) with p+1 bounds")
-    if np.any(np.diff(d) < 0):
-        raise ValueError("displacements must be non-decreasing")
+    p = comm.size
+    d = check_displs(displs, p, len(batch))
     merge = p < tau_s
 
     def compute(stage: list) -> dict:
-        start = max(e[1] for e in stage)
-        batches = [e[0][0] for e in stage]
-        D = np.stack([e[0][1] for e in stage])            # (p, p+1) bounds
-        C = np.diff(D, axis=1)                            # counts[src, dst]
-        widths = np.array([b.row_nbytes for b in batches], dtype=np.int64)
-        S = C * widths[:, None]                           # bytes[src, dst]
-        max_send, max_recv, total, send_tot, recv_tot = \
-            Comm.size_scan_matrix(S)
-        all_keys, all_cols, offs = concat_batch_arrays(batches)
-
-        # -- gather indices, destination-major in source order --
-        starts = offs[:-1][None, :] + D[:, :p].T          # (dst, src)
-        lens = C.T                                        # (dst, src)
-        flat_lens = lens.ravel()
-        N = int(offs[-1])
-        excl = np.cumsum(flat_lens) - flat_lens
-        G = (np.repeat(starts.ravel() - excl, flat_lens)
-             + np.arange(N, dtype=np.int64))
-        m_per_dst = C.sum(axis=0)
-        bounds = np.zeros(p + 1, dtype=np.int64)
-        np.cumsum(m_per_dst, out=bounds[1:])
-
-        # -- final local ordering of every destination, once --
-        keys_g = all_keys[G]
-        final = np.empty(N, dtype=np.int64)
-        for r in range(p):
-            lo, hi = int(bounds[r]), int(bounds[r + 1])
-            seg = keys_g[lo:hi]
-            if merge:
-                perm = np.argsort(seg, kind="stable")
-            elif stable:
-                _, perm = natural_merge_sort_perm(seg)
-            else:
-                perm = sequential_argsort(seg, stable=False)
-            final[lo:hi] = G[lo:hi][perm]
-        return {
-            "t": start,
-            "max_send": max_send, "max_recv": max_recv, "total": total,
-            "send_tot": send_tot, "recv_tot": recv_tot,
-            "recv_all": S.sum(axis=0),                    # includes own chunk
-            "S": S,                                       # bytes[src, dst]
-            "m": m_per_dst,
-            "keys": all_keys, "cols": all_cols,
-            "final": final, "bounds": bounds,
-        }
+        return sync_exchange_compute(stage, p=p, merge=merge, stable=stable)
 
     with comm.phase("exchange"):
         shared, _ = comm.staged((batch, d), compute)
-        recv_bytes = int(shared["recv_tot"][me])
-        comm.mem.alloc(recv_bytes)
-        dt = comm.cost.alltoallv_time(
-            p, max(shared["max_send"], shared["max_recv"]),
-            ranks_per_node=comm.ranks_per_node,
-            total_bytes=shared["total"])
-        if comm.tracer is None:
-            comm.set_clock(shared["t"] + dt)
-        else:
-            comm.trace_collective(
-                "alltoallv", shared["t"], dt, comm.cost.alltoallv_time(
-                    p, 0, ranks_per_node=comm.ranks_per_node, total_bytes=0))
-            comm.trace_edges(shared["S"][me])
-        comm.count("coll.alltoallv")
-        comm.count("bytes.recv", recv_bytes)
-        comm.count("bytes.sent", int(shared["send_tot"][me]))
-        comm.mem.free(batch.nbytes)                       # send buffer released
+        _sync_exchange_network(comm, shared, batch.nbytes)
 
     with comm.phase("local_ordering"):
-        m = int(shared["m"][me])
-        if merge:
-            dt = comm.cost.merge_time(m, max(2, p))
-            comm.charge(dt)
-            comm.trace_counter("kernel.merge.records", float(m))
-            comm.trace_counter("kernel.merge.seconds", dt)
-            ordering = "merge"
-        else:
-            dt = comm.cost.final_sort_time(m, p, stable=stable,
-                                           delta=delta_hint)
-            comm.charge(dt)
-            comm.trace_counter("kernel.sort.records", float(m))
-            comm.trace_counter("kernel.sort.seconds", dt)
-            ordering = "sort"
-        lo, hi = int(shared["bounds"][me]), int(shared["bounds"][me + 1])
-        idx = shared["final"][lo:hi]
-        out = RecordBatch._unsafe(
-            shared["keys"][idx],
-            {name: col[idx] for name, col in shared["cols"].items()})
-        comm.mem.free(int(shared["recv_all"][me]))
-        comm.mem.alloc(out.nbytes)
-    return out, ExchangeStats("sync", ordering, m, p)
+        out, stats = _sync_exchange_ordering(
+            comm, shared, merge=merge, stable=stable, delta_hint=delta_hint)
+    return out, stats
 
 
 def _counter_leaf_order(p: int) -> list[int]:
@@ -251,142 +301,126 @@ def _counter_leaf_order(p: int) -> list[int]:
     return order
 
 
-def exchange_overlapped_fused(comm: Comm, batch: RecordBatch,
-                              displs: np.ndarray
-                              ) -> tuple[RecordBatch, ExchangeStats]:
-    """:func:`exchange_overlapped` without materialising p^2 sub-batches.
+def overlapped_exchange_compute(stage: list, *, p: int, group, spec,
+                                rate: float, progress: float,
+                                traced: bool) -> dict:
+    """Whole-world compute of the fused overlapped exchange.
 
-    Bit-for-bit identical (clocks, counters, outputs) to splitting
-    ``batch`` at ``displs`` and running ``alltoallv_async`` +
-    ``exchange_overlapped``, but all O(p^2) work — the size matrix, the
-    arrival schedules of every rank, the merge-clock replay, and the
-    final stable ordering of every rank's received data — happens once,
-    vectorised, inside the staged collective's designated-rank action.
-    Each rank then reads back its clock, its output slice, and its
-    memory/counter charges in O(m + p).
-
-    Exactness notes (audited against the per-rank formulation):
-
-    * sub-batch sizes are ``count * row_nbytes`` — the same integers
-      ``RecordBatch.split`` pre-computes;
-    * arrival times are sequential float accumulations; ``np.cumsum``
-      accumulates in the same order, so the IEEE rounding sequence is
-      unchanged;
-    * ``merge_time(n, 2)`` is ``(n * 1.0) * rate``, reproduced
-      element-wise on exact int64 run lengths;
-    * the stable permutation of each rank's chunk concatenation is
-      unique, so one ``np.argsort(kind="stable")`` per destination over
-      the globally gathered key array equals the per-rank merge tree.
+    ``stage`` holds one ``((batch, displs), clock)`` deposit per rank in
+    group-rank order; ``group`` is the communicator's global-rank tuple,
+    ``spec`` the machine, ``rate`` the per-element merge cost and
+    ``progress`` the (SPMD-uniform) ``async_progress_overhead(p)``.
+    Shared by the thread/proc backends (as the staged collective's
+    action) and the flat backend; see :func:`exchange_overlapped_fused`
+    for the exactness audit.
     """
-    p, me = comm.size, comm.rank
-    d = np.asarray(displs, dtype=np.int64)
-    if len(d) != p + 1 or d[0] != 0 or d[-1] != len(batch):
-        raise ValueError("displacements must span [0, len) with p+1 bounds")
-    if np.any(np.diff(d) < 0):
-        raise ValueError("displacements must be non-decreasing")
-    spec = comm.machine
-    rate = comm.cost.spec.merge_cost_per_elem
-    group = comm._ctx.group
-    cpn = spec.cores_per_node
-    traced = comm.tracer is not None  # world-uniform: safe in the action
+    start = max(e[1] for e in stage)
+    batches = [e[0][0] for e in stage]
+    D = np.stack([e[0][1] for e in stage])            # (p, p+1) bounds
+    C = np.diff(D, axis=1)                            # counts[src, dst]
+    widths = np.array([b.row_nbytes for b in batches], dtype=np.int64)
+    S = C * widths[:, None]                           # bytes[src, dst]
+    all_keys, all_cols, offs = concat_batch_arrays(batches)
 
-    def compute(stage: list) -> dict:
-        start = max(e[1] for e in stage)
-        batches = [e[0][0] for e in stage]
-        D = np.stack([e[0][1] for e in stage])            # (p, p+1) bounds
-        C = np.diff(D, axis=1)                            # counts[src, dst]
-        widths = np.array([b.row_nbytes for b in batches], dtype=np.int64)
-        S = C * widths[:, None]                           # bytes[src, dst]
-        all_keys, all_cols, offs = concat_batch_arrays(batches)
+    # -- per-destination arrival schedules (ring order, from dst+1) --
+    nodes = np.asarray(group, dtype=np.int64) // spec.cores_per_node
+    rpn = np.bincount(nodes)[nodes]                   # ranks on my node
+    bw = (np.where(rpn > 1, spec.nic_bandwidth,
+                   spec.single_stream_bandwidth)
+          * spec.async_bandwidth_factor)
+    node_factor = np.minimum(rpn, p)
+    dst = np.arange(p, dtype=np.int64)
+    ring = (dst[:, None] + np.arange(1, p)[None, :]) % p   # src by step
+    inbound = S[ring, dst[:, None]]                   # bytes per step
+    incr = ((inbound * node_factor[:, None]) / bw[:, None]
+            + spec.per_message_overhead)
+    # t starts at start+latency; each += is one sequential add, which
+    # is exactly what a row-wise cumsum performs
+    T = np.cumsum(
+        np.concatenate(
+            [np.full((p, 1), start + spec.net_latency), incr], axis=1),
+        axis=1)
+    T[:, 0] = start                                   # own chunk: at once
 
-        # -- per-destination arrival schedules (ring order, from dst+1) --
-        nodes = np.asarray(group, dtype=np.int64) // cpn
-        rpn = np.bincount(nodes)[nodes]                   # ranks on my node
-        bw = (np.where(rpn > 1, spec.nic_bandwidth,
-                       spec.single_stream_bandwidth)
-              * spec.async_bandwidth_factor)
-        node_factor = np.minimum(rpn, p)
-        dst = np.arange(p, dtype=np.int64)
-        ring = (dst[:, None] + np.arange(1, p)[None, :]) % p   # src by step
-        inbound = S[ring, dst[:, None]]                   # bytes per step
-        incr = ((inbound * node_factor[:, None]) / bw[:, None]
-                + spec.per_message_overhead)
-        # t starts at start+latency; each += is one sequential add, which
-        # is exactly what a row-wise cumsum performs
-        T = np.cumsum(
-            np.concatenate(
-                [np.full((p, 1), start + spec.net_latency), incr], axis=1),
-            axis=1)
-        T[:, 0] = start                                   # own chunk: at once
-
-        # -- merge-clock replay, vectorised across destinations --
-        L = np.concatenate([C[dst, dst][:, None], C[ring, dst[:, None]]],
-                           axis=1)                        # lengths by step
-        CS = np.zeros((p, p + 1), dtype=np.int64)
-        np.cumsum(L, axis=1, out=CS[:, 1:])
-        t_cpu = np.full(p, start + comm.cost.async_progress_overhead(p))
-        msec = np.zeros(p) if traced else None  # merge seconds per dst
-        for i in range(p):
-            np.maximum(t_cpu, T[:, i], out=t_cpu)
-            b = 0
-            while (i >> b) & 1:
-                runs = CS[:, i + 1] - CS[:, i + 1 - (1 << (b + 1))]
-                inc = (runs * 1.0) * rate                 # merge_time(n, 2)
+    # -- merge-clock replay, vectorised across destinations --
+    L = np.concatenate([C[dst, dst][:, None], C[ring, dst[:, None]]],
+                       axis=1)                        # lengths by step
+    CS = np.zeros((p, p + 1), dtype=np.int64)
+    np.cumsum(L, axis=1, out=CS[:, 1:])
+    t_cpu = np.full(p, start + progress)
+    msec = np.zeros(p) if traced else None  # merge seconds per dst
+    for i in range(p):
+        np.maximum(t_cpu, T[:, i], out=t_cpu)
+        b = 0
+        while (i >> b) & 1:
+            runs = CS[:, i + 1] - CS[:, i + 1 - (1 << (b + 1))]
+            inc = (runs * 1.0) * rate                 # merge_time(n, 2)
+            t_cpu += inc
+            if traced:
+                msec += inc
+            b += 1
+    leaf = np.asarray(_counter_leaf_order(p), dtype=np.int64)
+    if p & (p - 1):  # non power of two: final fold merges leftovers
+        bits = [b for b in range(p.bit_length()) if (p >> b) & 1]
+        spans: dict[int, tuple[int, int]] = {}
+        pos = 0
+        for b_ in reversed(bits):
+            spans[b_] = (pos, pos + (1 << b_))
+            pos += 1 << b_
+        tot = None
+        for b_ in bits:  # levels ascending, each append merges once
+            lo_, hi_ = spans[b_]
+            seg = CS[:, hi_] - CS[:, lo_]
+            if tot is None:
+                tot = seg
+            else:
+                tot = tot + seg
+                inc = (tot * 1.0) * rate              # merge_time(n, 2)
                 t_cpu += inc
                 if traced:
                     msec += inc
-                b += 1
-        leaf = np.asarray(_counter_leaf_order(p), dtype=np.int64)
-        if p & (p - 1):  # non power of two: final fold merges leftovers
-            bits = [b for b in range(p.bit_length()) if (p >> b) & 1]
-            spans: dict[int, tuple[int, int]] = {}
-            pos = 0
-            for b_ in reversed(bits):
-                spans[b_] = (pos, pos + (1 << b_))
-                pos += 1 << b_
-            tot = None
-            for b_ in bits:  # levels ascending, each append merges once
-                lo_, hi_ = spans[b_]
-                seg = CS[:, hi_] - CS[:, lo_]
-                if tot is None:
-                    tot = seg
-                else:
-                    tot = tot + seg
-                    inc = (tot * 1.0) * rate              # merge_time(n, 2)
-                    t_cpu += inc
-                    if traced:
-                        msec += inc
 
-        # -- global data materialisation --
-        s_idx = (dst[:, None] + leaf[None, :]) % p        # src per slot
-        starts = (offs[s_idx] + D[s_idx, dst[:, None]]).ravel()
-        lens = C[s_idx, dst[:, None]].ravel()
-        N = int(offs[-1])
-        excl = np.cumsum(lens) - lens
-        G = np.repeat(starts - excl, lens) + np.arange(N, dtype=np.int64)
-        m_per_dst = CS[:, p]
-        bounds = np.zeros(p + 1, dtype=np.int64)
-        np.cumsum(m_per_dst, out=bounds[1:])
-        keys_g = all_keys[G]
-        final = np.empty(N, dtype=np.int64)
-        for r in range(p):
-            lo, hi = int(bounds[r]), int(bounds[r + 1])
-            perm = np.argsort(keys_g[lo:hi], kind="stable")
-            final[lo:hi] = G[lo:hi][perm]
-        diag = np.diagonal(S)
-        return {
-            "t_cpu": t_cpu,
-            "start": start,
-            "msec": msec,
-            "recv_net": S.sum(axis=0) - diag,             # excludes own chunk
-            "recv_all": S.sum(axis=0),                    # includes own chunk
-            "S": S,                                       # bytes[src, dst]
-            "m": m_per_dst,
-            "keys": all_keys, "cols": all_cols,
-            "final": final, "bounds": bounds,
-        }
+    # -- global data materialisation --
+    s_idx = (dst[:, None] + leaf[None, :]) % p        # src per slot
+    starts = (offs[s_idx] + D[s_idx, dst[:, None]]).ravel()
+    lens = C[s_idx, dst[:, None]].ravel()
+    N = int(offs[-1])
+    excl = np.cumsum(lens) - lens
+    G = np.repeat(starts - excl, lens) + np.arange(N, dtype=np.int64)
+    m_per_dst = CS[:, p]
+    bounds = np.zeros(p + 1, dtype=np.int64)
+    np.cumsum(m_per_dst, out=bounds[1:])
+    keys_g = all_keys[G]
+    final = np.empty(N, dtype=np.int64)
+    for r in range(p):
+        lo, hi = int(bounds[r]), int(bounds[r + 1])
+        perm = np.argsort(keys_g[lo:hi], kind="stable")
+        final[lo:hi] = G[lo:hi][perm]
+    diag = np.diagonal(S)
+    return {
+        "t_cpu": t_cpu,
+        "start": start,
+        "msec": msec,
+        "recv_net": S.sum(axis=0) - diag,             # excludes own chunk
+        "recv_all": S.sum(axis=0),                    # includes own chunk
+        "S": S,                                       # bytes[src, dst]
+        "m": m_per_dst,
+        "keys": all_keys, "cols": all_cols,
+        "final": final, "bounds": bounds,
+    }
 
-    shared, _ = comm.staged((batch, d), compute)
+
+def _overlapped_exchange_finish(comm: Comm, shared: dict
+                                ) -> tuple[RecordBatch, ExchangeStats]:
+    """Per-rank epilogue of the fused overlapped exchange.
+
+    Materialises the rank's output slice, advances its clock to the
+    replayed merge-completion time (with the traced cost split when a
+    tracer is attached) and settles memory/counters.  Shared by
+    :func:`exchange_overlapped_fused` and the flat backend's exchange
+    path.
+    """
+    p, me = comm.size, comm.rank
     recv_bytes = int(shared["recv_net"][me])
     comm.mem.alloc(recv_bytes)
     lo, hi = int(shared["bounds"][me]), int(shared["bounds"][me + 1])
@@ -429,6 +463,50 @@ def exchange_overlapped_fused(comm: Comm, batch: RecordBatch,
     comm.count("coll.alltoallv_async")
     comm.count("bytes.recv", recv_bytes)
     return out, ExchangeStats("overlap", "overlap-merge", m, p)
+
+
+def exchange_overlapped_fused(comm: Comm, batch: RecordBatch,
+                              displs: np.ndarray
+                              ) -> tuple[RecordBatch, ExchangeStats]:
+    """:func:`exchange_overlapped` without materialising p^2 sub-batches.
+
+    Bit-for-bit identical (clocks, counters, outputs) to splitting
+    ``batch`` at ``displs`` and running ``alltoallv_async`` +
+    ``exchange_overlapped``, but all O(p^2) work — the size matrix, the
+    arrival schedules of every rank, the merge-clock replay, and the
+    final stable ordering of every rank's received data — happens once,
+    vectorised, inside the staged collective's designated-rank action.
+    Each rank then reads back its clock, its output slice, and its
+    memory/counter charges in O(m + p).
+
+    Exactness notes (audited against the per-rank formulation):
+
+    * sub-batch sizes are ``count * row_nbytes`` — the same integers
+      ``RecordBatch.split`` pre-computes;
+    * arrival times are sequential float accumulations; ``np.cumsum``
+      accumulates in the same order, so the IEEE rounding sequence is
+      unchanged;
+    * ``merge_time(n, 2)`` is ``(n * 1.0) * rate``, reproduced
+      element-wise on exact int64 run lengths;
+    * the stable permutation of each rank's chunk concatenation is
+      unique, so one ``np.argsort(kind="stable")`` per destination over
+      the globally gathered key array equals the per-rank merge tree.
+    """
+    p = comm.size
+    d = check_displs(displs, p, len(batch))
+    spec = comm.machine
+    rate = comm.cost.spec.merge_cost_per_elem
+    group = comm._ctx.group
+    progress = comm.cost.async_progress_overhead(p)
+    traced = comm.tracer is not None  # world-uniform: safe in the action
+
+    def compute(stage: list) -> dict:
+        return overlapped_exchange_compute(
+            stage, p=p, group=group, spec=spec, rate=rate,
+            progress=progress, traced=traced)
+
+    shared, _ = comm.staged((batch, d), compute)
+    return _overlapped_exchange_finish(comm, shared)
 
 
 def exchange_overlapped(comm: Comm, sends: Sequence[RecordBatch]

@@ -20,15 +20,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..kernels import chunk_sort
+from ..kernels import chunk_sort, stable_prefix_layout
 from ..machine import CostModel
 from ..records import RecordBatch, sort_batch
 from .partition import (
-    assemble_stable_inputs,
     loads_from_displs,
     partition_classic,
     partition_fast,
-    partition_stable_local,
+    partition_stable_arrays,
     run_dup_counts,
 )
 from .sampling import local_pivots
@@ -91,10 +90,9 @@ def shared_merge_loads(keys: np.ndarray, c: int, *, stable: bool = False,
         displs = [partition_classic(ch, pg) for ch in chunks]
     elif stable:
         counts = [run_dup_counts(ch, pg) for ch in chunks]
-        displs = []
-        for i, ch in enumerate(chunks):
-            prefix, totals = assemble_stable_inputs(counts, i, pg)
-            displs.append(partition_stable_local(ch, pg, prefix, totals))
+        prefix, totals = stable_prefix_layout(counts)
+        displs = [partition_stable_arrays(ch, pg, prefix[i], totals)
+                  for i, ch in enumerate(chunks)]
     else:
         displs = [partition_fast(ch, pg) for ch in chunks]
     loads = loads_from_displs(displs)

@@ -31,7 +31,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..kernels import bounded_upper_bound
+from ..kernels import bounded_upper_bound, stable_prefix_layout
 
 
 @dataclass(frozen=True)
@@ -119,53 +119,12 @@ def partition_fast(sorted_keys: np.ndarray, pg: np.ndarray) -> np.ndarray:
     return displs
 
 
-def partition_stable_local(sorted_keys: np.ndarray, pg: np.ndarray,
-                           my_prefix: dict[int, int],
-                           totals: dict[int, int]) -> np.ndarray:
-    """Stable skew-aware partition given the global duplicate layout.
-
-    Parameters
-    ----------
-    sorted_keys, pg:
-        This rank's sorted data and the global pivots.
-    my_prefix:
-        For each replicated run (keyed by run start index): the number
-        of duplicates of the run's value held by ranks *before* this
-        one — i.e. this rank's offset into the global duplicate
-        sequence (``sb`` in Figure 2).
-    totals:
-        For each run: the global duplicate count (``sum(cv)``).
-
-    The driver obtains both via one allgather of per-run local counts
-    (:func:`run_dup_counts`); the paper performs an allgather per
-    pivot, we batch them.
-    """
-    a, pg = _checked(sorted_keys, pg)
-    displs = partition_classic(a, pg)
-    for run in find_replicated_runs(pg):
-        lo = int(np.searchsorted(a, run.value, side="left"))
-        hi = int(np.searchsorted(a, run.value, side="right"))
-        cr = hi - lo
-        rs = run.length
-        total = int(totals[run.start])
-        sb = int(my_prefix[run.start])
-        # group g owns global duplicate positions [g*total//rs, (g+1)*total//rs)
-        pos = 0  # consumed duplicates of mine, in global order
-        for g in range(rs):
-            gb_lo = (total * g) // rs
-            gb_hi = (total * (g + 1)) // rs
-            overlap = max(0, min(sb + cr, gb_hi) - max(sb, gb_lo))
-            pos += overlap
-            displs[run.start + g + 1] = lo + pos
-    return displs
-
-
 def run_dup_counts(sorted_keys: np.ndarray, pg: np.ndarray) -> np.ndarray:
     """Local duplicate count of each replicated run's value.
 
     Returns one int64 per run (in :func:`find_replicated_runs` order);
     the driver allgathers these vectors to build the ``my_prefix`` /
-    ``totals`` inputs of :func:`partition_stable_local`.
+    ``totals`` inputs of :func:`partition_stable_arrays`.
     """
     a, pg = _checked(sorted_keys, pg)
     starts, _ = _replicated_run_bounds(pg)
@@ -181,37 +140,31 @@ def stable_layout_collective(comm, counts: np.ndarray
 
     One staged collective over the ``(p, runs)`` int64 counts matrix:
     the designated rank stacks every deposit and computes all exclusive
-    prefixes and totals at once; each rank reads back its prefix row.
-    Clock and counter accounting go through
-    :meth:`~repro.mpi.comm.Comm.allgather_staged`, so virtual time is
-    bit-for-bit what ``allgather(run_dup_counts(...))`` +
-    :func:`assemble_stable_inputs` charged — only the O(p * runs)
-    python re-assembly on every rank is gone.
+    prefixes and totals at once (:func:`~repro.kernels.stable_prefix_layout`);
+    each rank reads back its prefix row.  Clock and counter accounting
+    go through :meth:`~repro.mpi.comm.Comm.allgather_staged`, so
+    virtual time is bit-for-bit what ``allgather(run_dup_counts(...))``
+    + per-rank assembly charged — only the O(p * runs) python
+    re-assembly on every rank is gone.
 
     Returns ``(my_prefix, totals)`` as arrays indexed by run ordinal
     (the :func:`find_replicated_runs` order), the inputs of
     :func:`partition_stable_arrays`.
     """
-    def layout(all_counts: list) -> tuple[np.ndarray, np.ndarray]:
-        matrix = np.stack(all_counts)
-        totals = matrix.sum(axis=0)
-        prefix = np.zeros_like(matrix)
-        np.cumsum(matrix[:-1], axis=0, out=prefix[1:])
-        return prefix, totals
-
-    prefix, totals = comm.allgather_staged(counts, layout)
+    prefix, totals = comm.allgather_staged(counts, stable_prefix_layout)
     return prefix[comm.rank], totals
 
 
 def partition_stable_arrays(sorted_keys: np.ndarray, pg: np.ndarray,
                             my_prefix: np.ndarray,
                             totals: np.ndarray) -> np.ndarray:
-    """:func:`partition_stable_local` with array inputs, vectorised.
+    """The stable skew-aware partition, vectorised over groups.
 
     ``my_prefix`` / ``totals`` are indexed by run ordinal (the layout
-    :func:`stable_layout_collective` hands back) instead of dicts keyed
-    by run start.  The per-group overlap loop is one array expression;
-    the results are integer-identical to the scalar formulation.
+    :func:`stable_layout_collective` hands back).  The per-group
+    overlap loop is one array expression; the results are
+    integer-identical to the seed's scalar per-group formulation,
+    which lives on as ``tests/oracles_partition.py``.
     """
     a, pg = _checked(sorted_keys, pg)
     displs = partition_classic(a, pg)
@@ -231,19 +184,6 @@ def partition_stable_arrays(sorted_keys: np.ndarray, pg: np.ndarray,
                    - np.maximum(sb, gb[:-1])).clip(min=0)
         displs[start + 1:start + rs + 1] = lo + np.cumsum(overlap)
     return displs
-
-
-def assemble_stable_inputs(all_counts: list[np.ndarray], rank: int,
-                           pg: np.ndarray) -> tuple[dict[int, int], dict[int, int]]:
-    """Turn allgathered per-run counts into ``(my_prefix, totals)`` dicts."""
-    runs = find_replicated_runs(np.asarray(pg))
-    my_prefix: dict[int, int] = {}
-    totals: dict[int, int] = {}
-    for i, run in enumerate(runs):
-        counts = np.asarray([c[i] for c in all_counts], dtype=np.int64)
-        my_prefix[run.start] = int(counts[:rank].sum())
-        totals[run.start] = int(counts.sum())
-    return my_prefix, totals
 
 
 def partition_local_pivots(sorted_keys: np.ndarray, pl: np.ndarray,

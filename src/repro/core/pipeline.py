@@ -28,12 +28,34 @@ from typing import Any, Callable
 
 import numpy as np
 
+from ..kernels import (
+    batched_argsort_rows,
+    batched_local_delta,
+    batched_partition_classic,
+    stable_prefix_layout,
+)
 from ..mpi import Comm
-from ..records import RecordBatch, sort_batch
+from ..mpi.flatworld import (
+    FlatAbort,
+    FlatRun,
+    flat_allgather,
+    flat_allgather_staged,
+    flat_allreduce,
+    flat_gather,
+    flat_split,
+    phase_all,
+)
+from ..records import RecordBatch, kway_merge_batches, sort_batch
 from .exchange import (
     ExchangeStats,
+    _overlapped_exchange_finish,
+    _sync_exchange_network,
+    _sync_exchange_ordering,
+    check_displs,
     exchange_overlapped_fused,
     exchange_sync_fused,
+    overlapped_exchange_compute,
+    sync_exchange_compute,
 )
 from .localsort import sdss_local_sort
 from .nodemerge import node_merge
@@ -49,8 +71,11 @@ from .plan import Decision, SortPlan
 from .sampling import (
     local_pivots,
     select_pivots_bitonic,
+    select_pivots_bitonic_flat,
     select_pivots_gather,
+    select_pivots_gather_flat,
     select_pivots_oversample,
+    select_pivots_oversample_flat,
 )
 
 __all__ = [
@@ -65,6 +90,7 @@ __all__ = [
     "Partition",
     "Exchange",
     "fault_health_check",
+    "fault_health_check_flat",
     "local_delta",
     "pivot_pad_value",
     "select_pivots",
@@ -135,6 +161,32 @@ def select_pivots(comm: Comm, pl: np.ndarray, sorted_keys: np.ndarray,
         return select_pivots_gather(comm, pl)
     raise ValueError(f"unknown pivot_method {method!r}; options: "
                      f"{', '.join(repr(m) for m in PIVOT_METHODS)}")
+
+
+def _select_pivots_flat(fr: FlatRun, acomms: list[Comm], pls: list,
+                        keys_list: list, method: str) -> list:
+    """Flat-backend twin of :func:`select_pivots` (per-rank results)."""
+    if method == "bitonic":
+        return select_pivots_bitonic_flat(fr, acomms, pls)
+    if method == "histogram":
+        raise NotImplementedError(
+            "pivot_method 'histogram' has no flat execution path yet; "
+            "use backend='thread' or 'proc' (or backend='auto', which "
+            "routes histogram runs to the thread engine)")
+    if method == "oversample":
+        return select_pivots_oversample_flat(fr, acomms, keys_list)
+    if method == "gather":
+        return select_pivots_gather_flat(fr, acomms, pls)
+    raise ValueError(f"unknown pivot_method {method!r}; options: "
+                     f"{', '.join(repr(m) for m in PIVOT_METHODS)}")
+
+
+def _first_live(fr: FlatRun, comms: list[Comm], values: list):
+    """The shared collective result, read off the first surviving rank."""
+    for c, v in zip(comms, values):
+        if fr.alive(c):
+            return v
+    raise FlatAbort
 
 
 @dataclass
@@ -250,6 +302,72 @@ def fault_health_check(ctx: RunContext, boundary: str) -> str | None:
         return "recovered"
 
 
+def fault_health_check_flat(fr: FlatRun, ctxs: list[RunContext],
+                            boundary: str) -> str | None:
+    """:func:`fault_health_check` for the flat backend, all ranks at once.
+
+    Victims receive their crash outcome on ``ctx.outcome`` (the driver
+    harvests them) and survivors shrink ``ctx.active``; the shared
+    return value is ``"recovered"`` when any crash fired at this
+    boundary and ``None`` otherwise (the per-rank ``"crashed"`` status
+    is implied by the outcome).
+    """
+    fplan = ctxs[0].comm.faults
+    if fplan is None or not fplan.has_crashes:
+        return None
+    comms = [ctx.comm for ctx in ctxs]
+    acomms = [ctx.active for ctx in ctxs]
+    with phase_all(comms, "fault_recovery"):
+        me_dead = [fplan.crash_at(c.grank, boundary) for c in comms]
+        all_verdicts = flat_allgather(
+            fr, acomms,
+            [c.grank if dead else -1 for c, dead in zip(comms, me_dead)])
+        verdicts = _first_live(fr, acomms, all_verdicts)
+        crashed = sorted(g for g in verdicts if g >= 0)
+        if not crashed:
+            return None
+        children = flat_split(
+            fr, acomms, [None if dead else 0 for dead in me_dead],
+            keys=[a.rank for a in acomms])
+        shrink: Decision | None = None
+        for i, ctx in enumerate(ctxs):
+            comm = ctx.comm
+            if not fr.alive(comm):
+                continue
+            if me_dead[i]:
+                comm.count("faults.crashed")
+                comm.trace_instant("fault", "crash", {"boundary": boundary})
+                comm.mem.free(ctx.batch.nbytes)
+                ctx.outcome = SortOutcome(
+                    batch=RecordBatch.empty_like(ctx.batch),
+                    received=0,
+                    active=False,
+                    info={"crashed": True, "crash_boundary": boundary,
+                          "p_active": 0,
+                          "decisions": ctx.plan.decisions()},
+                )
+                continue
+            survivor = children[i]
+            assert survivor is not None
+            comm.count("faults.peer_crash_detected", len(crashed))
+            comm.trace_instant("fault", "peer_crash_detected",
+                               {"boundary": boundary,
+                                "crashed": list(crashed)})
+            ctx.active = survivor
+            if shrink is None:
+                shrink = Decision(
+                    "fault_recovery", "shrink",
+                    measured={"boundary": boundary,
+                              "crashed_ranks": list(crashed),
+                              "p_active": survivor.size},
+                    reason=f"rank(s) {', '.join(map(str, crashed))} "
+                           f"crashed at the {boundary} boundary: "
+                           f"continuing degraded on {survivor.size} "
+                           f"survivors")
+            ctx.plan.decide(shrink)
+        return "recovered"
+
+
 #: Registered phase strategies, by stable name.
 PHASE_REGISTRY: dict[str, type] = {}
 
@@ -303,6 +421,46 @@ class LocalSort:
             comm.trace_counter("kernel.sort.seconds", dt)
         ctx.batch = sortedb
 
+    def run_flat(self, fr: FlatRun, ctxs: list[RunContext]) -> None:
+        """Whole-world execution for the flat backend.
+
+        Shards of equal length and key dtype are stacked into one 2-D
+        matrix and sorted with a single row-wise ``np.argsort`` — the
+        same kernel invocation per row as the per-rank path (both
+        ``sdss`` at ``c=1`` and ``plain`` reduce to one argsort of the
+        shard), so permutations and replication ratios are bit-equal.
+        Cost charges and trace counters replay per rank afterwards.
+        """
+        comms = [ctx.comm for ctx in ctxs]
+        with phase_all(comms, "local_sort"):
+            if self.kernel not in ("sdss", "plain"):
+                for c in comms:
+                    fr.fail(c, ValueError(
+                        f"unknown local-sort kernel {self.kernel!r}"))
+                raise FlatAbort
+            groups: dict[tuple, list[int]] = {}
+            for i, ctx in enumerate(ctxs):
+                groups.setdefault(
+                    (ctx.n, ctx.batch.keys.dtype.str), []).append(i)
+            sorted_batches: dict[int, RecordBatch] = {}
+            for members in groups.values():
+                rows = np.stack([ctxs[i].batch.keys for i in members])
+                perms = batched_argsort_rows(rows, stable=self.stable)
+                deltas = batched_local_delta(
+                    np.take_along_axis(rows, perms, axis=-1))
+                for j, i in enumerate(members):
+                    sorted_batches[i] = ctxs[i].batch.take(perms[j])
+                    ctxs[i].delta = float(deltas[j])
+            for i, ctx in enumerate(ctxs):
+                comm = ctx.comm
+                dt = ctx.cost.sort_time(ctx.n, stable=self.stable,
+                                        delta=ctx.delta)
+                comm.charge(dt)
+                comm.trace_counter("kernel.sort.records", float(ctx.n))
+                comm.trace_counter("kernel.sort.seconds", dt)
+        for i, ctx in enumerate(ctxs):
+            ctx.batch = sorted_batches[i]
+
 
 @register_phase("node_merge")
 @dataclass(frozen=True)
@@ -345,6 +503,101 @@ class NodeMerge:
                 comm.mem.free(ctx.input_nbytes)  # shard absorbed into merge
                 ctx.batch = res.batch
                 ctx.n = len(res.batch)
+
+    def run_flat(self, fr: FlatRun, ctxs: list[RunContext]) -> None:
+        """Whole-world execution for the flat backend.
+
+        Policy verdicts are memoised per distinct ``(node_bytes,
+        ranks_per_node, comm_size)`` input, the consensus allreduce runs
+        once, and the node-level funnelling — two communicator splits
+        plus one gather per node — goes through the flat collectives.
+        Leader merges call the *same* ``kway_merge_batches`` kernel the
+        thread path uses, so merged batches and cost charges are
+        bit-equal.
+        """
+        comms = [ctx.comm for ctx in ctxs]
+        with phase_all(comms, "node_merge"):
+            vmemo: dict[tuple, Decision] = {}
+            local_decs: list[Decision] = []
+            for ctx in ctxs:
+                comm = ctx.comm
+                key = (ctx.n * ctx.record_bytes * comm.ranks_per_node,
+                       comm.ranks_per_node, comm.size)
+                local = vmemo.get(key)
+                if local is None:
+                    local = vmemo[key] = ctx.plan.policy.node_merge(
+                        node_bytes=key[0], ranks_per_node=key[1],
+                        comm_size=key[2])
+                local_decs.append(local)
+            votes = [1 if d.choice == "merge" else 0 for d in local_decs]
+            agg = flat_allreduce(fr, comms, votes)
+            merged_all = _first_live(fr, comms, agg)
+            cmemo: dict[int, Decision] = {}
+            for i, ctx in enumerate(ctxs):
+                if not fr.alive(ctx.comm):
+                    continue
+                dec = cmemo.get(id(local_decs[i]))
+                if dec is None:
+                    dec = cmemo[id(local_decs[i])] = \
+                        ctx.plan.policy.node_merge_consensus(
+                            local_decs[i], agreeing=merged_all,
+                            comm_size=ctx.comm.size)
+                ctx.plan.decide(dec)
+            if merged_all != comms[0].size:
+                return
+            # all nodes agree: funnel each node onto its leader
+            world = comms[0]._world
+            local_comms = flat_split(
+                fr, comms, [world.node_of(c.grank) for c in comms],
+                keys=[c.rank for c in comms])
+            leader_comms = flat_split(
+                fr, comms,
+                [0 if (lc is not None and lc.rank == 0) else None
+                 for lc in local_comms],
+                keys=[c.rank for c in comms])
+            # one gather per node; the waves run concurrently in the
+            # thread engine, so only the first carries the abort check
+            nodes: dict[int, list[int]] = {}
+            for i, lc in enumerate(local_comms):
+                if lc is not None:
+                    nodes.setdefault(id(lc._ctx), []).append(i)
+            gathered_for: dict[int, list] = {}
+            first = True
+            for members in nodes.values():
+                outs = flat_gather(
+                    fr, [local_comms[i] for i in members],
+                    [ctxs[i].batch for i in members], root=0, check=first)
+                first = False
+                gathered_for[members[0]] = outs[0]
+            for i, ctx in enumerate(ctxs):
+                comm = ctx.comm
+                if not fr.alive(comm):
+                    continue
+                local_comm = local_comms[i]
+                if local_comm.rank != 0:
+                    comm.mem.free(ctx.input_nbytes)
+                    ctx.outcome = SortOutcome(
+                        batch=RecordBatch.empty_like(ctx.batch),
+                        received=0,
+                        active=False,
+                        info={"node_merged": True, "p_active": 0,
+                              "decisions": ctx.plan.decisions()},
+                    )
+                    continue
+                try:
+                    merged = kway_merge_batches(gathered_for[i])
+                    comm.charge(
+                        comm.cost.merge_time(len(merged),
+                                             max(2, local_comm.size))
+                        / max(1, local_comm.size))
+                    comm.mem.alloc(merged.nbytes)
+                except BaseException as exc:
+                    fr.fail(comm, exc)
+                    continue
+                ctx.active = leader_comms[i]
+                comm.mem.free(ctx.input_nbytes)  # shard absorbed into merge
+                ctx.batch = merged
+                ctx.n = len(merged)
 
 
 @register_phase("pivot_select")
@@ -394,6 +647,73 @@ class PivotSelect:
                                          dtype=pg.dtype)])
         ctx.pg = pg
 
+    def run_flat(self, fr: FlatRun, ctxs: list[RunContext]) -> None:
+        """Whole-world execution for the flat backend.
+
+        The method decision is computed once (policy calls are pure and
+        their inputs communicator-uniform) and recorded into every live
+        rank's trace; sampling and selection go through the flat
+        selector twins, which sort the pooled samples once and replay
+        the per-rank collective epilogues.
+        """
+        comms = [ctx.comm for ctx in ctxs]
+        acomms = [ctx.active for ctx in ctxs]
+        p = acomms[0].size
+        pgs: list = [None] * len(ctxs)
+        with phase_all(comms, "pivot_selection"):
+            if not self.guard_empty:
+                dec = Decision("pivot_method", self.method,
+                               measured={"p": p},
+                               reason="fixed by algorithm")
+                for ctx in ctxs:
+                    ctx.plan.decide(dec)
+                pls = self._local_pivots_flat(fr, acomms, ctxs, p)
+                pgs = _select_pivots_flat(
+                    fr, acomms, pls, [ctx.batch.keys for ctx in ctxs],
+                    dec.choice)
+            else:
+                agg = flat_allreduce(fr, acomms,
+                                     [ctx.n for ctx in ctxs], op=min)
+                min_n = _first_live(fr, acomms, agg)
+                dec = ctxs[0].plan.policy.pivot_method(p=p, min_n=min_n)
+                for i, ctx in enumerate(ctxs):
+                    if fr.alive(acomms[i]):
+                        ctx.plan.decide(dec)
+                if min_n > 0:
+                    pls = self._local_pivots_flat(fr, acomms, ctxs, p)
+                    pgs = _select_pivots_flat(
+                        fr, acomms, pls,
+                        [ctx.batch.keys for ctx in ctxs], dec.choice)
+                else:
+                    # some rank holds no data: gather over whatever
+                    # samples exist, pad short pivot vectors
+                    pls = [(local_pivots(ctx.batch.keys, p) if ctx.n > 0
+                            else ctx.batch.keys[:0]) for ctx in ctxs]
+                    pgs = select_pivots_gather_flat(fr, acomms, pls)
+                    for i, ctx in enumerate(ctxs):
+                        pg = pgs[i]
+                        if pg is not None and pg.size < p - 1:
+                            fill = pivot_pad_value(pg, ctx.batch.keys.dtype)
+                            pgs[i] = np.concatenate(
+                                [pg, np.full(p - 1 - pg.size, fill,
+                                             dtype=pg.dtype)])
+        for i, ctx in enumerate(ctxs):
+            if pgs[i] is not None:
+                ctx.pg = pgs[i]
+
+    @staticmethod
+    def _local_pivots_flat(fr: FlatRun, acomms: list[Comm],
+                           ctxs: list[RunContext], p: int) -> list:
+        """Per-rank regular samples; a failing rank deposits a stub."""
+        pls: list = []
+        for i, ctx in enumerate(ctxs):
+            try:
+                pls.append(local_pivots(ctx.batch.keys, p))
+            except BaseException as exc:
+                fr.fail(acomms[i], exc)
+                pls.append(ctx.batch.keys[:0])
+        return pls
+
 
 @register_phase("partition")
 @dataclass(frozen=True)
@@ -442,6 +762,84 @@ class Partition:
                 comm.charge(ctx.cost.binary_search_time(
                     ctx.n, searches=max(1, p - 1)))
         ctx.displs = displs
+
+    def run_flat(self, fr: FlatRun, ctxs: list[RunContext]) -> None:
+        """Whole-world execution for the flat backend.
+
+        ``classic`` partitioning batches same-shape shards into one
+        matrix ``searchsorted``; ``fast`` and ``stable`` call the
+        per-rank kernels directly (already vectorised numpy — the win
+        here is dropping the threads, not the arithmetic).  The stable
+        variant's layout allgather runs through the flat collective with
+        the same :func:`stable_prefix_layout` action.
+        """
+        comms = [ctx.comm for ctx in ctxs]
+        acomms = [ctx.active for ctx in ctxs]
+        p = acomms[0].size
+        with phase_all(comms, "partition"):
+            if self.variant is not None:
+                dec = Decision("partition", self.variant,
+                               reason="fixed by algorithm")
+            else:
+                dec = ctxs[0].plan.policy.partition_variant()
+            variant = dec.choice
+            for i, ctx in enumerate(ctxs):
+                if fr.alive(acomms[i]):
+                    ctx.plan.decide(dec)
+            if variant == "classic":
+                groups: dict[tuple, list[int]] = {}
+                for i, ctx in enumerate(ctxs):
+                    if fr.alive(acomms[i]):
+                        groups.setdefault(
+                            (len(ctx.batch), ctx.batch.keys.dtype.str,
+                             id(ctx.pg)), []).append(i)
+                for members in groups.values():
+                    if len(members) == 1:
+                        i = members[0]
+                        ctxs[i].displs = partition_classic(
+                            ctxs[i].batch.keys, ctxs[i].pg)
+                    else:
+                        rows = np.stack(
+                            [ctxs[i].batch.keys for i in members])
+                        D = batched_partition_classic(
+                            rows, ctxs[members[0]].pg)
+                        for j, i in enumerate(members):
+                            ctxs[i].displs = D[j]
+            elif variant == "stable":
+                counts = [
+                    (run_dup_counts(ctx.batch.keys, ctx.pg)
+                     if fr.alive(acomms[i]) else None)
+                    for i, ctx in enumerate(ctxs)]
+                layouts = flat_allgather_staged(fr, acomms, counts,
+                                                stable_prefix_layout)
+                for i, ctx in enumerate(ctxs):
+                    if fr.alive(acomms[i]) and layouts[i] is not None:
+                        prefix, totals = layouts[i]
+                        ctx.displs = partition_stable_arrays(
+                            ctx.batch.keys, ctx.pg,
+                            prefix[acomms[i].rank], totals)
+            elif variant == "fast":
+                for i, ctx in enumerate(ctxs):
+                    if fr.alive(acomms[i]):
+                        ctx.displs = partition_fast(ctx.batch.keys, ctx.pg)
+            else:
+                for c in acomms:
+                    fr.fail(c, ValueError(
+                        f"unknown partition variant {variant!r}"))
+                raise FlatAbort
+            for i, ctx in enumerate(ctxs):
+                if not fr.alive(acomms[i]):
+                    continue
+                comm = ctx.comm
+                accel = (ctx.params.local_pivot_accel
+                         if self.local_pivot_accel is None
+                         else self.local_pivot_accel)
+                if accel:
+                    comm.charge(ctx.cost.binary_search_time(
+                        max(1, ctx.n // p), searches=2 * max(1, p - 1)))
+                else:
+                    comm.charge(ctx.cost.binary_search_time(
+                        ctx.n, searches=max(1, p - 1)))
 
 
 @register_phase("exchange")
@@ -496,3 +894,102 @@ class Exchange:
                 comm.mem.free(send_buf_bytes)
         ctx.out = out
         ctx.xstats = xstats
+
+    def run_flat(self, fr: FlatRun, ctxs: list[RunContext]) -> None:
+        """Whole-world execution for the flat backend.
+
+        Both modes reuse the fused whole-world actions the staged
+        collectives already run once per world
+        (:func:`sync_exchange_compute` / ``overlapped_exchange_compute``)
+        plus the per-rank epilogues, so clocks, counters, memory charges
+        and outputs match the thread path operation for operation.  The
+        phase bracketing mirrors the per-rank structure: the sync path
+        annotates ``exchange``/``local_ordering`` on the active
+        communicator (as the fused helper does), the overlapped path
+        wraps ``exchange`` around the full communicator.
+        """
+        comms = [ctx.comm for ctx in ctxs]
+        acomms = [ctx.active for ctx in ctxs]
+        p = acomms[0].size
+        tau_s = self.tau_s
+        if self.mode is not None:
+            mode_dec = Decision("exchange", self.mode, measured={"p": p},
+                                reason="fixed by algorithm")
+            ord_dec = Decision(
+                "local_ordering", "merge" if p < tau_s else "sort",
+                threshold="tau_s", threshold_value=tau_s,
+                measured={"p": p}, reason="fixed by algorithm")
+        else:
+            mode_dec = ctxs[0].plan.policy.exchange_mode(p=p)
+            ord_dec = ctxs[0].plan.policy.local_ordering(
+                p=p, exchange=mode_dec.choice)
+            if tau_s is None:
+                tau_s = ctxs[0].params.tau_s
+        mode = mode_dec.choice
+        for ctx in ctxs:
+            ctx.plan.decide(mode_dec)
+            ctx.plan.decide(ord_dec)
+        send_nbytes = [ctx.batch.nbytes for ctx in ctxs]
+        stable = self.stable
+        if mode == "sync":
+            merge = p < tau_s
+            deposits: list = [None] * len(ctxs)
+            for i, ctx in enumerate(ctxs):
+                try:
+                    deposits[i] = (ctx.batch, check_displs(
+                        ctx.displs, p, len(ctx.batch)))
+                except BaseException as exc:
+                    fr.fail(acomms[i], exc)
+
+            def compute(stage: list) -> dict:
+                return sync_exchange_compute(stage, p=p, merge=merge,
+                                             stable=stable)
+
+            live = [a for a in acomms if fr.alive(a)]
+            with phase_all(live, "exchange"):
+                shared, _ = fr.collective(
+                    acomms, deposits, compute,
+                    lambda i, c, sh: _sync_exchange_network(
+                        c, sh, send_nbytes[i]))
+            with phase_all([a for a in acomms if fr.alive(a)],
+                           "local_ordering"):
+                for i, ctx in enumerate(ctxs):
+                    c = acomms[i]
+                    if not fr.alive(c):
+                        continue
+                    try:
+                        ctx.out, ctx.xstats = _sync_exchange_ordering(
+                            c, shared, merge=merge, stable=stable,
+                            delta_hint=ctx.delta)
+                    except BaseException as exc:
+                        fr.fail(c, exc)
+        else:
+            spec = acomms[0].machine
+            rate = acomms[0].cost.spec.merge_cost_per_elem
+            group = acomms[0]._ctx.group
+            progress = acomms[0].cost.async_progress_overhead(p)
+            traced = acomms[0].tracer is not None
+
+            def compute(stage: list) -> dict:
+                return overlapped_exchange_compute(
+                    stage, p=p, group=group, spec=spec, rate=rate,
+                    progress=progress, traced=traced)
+
+            def finish(i: int, c: Comm, sh: dict):
+                res = _overlapped_exchange_finish(c, sh)
+                ctxs[i].comm.mem.free(send_nbytes[i])
+                return res
+
+            deposits = [None] * len(ctxs)
+            live = [ctx.comm for ctx in ctxs if fr.alive(ctx.comm)]
+            with phase_all(live, "exchange"):
+                for i, ctx in enumerate(ctxs):
+                    try:
+                        deposits[i] = (ctx.batch, check_displs(
+                            ctx.displs, p, len(ctx.batch)))
+                    except BaseException as exc:
+                        fr.fail(acomms[i], exc)
+                _, outs = fr.collective(acomms, deposits, compute, finish)
+            for i, ctx in enumerate(ctxs):
+                if outs[i] is not None:
+                    ctx.out, ctx.xstats = outs[i]

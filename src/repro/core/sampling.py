@@ -25,7 +25,8 @@ import numpy as np
 from numpy.random import SeedSequence, default_rng
 
 from ..mpi import Comm
-from .bitonic import bitonic_sort, is_power_of_two
+from ..mpi.flatworld import FlatRun, flat_allgather, flat_bcast, flat_gather
+from .bitonic import bitonic_sort, bitonic_sort_flat, is_power_of_two
 
 
 def local_pivots(sorted_keys: np.ndarray, p: int) -> np.ndarray:
@@ -105,6 +106,113 @@ def select_pivots_oversample(comm: Comm, sorted_keys: np.ndarray, *,
     comm.charge(comm.cost.sort_time(pooled.size))
     pos = (np.arange(1, p, dtype=np.int64) * pooled.size) // p
     return pooled[np.minimum(pos, pooled.size - 1)]
+
+
+def select_pivots_gather_flat(fr: FlatRun, comms: list[Comm],
+                              pls: list[np.ndarray]) -> list:
+    """:func:`select_pivots_gather` for the flat backend, all ranks at once.
+
+    The rank-0 sort + stride selection runs once; every other rank only
+    replays its gather/bcast epilogues.  Per-rank results (``None`` for
+    failed ranks) in rank order.
+    """
+    p = comms[0].size
+    gathered_out = flat_gather(fr, comms, pls, root=0)
+    pg = None
+    root = comms[0]
+    if fr.alive(root):
+        allp = np.sort(np.concatenate(gathered_out[0]))
+        root.charge(root.cost.sort_time(allp.size))
+        if allp.size == 0:
+            pg = allp[:0]  # degenerate: no samples anywhere
+        else:
+            pos = np.minimum(_pivot_positions(p), allp.size - 1)
+            pg = allp[pos]
+    return flat_bcast(fr, comms, pg, root=0)
+
+
+def select_pivots_oversample_flat(fr: FlatRun, comms: list[Comm],
+                                  keys_list: list[np.ndarray], *,
+                                  oversample: int = 32,
+                                  seed: int = 0) -> list:
+    """:func:`select_pivots_oversample` for the flat backend.
+
+    The per-rank RNG draws are reproduced exactly (same
+    ``SeedSequence([seed, rank])`` streams); the pooled sort and stride
+    selection run once — every rank's pooled vector is identical — and
+    each live rank charges its own ``sort_time`` replay.
+    """
+    p = comms[0].size
+    arrs = [np.asarray(k) for k in keys_list]
+    if p == 1:
+        return [a[:0] for a in arrs]
+    samples: list = [None] * len(comms)
+    for i, c in enumerate(comms):
+        if not fr.alive(c):
+            continue
+        try:
+            a = arrs[i]
+            if a.size == 0:
+                raise ValueError("cannot sample pivots from an empty shard")
+            rng = default_rng(SeedSequence([seed, c.rank]))
+            take = min(max(1, oversample), a.size)
+            samples[i] = a[rng.integers(0, a.size, size=take)]
+        except BaseException as exc:
+            fr.fail(c, exc)
+    all_samples = flat_allgather(fr, comms, samples)
+    pooled = pg = None
+    outs: list = [None] * len(comms)
+    for i, c in enumerate(comms):
+        if not fr.alive(c):
+            continue
+        if pooled is None:
+            pooled = np.sort(np.concatenate(all_samples[i]))
+            pos = (np.arange(1, p, dtype=np.int64) * pooled.size) // p
+            pg = pooled[np.minimum(pos, pooled.size - 1)]
+        c.charge(c.cost.sort_time(pooled.size))
+        outs[i] = pg
+    return outs
+
+
+def select_pivots_bitonic_flat(fr: FlatRun, comms: list[Comm],
+                               pls: list[np.ndarray]) -> list:
+    """:func:`select_pivots_bitonic` for the flat backend.
+
+    The bitonic sort goes through :func:`bitonic_sort_flat` (one
+    ``np.sort`` + per-rank closed-form replay); the contribution
+    assembly after the allgather is identical on every rank, so it runs
+    once and the shared pivot vector is handed to each live rank.
+    """
+    p = comms[0].size
+    if p == 1:
+        return [np.asarray(pl)[:0] for pl in pls]
+    if not is_power_of_two(p):
+        return select_pivots_gather_flat(fr, comms, pls)
+    blocks = bitonic_sort_flat(fr, comms, pls)
+    m = p - 1  # block length
+    positions = _pivot_positions(p)
+    mines: list = [None] * len(comms)
+    for i, c in enumerate(comms):
+        if blocks[i] is None:
+            continue
+        lo, hi = c.rank * m, (c.rank + 1) * m
+        mines[i] = [(int(pos), blocks[i][pos - lo])
+                    for pos in positions if lo <= pos < hi]
+    contributions = flat_allgather(fr, comms, mines)
+    pg = None
+    outs: list = [None] * len(comms)
+    for i, c in enumerate(comms):
+        if not fr.alive(c):
+            continue
+        if pg is None:
+            pairs = sorted(pair for chunk in contributions[i] for pair in chunk)
+            pg = np.asarray([v for _, v in pairs])
+        if pg.size != p - 1:
+            fr.fail(c, AssertionError(
+                f"expected {p - 1} global pivots, got {pg.size}"))
+            continue
+        outs[i] = pg
+    return outs
 
 
 def select_pivots_bitonic(comm: Comm, pl: np.ndarray) -> np.ndarray:

@@ -34,19 +34,22 @@ from __future__ import annotations
 import numpy as np
 
 from ..mpi import Comm
+from ..mpi.flatworld import FlatAbort, FlatRun
 from ..records import RecordBatch
 from .params import SdsParams
 from .pipeline import (
     RunContext,
     SortOutcome,
     fault_health_check,
+    fault_health_check_flat,
     get_phase,
     local_delta,
     pivot_pad_value,
 )
 from .plan import SortPlan
 
-__all__ = ["SortOutcome", "local_delta", "pivot_pad_value", "sds_sort"]
+__all__ = ["SortOutcome", "local_delta", "pivot_pad_value", "sds_sort",
+           "sds_sort_flat"]
 
 
 def _singleton_outcome(ctx: RunContext) -> SortOutcome:
@@ -111,3 +114,99 @@ def sds_sort(comm: Comm, batch: RecordBatch,
             "decisions": ctx.decisions(),
         },
     )
+
+
+def sds_sort_flat(comms: list[Comm], batches: list[RecordBatch],
+                  params: SdsParams = SdsParams()
+                  ) -> tuple[list[SortOutcome | None], list]:
+    """Run SDS-Sort for every rank of the world at once (flat backend).
+
+    ``comms`` is the world's full membership in rank order, ``batches``
+    the per-rank inputs.  The phase sequence is :func:`sds_sort`'s,
+    executed through the phases' ``run_flat`` whole-world paths: one
+    batched kernel invocation per phase plus per-rank virtual-time
+    replays, with no rank threads.  Returns ``(outcomes, failures)``:
+    ``outcomes[g]`` is rank ``g``'s :class:`SortOutcome` (``None`` for
+    a failed rank) and ``failures`` the ``(grank, exception)`` pairs in
+    failure order — ranks past their last collective when a peer fails
+    still complete, exactly as their threads would.
+    """
+    fr = FlatRun(comms[0]._world)
+    outcomes: list[SortOutcome | None] = [None] * len(comms)
+    group: list[RunContext] = []
+    for comm, batch in zip(comms, batches):
+        try:
+            plan = SortPlan.for_params(params)
+            group.append(RunContext.start(comm, batch, params, plan))
+        except BaseException as exc:
+            fr.fail(comm, exc)
+
+    def harvest() -> None:
+        """Bank finished outcomes; drop failed ranks from the group."""
+        nonlocal group
+        rest = []
+        for ctx in group:
+            if ctx.outcome is not None:
+                outcomes[ctx.comm.grank] = ctx.outcome
+            elif fr.alive(ctx.comm):
+                rest.append(ctx)
+        group = rest
+
+    def settle() -> None:
+        """Harvest, then short-circuit ranks whose world shrank to one."""
+        nonlocal group
+        harvest()
+        rest = []
+        for ctx in group:
+            if ctx.active.size == 1:
+                outcomes[ctx.comm.grank] = _singleton_outcome(ctx)
+            else:
+                rest.append(ctx)
+        group = rest
+
+    try:
+        if group:
+            get_phase("local_sort")(stable=params.stable).run_flat(fr, group)
+            harvest()
+        if comms[0].size == 1:
+            for ctx in group:
+                outcomes[ctx.comm.grank] = _singleton_outcome(ctx)
+            return outcomes, fr.failures
+        if group:
+            get_phase("node_merge")().run_flat(fr, group)
+            settle()
+        if group:
+            fault_health_check_flat(fr, group, "pivot_select")
+            settle()
+        if group:
+            get_phase("pivot_select")().run_flat(fr, group)
+            get_phase("partition")().run_flat(fr, group)
+            harvest()
+        if group:
+            status = fault_health_check_flat(fr, group, "exchange")
+            settle()
+            if status == "recovered" and group:
+                # pivots and displacements are functions of the
+                # communicator size: survivors re-derive both
+                get_phase("pivot_select")().run_flat(fr, group)
+                get_phase("partition")().run_flat(fr, group)
+                harvest()
+        if group:
+            get_phase("exchange")(stable=params.stable).run_flat(fr, group)
+            harvest()
+        for ctx in group:
+            outcomes[ctx.comm.grank] = SortOutcome(
+                batch=ctx.out,
+                received=len(ctx.out),
+                exchange=ctx.xstats,
+                info={
+                    "p_active": ctx.active.size,
+                    "delta_local": ctx.delta,
+                    "n_pivots": int(np.asarray(ctx.pg).size),
+                    "displs": ctx.displs,
+                    "decisions": ctx.decisions(),
+                },
+            )
+    except FlatAbort:
+        harvest()  # a collective aborted: bank what already finished
+    return outcomes, fr.failures

@@ -5,6 +5,12 @@ cost models.  The distributed algorithms compose these and charge their
 virtual clocks through :class:`repro.machine.CostModel`.
 """
 
+from .batched import (
+    batched_argsort_rows,
+    batched_local_delta,
+    batched_partition_classic,
+    stable_prefix_layout,
+)
 from .merge import LoserTree, kway_merge, kway_merge_perm, merge_two, merge_two_perm
 from .patience import (
     patience_runs,
@@ -29,6 +35,10 @@ from .search import (
 from .sorts import chunk_sort, sequential_argsort, sequential_sort
 
 __all__ = [
+    "batched_argsort_rows",
+    "batched_local_delta",
+    "batched_partition_classic",
+    "stable_prefix_layout",
     "LoserTree",
     "kway_merge",
     "kway_merge_perm",

@@ -1,0 +1,115 @@
+"""Rank-batched kernels for the flat (zero-thread) backend.
+
+The flat engine drives every rank from one interpreter loop; where the
+per-rank work is a tiny numpy call (sort a 2 KiB key array, search
+p-1 pivots), the dispatch overhead dominates the arithmetic.  These
+kernels run one numpy call over a ``(g, n)`` rank-stacked layout
+instead of ``g`` calls — and each is **bit-for-bit equal** to its
+per-rank twin:
+
+* :func:`batched_argsort_rows` — ``np.argsort(axis=-1)`` applies the
+  same 1-D kernel (introsort / timsort-ish stable) to each contiguous
+  row that :func:`~repro.kernels.sorts.sequential_argsort` applies to
+  a 1-D array, so the permutations match element-for-element,
+  including the unstable kind's duplicate orderings;
+* :func:`batched_local_delta` — run-length bookkeeping over the whole
+  stack; per-row results equal ``local_delta`` exactly (the same
+  int-exact maximum divided by the same ``n``);
+* :func:`stable_prefix_layout` — the exclusive column prefix + totals
+  of a ``(p, runs)`` duplicate-count matrix: the designated-rank
+  arithmetic of ``stable_layout_collective`` as a pure function, also
+  the production replacement for the seed's per-rank dict assembly
+  (``assemble_stable_inputs``, now a test oracle);
+* :func:`batched_partition_classic` — one vectorised ``searchsorted``
+  over all ``p - 1`` pivots per row (the row loop is O(g) python, the
+  search itself is a single C call per rank).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "batched_argsort_rows",
+    "batched_local_delta",
+    "stable_prefix_layout",
+    "batched_partition_classic",
+]
+
+_KINDS = {False: "quicksort", True: "stable"}
+
+
+def batched_argsort_rows(rows: np.ndarray, *, stable: bool = False
+                         ) -> np.ndarray:
+    """Per-row argsort of a ``(g, n)`` stack, one numpy call.
+
+    Row ``i`` of the result equals
+    ``sequential_argsort(rows[i], stable=stable)`` bit-for-bit: numpy
+    runs the identical 1-D sort kernel over each contiguous row.
+    """
+    return np.argsort(np.ascontiguousarray(rows), axis=-1,
+                      kind=_KINDS[bool(stable)])
+
+
+def batched_local_delta(sorted_rows: np.ndarray) -> np.ndarray:
+    """Per-row ``local_delta`` (longest duplicate run / n) of a stack.
+
+    ``sorted_rows`` is ``(g, n)`` with each row sorted.  Returns a
+    float64 vector whose entry ``i`` equals
+    ``local_delta(sorted_rows[i])`` exactly — the max run length is
+    integer arithmetic and the final division is the same
+    float64 ``int / int``.
+    """
+    g, n = sorted_rows.shape
+    if n == 0:
+        return np.zeros(g)
+    brk = np.ones((g, n), dtype=bool)                  # run starts
+    brk[:, 1:] = sorted_rows[:, 1:] != sorted_rows[:, :-1]
+    starts = np.flatnonzero(brk.ravel())
+    ends = np.empty_like(starts)
+    ends[:-1] = starts[1:]                             # next start ...
+    ends[-1] = g * n                                   # ... or stack end
+    # rows cannot leak: column 0 always starts a run, so every row's
+    # last run ends at the next row's first start
+    lengths = ends - starts
+    maxlen = np.zeros(g, dtype=np.int64)
+    np.maximum.at(maxlen, starts // n, lengths)
+    return maxlen / n
+
+
+def stable_prefix_layout(all_counts: list[np.ndarray]
+                         ) -> tuple[np.ndarray, np.ndarray]:
+    """Exclusive prefixes + totals of per-rank duplicate-run counts.
+
+    ``all_counts`` holds one int64 vector per rank (one entry per
+    replicated pivot run, ``run_dup_counts`` order).  Returns the
+    ``(p, runs)`` exclusive prefix matrix (row ``r`` = duplicates held
+    by ranks before ``r``) and the per-run totals — the array inputs of
+    ``partition_stable_arrays``.  This is the designated-rank action of
+    ``stable_layout_collective`` as a pure function; integer-identical
+    to assembling ``assemble_stable_inputs`` dicts per rank.
+    """
+    matrix = np.stack(all_counts)
+    totals = matrix.sum(axis=0)
+    prefix = np.zeros_like(matrix)
+    np.cumsum(matrix[:-1], axis=0, out=prefix[1:])
+    return prefix, totals
+
+
+def batched_partition_classic(rows: np.ndarray, pg: np.ndarray
+                              ) -> np.ndarray:
+    """Classic upper-bound displacements for every row of a stack.
+
+    Row ``i`` of the ``(g, p + 1)`` result equals
+    ``partition_classic(rows[i], pg)``: the same
+    ``searchsorted(side="right")`` over all pivots at once, bracketed
+    by ``0`` and ``n``.
+    """
+    pg = np.asarray(pg)
+    g, n = rows.shape
+    out = np.empty((g, pg.size + 2), dtype=np.int64)
+    out[:, 0] = 0
+    out[:, -1] = n
+    for i in range(g):
+        out[i, 1:-1] = np.searchsorted(rows[i], pg, side="right")
+    return out

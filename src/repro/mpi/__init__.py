@@ -8,6 +8,7 @@ from .comm import Comm, Request, World, payload_nbytes
 from .context import AbortFlag, Channel, CommContext
 from .engine import SpmdPool, SpmdResult, default_pool, run_spmd
 from .errors import MessageLostError, RankFailure, SimAbort
+from .flatworld import FlatAbort, FlatRun, make_world_comms, run_spmd_flat
 from .procpool import ProcPool, default_proc_pool
 
 __all__ = [
@@ -18,12 +19,16 @@ __all__ = [
     "AbortFlag",
     "Channel",
     "CommContext",
+    "FlatAbort",
+    "FlatRun",
     "SpmdPool",
     "SpmdResult",
     "ProcPool",
     "default_pool",
     "default_proc_pool",
+    "make_world_comms",
     "run_spmd",
+    "run_spmd_flat",
     "MessageLostError",
     "RankFailure",
     "SimAbort",

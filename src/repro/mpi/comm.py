@@ -71,6 +71,27 @@ def _max_clock(stage: Sequence[tuple[Any, float]]) -> float:
     return max(e[1] for e in stage)
 
 
+def split_contexts(stage: Sequence[tuple[Any, float]], ctx: CommContext,
+                   world: "World") -> dict:
+    """Designated-rank compute of :meth:`Comm.split` (shared with flat).
+
+    ``stage[r]`` carries ``((color, key), clock)``; returns the
+    ``{color: CommContext}`` mapping with members ordered by
+    ``(key, rank)`` — the exact grouping both engines must agree on.
+    """
+    groups: dict[int, list[tuple[int, int]]] = {}
+    for r, ((col, k), _t) in enumerate(stage):
+        if col is None:
+            continue
+        groups.setdefault(col, []).append((k, r))
+    contexts = {}
+    for col, members in sorted(groups.items()):
+        members.sort()
+        gids = [ctx.group[r] for _, r in members]
+        contexts[col] = world.make_context(gids, parent=ctx, key=col)
+    return contexts
+
+
 class World:
     """Process-global state of one simulated run."""
 
@@ -453,15 +474,48 @@ class Comm:
         self.count("retry.time", debt)
 
     # ------------------------------------------------------------------
+    # collective epilogues (shared with the flat backend)
+    # ------------------------------------------------------------------
+    # Each collective's post-staged bookkeeping — cost application,
+    # clock overwrite / traced twin, operation counter — lives in a
+    # ``_finish_*`` helper so the zero-thread flat backend can replay
+    # the identical arithmetic per rank after running the designated
+    # compute once for the whole world.  The helpers are the *only*
+    # place these formulas exist; both engines go through them.
+
+    def _finish_coll(self, name: str, t: float, dt: float, lat: float,
+                     counter: str | None = None) -> None:
+        if self._tracer is None:
+            self.set_clock(t + dt)
+        else:
+            self.trace_collective(name, t, dt, lat)
+        if counter is not None:
+            self.count(counter)
+
+    def _finish_tree_coll(self, name: str, t: float, nbytes: int) -> None:
+        self._finish_coll(
+            name, t, self.cost.tree_collective_time(self.size, nbytes),
+            self.cost.tree_collective_time(self.size, 0), "coll." + name)
+
+    def _finish_barrier(self, t: float) -> None:
+        dt = self.cost.barrier_time(self.size)
+        self._finish_coll("barrier", t, dt, dt)
+
+    def _finish_allgather(self, t: float, nbytes: int) -> None:
+        self._finish_coll(
+            "allgather", t, self.cost.allgather_time(self.size, nbytes),
+            self.cost.allgather_time(self.size, 0), "coll.allgather")
+
+    def _finish_split(self, t: float) -> None:
+        dt = self.cost.barrier_time(self.size)
+        self._finish_coll("split", t, dt, dt)
+
+    # ------------------------------------------------------------------
     # collectives
     # ------------------------------------------------------------------
     def barrier(self) -> None:
         t, _ = self.staged(None, _max_clock)
-        dt = self.cost.barrier_time(self.size)
-        if self._tracer is None:
-            self.set_clock(t + dt)
-        else:
-            self.trace_collective("barrier", t, dt, dt)
+        self._finish_barrier(t)
 
     def bcast(self, obj: Any, root: int = 0) -> Any:
         def compute(stage: list) -> tuple:
@@ -470,13 +524,7 @@ class Comm:
 
         (value, t, nbytes), _ = self.staged(
             obj if self.rank == root else None, compute)
-        dt = self.cost.tree_collective_time(self.size, nbytes)
-        if self._tracer is None:
-            self.set_clock(t + dt)
-        else:
-            self.trace_collective(
-                "bcast", t, dt, self.cost.tree_collective_time(self.size, 0))
-        self.count("coll.bcast")
+        self._finish_tree_coll("bcast", t, nbytes)
         return value
 
     def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
@@ -485,13 +533,7 @@ class Comm:
             return objs, _max_clock(stage), max(map(payload_nbytes, objs))
 
         (objs, t, nbytes), _ = self.staged(obj, compute)
-        dt = self.cost.tree_collective_time(self.size, nbytes)
-        if self._tracer is None:
-            self.set_clock(t + dt)
-        else:
-            self.trace_collective(
-                "gather", t, dt, self.cost.tree_collective_time(self.size, 0))
-        self.count("coll.gather")
+        self._finish_tree_coll("gather", t, nbytes)
         if self.rank == root:
             return objs
         return None
@@ -515,13 +557,7 @@ class Comm:
                                                              objs))
 
         (shared, t, nbytes), _ = self.staged(obj, produce)
-        dt = self.cost.allgather_time(self.size, nbytes)
-        if self._tracer is None:
-            self.set_clock(t + dt)
-        else:
-            self.trace_collective(
-                "allgather", t, dt, self.cost.allgather_time(self.size, 0))
-        self.count("coll.allgather")
+        self._finish_allgather(t, nbytes)
         return shared
 
     def allgather(self, obj: Any) -> list[Any]:
@@ -538,14 +574,7 @@ class Comm:
 
         (sent, t), _ = self.staged(
             list(objs) if self.rank == root else None, compute)
-        dt = self.cost.tree_collective_time(
-            self.size, payload_nbytes(sent[self.rank]))
-        if self._tracer is None:
-            self.set_clock(t + dt)
-        else:
-            self.trace_collective(
-                "scatter", t, dt, self.cost.tree_collective_time(self.size, 0))
-        self.count("coll.scatter")
+        self._finish_tree_coll("scatter", t, payload_nbytes(sent[self.rank]))
         return sent[self.rank]
 
     @staticmethod
@@ -566,14 +595,7 @@ class Comm:
             return self._fold(stage, op), _max_clock(stage)
 
         (acc, t), _ = self.staged(value, compute)
-        dt = self.cost.tree_collective_time(self.size, payload_nbytes(value))
-        if self._tracer is None:
-            self.set_clock(t + dt)
-        else:
-            self.trace_collective(
-                "allreduce", t, dt,
-                self.cost.tree_collective_time(self.size, 0))
-        self.count("coll.allreduce")
+        self._finish_tree_coll("allreduce", t, payload_nbytes(value))
         return acc
 
     def reduce(self, value: Any, root: int = 0,
@@ -583,13 +605,7 @@ class Comm:
             return self._fold(stage, op), _max_clock(stage)
 
         (acc, t), _ = self.staged(value, compute)
-        dt = self.cost.tree_collective_time(self.size, payload_nbytes(value))
-        if self._tracer is None:
-            self.set_clock(t + dt)
-        else:
-            self.trace_collective(
-                "reduce", t, dt, self.cost.tree_collective_time(self.size, 0))
-        self.count("coll.reduce")
+        self._finish_tree_coll("reduce", t, payload_nbytes(value))
         return acc if self.rank == root else None
 
     def scan(self, value: Any, op: Callable[[Any, Any], Any] | None = None) -> Any:
@@ -605,13 +621,7 @@ class Comm:
             return prefix, _max_clock(stage)
 
         (prefix, t), _ = self.staged(value, compute)
-        dt = self.cost.tree_collective_time(self.size, payload_nbytes(value))
-        if self._tracer is None:
-            self.set_clock(t + dt)
-        else:
-            self.trace_collective(
-                "scan", t, dt, self.cost.tree_collective_time(self.size, 0))
-        self.count("coll.scan")
+        self._finish_tree_coll("scan", t, payload_nbytes(value))
         return prefix[self.rank]
 
     def exscan(self, value: Any, zero: Any = 0,
@@ -635,13 +645,7 @@ class Comm:
             return prefix, _max_clock(stage)
 
         (prefix, t), _ = self.staged((value, zero), compute)
-        dt = self.cost.tree_collective_time(self.size, payload_nbytes(value))
-        if self._tracer is None:
-            self.set_clock(t + dt)
-        else:
-            self.trace_collective(
-                "exscan", t, dt, self.cost.tree_collective_time(self.size, 0))
-        self.count("coll.exscan")
+        self._finish_tree_coll("exscan", t, payload_nbytes(value))
         return prefix[self.rank]
 
     def dup(self) -> "Comm":
@@ -809,28 +813,14 @@ class Comm:
         world = self._world
 
         def compute(stage: list) -> tuple:
-            groups: dict[int, list[tuple[int, int]]] = {}
-            for r, ((col, k), _t) in enumerate(stage):
-                if col is None:
-                    continue
-                groups.setdefault(col, []).append((k, r))
-            contexts = {}
-            for col, members in sorted(groups.items()):
-                members.sort()
-                gids = [ctx.group[r] for _, r in members]
-                contexts[col] = world.make_context(gids, parent=ctx, key=col)
-            return contexts, _max_clock(stage)
+            return split_contexts(stage, ctx, world), _max_clock(stage)
 
         # the contexts dict lives only in this generation's barrier
         # payload, so repeated splits can never observe a stale one
         (contexts, t), _ = self.staged((color, mykey), compute)
         newctx: CommContext | None = (contexts.get(color)
                                       if color is not None else None)
-        dt = self.cost.barrier_time(self.size)
-        if self._tracer is None:
-            self.set_clock(t + dt)
-        else:
-            self.trace_collective("split", t, dt, dt)
+        self._finish_split(t)
         if newctx is None:
             return None
         return Comm(world, newctx, newctx.group.index(self.grank))

@@ -297,8 +297,12 @@ def run_spmd(fn: Callable[..., Any], p: int, *,
     backend:
         ``"thread"`` (default) hosts every rank as a pool thread in this
         process; ``"proc"`` shards the rank ids across worker processes
-        (see :mod:`repro.mpi.procpool`).  Virtual clocks, results and
-        trace counters are bit-for-bit identical across backends.
+        (see :mod:`repro.mpi.procpool`); ``"flat"`` drives every rank
+        from one interpreter loop with zero threads, running each
+        phase's heavy work as batched columnar numpy over the whole
+        world (see :mod:`repro.mpi.flatworld` — the rank program must
+        expose a ``flat_run`` entry point).  Virtual clocks, results
+        and trace counters are bit-for-bit identical across backends.
     procs:
         Worker-process count for ``backend="proc"`` (default: a scale-
         dependent heuristic).  Ignored by the thread backend.
@@ -318,9 +322,18 @@ def run_spmd(fn: Callable[..., Any], p: int, *,
                 tracer=tracer, procs=procs)
         # p == 1 shares the inline path below (identical semantics,
         # nothing to shard)
+    elif backend == "flat":
+        if p > 1:
+            from .flatworld import run_spmd_flat
+            return run_spmd_flat(
+                fn, p, machine=machine, mem_capacity=mem_capacity,
+                args=args, kwargs=kwargs, check=check, faults=faults,
+                tracer=tracer)
+        # p == 1 shares the inline path below (one rank needs no
+        # batching, and the thread path never spawns a thread for it)
     elif backend != "thread":
         raise ValueError(f"unknown backend {backend!r}; "
-                         "options: 'thread', 'proc'")
+                         "options: 'thread', 'proc', 'flat'")
     world = World(p, machine, mem_capacity=mem_capacity, faults=faults,
                   tracer=tracer)
     results: list[Any] = [None] * p

@@ -21,6 +21,7 @@ from .baselines import (
     radix_sort,
 )
 from .core import SdsParams, sds_sort
+from .core.sdssort import sds_sort_flat
 from .machine import EDISON, MachineSpec
 from .metrics import check_sorted, rdfa, tb_per_min
 from .mpi import Comm, run_spmd
@@ -135,6 +136,39 @@ class RunResult:
 #: Counter prefixes aggregated into ``RunResult.extras["faults"]``.
 _FAULT_COUNTER_PREFIXES = ("faults.", "retry.")
 
+#: Every backend name :func:`run_sort` accepts.
+BACKENDS = ("thread", "proc", "hybrid", "flat", "auto")
+
+
+def resolve_backend(backend: str, algorithm: str,
+                    algo_opts: dict[str, Any] | None = None
+                    ) -> tuple[str, str]:
+    """Resolve ``backend`` (possibly ``"auto"``) to a concrete engine.
+
+    Returns ``(resolved, reason)``.  ``"auto"`` picks the columnar flat
+    engine whenever the algorithm is the SDS-Sort pipeline and its
+    configuration has a whole-world batched path (everything except
+    histogram pivot selection), and the thread engine otherwise.
+    Unknown names raise a ``ValueError`` listing the choices.
+    """
+    if backend != "auto":
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; options: "
+                + ", ".join(repr(b) for b in BACKENDS))
+        return backend, "explicitly requested"
+    spec = ALGORITHMS.get(algorithm)
+    if (spec is not None and spec.ctor is sds_sort
+            and spec.params_type is SdsParams):
+        merged = {**spec.defaults, **(algo_opts or {})}
+        if merged.get("pivot_method", "bitonic") != "histogram":
+            return "flat", ("sds pipeline with a whole-world batched path: "
+                            "columnar flat engine")
+        return "thread", ("histogram pivot selection has no flat execution "
+                          "path: thread engine")
+    return "thread", (f"algorithm {algorithm!r} has no whole-world batched "
+                      "path: thread engine")
+
 
 @dataclass(frozen=True)
 class _SortProgram:
@@ -158,6 +192,30 @@ class _SortProgram:
         shard = tag_provenance(shard, comm.rank)
         out = ALGORITHMS[self.algorithm].invoke(comm, shard, self.opts)
         return shard, out
+
+    def flat_run(self, comms: list[Comm]):
+        """Whole-world entry point for ``backend="flat"``.
+
+        Only the SDS-Sort pipeline has a batched flat execution path;
+        other algorithms must run on the per-rank backends.
+        """
+        spec = ALGORITHMS[self.algorithm]
+        if spec.ctor is not sds_sort or spec.params_type is not SdsParams:
+            raise TypeError(
+                "backend='flat' runs the SDS-Sort pipeline only; algorithm "
+                f"{self.algorithm!r} has no whole-world batched path (use "
+                "backend='thread' or 'proc', or 'auto' to pick "
+                "automatically)")
+        params = SdsParams(**{**spec.defaults, **self.opts})
+        shards = []
+        for c in comms:
+            shard = self.workload.shard(self.n_per_rank, c.size, c.rank,
+                                        self.seed)
+            shards.append(tag_provenance(shard, c.rank))
+        outcomes, failures = sds_sort_flat(comms, shards, params)
+        results = [None if o is None else (shards[i], o)
+                   for i, o in enumerate(outcomes)]
+        return results, failures
 
 
 def run_sort(algorithm: str, workload: Workload, *, n_per_rank: int, p: int,
@@ -188,20 +246,31 @@ def run_sort(algorithm: str, workload: Workload, *, n_per_rank: int, p: int,
         :class:`~repro.obs.report.TraceReport` lands in
         ``extras["trace"]``.  Tracing is purely observational — the
         simulated clocks are identical with it on or off.
-    backend: ``"thread"`` (default) and ``"proc"`` run the functional
-        engine — bit-for-bit identical results, with ranks hosted in
-        this process or sharded over worker processes respectively.
-        ``"hybrid"`` computes the point analytically at any ``p`` (up
-        to 128Ki+) while functionally executing a deterministic rank
-        sample for validation; see
+    backend: ``"thread"`` (default), ``"proc"`` and ``"flat"`` run the
+        functional engine — bit-for-bit identical results, with ranks
+        hosted in this process, sharded over worker processes, or
+        executed as whole-world columnar phases with zero rank threads
+        respectively (``"flat"`` requires an algorithm with a batched
+        path — the SDS-Sort pipeline).  ``"auto"`` resolves to
+        ``"flat"`` when the algorithm supports it and ``"thread"``
+        otherwise; the resolution is recorded in
+        ``extras["backend"]``.  ``"hybrid"`` computes the point
+        analytically at any ``p`` (up to 128Ki+) while functionally
+        executing a deterministic rank sample for validation; see
         :func:`repro.simfast.hybrid_scaling_point`.
     procs: worker-process count for ``backend="proc"``.
     """
+    requested = backend
+    backend, why = resolve_backend(backend, algorithm, algo_opts)
+    backend_info = {"requested": requested, "resolved": backend,
+                    "reason": why}
     if backend == "hybrid":
-        return _run_hybrid(algorithm, workload, n_per_rank=n_per_rank, p=p,
-                           machine=machine, seed=seed, mem_factor=mem_factor,
-                           algo_opts=algo_opts, faults=faults, trace=trace,
-                           keep_outputs=keep_outputs)
+        res = _run_hybrid(algorithm, workload, n_per_rank=n_per_rank, p=p,
+                          machine=machine, seed=seed, mem_factor=mem_factor,
+                          algo_opts=algo_opts, faults=faults, trace=trace,
+                          keep_outputs=keep_outputs)
+        res.extras["backend"] = backend_info
+        return res
     try:
         spec = ALGORITHMS[algorithm]
     except KeyError:
@@ -241,6 +310,7 @@ def run_sort(algorithm: str, workload: Workload, *, n_per_rank: int, p: int,
             n_per_rank=n_per_rank, record_bytes=record_bytes,
             ok=False, oom=isinstance(cause, MemoryError), elapsed=0.0,
             failure=f"rank {res.failure.rank}: {cause!r}",
+            extras={"backend": backend_info},
         )
 
     inputs = [r[0] for r in res.results]
@@ -262,6 +332,7 @@ def run_sort(algorithm: str, workload: Workload, *, n_per_rank: int, p: int,
 
     extras: dict[str, Any] = {
         "engine": dict(res.extras),
+        "backend": backend_info,
         "mem_peaks": res.mem_peaks,
         "decisions": traced.info.get("decisions"),
         "p_active": sum(1 for o in outcomes if o.active),

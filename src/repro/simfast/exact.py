@@ -15,13 +15,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.partition import (
-    assemble_stable_inputs,
     partition_classic,
     partition_fast,
-    partition_stable_local,
+    partition_stable_arrays,
     run_dup_counts,
 )
 from ..core.sampling import local_pivots
+from ..kernels import stable_prefix_layout
 from ..metrics import rdfa
 from ..workloads import Workload
 
@@ -80,10 +80,9 @@ def partition_loads(shards: list[np.ndarray], pg: np.ndarray,
         displs = [partition_fast(s, pg) for s in shards]
     elif method == "stable":
         counts = [run_dup_counts(s, pg) for s in shards]
-        displs = []
-        for r, s in enumerate(shards):
-            prefix, totals = assemble_stable_inputs(counts, r, pg)
-            displs.append(partition_stable_local(s, pg, prefix, totals))
+        prefix, totals = stable_prefix_layout(counts)
+        displs = [partition_stable_arrays(s, pg, prefix[r], totals)
+                  for r, s in enumerate(shards)]
     else:
         raise ValueError(f"unknown method {method!r}")
     for d in displs:

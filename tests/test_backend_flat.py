@@ -1,0 +1,207 @@
+"""Cross-backend equivalence: the flat backend is bit-for-bit thread.
+
+The columnar flat backend (``run_spmd(..., backend="flat")``) runs
+each SPMD phase as one batched numpy invocation over the whole world —
+no rank threads, no channels — while replaying the identical
+virtual-time/LogGP cost arithmetic per rank.  None of that may be
+observable in the results.  These tests pin the determinism contract:
+virtual clocks, outputs, phase times, deterministic counters, memory
+peaks, decision traces, chaos report hashes and trace reports are
+identical to the thread backend — only the host-wall counters
+(``coll.sync_wait``, ``p2p.wait``), which a threadless engine never
+accrues, are excluded (the same carve-out the proc backend has).
+
+Backend resolution (``backend="auto"``) is covered here too: the
+runner routes eligible SDS runs to flat and everything else to thread,
+recording the decision in ``extras["backend"]``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine import EDISON
+from repro.mpi import run_spmd
+from repro.runner import resolve_backend, run_sort
+from repro.workloads import by_name
+
+from .test_backend_proc import _strip_wall
+from .test_engine_golden import GOLDEN, WORKLOADS, _prog
+
+
+class _FlatProg:
+    """``_prog`` with a ``flat_run`` whole-world path."""
+
+    def __init__(self, n, workload, params):
+        self.n, self.workload, self.params = n, workload, params
+
+    def __call__(self, comm):  # pragma: no cover - must never run
+        raise AssertionError("flat backend must not spawn rank threads")
+
+    def flat_run(self, comms):
+        from repro.core import SdsParams, sds_sort_flat
+        from repro.records import tag_provenance
+        shards = []
+        for c in comms:
+            shard = WORKLOADS[self.workload]().shard(self.n, c.size,
+                                                     c.rank, 0)
+            shards.append(tag_provenance(shard, c.rank))
+        outs, failures = sds_sort_flat(
+            comms, shards,
+            SdsParams(node_merge_enabled=False, **self.params))
+        results = [None if o is None else
+                   (float(o.batch.keys.sum()), len(o.batch))
+                   for o in outs]
+        return results, failures
+
+
+# ---------------------------------------------------------------------------
+# golden equivalence (the acceptance bar: same numbers as the seed engine)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("case", ["p64_n2000", "p64_n2000_stable_zipf",
+                                  "p256_n2000"])
+def test_flat_matches_golden(case):
+    ref = GOLDEN[case]
+    res = run_spmd(
+        _FlatProg(ref["n_per_rank"], ref.get("workload", "uniform"),
+                  ref.get("params", {})),
+        ref["p"], machine=EDISON, backend="flat",
+    )
+    assert res.ok
+    assert res.clocks == ref["clocks"]
+    assert res.elapsed == ref["elapsed"]
+    assert res.phase_breakdown() == ref["phase_breakdown"]
+    assert [r[0] for r in res.results] == ref["keysums"]
+    assert [r[1] for r in res.results] == ref["out_lens"]
+
+
+# ---------------------------------------------------------------------------
+# full-run equivalence through the runner (counters, faults, traces)
+# ---------------------------------------------------------------------------
+
+def test_run_sort_flat_equals_thread():
+    wl = by_name("zipf")
+    kw = dict(n_per_rank=300, p=64, mem_factor=None)
+    t = run_sort("sds", wl, **kw)
+    f = run_sort("sds", wl, **kw, backend="flat")
+    assert t.ok and f.ok
+    assert t.elapsed == f.elapsed
+    assert t.loads == f.loads
+    assert t.phase_times == f.phase_times
+    assert t.extras["bytes_sent"] == f.extras["bytes_sent"]
+    assert t.extras["messages"] == f.extras["messages"]
+    assert t.extras["decisions"] == f.extras["decisions"]
+    assert t.extras["mem_peaks"] == f.extras["mem_peaks"]
+
+
+def test_chaos_hash_is_backend_invariant():
+    from repro.faults.chaos import run_chaos
+    kw = dict(p=32, n_per_rank=128, seeds=[0],
+              specs=["drop", "crash-exchange"], algorithms=["sds"])
+    rt = run_chaos(**kw)
+    rf = run_chaos(**kw, backend="flat")
+    assert rt.report_hash == rf.report_hash
+
+
+def test_trace_report_is_backend_invariant():
+    wl = by_name("uniform")
+    kw = dict(n_per_rank=200, p=64, mem_factor=None, trace=True)
+    t = run_sort("sds", wl, **kw)
+    f = run_sort("sds", wl, **kw, backend="flat")
+    dt = t.extras["trace"].as_dict()
+    df = f.extras["trace"].as_dict()
+    dt["engine_counters"] = _strip_wall(dt["engine_counters"])
+    df["engine_counters"] = _strip_wall(df["engine_counters"])
+    assert dt == df
+
+
+def test_failure_surfaces_identically():
+    # On the flat backend the failure ordering is deterministic (ranks
+    # fail in collective order), but the cross-backend contract stays
+    # the proc one: the failure's kind and shape, not the rank.
+    wl = by_name("uniform")
+    kw = dict(n_per_rank=500, p=64, mem_factor=1.0)
+    t = run_sort("sds", wl, **kw)
+    f = run_sort("sds", wl, **kw, backend="flat")
+    assert not t.ok and not f.ok
+    assert t.oom and f.oom
+    assert "SimOOMError" in t.failure and "SimOOMError" in f.failure
+    assert "would exceed capacity" in f.failure
+
+
+# ---------------------------------------------------------------------------
+# extras metadata
+# ---------------------------------------------------------------------------
+
+def test_extras_report_backend_topology():
+    ref = GOLDEN["p64_n2000"]
+    f = run_spmd(_FlatProg(ref["n_per_rank"], "uniform",
+                           ref.get("params", {})),
+                 64, machine=EDISON, backend="flat")
+    assert f.extras["backend"] == "flat"
+    assert f.extras["workers"] == 0
+    assert f.extras["pool_threads"] == 0
+    assert f.extras["shards"] == [[0, 64]]
+    assert f.extras["coarse_switch"] is False
+
+
+def test_flat_requires_flat_run():
+    with pytest.raises(TypeError, match="flat_run"):
+        run_spmd(lambda comm: None, 2, backend="flat")
+
+
+def test_flat_rejects_non_sds_algorithms():
+    with pytest.raises(TypeError, match="no whole-world batched path"):
+        run_sort("psrs", by_name("uniform"), n_per_rank=100, p=8,
+                 backend="flat")
+
+
+def test_histogram_pivots_not_batched_yet():
+    with pytest.raises(NotImplementedError, match="histogram"):
+        run_sort("sds", by_name("uniform"), n_per_rank=100, p=8,
+                 backend="flat", mem_factor=None,
+                 algo_opts={"pivot_method": "histogram"})
+
+
+# ---------------------------------------------------------------------------
+# backend resolution (--backend auto)
+# ---------------------------------------------------------------------------
+
+def test_resolve_backend_auto_routes_sds_to_flat():
+    resolved, reason = resolve_backend("auto", "sds")
+    assert resolved == "flat"
+    assert "batched" in reason
+    resolved, reason = resolve_backend("auto", "sds-stable")
+    assert resolved == "flat"
+
+
+def test_resolve_backend_auto_falls_back_to_thread():
+    resolved, reason = resolve_backend("auto", "psrs")
+    assert resolved == "thread"
+    assert "no whole-world batched path" in reason
+    resolved, reason = resolve_backend(
+        "auto", "sds", algo_opts={"pivot_method": "histogram"})
+    assert resolved == "thread"
+    assert "histogram" in reason
+
+
+def test_resolve_backend_rejects_unknown():
+    with pytest.raises(ValueError, match="unknown backend"):
+        resolve_backend("mpi", "sds")
+
+
+def test_run_sort_auto_records_resolution():
+    wl = by_name("uniform")
+    kw = dict(n_per_rank=100, p=32, mem_factor=None)
+    a = run_sort("sds", wl, **kw, backend="auto")
+    assert a.ok
+    assert a.extras["engine"]["backend"] == "flat"
+    assert a.extras["backend"] == {
+        "requested": "auto", "resolved": "flat",
+        "reason": a.extras["backend"]["reason"]}
+    t = run_sort("sds", wl, **kw)
+    assert t.extras["backend"]["requested"] == "thread"
+    assert t.extras["backend"]["resolved"] == "thread"
+    assert t.extras["backend"]["reason"] == "explicitly requested"
+    assert a.elapsed == t.elapsed  # auto's flat run is still bit-equal

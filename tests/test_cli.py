@@ -129,12 +129,15 @@ class TestCliTrace:
         )
         assert code == 0
         doc = json.loads(out)
-        assert doc["schema"] == "sdssort.sort/v1"
+        assert doc["schema"] == "sdssort.sort/v2"
         assert doc["ok"] is True
         for key in ("algorithm", "workload", "p", "n_per_rank", "elapsed",
                     "throughput_tb_min", "rdfa", "phases", "decisions",
-                    "faults", "trace"):
+                    "faults", "trace", "engine"):
             assert key in doc, key
+        assert doc["engine"]["resolved_backend"] == {
+            "requested": "thread", "resolved": "thread",
+            "reason": "explicitly requested"}
         assert doc["elapsed"] > 0
         assert doc["decisions"] and "choice" in doc["decisions"][0]
         assert doc["trace"]["spans"] > 0

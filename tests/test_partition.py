@@ -11,7 +11,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import (
-    assemble_stable_inputs,
     find_replicated_runs,
     loads_from_displs,
     local_pivots,
@@ -20,9 +19,10 @@ from repro.core import (
     partition_full_scan,
     partition_local_pivots,
     partition_stable_arrays,
-    partition_stable_local,
     run_dup_counts,
 )
+
+from .oracles_partition import assemble_stable_inputs, partition_stable_local
 
 
 def valid_displs(displs, n, p):
