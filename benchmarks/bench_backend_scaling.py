@@ -16,8 +16,13 @@ the point past every threaded ceiling where the functional
 reproduction still runs whole.  Beyond that, the hybrid backend
 covers p = 64Ki / 128Ki analytically with a sampled functional leg.
 
+Since the World refactor every registered algorithm runs columnar, so
+the flat series carries a PSRS leg next to the SDS one — the
+fixed-strategy baseline rides the same engine wall-free (schema v8
+adds the ``*_flat_psrs`` points; all prior sections are preserved).
+
 Results land in the ``backend_scaling`` section of
-``BENCH_engine.json`` (schema v7).  This bench and the other
+``BENCH_engine.json`` (schema v8).  This bench and the other
 ``bench_engine_walltime``-family benches read-modify-write the file,
 each preserving the others' sections; within ``backend_scaling`` the
 measured runs merge over the recorded ones, so skipping the
@@ -49,7 +54,7 @@ from _helpers import emit, fmt_time, quick  # noqa: E402
 
 ROOT = Path(__file__).resolve().parent.parent
 JSON_PATH = ROOT / "BENCH_engine.json"
-SCHEMA = "bench_engine_walltime/v7"
+SCHEMA = "bench_engine_walltime/v8"
 
 #: (name, p, n_per_rank, measure_thread, reps).  The p=16Ki proc point
 #: runs once (a repetition costs tens of minutes: at that scale both
@@ -90,6 +95,16 @@ FLAT = [
     ("p65536_flat", 65536, 64, 1),
 ]
 
+#: Flat PSRS points: (name, p, n_per_rank, reps).  The world-form
+#: refactor made every registered algorithm flat-eligible; the PSRS
+#: series demonstrates a non-SDS pipeline riding the columnar engine
+#: at thread-hostile scale.
+FLAT_PSRS = [
+    ("p1024_flat_psrs", 1024, 64, 2),
+    ("p4096_flat_psrs", 4096, 64, 2),
+    ("p16384_flat_psrs", 16384, 64, 1),
+]
+
 #: Hybrid points: (name, p, n_per_rank).
 HYBRID = [
     ("p65536_hybrid", 65536, 2000),
@@ -101,15 +116,16 @@ def flat_only() -> bool:
     return bool(os.environ.get("REPRO_BENCH_FLAT_ONLY"))
 
 
-def _wall(backend: str, p: int, n: int, reps: int = 2):
+def _wall(backend: str, p: int, n: int, reps: int = 2,
+          algorithm: str = "sds"):
     wl = by_name("uniform")
     best, result = float("inf"), None
     for _ in range(reps):
         t0 = time.perf_counter()
-        r = run_sort("sds", wl, n_per_rank=n, p=p, mem_factor=None,
+        r = run_sort(algorithm, wl, n_per_rank=n, p=p, mem_factor=None,
                      backend=backend)
         best = min(best, time.perf_counter() - t0)
-        assert r.ok, (backend, p, r.failure)
+        assert r.ok, (backend, algorithm, p, r.failure)
         result = r
     return round(best, 4), result
 
@@ -148,6 +164,14 @@ def measure() -> dict:
             entry["speedup_vs_thread_floor"] = round(
                 THREAD_16KI_FLOOR / flat_wall, 1)
         runs[name] = entry
+    for name, p, n, reps in FLAT_PSRS:
+        if quick() and p > 16384:
+            continue
+        flat_wall, r = _wall("flat", p, n, reps=reps, algorithm="psrs")
+        runs[name] = {"backend": "flat", "algorithm": "psrs", "p": p,
+                      "n_per_rank": n, "wall_seconds": flat_wall,
+                      "sim_seconds": round(r.elapsed, 6),
+                      "rdfa": round(r.rdfa, 4)}
     hybrid = [c for c in HYBRID
               if not (quick() and c[1] > 65536) and not flat_only()]
     for name, p, n in hybrid:
@@ -231,6 +255,10 @@ def test_backend_scaling():
     assert (runs["p16384_flat"]["wall_seconds"]
             < PROC_16KI_RECORDED / 5.0)
     assert runs["p65536_flat"]["sim_seconds"] > 0
+    # PSRS rides the same columnar engine: its p=16Ki flat wall must
+    # clear the recorded SDS proc wall by the same 5x bar.
+    assert (runs["p16384_flat_psrs"]["wall_seconds"]
+            < PROC_16KI_RECORDED / 5.0)
     for name, r in runs.items():
         if r["backend"] == "hybrid":
             assert r["validated"], name

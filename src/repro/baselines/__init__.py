@@ -1,18 +1,34 @@
 """Baseline parallel sorts the paper compares against or cites."""
 
-from .bitonic_full import bitonic_sort_batch
-from .hyksort import HykParams, histogram_splitters, hyksort
-from .psrs import psrs_sort
-from .radix import radix_sort
-from .secondary import COMPOSITE_EXTRA_BYTES, hyksort_secondary_key
+from .bitonic_full import bitonic_sort_batch, bitonic_sort_batch_world
+from .hyksort import (
+    HykParams,
+    histogram_splitters,
+    histogram_splitters_world,
+    hyksort,
+    hyksort_world,
+)
+from .psrs import psrs_sort, psrs_sort_world
+from .radix import radix_sort, radix_sort_world
+from .secondary import (
+    COMPOSITE_EXTRA_BYTES,
+    hyksort_secondary_key,
+    hyksort_secondary_key_world,
+)
 
 __all__ = [
     "bitonic_sort_batch",
+    "bitonic_sort_batch_world",
     "HykParams",
     "histogram_splitters",
+    "histogram_splitters_world",
     "hyksort",
+    "hyksort_world",
     "psrs_sort",
+    "psrs_sort_world",
     "radix_sort",
+    "radix_sort_world",
     "COMPOSITE_EXTRA_BYTES",
     "hyksort_secondary_key",
+    "hyksort_secondary_key_world",
 ]

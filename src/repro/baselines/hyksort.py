@@ -15,6 +15,12 @@ entire duplicate mass — cascading through the levels into the load
 blow-ups and out-of-memory failures the paper reports (Figures 6c, 8,
 10; Tables 3-4).  No artificial failure is injected here; the OOM falls
 out of the algorithm plus the per-rank memory capacity.
+
+The driver is written in world form (:func:`hyksort_world`): on the
+columnar view one interpreter loop advances every *lane* (one logical
+rank's ``{active communicator, working batch}``) through the levels in
+lockstep — all groups shrink by the same fan-out, so the level counts
+agree — running each group's collectives whole-group at a time.
 """
 
 from __future__ import annotations
@@ -23,12 +29,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..core.exchange import exchange_sync
-from ..core.histosel import histogram_refine
+from ..core.histosel import histogram_refine_world
 from ..core.partition import partition_classic
 from ..core.pipeline import RunContext, SortOutcome, get_phase
 from ..core.plan import SortPlan
-from ..mpi import Comm
+from ..mpi import LANE, Comm, FlatAbort, World
 from ..records import RecordBatch, kway_merge_batches
 
 
@@ -57,19 +62,165 @@ def _level_fanout(p: int, k: int) -> int:
     return best if best > 1 else p  # prime p larger than k: one big level
 
 
-def histogram_splitters(comm: Comm, sorted_keys: np.ndarray, nsplit: int,
-                        params: HykParams) -> np.ndarray:
+def histogram_splitters_world(world: World, comms: list[Comm],
+                              keys_list: list, nsplit: int,
+                              params: HykParams) -> list:
     """Select ``nsplit`` splitters by parallel histogram refinement.
 
-    Thin wrapper over :func:`repro.core.histosel.histogram_refine`
+    Thin wrapper over :func:`repro.core.histosel.histogram_refine_world`
     (shared with SDS-Sort's optional histogram pivot selection) with
     HykSort's tolerance/iteration settings.  Repeated entries in the
     result mean the refinement hit a duplicate run it cannot cut.
     """
-    return histogram_refine(comm, sorted_keys, nsplit,
-                            tolerance=params.tolerance,
-                            max_iters=params.max_iters,
-                            samples_per_rank=params.samples_per_rank)
+    return histogram_refine_world(world, comms, keys_list, nsplit,
+                                  tolerance=params.tolerance,
+                                  max_iters=params.max_iters,
+                                  samples_per_rank=params.samples_per_rank)
+
+
+def histogram_splitters(comm: Comm, sorted_keys: np.ndarray, nsplit: int,
+                        params: HykParams) -> np.ndarray:
+    """Per-rank entry point of :func:`histogram_splitters_world`."""
+    return histogram_splitters_world(LANE, [comm], [sorted_keys], nsplit,
+                                     params)[0]
+
+
+def _group_lanes(lanes: list) -> list[list]:
+    """Group lanes by their active communicator, preserving rank order."""
+    by: dict[int, list] = {}
+    order: list[int] = []
+    for ln in lanes:
+        key = id(ln["active"]._ctx)
+        if key not in by:
+            by[key] = []
+            order.append(key)
+        by[key].append(ln)
+    return [by[key] for key in order]
+
+
+def hyksort_world(world: World, comms: list[Comm],
+                  batches: list[RecordBatch],
+                  params: HykParams = HykParams()
+                  ) -> list[SortOutcome | None]:
+    """Run HykSort over every rank of one ``World`` view.
+
+    Per-rank outcomes in ``comms`` order, ``None`` for failed ranks
+    (details in ``world.failures``) — a rank whose duplicate-laden
+    bucket exceeds its memory capacity dies of
+    :class:`~repro.machine.memory.SimOOMError` exactly as its thread
+    would, and its peers abort at their next collective.
+    """
+    outcomes: list[SortOutcome | None] = [None] * len(comms)
+    lanes: list[dict] = []
+    for i, (comm, batch) in enumerate(zip(comms, batches)):
+        if not world.alive(comm):
+            continue
+        try:
+            ctx = RunContext.start(comm, batch, None, SortPlan.fixed())
+            lanes.append({"i": i, "ctx": ctx, "comm": comm,
+                          "active": comm, "cur": None})
+        except BaseException as exc:
+            world.fail(comm, exc)
+
+    def prune() -> None:
+        nonlocal lanes
+        lanes = [ln for ln in lanes if world.alive(ln["comm"])]
+
+    try:
+        if lanes:
+            # shared strategy with SDS-Sort/PSRS: plain per-rank local sort
+            get_phase("local_sort")(kernel="plain").run(
+                world, [ln["ctx"] for ln in lanes])
+            prune()
+            for ln in lanes:
+                ln["cur"] = ln["ctx"].batch
+
+        level = 0
+        while lanes and lanes[0]["active"].size > 1:
+            p = lanes[0]["active"].size
+            kk = _level_fanout(p, params.k)
+            gs = p // kk  # group size after this level
+            live = [ln["comm"] for ln in lanes]
+            with world.phase(live, "pivot_selection"):
+                for grp in _group_lanes(lanes):
+                    splits = histogram_splitters_world(
+                        world, [ln["active"] for ln in grp],
+                        [ln["cur"].keys for ln in grp], kk - 1, params)
+                    for ln, sp in zip(grp, splits):
+                        ln["splitters"] = sp
+            prune()
+            with world.phase([ln["comm"] for ln in lanes], "partition"):
+                for ln in lanes:
+                    c = ln["comm"]
+                    try:
+                        cur = ln["cur"]
+                        ln["displs"] = partition_classic(cur.keys,
+                                                         ln["splitters"])
+                        c.charge(c.cost.binary_search_time(
+                            len(cur), max(1, kk - 1)))
+                    except BaseException as exc:
+                        world.fail(c, exc)
+            prune()
+            for ln in lanes:
+                try:
+                    cur = ln["cur"]
+                    buckets = cur.split([int(d) for d in ln["displs"]])
+                    # bucket g goes to the rank of group g sharing my
+                    # within-group index
+                    sends = [RecordBatch.empty_like(cur) for _ in range(p)]
+                    my_index = ln["active"].rank % gs
+                    for g in range(kk):
+                        sends[g * gs + my_index] = buckets[g]
+                    ln["sends"] = sends
+                except BaseException as exc:
+                    world.fail(ln["comm"], exc)
+            prune()
+            with world.phase([ln["comm"] for ln in lanes], "exchange"):
+                for grp in _group_lanes(lanes):
+                    outs = world.alltoallv([ln["active"] for ln in grp],
+                                           [ln["sends"] for ln in grp])
+                    for ln, chunks in zip(grp, outs):
+                        ln["chunks"] = chunks
+                for ln in lanes:
+                    if world.alive(ln["comm"]):
+                        ln["comm"].mem.free(ln["cur"].nbytes)
+            prune()
+            with world.phase([ln["comm"] for ln in lanes], "local_ordering"):
+                for ln in lanes:
+                    c = ln["comm"]
+                    try:
+                        chunks = ln["chunks"]
+                        incoming = [ch for ch in chunks if len(ch)]
+                        cur = (kway_merge_batches(incoming) if incoming
+                               else RecordBatch.empty_like(ln["cur"]))
+                        c.charge(c.cost.merge_time(len(cur),
+                                                   max(2, len(incoming))))
+                        # streaming merge: received chunks release as
+                        # output fills
+                        c.mem.free(sum(ch.nbytes for ch in chunks))
+                        c.mem.alloc(cur.nbytes)
+                        ln["cur"] = cur
+                    except BaseException as exc:
+                        world.fail(c, exc)
+            prune()
+            for grp in _group_lanes(lanes):
+                acomms = [ln["active"] for ln in grp]
+                children = world.split(acomms,
+                                       [a.rank // gs for a in acomms],
+                                       [a.rank for a in acomms])
+                for ln, child in zip(grp, children):
+                    assert child is not None
+                    ln["active"] = child
+            level += 1
+
+        for ln in lanes:
+            outcomes[ln["i"]] = SortOutcome(
+                batch=ln["cur"], received=len(ln["cur"]),
+                info={"levels": level, "p_active": ln["comm"].size,
+                      "decisions": ln["ctx"].decisions()})
+    except FlatAbort:
+        pass  # a collective aborted: unfinished ranks stay ``None``
+    return outcomes
 
 
 def hyksort(comm: Comm, batch: RecordBatch,
@@ -80,46 +231,4 @@ def hyksort(comm: Comm, batch: RecordBatch,
     engine when a rank's duplicate-laden bucket exceeds its memory
     capacity — reported by benches as the paper's OOM entries.
     """
-    cost = comm.cost
-    ctx = RunContext.start(comm, batch, None, SortPlan.fixed())
-    # shared strategy with SDS-Sort/PSRS: plain per-rank local sort
-    get_phase("local_sort")(kernel="plain").run(ctx)
-    cur = ctx.batch
-
-    active = comm
-    level = 0
-    while active.size > 1:
-        p = active.size
-        kk = _level_fanout(p, params.k)
-        gs = p // kk  # group size after this level
-        with comm.phase("pivot_selection"):
-            splitters = histogram_splitters(active, cur.keys, kk - 1, params)
-        with comm.phase("partition"):
-            displs = partition_classic(cur.keys, splitters)
-            comm.charge(cost.binary_search_time(len(cur), max(1, kk - 1)))
-        buckets = cur.split([int(d) for d in displs])
-        # bucket g goes to the rank of group g sharing my within-group index
-        sends = [RecordBatch.empty_like(cur) for _ in range(p)]
-        my_index = active.rank % gs
-        for g in range(kk):
-            sends[g * gs + my_index] = buckets[g]
-        with comm.phase("exchange"):
-            chunks = exchange_sync(active, sends)
-            comm.mem.free(cur.nbytes)
-        with comm.phase("local_ordering"):
-            incoming = [c for c in chunks if len(c)]
-            cur = (kway_merge_batches(incoming) if incoming
-                   else RecordBatch.empty_like(cur))
-            comm.charge(cost.merge_time(len(cur), max(2, len(incoming))))
-            # streaming merge: received chunks release as output fills
-            comm.mem.free(sum(c.nbytes for c in chunks))
-            comm.mem.alloc(cur.nbytes)
-        group = active.rank // gs
-        nxt = active.split(group, key=active.rank)
-        assert nxt is not None
-        active = nxt
-        level += 1
-
-    return SortOutcome(batch=cur, received=len(cur),
-                       info={"levels": level, "p_active": comm.size,
-                             "decisions": ctx.decisions()})
+    return hyksort_world(LANE, [comm], [batch], params)[0]

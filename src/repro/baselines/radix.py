@@ -8,6 +8,10 @@ bucket boundaries are value-space (not rank-space) cuts, duplicate
 spikes and non-uniform value distributions translate directly into
 load imbalance — radix is a non-sampling contrast to both PSRS and
 SDS-Sort.
+
+Written in world form; the bucket-ownership table is a pure function
+of the (identical) reduced histogram, so the columnar view computes it
+once per run.
 """
 
 from __future__ import annotations
@@ -15,7 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.pipeline import SortOutcome, local_delta
-from ..mpi import Comm
+from ..mpi import LANE, Comm, FlatAbort, World
 from ..records import RecordBatch, sort_batch
 
 #: Number of top bits histogrammed (65536 buckets).
@@ -37,46 +41,113 @@ def _key_to_uint(keys: np.ndarray) -> np.ndarray:
     raise TypeError(f"unsupported key dtype for radix sort: {keys.dtype}")
 
 
+def radix_sort_world(world: World, comms: list[Comm],
+                     batches: list) -> list[SortOutcome | None]:
+    """Radix-sort record batches over every rank of one ``World`` view.
+
+    Per-rank outcomes in ``comms`` order, ``None`` for failed ranks
+    (details in ``world.failures``).
+    """
+    outcomes: list[SortOutcome | None] = [None] * len(comms)
+    p = comms[0].size
+    shift = np.uint64(64 - _HIST_BITS)
+    lanes: list[dict] = []
+    for i, (c, b) in enumerate(zip(comms, batches)):
+        if not world.alive(c):
+            continue
+        try:
+            c.mem.alloc(b.nbytes)
+            u = _key_to_uint(b.keys)
+            lanes.append({"i": i, "comm": c, "batch": b,
+                          "buckets": (u >> shift).astype(np.int64)})
+        except BaseException as exc:
+            world.fail(c, exc)
+
+    def prune() -> None:
+        nonlocal lanes
+        lanes = [ln for ln in lanes if world.alive(ln["comm"])]
+
+    try:
+        with world.phase([ln["comm"] for ln in lanes], "pivot_selection"):
+            for ln in lanes:
+                c = ln["comm"]
+                try:
+                    ln["hist"] = np.bincount(
+                        ln["buckets"],
+                        minlength=1 << _HIST_BITS).astype(np.int64)
+                    c.charge(c.cost.scan_time(len(ln["batch"])))
+                except BaseException as exc:
+                    world.fail(c, exc)
+            prune()
+            agg = world.allreduce([ln["comm"] for ln in lanes],
+                                  [ln["hist"] for ln in lanes])
+            # assign contiguous bucket ranges to ranks, balancing
+            # histogram mass; the table is identical on every rank
+            owner_of_bucket = None
+            for ln, global_hist in zip(lanes, agg):
+                if not world.alive(ln["comm"]) or global_hist is None:
+                    continue
+                if owner_of_bucket is None:
+                    csum = np.cumsum(global_hist)
+                    total = int(csum[-1]) if csum.size else 0
+                    targets = (np.arange(1, p, dtype=np.int64) * total) // p
+                    cut = np.searchsorted(csum, targets, side="left")
+                    owner_of_bucket = np.zeros(1 << _HIST_BITS,
+                                               dtype=np.int64)
+                    for r, cpos in enumerate(cut):
+                        owner_of_bucket[int(cpos) + 1:] = r + 1
+                ln["owner"] = owner_of_bucket
+        prune()
+
+        with world.phase([ln["comm"] for ln in lanes], "partition"):
+            for ln in lanes:
+                c = ln["comm"]
+                try:
+                    dest = ln["owner"][ln["buckets"]]
+                    order = np.argsort(dest, kind="stable")
+                    arranged = ln["batch"].take(order)
+                    counts = np.bincount(dest, minlength=p)
+                    displs = np.concatenate(
+                        ([0], np.cumsum(counts))).astype(np.int64)
+                    c.charge(c.cost.scan_time(len(ln["batch"])))
+                    ln["sends"] = arranged.split([int(d) for d in displs])
+                except BaseException as exc:
+                    world.fail(c, exc)
+        prune()
+
+        with world.phase([ln["comm"] for ln in lanes], "exchange"):
+            outs = world.alltoallv([ln["comm"] for ln in lanes],
+                                   [ln["sends"] for ln in lanes])
+            for ln, chunks in zip(lanes, outs):
+                if world.alive(ln["comm"]):
+                    ln["chunks"] = chunks
+                    ln["comm"].mem.free(ln["batch"].nbytes)
+        prune()
+
+        with world.phase([ln["comm"] for ln in lanes], "local_ordering"):
+            for ln in lanes:
+                c = ln["comm"]
+                try:
+                    merged = RecordBatch.concat(ln["chunks"])
+                    out = sort_batch(merged)
+                    c.charge(c.cost.sort_time(len(out),
+                                              delta=local_delta(out.keys)))
+                    c.mem.alloc(out.nbytes)
+                    c.mem.free(sum(ch.nbytes for ch in ln["chunks"]))
+                    ln["out"] = out
+                except BaseException as exc:
+                    world.fail(c, exc)
+        prune()
+
+        for ln in lanes:
+            outcomes[ln["i"]] = SortOutcome(batch=ln["out"],
+                                            received=len(ln["out"]),
+                                            info={"p_active": p})
+    except FlatAbort:
+        pass  # a collective aborted: unfinished ranks stay ``None``
+    return outcomes
+
+
 def radix_sort(comm: Comm, batch: RecordBatch) -> SortOutcome:
     """Collectively radix-sort record batches; returns this rank's slice."""
-    cost = comm.cost
-    p = comm.size
-    comm.mem.alloc(batch.nbytes)
-    u = _key_to_uint(batch.keys)
-    shift = np.uint64(64 - _HIST_BITS)
-    buckets = (u >> shift).astype(np.int64)
-
-    with comm.phase("pivot_selection"):
-        local_hist = np.bincount(buckets, minlength=1 << _HIST_BITS).astype(np.int64)
-        comm.charge(cost.scan_time(len(batch)))
-        global_hist = comm.allreduce(local_hist)
-        # assign contiguous bucket ranges to ranks, balancing histogram mass
-        csum = np.cumsum(global_hist)
-        total = int(csum[-1]) if csum.size else 0
-        targets = (np.arange(1, p, dtype=np.int64) * total) // p
-        cut = np.searchsorted(csum, targets, side="left")
-        owner_of_bucket = np.zeros(1 << _HIST_BITS, dtype=np.int64)
-        for r, c in enumerate(cut):
-            owner_of_bucket[int(c) + 1:] = r + 1
-
-    with comm.phase("partition"):
-        dest = owner_of_bucket[buckets]
-        order = np.argsort(dest, kind="stable")
-        arranged = batch.take(order)
-        counts = np.bincount(dest, minlength=p)
-        displs = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
-        comm.charge(cost.scan_time(len(batch)))
-
-    sends = arranged.split([int(d) for d in displs])
-    with comm.phase("exchange"):
-        chunks = comm.alltoallv(sends)
-        comm.mem.free(batch.nbytes)
-
-    with comm.phase("local_ordering"):
-        merged = RecordBatch.concat(chunks)
-        out = sort_batch(merged)
-        comm.charge(cost.sort_time(len(out), delta=local_delta(out.keys)))
-        comm.mem.alloc(out.nbytes)
-        comm.mem.free(sum(c.nbytes for c in chunks))
-
-    return SortOutcome(batch=out, received=len(out), info={"p_active": p})
+    return radix_sort_world(LANE, [comm], [batch])[0]

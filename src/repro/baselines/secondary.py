@@ -23,9 +23,9 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.pipeline import SortOutcome
-from ..mpi import Comm
+from ..mpi import LANE, Comm, World
 from ..records import RecordBatch
-from .hyksort import HykParams, hyksort
+from .hyksort import HykParams, hyksort_world
 
 #: Composite keys carry the original float64 key plus rank and position
 #: tiebreakers packed into one structured comparison; we model the
@@ -63,27 +63,89 @@ def _widen(batch: RecordBatch, rank: int) -> RecordBatch:
     return RecordBatch(batch.keys, payload)
 
 
-def _composite_order_keys(comm: Comm, batch: RecordBatch) -> np.ndarray:
+def _composite_order_keys_world(world: World, comms: list[Comm],
+                                batches: list) -> list:
     """Globally unique float keys realising the (key, rank, pos) order.
 
     Computes each record's exact global rank under the composite order
     by combining the key's global rank (via sorted gather of counts)
     with the tiebreaker offsets — one allgather of per-rank duplicate
-    counts, the same collective budget the stable partition uses.
+    counts, the same collective budget the stable partition uses.  The
+    pooled unique-value vector is identical on every rank, so it is
+    computed once per communicator.
     """
-    keys = batch.keys
-    ranks = batch.payload[_RANK_COL].astype(np.float64)
-    pos = batch.payload[_POS_COL].astype(np.float64)
-    # strictly increasing composite: key major, then origin rank, then
-    # position; scale tiebreakers into the fractional part
-    p = comm.size
-    nmax = float(comm.allreduce(len(batch), op=max)) + 1.0
-    tie = (ranks * nmax + pos) / (p * nmax + 1.0)  # in [0, 1)
-    # collapse each key value to its index among global unique values so
-    # adding tie < 1 cannot reorder distinct keys
-    uniq = np.unique(np.concatenate(comm.allgather(np.unique(keys))))
-    idx = np.searchsorted(uniq, keys).astype(np.float64)
-    return idx + tie
+    nmaxs = world.allreduce(
+        comms, [None if b is None else len(b) for b in batches], op=max)
+    gathered = world.allgather(
+        comms, [None if b is None else np.unique(b.keys) for b in batches])
+    pooled = None
+    outs: list = [None] * len(comms)
+    for i, c in enumerate(comms):
+        if not world.alive(c):
+            continue
+        try:
+            b = batches[i]
+            ranks = b.payload[_RANK_COL].astype(np.float64)
+            pos = b.payload[_POS_COL].astype(np.float64)
+            # strictly increasing composite: key major, then origin
+            # rank, then position; scale tiebreakers into the
+            # fractional part
+            p = c.size
+            nmax = float(nmaxs[i]) + 1.0
+            tie = (ranks * nmax + pos) / (p * nmax + 1.0)  # in [0, 1)
+            # collapse each key value to its index among global unique
+            # values so adding tie < 1 cannot reorder distinct keys
+            if pooled is None:
+                pooled = np.unique(np.concatenate(gathered[i]))
+            idx = np.searchsorted(pooled, b.keys).astype(np.float64)
+            outs[i] = idx + tie
+        except BaseException as exc:
+            world.fail(c, exc)
+    return outs
+
+
+def hyksort_secondary_key_world(world: World, comms: list[Comm],
+                                batches: list,
+                                params: HykParams = HykParams()
+                                ) -> list[SortOutcome | None]:
+    """HykSort with composite keys over every rank of one ``World`` view.
+
+    Per-rank outcomes in ``comms`` order, ``None`` for failed ranks
+    (details in ``world.failures``).
+    """
+    outcomes: list[SortOutcome | None] = [None] * len(comms)
+    widened: list = [None] * len(comms)
+    for i, (c, b) in enumerate(zip(comms, batches)):
+        if not world.alive(c):
+            continue
+        try:
+            widened[i] = _widen(b, c.rank)
+        except BaseException as exc:
+            world.fail(c, exc)
+    composites = _composite_order_keys_world(world, comms, widened)
+    works: list = [None] * len(comms)
+    for i, c in enumerate(comms):
+        if not world.alive(c):
+            continue
+        try:
+            c.charge(c.cost.scan_time(len(batches[i]),
+                                      record_bytes=COMPOSITE_EXTRA_BYTES))
+            works[i] = RecordBatch(composites[i], widened[i].payload)
+        except BaseException as exc:
+            world.fail(c, exc)
+    outs = hyksort_world(world, comms, works, params)
+    for i, c in enumerate(comms):
+        out = outs[i]
+        if out is None or not world.alive(c):
+            continue
+        restored = RecordBatch(out.batch.payload[_KEY_COL],
+                               {k: v for k, v in out.batch.payload.items()
+                                if k != _KEY_COL})
+        outcomes[i] = SortOutcome(batch=restored, received=out.received,
+                                  exchange=out.exchange,
+                                  info={**out.info, "composite_extra_bytes":
+                                        COMPOSITE_EXTRA_BYTES})
+    return outcomes
 
 
 def hyksort_secondary_key(comm: Comm, batch: RecordBatch,
@@ -96,15 +158,4 @@ def hyksort_secondary_key(comm: Comm, batch: RecordBatch,
     explicitly: record payload now carries the original key plus the
     two tiebreaker columns.
     """
-    widened = _widen(batch, comm.rank)
-    composite = _composite_order_keys(comm, widened)
-    comm.charge(comm.cost.scan_time(len(batch), record_bytes=COMPOSITE_EXTRA_BYTES))
-    work = RecordBatch(composite, widened.payload)
-    out = hyksort(comm, work, params)
-    restored = RecordBatch(out.batch.payload[_KEY_COL],
-                           {k: v for k, v in out.batch.payload.items()
-                            if k != _KEY_COL})
-    return SortOutcome(batch=restored, received=out.received,
-                       exchange=out.exchange,
-                       info={**out.info, "composite_extra_bytes":
-                             COMPOSITE_EXTRA_BYTES})
+    return hyksort_secondary_key_world(LANE, [comm], [batch], params)[0]

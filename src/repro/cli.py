@@ -125,12 +125,15 @@ def _fault_spec(text: str):
 
 
 def _sort_json_doc(args: argparse.Namespace, machine, r) -> dict:
-    """The ``sort --json`` document (schema ``sdssort.sort/v2``)."""
+    """The ``sort --json`` document (schema ``sdssort.sort/v3``)."""
     report = r.extras.get("trace")
     engine = dict(r.extras.get("engine") or {})
-    engine["resolved_backend"] = r.extras.get("backend") or {}
+    resolved = r.extras.get("backend") or {}
+    engine["resolved_backend"] = resolved
+    # v3: the engines this algorithm could run on, not just the one used
+    engine["eligible_backends"] = resolved.get("eligible") or []
     return {
-        "schema": "sdssort.sort/v2",
+        "schema": "sdssort.sort/v3",
         "algorithm": r.algorithm,
         "workload": r.workload,
         "machine": machine.name,
@@ -540,7 +543,7 @@ def build_parser() -> argparse.ArgumentParser:
                          "print the phase-flame / comm-heat summary")
     ps.add_argument("--json", action="store_true",
                     help="machine-readable JSON result on stdout "
-                         "(schema sdssort.sort/v2; implies tracing)")
+                         "(schema sdssort.sort/v3; implies tracing)")
     ps.set_defaults(fn=cmd_sort)
 
     ptr = sub.add_parser(

@@ -17,8 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..kernels import merge_two
-from ..mpi import Comm
-from ..mpi.flatworld import FlatRun, flat_allgather
+from ..mpi import LANE, Comm, World
 
 _TAG_BITONIC = 71
 
@@ -27,102 +26,36 @@ def is_power_of_two(p: int) -> bool:
     return p >= 1 and (p & (p - 1)) == 0
 
 
-def bitonic_sort(comm: Comm, keys: np.ndarray) -> np.ndarray:
-    """Sort blocks of equal length across all ranks of ``comm``.
+def bitonic_sort_world(world: World, comms: list[Comm],
+                       arrays: list) -> list:
+    """Sort blocks of equal length across all ranks of one communicator.
 
     On return, rank ``r`` holds the ``r``-th block of the globally
     sorted concatenation.  All ranks must pass blocks of the same
-    length; ``comm.size`` must be a power of two.
+    length; the communicator size must be a power of two.  Returns the
+    per-rank sorted block (``None`` for ranks recorded as failed) in
+    ``comms`` order.
 
     The compare-exchange network itself is *simulated in closed form*:
     after the length allgather every rank's clock is identical, each of
     the ``log2(p)*(log2(p)+1)/2`` rounds exchanges a constant-size block
     and merges ``2n`` elements, so the clock increments are a fixed
-    scalar sequence (replayed add-for-add below); and a sorting network
-    is data-independent, so rank ``r``'s final block *is* the ``r``-th
-    slice of the sorted concatenation — computed once, inside the
-    staged collective, by a single ``np.sort``.  Clocks, counters and
-    results are bit-for-bit those of :func:`bitonic_sort_rounds`, at
-    O(p log p) total host cost instead of O(p log^2 p) round-trip
-    messages (the pivot-selection wall at thousands of ranks).
-    """
-    p, rank = comm.size, comm.rank
-    if not is_power_of_two(p):
-        raise ValueError(f"bitonic sort needs a power-of-two communicator, got {p}")
-    a = np.asarray(keys)
-    lengths = comm.allgather(len(a))
-    if len(set(lengths)) != 1:
-        raise ValueError(f"bitonic sort needs equal block lengths, got {lengths}")
-    comm.charge(comm.cost.sort_time(a.size))
-    if p == 1:
-        return np.sort(a)
-    n = a.size
-
-    def compute(stage: list) -> np.ndarray:
-        return np.sort(np.concatenate([e[0] for e in stage]))
-
-    sorted_all, _ = comm.staged(a, compute)
-    block = sorted_all[rank * n:(rank + 1) * n]
-    # replay the per-round clock arithmetic of the message-passing
-    # formulation: send charge, then arrival (= partner's identical
-    # clock + p2p), then the 2n-element merge — one add each
-    nb = int(block.nbytes)
-    pmo = comm.machine.per_message_overhead
-    p2p = comm.cost.p2p_time(nb)
-    mt = comm.cost.merge_time(2 * n, 2)
-    t = comm.clock
-    stages = p.bit_length() - 1
-    rounds = stages * (stages + 1) // 2
-    for _ in range(rounds):
-        t = ((t + pmo) + p2p) + mt
-    tr = comm.tracer
-    if tr is None:
-        comm.set_clock(t)
-    else:
-        c0 = comm.clock
-        debt = comm._fault_debt if comm.faults is not None else 0.0
-        comm.set_clock(t)
-        g = comm.grank
-        tr.span(g, "p2p", "bitonic_rounds", c0, comm.clock,
-                {"rounds": rounds, "bytes": rounds * nb})
-        lat0 = comm.cost.p2p_time(0)
-        tr.add(g, "cost.compute", rounds * (pmo + mt))
-        tr.add(g, "cost.latency", rounds * lat0)
-        tr.add(g, "cost.bandwidth", rounds * (p2p - lat0))
-        if debt:
-            tr.add(g, "cost.fault_debt", debt)
-        tr.add(g, "kernel.merge.records", float(rounds * 2 * n))
-        tr.add(g, "kernel.merge.seconds", rounds * mt)
-        group = comm._ctx.group
-        for i in range(stages):
-            for j in range(i, -1, -1):
-                tr.edge(g, group[rank ^ (1 << j)], nb)
-    comm.count("p2p.send", rounds)
-    comm.count("p2p.recv", rounds)
-    comm.count("bytes.sent", float(rounds * nb))
-    return block
-
-
-def bitonic_sort_flat(fr: FlatRun, comms: list[Comm],
-                      arrays: list[np.ndarray]) -> list:
-    """:func:`bitonic_sort` for the flat backend: all ranks, one pass.
-
-    ``comms`` is the communicator's full membership in rank order,
-    ``arrays`` the per-rank blocks.  The length allgather, the local
-    sort charge, the staged ``np.sort`` of the concatenation and the
-    closed-form round replay are performed exactly as the thread path
-    does them per rank — the replay loop itself is memoised per
-    distinct entry clock (after the allgather all live ranks sit on the
-    same clock, so it runs once).  Returns the per-rank sorted block
-    (``None`` for ranks recorded as failed).
+    scalar sequence (replayed add-for-add below, memoised per distinct
+    entry clock); and a sorting network is data-independent, so rank
+    ``r``'s final block *is* the ``r``-th slice of the sorted
+    concatenation — computed once, inside the staged collective, by a
+    single ``np.sort``.  Clocks, counters and results are bit-for-bit
+    those of :func:`bitonic_sort_rounds`, at O(p log p) total host cost
+    instead of O(p log^2 p) round-trip messages (the pivot-selection
+    wall at thousands of ranks).
     """
     p = comms[0].size
     if not is_power_of_two(p):
         raise ValueError(f"bitonic sort needs a power-of-two communicator, got {p}")
     arrs = [np.asarray(a) for a in arrays]
-    all_lengths = flat_allgather(fr, comms, [len(a) for a in arrs])
+    all_lengths = world.allgather(comms, [len(a) for a in arrs])
     for i, c in enumerate(comms):
-        if not fr.alive(c):
+        if not world.alive(c):
             continue
         try:
             lengths = all_lengths[i]
@@ -131,9 +64,9 @@ def bitonic_sort_flat(fr: FlatRun, comms: list[Comm],
                     f"bitonic sort needs equal block lengths, got {lengths}")
             c.charge(c.cost.sort_time(arrs[i].size))
         except BaseException as exc:
-            fr.fail(c, exc)
+            world.fail(c, exc)
     if p == 1:
-        return [np.sort(a) if fr.alive(c) else None
+        return [np.sort(a) if world.alive(c) else None
                 for c, a in zip(comms, arrs)]
     n = arrs[0].size
 
@@ -150,11 +83,15 @@ def bitonic_sort_flat(fr: FlatRun, comms: list[Comm],
     replay: dict[float, float] = {}
 
     def finish(i: int, c: Comm, sorted_all: np.ndarray):
-        block = sorted_all[i * n:(i + 1) * n]
+        rank = c.rank
+        block = sorted_all[rank * n:(rank + 1) * n]
         nb = int(block.nbytes)
         p2p = scalars.get(nb)
         if p2p is None:
             p2p = scalars[nb] = c.cost.p2p_time(nb)
+        # replay the per-round clock arithmetic of the message-passing
+        # formulation: send charge, then arrival (= partner's identical
+        # clock + p2p), then the 2n-element merge — one add each
         t0 = c.clock
         t = replay.get(t0)
         if t is None:
@@ -183,21 +120,26 @@ def bitonic_sort_flat(fr: FlatRun, comms: list[Comm],
             group = c._ctx.group
             for si in range(stages):
                 for sj in range(si, -1, -1):
-                    tr.edge(g, group[i ^ (1 << sj)], nb)
+                    tr.edge(g, group[rank ^ (1 << sj)], nb)
         c.count("p2p.send", rounds)
         c.count("p2p.recv", rounds)
         c.count("bytes.sent", float(rounds * nb))
         return block
 
-    _, outs = fr.collective(comms, arrs, compute, finish)
+    _, outs = world.collective(comms, arrs, compute, finish)
     return outs
+
+
+def bitonic_sort(comm: Comm, keys: np.ndarray) -> np.ndarray:
+    """Per-rank entry point of :func:`bitonic_sort_world` (lane view)."""
+    return bitonic_sort_world(LANE, [comm], [keys])[0]
 
 
 def bitonic_sort_rounds(comm: Comm, keys: np.ndarray) -> np.ndarray:
     """Reference block-bitonic implementation over real sendrecv rounds.
 
-    The message-passing formulation :func:`bitonic_sort` simulates in
-    closed form; kept as the equivalence oracle (same results, same
+    The message-passing formulation :func:`bitonic_sort_world` simulates
+    in closed form; kept as the equivalence oracle (same results, same
     clocks) and for communicators whose blocks the fused path cannot
     assume uniform.
     """

@@ -11,63 +11,84 @@ tested rather than taken on faith (``tests/test_histosel.py``).
 
 The same refinement loop is HykSort's splitter selection — the
 baseline imports it from here (with its own fan-out and tolerance).
+
+The refinement loop is lockstep: every control decision (candidate
+set, bracket bounds, termination) derives from collective results that
+are identical on all ranks, so the world form below runs the shared
+arithmetic once per communicator and replays only the per-rank
+``searchsorted`` inputs, collective epilogues and cost charges.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..mpi import Comm
+from ..mpi import LANE, Comm, World
 
 
-def histogram_refine(comm: Comm, sorted_keys: np.ndarray, nsplit: int, *,
-                     tolerance: float = 0.10, max_iters: int = 8,
-                     samples_per_rank: int = 8) -> np.ndarray:
+def _segment_samples(sorted_keys: np.ndarray, lo_val, hi_val,
+                     samples_per_rank: int) -> np.ndarray:
+    """Evenly spaced samples of ``sorted_keys`` within ``(lo_val, hi_val)``."""
+    if lo_val is None and hi_val is None:
+        seg = sorted_keys
+    else:
+        lo_i = 0 if lo_val is None else int(
+            np.searchsorted(sorted_keys, lo_val, "right"))
+        hi_i = sorted_keys.size if hi_val is None else int(
+            np.searchsorted(sorted_keys, hi_val, "left"))
+        seg = sorted_keys[lo_i:hi_i]
+    if seg.size == 0:
+        return seg
+    idx = np.linspace(0, seg.size - 1, min(samples_per_rank, seg.size))
+    return seg[idx.astype(np.int64)]
+
+
+def histogram_refine_world(world: World, comms: list[Comm],
+                           keys_list: list, nsplit: int, *,
+                           tolerance: float = 0.10, max_iters: int = 8,
+                           samples_per_rank: int = 8) -> list:
     """Select ``nsplit`` splitters by parallel histogram refinement.
 
     Every round: evaluate the global rank of all candidate values with
     one reduction, keep the best candidate per target quantile, and
     resample new candidates inside the still-unsatisfied brackets.
-    Returns a non-decreasing splitter array; repeated entries mean the
-    refinement hit a duplicate run it cannot cut (rank jumps by the
+    Per-rank results (``None`` for failed ranks) in ``comms`` order;
+    each is a non-decreasing splitter array whose repeated entries mean
+    the refinement hit a duplicate run it cannot cut (rank jumps by the
     value's multiplicity — the mechanism behind HykSort's skew failures
     and the reason SDS-Sort prefers sampling + bitonic selection).
     """
-    sorted_keys = np.asarray(sorted_keys)
-    n_total = int(comm.allreduce(int(sorted_keys.size)))
+    arrs = [np.asarray(k) for k in keys_list]
+    agg = world.allreduce(comms, [int(a.size) for a in arrs])
+    n_total = int(world.first_live(comms, agg))
+    dtype = arrs[0].dtype
     if nsplit <= 0:
-        return np.zeros(0, dtype=sorted_keys.dtype)
+        return [np.zeros(0, dtype=dtype) if world.alive(c) else None
+                for c in comms]
     if n_total == 0:
         # a fully drained communicator still needs a well-formed vector
-        return np.zeros(nsplit, dtype=sorted_keys.dtype)
+        return [np.zeros(nsplit, dtype=dtype) if world.alive(c) else None
+                for c in comms]
     targets = (np.arange(1, nsplit + 1, dtype=np.int64) * n_total) // (nsplit + 1)
     tol = max(1, int(tolerance * n_total / (nsplit + 1)))
 
-    def _samples(lo_val, hi_val) -> np.ndarray:
-        if lo_val is None and hi_val is None:
-            seg = sorted_keys
-        else:
-            lo_i = 0 if lo_val is None else int(
-                np.searchsorted(sorted_keys, lo_val, "right"))
-            hi_i = sorted_keys.size if hi_val is None else int(
-                np.searchsorted(sorted_keys, hi_val, "left"))
-            seg = sorted_keys[lo_i:hi_i]
-        if seg.size == 0:
-            return seg
-        idx = np.linspace(0, seg.size - 1, min(samples_per_rank, seg.size))
-        return seg[idx.astype(np.int64)]
-
-    cands = np.unique(np.concatenate(comm.allgather(_samples(None, None))))
-    best_val = np.empty(nsplit, dtype=sorted_keys.dtype)
+    gathered = world.allgather(
+        comms,
+        [_segment_samples(a, None, None, samples_per_rank) for a in arrs])
+    cands = np.unique(np.concatenate(world.first_live(comms, gathered)))
+    best_val = np.empty(nsplit, dtype=dtype)
     best_err = np.full(nsplit, np.iinfo(np.int64).max, dtype=np.int64)
     best_rank = np.zeros(nsplit, dtype=np.int64)
 
     for _ in range(max_iters):
         if cands.size == 0:
             break
-        local_ranks = np.searchsorted(sorted_keys, cands, side="right").astype(np.int64)
-        global_ranks = comm.allreduce(local_ranks)
-        comm.charge(comm.cost.binary_search_time(sorted_keys.size, cands.size))
+        locs = [np.searchsorted(a, cands, side="right").astype(np.int64)
+                for a in arrs]
+        global_ranks = world.first_live(comms, world.allreduce(comms, locs))
+        for i, c in enumerate(comms):
+            if world.alive(c):
+                c.charge(c.cost.binary_search_time(arrs[i].size, cands.size))
         for t in range(nsplit):
             err = np.abs(global_ranks - targets[t])
             j = int(err.argmin())
@@ -77,29 +98,43 @@ def histogram_refine(comm: Comm, sorted_keys: np.ndarray, nsplit: int, *,
                 best_rank[t] = int(global_ranks[j])
         if bool(np.all(best_err <= tol)):
             break
-        new = []
-        for t in range(nsplit):
-            if best_err[t] <= tol:
-                continue
-            if best_rank[t] >= targets[t]:
-                lo, hi = None, best_val[t]
-            else:
-                lo, hi = best_val[t], None
-            new.append(_samples(lo, hi))
-        gathered = comm.allgather(
-            np.concatenate(new) if new else np.zeros(0, dtype=sorted_keys.dtype))
-        fresh = np.unique(np.concatenate(gathered))
+        news = []
+        for i, c in enumerate(comms):
+            new = []
+            for t in range(nsplit):
+                if best_err[t] <= tol:
+                    continue
+                if best_rank[t] >= targets[t]:
+                    lo, hi = None, best_val[t]
+                else:
+                    lo, hi = best_val[t], None
+                new.append(_segment_samples(arrs[i], lo, hi, samples_per_rank))
+            news.append(np.concatenate(new) if new
+                        else np.zeros(0, dtype=dtype))
+        gathered = world.allgather(comms, news)
+        fresh = np.unique(np.concatenate(world.first_live(comms, gathered)))
         fresh = np.setdiff1d(fresh, cands, assume_unique=False)
         if fresh.size == 0:
             break  # duplicate wall: no values left between brackets
         cands = fresh
-    return np.sort(best_val)
+    pg = np.sort(best_val)
+    return [pg if world.alive(c) else None for c in comms]
 
 
-def select_pivots_histogram(comm: Comm, sorted_keys: np.ndarray, *,
-                            tolerance: float = 0.05,
-                            max_iters: int = 10,
-                            samples_per_rank: int = 8) -> np.ndarray:
+def histogram_refine(comm: Comm, sorted_keys: np.ndarray, nsplit: int, *,
+                     tolerance: float = 0.10, max_iters: int = 8,
+                     samples_per_rank: int = 8) -> np.ndarray:
+    """Per-rank entry point of :func:`histogram_refine_world`."""
+    return histogram_refine_world(
+        LANE, [comm], [sorted_keys], nsplit, tolerance=tolerance,
+        max_iters=max_iters, samples_per_rank=samples_per_rank)[0]
+
+
+def select_pivots_histogram_world(world: World, comms: list[Comm],
+                                  keys_list: list, *,
+                                  tolerance: float = 0.05,
+                                  max_iters: int = 10,
+                                  samples_per_rank: int = 8) -> list:
     """Choose ``p-1`` global pivots by histogram refinement.
 
     On data without heavy duplication this matches regular sampling's
@@ -109,6 +144,16 @@ def select_pivots_histogram(comm: Comm, sorted_keys: np.ndarray, *,
     exploit, but SDS-Sort's skew-aware partitioner can.  Wired into the
     driver via ``SdsParams(pivot_method="histogram")``.
     """
-    return histogram_refine(comm, sorted_keys, comm.size - 1,
-                            tolerance=tolerance, max_iters=max_iters,
-                            samples_per_rank=samples_per_rank)
+    return histogram_refine_world(
+        world, comms, keys_list, comms[0].size - 1, tolerance=tolerance,
+        max_iters=max_iters, samples_per_rank=samples_per_rank)
+
+
+def select_pivots_histogram(comm: Comm, sorted_keys: np.ndarray, *,
+                            tolerance: float = 0.05,
+                            max_iters: int = 10,
+                            samples_per_rank: int = 8) -> np.ndarray:
+    """Per-rank entry point of :func:`select_pivots_histogram_world`."""
+    return select_pivots_histogram_world(
+        LANE, [comm], [sorted_keys], tolerance=tolerance,
+        max_iters=max_iters, samples_per_rank=samples_per_rank)[0]

@@ -1,7 +1,7 @@
 """The phase pipeline: SDS-Sort's stages as registered, reusable strategies.
 
 The driver (:func:`repro.core.sdssort.sds_sort`) is a thin composition
-of phase objects sharing one :class:`RunContext`::
+of phase objects sharing one :class:`RunContext` per rank::
 
     LocalSort -> NodeMerge -> PivotSelect -> Partition -> Exchange
 
@@ -14,11 +14,17 @@ shared synchronous exchange.  Every adaptive choice a phase makes goes
 through the :class:`~repro.core.plan.SortPlan` carried by the context,
 which records it into the run's decision trace.
 
-Exactness contract: phase bodies are the driver's historical inline
-code, moved verbatim — same phase annotations, same collectives in the
-same order, same cost charges and memory accounting.  The golden-engine
-suite (``tests/data/golden_engine.json``) pins virtual clocks, phase
-breakdowns, counters and outputs bit-for-bit across this refactor.
+Phases are written once, in *world form*: ``run(world, ctxs)`` where
+``world`` is a :class:`~repro.mpi.world.World` view and ``ctxs`` the
+contexts it drives.  On the thread/proc backends the view is a
+:class:`~repro.mpi.world.LaneWorld` over a single rank's ``Comm`` (the
+staged protocol does the synchronising); on the flat backend it is a
+:class:`~repro.mpi.flatworld.ColumnarWorld` over the whole membership,
+so one batched kernel invocation serves every rank.  Both views call
+the same ``Comm._finish_*`` collective epilogues, so virtual clocks,
+phase breakdowns, counters and memory peaks are bit-for-bit identical
+across backends — the golden-engine suite
+(``tests/data/golden_engine.json``) pins all of it.
 """
 
 from __future__ import annotations
@@ -34,48 +40,30 @@ from ..kernels import (
     batched_partition_classic,
     stable_prefix_layout,
 )
-from ..mpi import Comm
-from ..mpi.flatworld import (
-    FlatAbort,
-    FlatRun,
-    flat_allgather,
-    flat_allgather_staged,
-    flat_allreduce,
-    flat_gather,
-    flat_split,
-    phase_all,
-)
-from ..records import RecordBatch, kway_merge_batches, sort_batch
+from ..mpi import LANE, Comm, FlatAbort, World
+from ..records import RecordBatch, kway_merge_batches
 from .exchange import (
     ExchangeStats,
     _overlapped_exchange_finish,
     _sync_exchange_network,
     _sync_exchange_ordering,
     check_displs,
-    exchange_overlapped_fused,
-    exchange_sync_fused,
     overlapped_exchange_compute,
     sync_exchange_compute,
 )
-from .localsort import sdss_local_sort
-from .nodemerge import node_merge
 from .params import PIVOT_METHODS, SdsParams
 from .partition import (
     partition_classic,
     partition_fast,
     partition_stable_arrays,
     run_dup_counts,
-    stable_layout_collective,
 )
 from .plan import Decision, SortPlan
 from .sampling import (
     local_pivots,
-    select_pivots_bitonic,
-    select_pivots_bitonic_flat,
-    select_pivots_gather,
-    select_pivots_gather_flat,
-    select_pivots_oversample,
-    select_pivots_oversample_flat,
+    select_pivots_bitonic_world,
+    select_pivots_gather_world,
+    select_pivots_oversample_world,
 )
 
 __all__ = [
@@ -90,10 +78,10 @@ __all__ = [
     "Partition",
     "Exchange",
     "fault_health_check",
-    "fault_health_check_flat",
     "local_delta",
     "pivot_pad_value",
     "select_pivots",
+    "select_pivots_world",
 ]
 
 
@@ -139,9 +127,9 @@ def local_delta(sorted_keys: np.ndarray) -> float:
     return float(np.diff(bounds).max()) / n
 
 
-def select_pivots(comm: Comm, pl: np.ndarray, sorted_keys: np.ndarray,
-                  method: str) -> np.ndarray:
-    """Dispatch to the named pivot selector — strictly.
+def select_pivots_world(world: World, acomms: list[Comm], pls: list,
+                        keys_list: list, method: str) -> list:
+    """Dispatch to the named pivot selector — strictly (per-rank results).
 
     Unlike the historical private helper (which silently degraded any
     unknown name to gather selection), an unrecognised ``method`` is an
@@ -151,42 +139,26 @@ def select_pivots(comm: Comm, pl: np.ndarray, sorted_keys: np.ndarray,
     ``raise``.
     """
     if method == "bitonic":
-        return select_pivots_bitonic(comm, pl)
+        return select_pivots_bitonic_world(world, acomms, pls)
     if method == "histogram":
-        from .histosel import select_pivots_histogram
-        return select_pivots_histogram(comm, sorted_keys)
+        from .histosel import select_pivots_histogram_world
+        return select_pivots_histogram_world(world, acomms, keys_list)
     if method == "oversample":
-        return select_pivots_oversample(comm, sorted_keys)
+        return select_pivots_oversample_world(world, acomms, keys_list)
     if method == "gather":
-        return select_pivots_gather(comm, pl)
+        return select_pivots_gather_world(world, acomms, pls)
     raise ValueError(f"unknown pivot_method {method!r}; options: "
                      f"{', '.join(repr(m) for m in PIVOT_METHODS)}")
 
 
-def _select_pivots_flat(fr: FlatRun, acomms: list[Comm], pls: list,
-                        keys_list: list, method: str) -> list:
-    """Flat-backend twin of :func:`select_pivots` (per-rank results)."""
-    if method == "bitonic":
-        return select_pivots_bitonic_flat(fr, acomms, pls)
-    if method == "histogram":
-        raise NotImplementedError(
-            "pivot_method 'histogram' has no flat execution path yet; "
-            "use backend='thread' or 'proc' (or backend='auto', which "
-            "routes histogram runs to the thread engine)")
-    if method == "oversample":
-        return select_pivots_oversample_flat(fr, acomms, keys_list)
-    if method == "gather":
-        return select_pivots_gather_flat(fr, acomms, pls)
-    raise ValueError(f"unknown pivot_method {method!r}; options: "
-                     f"{', '.join(repr(m) for m in PIVOT_METHODS)}")
-
-
-def _first_live(fr: FlatRun, comms: list[Comm], values: list):
-    """The shared collective result, read off the first surviving rank."""
-    for c, v in zip(comms, values):
-        if fr.alive(c):
-            return v
-    raise FlatAbort
+def select_pivots(comm: Comm, pl: np.ndarray, sorted_keys: np.ndarray,
+                  method: str) -> np.ndarray:
+    """Per-rank entry point of :func:`select_pivots_world` (lane view)."""
+    if method not in PIVOT_METHODS:
+        # strict dispatch without touching the communicator
+        raise ValueError(f"unknown pivot_method {method!r}; options: "
+                         f"{', '.join(repr(m) for m in PIVOT_METHODS)}")
+    return select_pivots_world(LANE, [comm], [pl], [sorted_keys], method)[0]
 
 
 @dataclass
@@ -242,7 +214,8 @@ class RunContext:
         return self.plan.decisions()
 
 
-def fault_health_check(ctx: RunContext, boundary: str) -> str | None:
+def fault_health_check(world: World, ctxs: list[RunContext],
+                       boundary: str) -> str | None:
     """Cooperative crash barrier at a pipeline phase boundary.
 
     When the active fault plan schedules crashes, every active rank
@@ -251,88 +224,40 @@ def fault_health_check(ctx: RunContext, boundary: str) -> str | None:
 
     * a **victim** participates in the split (opting out with a None
       colour, like MPI_UNDEFINED), releases the memory it still holds
-      and exits the pipeline with an inactive outcome — returns
-      ``"crashed"``;
+      and exits the pipeline with an inactive outcome on
+      ``ctx.outcome`` (the driver harvests it);
     * **survivors** shrink ``ctx.active`` to the reduced communicator
-      and record the recovery in the decision trace — returns
-      ``"recovered"`` so the driver can re-run the phases whose results
-      depend on the communicator size;
+      and record the recovery in the decision trace;
     * with no victim at this boundary the check is a cheap allgather of
-      zeros — returns ``None``.
+      zeros.
 
-    Fault-free runs (no plan, or a plan without crashes) skip the
-    collectives entirely, so healthy virtual clocks are untouched.
-    """
-    comm, active = ctx.comm, ctx.active
-    fplan = comm.faults
-    if fplan is None or not fplan.has_crashes:
-        return None
-    with comm.phase("fault_recovery"):
-        me_dead = fplan.crash_at(comm.grank, boundary)
-        verdicts = active.allgather(comm.grank if me_dead else -1)
-        crashed = sorted(g for g in verdicts if g >= 0)
-        if not crashed:
-            return None
-        survivor = active.split(None if me_dead else 0, key=active.rank)
-        if me_dead:
-            comm.count("faults.crashed")
-            comm.trace_instant("fault", "crash", {"boundary": boundary})
-            comm.mem.free(ctx.batch.nbytes)
-            ctx.outcome = SortOutcome(
-                batch=RecordBatch.empty_like(ctx.batch),
-                received=0,
-                active=False,
-                info={"crashed": True, "crash_boundary": boundary,
-                      "p_active": 0, "decisions": ctx.plan.decisions()},
-            )
-            return "crashed"
-        assert survivor is not None
-        comm.count("faults.peer_crash_detected", len(crashed))
-        comm.trace_instant("fault", "peer_crash_detected",
-                           {"boundary": boundary, "crashed": list(crashed)})
-        ctx.active = survivor
-        ctx.plan.decide(Decision(
-            "fault_recovery", "shrink",
-            measured={"boundary": boundary,
-                      "crashed_ranks": list(crashed),
-                      "p_active": survivor.size},
-            reason=f"rank(s) {', '.join(map(str, crashed))} crashed at "
-                   f"the {boundary} boundary: continuing degraded on "
-                   f"{survivor.size} survivors"))
-        return "recovered"
-
-
-def fault_health_check_flat(fr: FlatRun, ctxs: list[RunContext],
-                            boundary: str) -> str | None:
-    """:func:`fault_health_check` for the flat backend, all ranks at once.
-
-    Victims receive their crash outcome on ``ctx.outcome`` (the driver
-    harvests them) and survivors shrink ``ctx.active``; the shared
-    return value is ``"recovered"`` when any crash fired at this
-    boundary and ``None`` otherwise (the per-rank ``"crashed"`` status
-    is implied by the outcome).
+    The shared return value is ``"recovered"`` when any crash fired at
+    this boundary and ``None`` otherwise (a victim's ``"crashed"``
+    status is implied by its outcome).  Fault-free runs (no plan, or a
+    plan without crashes) skip the collectives entirely, so healthy
+    virtual clocks are untouched.
     """
     fplan = ctxs[0].comm.faults
     if fplan is None or not fplan.has_crashes:
         return None
     comms = [ctx.comm for ctx in ctxs]
     acomms = [ctx.active for ctx in ctxs]
-    with phase_all(comms, "fault_recovery"):
+    with world.phase(comms, "fault_recovery"):
         me_dead = [fplan.crash_at(c.grank, boundary) for c in comms]
-        all_verdicts = flat_allgather(
-            fr, acomms,
+        all_verdicts = world.allgather(
+            acomms,
             [c.grank if dead else -1 for c, dead in zip(comms, me_dead)])
-        verdicts = _first_live(fr, acomms, all_verdicts)
+        verdicts = world.first_live(acomms, all_verdicts)
         crashed = sorted(g for g in verdicts if g >= 0)
         if not crashed:
             return None
-        children = flat_split(
-            fr, acomms, [None if dead else 0 for dead in me_dead],
+        children = world.split(
+            acomms, [None if dead else 0 for dead in me_dead],
             keys=[a.rank for a in acomms])
         shrink: Decision | None = None
         for i, ctx in enumerate(ctxs):
             comm = ctx.comm
-            if not fr.alive(comm):
+            if not world.alive(comm):
                 continue
             if me_dead[i]:
                 comm.count("faults.crashed")
@@ -398,44 +323,24 @@ class LocalSort:
     ``kernel="sdss"`` is the paper's shared-memory skew-aware local
     sort; ``"plain"`` is the classic per-rank sort baselines use.  Both
     charge the same modelled cost.
+
+    Shards of equal length and key dtype are stacked into one 2-D
+    matrix and sorted with a single row-wise ``np.argsort`` — the same
+    kernel invocation per row as a standalone per-rank sort (both
+    ``sdss`` at ``c=1`` and ``plain`` reduce to one argsort of the
+    shard), so permutations and replication ratios are bit-equal on
+    every backend.  Cost charges and trace counters replay per rank.
     """
 
     kernel: str = "sdss"
     stable: bool = False
 
-    def run(self, ctx: RunContext) -> None:
-        comm = ctx.comm
-        with comm.phase("local_sort"):
-            if self.kernel == "sdss":
-                sortedb, _stats = sdss_local_sort(ctx.batch, c=1,
-                                                  stable=self.stable)
-            elif self.kernel == "plain":
-                sortedb = sort_batch(ctx.batch, stable=self.stable)
-            else:
-                raise ValueError(f"unknown local-sort kernel {self.kernel!r}")
-            ctx.delta = local_delta(sortedb.keys)
-            dt = ctx.cost.sort_time(ctx.n, stable=self.stable,
-                                    delta=ctx.delta)
-            comm.charge(dt)
-            comm.trace_counter("kernel.sort.records", float(ctx.n))
-            comm.trace_counter("kernel.sort.seconds", dt)
-        ctx.batch = sortedb
-
-    def run_flat(self, fr: FlatRun, ctxs: list[RunContext]) -> None:
-        """Whole-world execution for the flat backend.
-
-        Shards of equal length and key dtype are stacked into one 2-D
-        matrix and sorted with a single row-wise ``np.argsort`` — the
-        same kernel invocation per row as the per-rank path (both
-        ``sdss`` at ``c=1`` and ``plain`` reduce to one argsort of the
-        shard), so permutations and replication ratios are bit-equal.
-        Cost charges and trace counters replay per rank afterwards.
-        """
+    def run(self, world: World, ctxs: list[RunContext]) -> None:
         comms = [ctx.comm for ctx in ctxs]
-        with phase_all(comms, "local_sort"):
+        with world.phase(comms, "local_sort"):
             if self.kernel not in ("sdss", "plain"):
                 for c in comms:
-                    fr.fail(c, ValueError(
+                    world.fail(c, ValueError(
                         f"unknown local-sort kernel {self.kernel!r}"))
                 raise FlatAbort
             groups: dict[tuple, list[int]] = {}
@@ -472,51 +377,18 @@ class NodeMerge:
     records the post-consensus decision.  Non-leader ranks exit the
     pipeline with an empty outcome, exactly as in the paper (the
     effective process count drops to ``p/c``).
+
+    Policy verdicts are memoised per distinct ``(node_bytes,
+    ranks_per_node, comm_size)`` input, the consensus allreduce runs
+    once per communicator, and the node-level funnelling — two
+    communicator splits plus one gather per node — goes through the
+    world's collectives.  Leader merges call ``kway_merge_batches``, so
+    merged batches and cost charges are bit-equal on every backend.
     """
 
-    def run(self, ctx: RunContext) -> None:
-        comm = ctx.comm
-        plan = ctx.plan
-        with comm.phase("node_merge"):
-            node_bytes = ctx.n * ctx.record_bytes * comm.ranks_per_node
-            local = plan.policy.node_merge(
-                node_bytes=node_bytes, ranks_per_node=comm.ranks_per_node,
-                comm_size=comm.size)
-            do_merge = local.choice == "merge"
-            merged_all = comm.allreduce(1 if do_merge else 0)
-            plan.decide(plan.policy.node_merge_consensus(
-                local, agreeing=merged_all, comm_size=comm.size))
-            if merged_all == comm.size:  # all nodes agree (SPMD-uniform data)
-                res = node_merge(comm, ctx.batch)
-                if not res.is_leader:
-                    comm.mem.free(ctx.input_nbytes)
-                    ctx.outcome = SortOutcome(
-                        batch=RecordBatch.empty_like(ctx.batch),
-                        received=0,
-                        active=False,
-                        info={"node_merged": True, "p_active": 0,
-                              "decisions": plan.decisions()},
-                    )
-                    return
-                assert res.active_comm is not None and res.batch is not None
-                ctx.active = res.active_comm
-                comm.mem.free(ctx.input_nbytes)  # shard absorbed into merge
-                ctx.batch = res.batch
-                ctx.n = len(res.batch)
-
-    def run_flat(self, fr: FlatRun, ctxs: list[RunContext]) -> None:
-        """Whole-world execution for the flat backend.
-
-        Policy verdicts are memoised per distinct ``(node_bytes,
-        ranks_per_node, comm_size)`` input, the consensus allreduce runs
-        once, and the node-level funnelling — two communicator splits
-        plus one gather per node — goes through the flat collectives.
-        Leader merges call the *same* ``kway_merge_batches`` kernel the
-        thread path uses, so merged batches and cost charges are
-        bit-equal.
-        """
+    def run(self, world: World, ctxs: list[RunContext]) -> None:
         comms = [ctx.comm for ctx in ctxs]
-        with phase_all(comms, "node_merge"):
+        with world.phase(comms, "node_merge"):
             vmemo: dict[tuple, Decision] = {}
             local_decs: list[Decision] = []
             for ctx in ctxs:
@@ -530,11 +402,11 @@ class NodeMerge:
                         comm_size=key[2])
                 local_decs.append(local)
             votes = [1 if d.choice == "merge" else 0 for d in local_decs]
-            agg = flat_allreduce(fr, comms, votes)
-            merged_all = _first_live(fr, comms, agg)
+            agg = world.allreduce(comms, votes)
+            merged_all = world.first_live(comms, agg)
             cmemo: dict[int, Decision] = {}
             for i, ctx in enumerate(ctxs):
-                if not fr.alive(ctx.comm):
+                if not world.alive(ctx.comm):
                     continue
                 dec = cmemo.get(id(local_decs[i]))
                 if dec is None:
@@ -546,12 +418,12 @@ class NodeMerge:
             if merged_all != comms[0].size:
                 return
             # all nodes agree: funnel each node onto its leader
-            world = comms[0]._world
-            local_comms = flat_split(
-                fr, comms, [world.node_of(c.grank) for c in comms],
+            sim = comms[0]._world
+            local_comms = world.split(
+                comms, [sim.node_of(c.grank) for c in comms],
                 keys=[c.rank for c in comms])
-            leader_comms = flat_split(
-                fr, comms,
+            leader_comms = world.split(
+                comms,
                 [0 if (lc is not None and lc.rank == 0) else None
                  for lc in local_comms],
                 keys=[c.rank for c in comms])
@@ -564,14 +436,16 @@ class NodeMerge:
             gathered_for: dict[int, list] = {}
             first = True
             for members in nodes.values():
-                outs = flat_gather(
-                    fr, [local_comms[i] for i in members],
+                outs = world.gather(
+                    [local_comms[i] for i in members],
                     [ctxs[i].batch for i in members], root=0, check=first)
                 first = False
-                gathered_for[members[0]] = outs[0]
+                for j, i in enumerate(members):
+                    if outs[j] is not None:
+                        gathered_for[i] = outs[j]
             for i, ctx in enumerate(ctxs):
                 comm = ctx.comm
-                if not fr.alive(comm):
+                if not world.alive(comm):
                     continue
                 local_comm = local_comms[i]
                 if local_comm.rank != 0:
@@ -592,7 +466,7 @@ class NodeMerge:
                         / max(1, local_comm.size))
                     comm.mem.alloc(merged.nbytes)
                 except BaseException as exc:
-                    fr.fail(comm, exc)
+                    world.fail(comm, exc)
                     continue
                 ctx.active = leader_comms[i]
                 comm.mem.free(ctx.input_nbytes)  # shard absorbed into merge
@@ -610,86 +484,52 @@ class PivotSelect:
     fallbacks); a fixed ``method`` pins the selector, as PSRS does with
     gather.  ``guard_empty`` is the min-shard allreduce that detects
     empty ranks; algorithms that cannot tolerate them skip it.
+
+    The method decision is computed once per communicator (policy calls
+    are pure and their inputs communicator-uniform) and recorded into
+    every live rank's trace; sampling and selection go through the
+    world-form selectors, which run shared computations once and replay
+    the per-rank collective epilogues.
     """
 
     method: str | None = None
     guard_empty: bool = True
 
-    def run(self, ctx: RunContext) -> None:
-        comm, active = ctx.comm, ctx.active
-        p = active.size
-        plan = ctx.plan
-        with comm.phase("pivot_selection"):
-            if not self.guard_empty:
-                choice = plan.decide(Decision(
-                    "pivot_method", self.method, measured={"p": p},
-                    reason="fixed by algorithm"))
-                pl = local_pivots(ctx.batch.keys, p)
-                pg = select_pivots(active, pl, ctx.batch.keys, choice)
-            else:
-                min_n = active.allreduce(ctx.n, op=min)
-                choice = plan.decide(plan.policy.pivot_method(
-                    p=p, min_n=min_n))
-                if min_n > 0:
-                    pl = local_pivots(ctx.batch.keys, p)
-                    pg = select_pivots(active, pl, ctx.batch.keys, choice)
-                else:
-                    # some rank holds no data (legal, if unusual): the
-                    # policy already degraded the choice to gather over
-                    # whatever samples exist
-                    pl = (local_pivots(ctx.batch.keys, p) if ctx.n > 0
-                          else ctx.batch.keys[:0])
-                    pg = select_pivots_gather(active, pl)
-                    if pg.size < p - 1:  # too few samples: pad (empty ranges)
-                        fill = pivot_pad_value(pg, ctx.batch.keys.dtype)
-                        pg = np.concatenate(
-                            [pg, np.full(p - 1 - pg.size, fill,
-                                         dtype=pg.dtype)])
-        ctx.pg = pg
-
-    def run_flat(self, fr: FlatRun, ctxs: list[RunContext]) -> None:
-        """Whole-world execution for the flat backend.
-
-        The method decision is computed once (policy calls are pure and
-        their inputs communicator-uniform) and recorded into every live
-        rank's trace; sampling and selection go through the flat
-        selector twins, which sort the pooled samples once and replay
-        the per-rank collective epilogues.
-        """
+    def run(self, world: World, ctxs: list[RunContext]) -> None:
         comms = [ctx.comm for ctx in ctxs]
         acomms = [ctx.active for ctx in ctxs]
         p = acomms[0].size
         pgs: list = [None] * len(ctxs)
-        with phase_all(comms, "pivot_selection"):
+        with world.phase(comms, "pivot_selection"):
             if not self.guard_empty:
                 dec = Decision("pivot_method", self.method,
                                measured={"p": p},
                                reason="fixed by algorithm")
                 for ctx in ctxs:
                     ctx.plan.decide(dec)
-                pls = self._local_pivots_flat(fr, acomms, ctxs, p)
-                pgs = _select_pivots_flat(
-                    fr, acomms, pls, [ctx.batch.keys for ctx in ctxs],
+                pls = self._local_pivots(world, acomms, ctxs, p)
+                pgs = select_pivots_world(
+                    world, acomms, pls, [ctx.batch.keys for ctx in ctxs],
                     dec.choice)
             else:
-                agg = flat_allreduce(fr, acomms,
-                                     [ctx.n for ctx in ctxs], op=min)
-                min_n = _first_live(fr, acomms, agg)
+                agg = world.allreduce(acomms,
+                                      [ctx.n for ctx in ctxs], op=min)
+                min_n = world.first_live(acomms, agg)
                 dec = ctxs[0].plan.policy.pivot_method(p=p, min_n=min_n)
                 for i, ctx in enumerate(ctxs):
-                    if fr.alive(acomms[i]):
+                    if world.alive(acomms[i]):
                         ctx.plan.decide(dec)
                 if min_n > 0:
-                    pls = self._local_pivots_flat(fr, acomms, ctxs, p)
-                    pgs = _select_pivots_flat(
-                        fr, acomms, pls,
+                    pls = self._local_pivots(world, acomms, ctxs, p)
+                    pgs = select_pivots_world(
+                        world, acomms, pls,
                         [ctx.batch.keys for ctx in ctxs], dec.choice)
                 else:
                     # some rank holds no data: gather over whatever
                     # samples exist, pad short pivot vectors
                     pls = [(local_pivots(ctx.batch.keys, p) if ctx.n > 0
                             else ctx.batch.keys[:0]) for ctx in ctxs]
-                    pgs = select_pivots_gather_flat(fr, acomms, pls)
+                    pgs = select_pivots_gather_world(world, acomms, pls)
                     for i, ctx in enumerate(ctxs):
                         pg = pgs[i]
                         if pg is not None and pg.size < p - 1:
@@ -702,15 +542,15 @@ class PivotSelect:
                 ctx.pg = pgs[i]
 
     @staticmethod
-    def _local_pivots_flat(fr: FlatRun, acomms: list[Comm],
-                           ctxs: list[RunContext], p: int) -> list:
+    def _local_pivots(world: World, acomms: list[Comm],
+                      ctxs: list[RunContext], p: int) -> list:
         """Per-rank regular samples; a failing rank deposits a stub."""
         pls: list = []
         for i, ctx in enumerate(ctxs):
             try:
                 pls.append(local_pivots(ctx.batch.keys, p))
             except BaseException as exc:
-                fr.fail(acomms[i], exc)
+                world.fail(acomms[i], exc)
                 pls.append(ctx.batch.keys[:0])
         return pls
 
@@ -724,59 +564,23 @@ class Partition:
     skew-aware and stability switches); a fixed variant pins it.
     ``local_pivot_accel`` selects the two-level local-pivot search cost
     of Section 2.5.1 (``None`` defers to ``params``).
+
+    ``classic`` partitioning batches same-shape shards into one matrix
+    ``searchsorted``; ``fast`` and ``stable`` call the per-rank kernels
+    directly (already vectorised numpy — the columnar win is dropping
+    the threads, not the arithmetic).  The stable variant's layout
+    allgather runs through the world collective with the same
+    :func:`stable_prefix_layout` action.
     """
 
     variant: str | None = None
     local_pivot_accel: bool | None = None
 
-    def run(self, ctx: RunContext) -> None:
-        comm, active = ctx.comm, ctx.active
-        p = active.size
-        plan = ctx.plan
-        with comm.phase("partition"):
-            if self.variant is not None:
-                variant = plan.decide(Decision(
-                    "partition", self.variant, reason="fixed by algorithm"))
-            else:
-                variant = plan.decide(plan.policy.partition_variant())
-            if variant == "classic":
-                displs = partition_classic(ctx.batch.keys, ctx.pg)
-            elif variant == "stable":
-                counts = run_dup_counts(ctx.batch.keys, ctx.pg)
-                prefix_row, totals = stable_layout_collective(active, counts)
-                displs = partition_stable_arrays(ctx.batch.keys, ctx.pg,
-                                                 prefix_row, totals)
-            elif variant == "fast":
-                displs = partition_fast(ctx.batch.keys, ctx.pg)
-            else:
-                raise ValueError(f"unknown partition variant {variant!r}")
-            # cost: the local-pivot two-level search (Section 2.5.1) does
-            # two binary searches over O(n/p) instead of one over O(n)
-            accel = (ctx.params.local_pivot_accel
-                     if self.local_pivot_accel is None
-                     else self.local_pivot_accel)
-            if accel:
-                comm.charge(ctx.cost.binary_search_time(
-                    max(1, ctx.n // p), searches=2 * max(1, p - 1)))
-            else:
-                comm.charge(ctx.cost.binary_search_time(
-                    ctx.n, searches=max(1, p - 1)))
-        ctx.displs = displs
-
-    def run_flat(self, fr: FlatRun, ctxs: list[RunContext]) -> None:
-        """Whole-world execution for the flat backend.
-
-        ``classic`` partitioning batches same-shape shards into one
-        matrix ``searchsorted``; ``fast`` and ``stable`` call the
-        per-rank kernels directly (already vectorised numpy — the win
-        here is dropping the threads, not the arithmetic).  The stable
-        variant's layout allgather runs through the flat collective with
-        the same :func:`stable_prefix_layout` action.
-        """
+    def run(self, world: World, ctxs: list[RunContext]) -> None:
         comms = [ctx.comm for ctx in ctxs]
         acomms = [ctx.active for ctx in ctxs]
         p = acomms[0].size
-        with phase_all(comms, "partition"):
+        with world.phase(comms, "partition"):
             if self.variant is not None:
                 dec = Decision("partition", self.variant,
                                reason="fixed by algorithm")
@@ -784,12 +588,12 @@ class Partition:
                 dec = ctxs[0].plan.policy.partition_variant()
             variant = dec.choice
             for i, ctx in enumerate(ctxs):
-                if fr.alive(acomms[i]):
+                if world.alive(acomms[i]):
                     ctx.plan.decide(dec)
             if variant == "classic":
                 groups: dict[tuple, list[int]] = {}
                 for i, ctx in enumerate(ctxs):
-                    if fr.alive(acomms[i]):
+                    if world.alive(acomms[i]):
                         groups.setdefault(
                             (len(ctx.batch), ctx.batch.keys.dtype.str,
                              id(ctx.pg)), []).append(i)
@@ -808,32 +612,35 @@ class Partition:
             elif variant == "stable":
                 counts = [
                     (run_dup_counts(ctx.batch.keys, ctx.pg)
-                     if fr.alive(acomms[i]) else None)
+                     if world.alive(acomms[i]) else None)
                     for i, ctx in enumerate(ctxs)]
-                layouts = flat_allgather_staged(fr, acomms, counts,
-                                                stable_prefix_layout)
+                layouts = world.allgather_staged(acomms, counts,
+                                                 stable_prefix_layout)
                 for i, ctx in enumerate(ctxs):
-                    if fr.alive(acomms[i]) and layouts[i] is not None:
+                    if world.alive(acomms[i]) and layouts[i] is not None:
                         prefix, totals = layouts[i]
                         ctx.displs = partition_stable_arrays(
                             ctx.batch.keys, ctx.pg,
                             prefix[acomms[i].rank], totals)
             elif variant == "fast":
                 for i, ctx in enumerate(ctxs):
-                    if fr.alive(acomms[i]):
+                    if world.alive(acomms[i]):
                         ctx.displs = partition_fast(ctx.batch.keys, ctx.pg)
             else:
                 for c in acomms:
-                    fr.fail(c, ValueError(
+                    world.fail(c, ValueError(
                         f"unknown partition variant {variant!r}"))
                 raise FlatAbort
             for i, ctx in enumerate(ctxs):
-                if not fr.alive(acomms[i]):
+                if not world.alive(acomms[i]):
                     continue
                 comm = ctx.comm
                 accel = (ctx.params.local_pivot_accel
                          if self.local_pivot_accel is None
                          else self.local_pivot_accel)
+                # cost: the local-pivot two-level search (Section 2.5.1)
+                # does two binary searches over O(n/p) instead of one
+                # over O(n)
                 if accel:
                     comm.charge(ctx.cost.binary_search_time(
                         max(1, ctx.n // p), searches=2 * max(1, p - 1)))
@@ -852,63 +659,21 @@ class Exchange:
     merge-vs-sort threshold (``None`` defers to ``params``).  Both
     paths run the fused staged collectives — no p^2 sub-batch
     materialisation (see exchange.py).
+
+    Both modes reuse the fused whole-world actions the staged
+    collectives run once per world (:func:`sync_exchange_compute` /
+    ``overlapped_exchange_compute``) plus the per-rank epilogues, so
+    clocks, counters, memory charges and outputs match across backends
+    operation for operation.  The sync path annotates
+    ``exchange``/``local_ordering`` on the active communicator, the
+    overlapped path wraps ``exchange`` around the full communicator.
     """
 
     mode: str | None = None
     tau_s: int | None = None
     stable: bool = False
 
-    def run(self, ctx: RunContext) -> None:
-        comm, active = ctx.comm, ctx.active
-        p = active.size
-        plan = ctx.plan
-        tau_s = self.tau_s
-        if self.mode is not None:
-            mode = plan.decide(Decision(
-                "exchange", self.mode, measured={"p": p},
-                reason="fixed by algorithm"))
-            plan.decide(Decision(
-                "local_ordering", "merge" if p < tau_s else "sort",
-                threshold="tau_s", threshold_value=tau_s,
-                measured={"p": p}, reason="fixed by algorithm"))
-        else:
-            mode = plan.decide(plan.policy.exchange_mode(p=p))
-            plan.decide(plan.policy.local_ordering(p=p, exchange=mode))
-            if tau_s is None:
-                tau_s = ctx.params.tau_s
-        send_buf_bytes = ctx.batch.nbytes
-        if mode == "sync":
-            # fused path: one staged collective computes the size matrix
-            # and every rank's final ordering; no p^2 sub-batch
-            # materialisation (phases "exchange"/"local_ordering" are
-            # entered inside)
-            out, xstats = exchange_sync_fused(
-                active, ctx.batch, ctx.displs, stable=self.stable,
-                tau_s=tau_s, delta_hint=ctx.delta,
-            )
-        else:
-            # fused path: no p^2 sub-batch materialisation (exchange.py)
-            with comm.phase("exchange"):
-                out, xstats = exchange_overlapped_fused(active, ctx.batch,
-                                                        ctx.displs)
-                comm.mem.free(send_buf_bytes)
-        ctx.out = out
-        ctx.xstats = xstats
-
-    def run_flat(self, fr: FlatRun, ctxs: list[RunContext]) -> None:
-        """Whole-world execution for the flat backend.
-
-        Both modes reuse the fused whole-world actions the staged
-        collectives already run once per world
-        (:func:`sync_exchange_compute` / ``overlapped_exchange_compute``)
-        plus the per-rank epilogues, so clocks, counters, memory charges
-        and outputs match the thread path operation for operation.  The
-        phase bracketing mirrors the per-rank structure: the sync path
-        annotates ``exchange``/``local_ordering`` on the active
-        communicator (as the fused helper does), the overlapped path
-        wraps ``exchange`` around the full communicator.
-        """
-        comms = [ctx.comm for ctx in ctxs]
+    def run(self, world: World, ctxs: list[RunContext]) -> None:
         acomms = [ctx.active for ctx in ctxs]
         p = acomms[0].size
         tau_s = self.tau_s
@@ -939,30 +704,30 @@ class Exchange:
                     deposits[i] = (ctx.batch, check_displs(
                         ctx.displs, p, len(ctx.batch)))
                 except BaseException as exc:
-                    fr.fail(acomms[i], exc)
+                    world.fail(acomms[i], exc)
 
             def compute(stage: list) -> dict:
                 return sync_exchange_compute(stage, p=p, merge=merge,
                                              stable=stable)
 
-            live = [a for a in acomms if fr.alive(a)]
-            with phase_all(live, "exchange"):
-                shared, _ = fr.collective(
+            live = [a for a in acomms if world.alive(a)]
+            with world.phase(live, "exchange"):
+                shared, _ = world.collective(
                     acomms, deposits, compute,
                     lambda i, c, sh: _sync_exchange_network(
                         c, sh, send_nbytes[i]))
-            with phase_all([a for a in acomms if fr.alive(a)],
-                           "local_ordering"):
+            with world.phase([a for a in acomms if world.alive(a)],
+                             "local_ordering"):
                 for i, ctx in enumerate(ctxs):
                     c = acomms[i]
-                    if not fr.alive(c):
+                    if not world.alive(c):
                         continue
                     try:
                         ctx.out, ctx.xstats = _sync_exchange_ordering(
                             c, shared, merge=merge, stable=stable,
                             delta_hint=ctx.delta)
                     except BaseException as exc:
-                        fr.fail(c, exc)
+                        world.fail(c, exc)
         else:
             spec = acomms[0].machine
             rate = acomms[0].cost.spec.merge_cost_per_elem
@@ -981,15 +746,15 @@ class Exchange:
                 return res
 
             deposits = [None] * len(ctxs)
-            live = [ctx.comm for ctx in ctxs if fr.alive(ctx.comm)]
-            with phase_all(live, "exchange"):
+            live = [ctx.comm for ctx in ctxs if world.alive(ctx.comm)]
+            with world.phase(live, "exchange"):
                 for i, ctx in enumerate(ctxs):
                     try:
                         deposits[i] = (ctx.batch, check_displs(
                             ctx.displs, p, len(ctx.batch)))
                     except BaseException as exc:
-                        fr.fail(acomms[i], exc)
-                _, outs = fr.collective(acomms, deposits, compute, finish)
+                        world.fail(acomms[i], exc)
+                _, outs = world.collective(acomms, deposits, compute, finish)
             for i, ctx in enumerate(ctxs):
                 if outs[i] is not None:
                     ctx.out, ctx.xstats = outs[i]

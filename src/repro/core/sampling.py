@@ -14,6 +14,13 @@ sorted data, Li et al.'s terminology):
 A gather-based selection (sort all local pivots on rank 0, the classic
 PSRS approach) is provided both as a fallback for non-power-of-two
 communicators and for comparison.
+
+Selectors are written once in world form (``*_world`` over a
+:class:`~repro.mpi.world.World` view): shared computations — the
+pooled sample sort, the pivot stride — run once per communicator, and
+every rank replays only its own collective epilogues and cost charges.
+The per-rank entry points below each run the world form over a
+:class:`~repro.mpi.world.LaneWorld` singleton.
 """
 
 from __future__ import annotations
@@ -24,9 +31,8 @@ import numpy as np
 # module __getattr__), which serialises rank threads at scale.
 from numpy.random import SeedSequence, default_rng
 
-from ..mpi import Comm
-from ..mpi.flatworld import FlatRun, flat_allgather, flat_bcast, flat_gather
-from .bitonic import bitonic_sort, bitonic_sort_flat, is_power_of_two
+from ..mpi import LANE, Comm, World
+from .bitonic import bitonic_sort_world, is_power_of_two
 
 
 def local_pivots(sorted_keys: np.ndarray, p: int) -> np.ndarray:
@@ -62,26 +68,39 @@ def _pivot_positions(p: int) -> np.ndarray:
     return (np.arange(1, p, dtype=np.int64) * p) - 1
 
 
-def select_pivots_gather(comm: Comm, pl: np.ndarray) -> np.ndarray:
-    """Classic PSRS selection: gather samples on rank 0, sort, broadcast."""
-    p = comm.size
-    gathered = comm.gather(pl, root=0)
-    if comm.rank == 0:
-        allp = np.sort(np.concatenate(gathered))
-        comm.charge(comm.cost.sort_time(allp.size))
+def select_pivots_gather_world(world: World, comms: list[Comm],
+                               pls: list) -> list:
+    """Classic PSRS selection: gather samples on rank 0, sort, broadcast.
+
+    The rank-0 sort + stride selection runs once; every other rank only
+    replays its gather/bcast epilogues.  Per-rank results (``None`` for
+    failed ranks) in ``comms`` order.
+    """
+    p = comms[0].size
+    gathered_out = world.gather(comms, pls, root=0)
+    pgs: list = [None] * len(comms)
+    for i, c in enumerate(comms):
+        if gathered_out[i] is None or not world.alive(c):
+            continue
+        allp = np.sort(np.concatenate(gathered_out[i]))
+        c.charge(c.cost.sort_time(allp.size))
         if allp.size == 0:
-            pg = allp[:0]  # degenerate: no samples anywhere
+            pgs[i] = allp[:0]  # degenerate: no samples anywhere
         else:
             pos = np.minimum(_pivot_positions(p), allp.size - 1)
-            pg = allp[pos]
-    else:
-        pg = None
-    return comm.bcast(pg, root=0)
+            pgs[i] = allp[pos]
+    return world.bcast(comms, pgs, root=0)
 
 
-def select_pivots_oversample(comm: Comm, sorted_keys: np.ndarray, *,
-                             oversample: int = 32,
-                             seed: int = 0) -> np.ndarray:
+def select_pivots_gather(comm: Comm, pl: np.ndarray) -> np.ndarray:
+    """Per-rank entry point of :func:`select_pivots_gather_world`."""
+    return select_pivots_gather_world(LANE, [comm], [pl])[0]
+
+
+def select_pivots_oversample_world(world: World, comms: list[Comm],
+                                   keys_list: list, *,
+                                   oversample: int = 32,
+                                   seed: int = 0) -> list:
     """Random-oversampling pivot selection (Frazer & McKellar, 1970).
 
     The original samplesort recipe, the paper's citation [15]: each
@@ -92,55 +111,11 @@ def select_pivots_oversample(comm: Comm, sorted_keys: np.ndarray, *,
     sampling of locally *sorted* data achieves better quality at the
     same budget because each sample is already a local quantile —
     ``bench_ext_oversampling.py`` measures the gap.
-    """
-    a = np.asarray(sorted_keys)
-    p = comm.size
-    if p == 1:
-        return a[:0]
-    if a.size == 0:
-        raise ValueError("cannot sample pivots from an empty shard")
-    rng = default_rng(SeedSequence([seed, comm.rank]))
-    take = min(max(1, oversample), a.size)
-    sample = a[rng.integers(0, a.size, size=take)]
-    pooled = np.sort(np.concatenate(comm.allgather(sample)))
-    comm.charge(comm.cost.sort_time(pooled.size))
-    pos = (np.arange(1, p, dtype=np.int64) * pooled.size) // p
-    return pooled[np.minimum(pos, pooled.size - 1)]
 
-
-def select_pivots_gather_flat(fr: FlatRun, comms: list[Comm],
-                              pls: list[np.ndarray]) -> list:
-    """:func:`select_pivots_gather` for the flat backend, all ranks at once.
-
-    The rank-0 sort + stride selection runs once; every other rank only
-    replays its gather/bcast epilogues.  Per-rank results (``None`` for
-    failed ranks) in rank order.
-    """
-    p = comms[0].size
-    gathered_out = flat_gather(fr, comms, pls, root=0)
-    pg = None
-    root = comms[0]
-    if fr.alive(root):
-        allp = np.sort(np.concatenate(gathered_out[0]))
-        root.charge(root.cost.sort_time(allp.size))
-        if allp.size == 0:
-            pg = allp[:0]  # degenerate: no samples anywhere
-        else:
-            pos = np.minimum(_pivot_positions(p), allp.size - 1)
-            pg = allp[pos]
-    return flat_bcast(fr, comms, pg, root=0)
-
-
-def select_pivots_oversample_flat(fr: FlatRun, comms: list[Comm],
-                                  keys_list: list[np.ndarray], *,
-                                  oversample: int = 32,
-                                  seed: int = 0) -> list:
-    """:func:`select_pivots_oversample` for the flat backend.
-
-    The per-rank RNG draws are reproduced exactly (same
-    ``SeedSequence([seed, rank])`` streams); the pooled sort and stride
-    selection run once — every rank's pooled vector is identical — and
-    each live rank charges its own ``sort_time`` replay.
+    The per-rank RNG draws use ``SeedSequence([seed, rank])`` streams;
+    the pooled sort and stride selection run once — every rank's pooled
+    vector is identical — and each live rank charges its own
+    ``sort_time`` replay.
     """
     p = comms[0].size
     arrs = [np.asarray(k) for k in keys_list]
@@ -148,7 +123,7 @@ def select_pivots_oversample_flat(fr: FlatRun, comms: list[Comm],
         return [a[:0] for a in arrs]
     samples: list = [None] * len(comms)
     for i, c in enumerate(comms):
-        if not fr.alive(c):
+        if not world.alive(c):
             continue
         try:
             a = arrs[i]
@@ -158,12 +133,12 @@ def select_pivots_oversample_flat(fr: FlatRun, comms: list[Comm],
             take = min(max(1, oversample), a.size)
             samples[i] = a[rng.integers(0, a.size, size=take)]
         except BaseException as exc:
-            fr.fail(c, exc)
-    all_samples = flat_allgather(fr, comms, samples)
+            world.fail(c, exc)
+    all_samples = world.allgather(comms, samples)
     pooled = pg = None
     outs: list = [None] * len(comms)
     for i, c in enumerate(comms):
-        if not fr.alive(c):
+        if not world.alive(c):
             continue
         if pooled is None:
             pooled = np.sort(np.concatenate(all_samples[i]))
@@ -174,21 +149,32 @@ def select_pivots_oversample_flat(fr: FlatRun, comms: list[Comm],
     return outs
 
 
-def select_pivots_bitonic_flat(fr: FlatRun, comms: list[Comm],
-                               pls: list[np.ndarray]) -> list:
-    """:func:`select_pivots_bitonic` for the flat backend.
+def select_pivots_oversample(comm: Comm, sorted_keys: np.ndarray, *,
+                             oversample: int = 32,
+                             seed: int = 0) -> np.ndarray:
+    """Per-rank entry point of :func:`select_pivots_oversample_world`."""
+    return select_pivots_oversample_world(
+        LANE, [comm], [sorted_keys], oversample=oversample, seed=seed)[0]
 
-    The bitonic sort goes through :func:`bitonic_sort_flat` (one
-    ``np.sort`` + per-rank closed-form replay); the contribution
-    assembly after the allgather is identical on every rank, so it runs
-    once and the shared pivot vector is handed to each live rank.
+
+def select_pivots_bitonic_world(world: World, comms: list[Comm],
+                                pls: list) -> list:
+    """SdssSelectPivots: sort samples with parallel bitonic, pick stride p.
+
+    After the bitonic sort, rank ``r`` holds global sample positions
+    ``[r*(p-1), (r+1)*(p-1))``; each rank contributes the pivot
+    positions that landed in its block and an allgather assembles the
+    full pivot vector (the assembly is identical on every rank, so it
+    runs once and the shared pivot vector is handed to each live rank).
+    Falls back to :func:`select_pivots_gather_world` when the
+    communicator is not a power of two.
     """
     p = comms[0].size
     if p == 1:
         return [np.asarray(pl)[:0] for pl in pls]
     if not is_power_of_two(p):
-        return select_pivots_gather_flat(fr, comms, pls)
-    blocks = bitonic_sort_flat(fr, comms, pls)
+        return select_pivots_gather_world(world, comms, pls)
+    blocks = bitonic_sort_world(world, comms, pls)
     m = p - 1  # block length
     positions = _pivot_positions(p)
     mines: list = [None] * len(comms)
@@ -198,17 +184,17 @@ def select_pivots_bitonic_flat(fr: FlatRun, comms: list[Comm],
         lo, hi = c.rank * m, (c.rank + 1) * m
         mines[i] = [(int(pos), blocks[i][pos - lo])
                     for pos in positions if lo <= pos < hi]
-    contributions = flat_allgather(fr, comms, mines)
+    contributions = world.allgather(comms, mines)
     pg = None
     outs: list = [None] * len(comms)
     for i, c in enumerate(comms):
-        if not fr.alive(c):
+        if not world.alive(c):
             continue
         if pg is None:
             pairs = sorted(pair for chunk in contributions[i] for pair in chunk)
             pg = np.asarray([v for _, v in pairs])
         if pg.size != p - 1:
-            fr.fail(c, AssertionError(
+            world.fail(c, AssertionError(
                 f"expected {p - 1} global pivots, got {pg.size}"))
             continue
         outs[i] = pg
@@ -216,27 +202,5 @@ def select_pivots_bitonic_flat(fr: FlatRun, comms: list[Comm],
 
 
 def select_pivots_bitonic(comm: Comm, pl: np.ndarray) -> np.ndarray:
-    """SdssSelectPivots: sort samples with parallel bitonic, pick stride p.
-
-    After the bitonic sort, rank ``r`` holds global sample positions
-    ``[r*(p-1), (r+1)*(p-1))``; each rank contributes the pivot
-    positions that landed in its block and an allgather assembles the
-    full pivot vector.  Falls back to :func:`select_pivots_gather` when
-    the communicator is not a power of two.
-    """
-    p = comm.size
-    if p == 1:
-        return np.asarray(pl)[:0]
-    if not is_power_of_two(p):
-        return select_pivots_gather(comm, pl)
-    block = bitonic_sort(comm, pl)
-    m = p - 1  # block length
-    positions = _pivot_positions(p)
-    lo, hi = comm.rank * m, (comm.rank + 1) * m
-    mine = [(int(pos), block[pos - lo]) for pos in positions if lo <= pos < hi]
-    contributions = comm.allgather(mine)
-    pairs = sorted(pair for chunk in contributions for pair in chunk)
-    pg = np.asarray([v for _, v in pairs])
-    if pg.size != p - 1:
-        raise AssertionError(f"expected {p - 1} global pivots, got {pg.size}")
-    return pg
+    """Per-rank entry point of :func:`select_pivots_bitonic_world`."""
+    return select_pivots_bitonic_world(LANE, [comm], [pl])[0]

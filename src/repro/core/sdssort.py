@@ -27,21 +27,26 @@ as ``RunResult.extras["decisions"]`` and the CLI renders it under
 Ranks that handed their data to a node leader in phase 2 return an
 empty batch; the sorted output then lives on the leader ranks, exactly
 as in the paper (the effective process count drops to ``p/c``).
+
+The driver is written once, in world form (:func:`sds_sort_world`):
+the same phase sequence runs over a
+:class:`~repro.mpi.world.LaneWorld` (one logical rank; thread/proc
+backends) or a :class:`~repro.mpi.flatworld.ColumnarWorld` (the whole
+world batched; flat backend).  :func:`sds_sort` is the per-rank entry
+point over the lane view.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..mpi import Comm
-from ..mpi.flatworld import FlatAbort, FlatRun
+from ..mpi import LANE, Comm, FlatAbort, World
 from ..records import RecordBatch
 from .params import SdsParams
 from .pipeline import (
     RunContext,
     SortOutcome,
     fault_health_check,
-    fault_health_check_flat,
     get_phase,
     local_delta,
     pivot_pad_value,
@@ -49,7 +54,7 @@ from .pipeline import (
 from .plan import SortPlan
 
 __all__ = ["SortOutcome", "local_delta", "pivot_pad_value", "sds_sort",
-           "sds_sort_flat"]
+           "sds_sort_world"]
 
 
 def _singleton_outcome(ctx: RunContext) -> SortOutcome:
@@ -59,87 +64,33 @@ def _singleton_outcome(ctx: RunContext) -> SortOutcome:
                              "decisions": ctx.decisions()})
 
 
-def sds_sort(comm: Comm, batch: RecordBatch,
-             params: SdsParams = SdsParams()) -> SortOutcome:
-    """Run SDS-Sort collectively; every rank of ``comm`` must call it.
+def sds_sort_world(world: World, comms: list[Comm],
+                   batches: list[RecordBatch],
+                   params: SdsParams = SdsParams()
+                   ) -> list[SortOutcome | None]:
+    """Run SDS-Sort over every rank of one ``World`` view.
 
-    Returns this rank's slice of the globally sorted data (empty on
-    ranks that merged their data into a node leader).
+    ``comms`` is either a singleton (lane view: this rank, inside its
+    own thread) or a world communicator's full membership in rank order
+    (columnar view: all ranks, zero threads); ``batches`` the aligned
+    inputs.  Returns per-rank outcomes in ``comms`` order, ``None`` for
+    ranks that failed — the failure details live in ``world.failures``.
+    Ranks past their last collective when a peer fails still complete,
+    exactly as their threads would.
     """
-    plan = SortPlan.for_params(params)
-    ctx = RunContext.start(comm, batch, params, plan)
-
-    get_phase("local_sort")(stable=params.stable).run(ctx)
-    if comm.size == 1:
-        return _singleton_outcome(ctx)
-
-    get_phase("node_merge")().run(ctx)
-    if ctx.outcome is not None:  # handed data to the node leader
-        return ctx.outcome
-    if ctx.active.size == 1:
-        return _singleton_outcome(ctx)
-
-    # crash barriers run only under a fault plan that schedules crashes;
-    # they are no-ops (not even a collective) on healthy runs
-    if fault_health_check(ctx, "pivot_select") == "crashed":
-        return ctx.outcome
-    if ctx.active.size == 1:  # every peer of this rank crashed
-        return _singleton_outcome(ctx)
-
-    get_phase("pivot_select")().run(ctx)
-    get_phase("partition")().run(ctx)
-
-    status = fault_health_check(ctx, "exchange")
-    if status == "crashed":
-        return ctx.outcome
-    if status == "recovered":
-        if ctx.active.size == 1:
-            return _singleton_outcome(ctx)
-        # pivots and displacements are functions of the communicator
-        # size: survivors must re-derive both over the reduced world
-        get_phase("pivot_select")().run(ctx)
-        get_phase("partition")().run(ctx)
-
-    get_phase("exchange")(stable=params.stable).run(ctx)
-
-    return SortOutcome(
-        batch=ctx.out,
-        received=len(ctx.out),
-        exchange=ctx.xstats,
-        info={
-            "p_active": ctx.active.size,
-            "delta_local": ctx.delta,
-            "n_pivots": int(np.asarray(ctx.pg).size),
-            "displs": ctx.displs,
-            "decisions": ctx.decisions(),
-        },
-    )
-
-
-def sds_sort_flat(comms: list[Comm], batches: list[RecordBatch],
-                  params: SdsParams = SdsParams()
-                  ) -> tuple[list[SortOutcome | None], list]:
-    """Run SDS-Sort for every rank of the world at once (flat backend).
-
-    ``comms`` is the world's full membership in rank order, ``batches``
-    the per-rank inputs.  The phase sequence is :func:`sds_sort`'s,
-    executed through the phases' ``run_flat`` whole-world paths: one
-    batched kernel invocation per phase plus per-rank virtual-time
-    replays, with no rank threads.  Returns ``(outcomes, failures)``:
-    ``outcomes[g]`` is rank ``g``'s :class:`SortOutcome` (``None`` for
-    a failed rank) and ``failures`` the ``(grank, exception)`` pairs in
-    failure order — ranks past their last collective when a peer fails
-    still complete, exactly as their threads would.
-    """
-    fr = FlatRun(comms[0]._world)
     outcomes: list[SortOutcome | None] = [None] * len(comms)
+    slot: dict[int, int] = {}
     group: list[RunContext] = []
-    for comm, batch in zip(comms, batches):
+    for i, (comm, batch) in enumerate(zip(comms, batches)):
+        if not world.alive(comm):
+            continue
         try:
             plan = SortPlan.for_params(params)
-            group.append(RunContext.start(comm, batch, params, plan))
+            ctx = RunContext.start(comm, batch, params, plan)
+            slot[id(ctx)] = i
+            group.append(ctx)
         except BaseException as exc:
-            fr.fail(comm, exc)
+            world.fail(comm, exc)
 
     def harvest() -> None:
         """Bank finished outcomes; drop failed ranks from the group."""
@@ -147,8 +98,8 @@ def sds_sort_flat(comms: list[Comm], batches: list[RecordBatch],
         rest = []
         for ctx in group:
             if ctx.outcome is not None:
-                outcomes[ctx.comm.grank] = ctx.outcome
-            elif fr.alive(ctx.comm):
+                outcomes[slot[id(ctx)]] = ctx.outcome
+            elif world.alive(ctx.comm):
                 rest.append(ctx)
         group = rest
 
@@ -159,43 +110,45 @@ def sds_sort_flat(comms: list[Comm], batches: list[RecordBatch],
         rest = []
         for ctx in group:
             if ctx.active.size == 1:
-                outcomes[ctx.comm.grank] = _singleton_outcome(ctx)
+                outcomes[slot[id(ctx)]] = _singleton_outcome(ctx)
             else:
                 rest.append(ctx)
         group = rest
 
     try:
         if group:
-            get_phase("local_sort")(stable=params.stable).run_flat(fr, group)
+            get_phase("local_sort")(stable=params.stable).run(world, group)
             harvest()
         if comms[0].size == 1:
             for ctx in group:
-                outcomes[ctx.comm.grank] = _singleton_outcome(ctx)
-            return outcomes, fr.failures
+                outcomes[slot[id(ctx)]] = _singleton_outcome(ctx)
+            return outcomes
         if group:
-            get_phase("node_merge")().run_flat(fr, group)
+            get_phase("node_merge")().run(world, group)
             settle()
         if group:
-            fault_health_check_flat(fr, group, "pivot_select")
+            # crash barriers run only under a fault plan that schedules
+            # crashes; they are no-ops (not even a collective) otherwise
+            fault_health_check(world, group, "pivot_select")
             settle()
         if group:
-            get_phase("pivot_select")().run_flat(fr, group)
-            get_phase("partition")().run_flat(fr, group)
+            get_phase("pivot_select")().run(world, group)
+            get_phase("partition")().run(world, group)
             harvest()
         if group:
-            status = fault_health_check_flat(fr, group, "exchange")
+            status = fault_health_check(world, group, "exchange")
             settle()
             if status == "recovered" and group:
                 # pivots and displacements are functions of the
                 # communicator size: survivors re-derive both
-                get_phase("pivot_select")().run_flat(fr, group)
-                get_phase("partition")().run_flat(fr, group)
+                get_phase("pivot_select")().run(world, group)
+                get_phase("partition")().run(world, group)
                 harvest()
         if group:
-            get_phase("exchange")(stable=params.stable).run_flat(fr, group)
+            get_phase("exchange")(stable=params.stable).run(world, group)
             harvest()
         for ctx in group:
-            outcomes[ctx.comm.grank] = SortOutcome(
+            outcomes[slot[id(ctx)]] = SortOutcome(
                 batch=ctx.out,
                 received=len(ctx.out),
                 exchange=ctx.xstats,
@@ -209,4 +162,16 @@ def sds_sort_flat(comms: list[Comm], batches: list[RecordBatch],
             )
     except FlatAbort:
         harvest()  # a collective aborted: bank what already finished
-    return outcomes, fr.failures
+    return outcomes
+
+
+def sds_sort(comm: Comm, batch: RecordBatch,
+             params: SdsParams = SdsParams()) -> SortOutcome:
+    """Run SDS-Sort collectively; every rank of ``comm`` must call it.
+
+    Returns this rank's slice of the globally sorted data (empty on
+    ranks that merged their data into a node leader).  Per-rank entry
+    point of :func:`sds_sort_world` over the lane view — exceptions
+    propagate out of this rank exactly as the phase code raises them.
+    """
+    return sds_sort_world(LANE, [comm], [batch], params)[0]

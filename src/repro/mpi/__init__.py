@@ -2,25 +2,40 @@
 
 This package replaces the paper's Cray MPI runtime.  Rank programs are
 plain functions over a :class:`Comm`; see DESIGN.md section 6.
+
+Phase code is written once against the :class:`World` execution
+protocol (`mpi/world.py`): :class:`LaneWorld` runs it per rank over a
+single :class:`Comm` (thread and proc backends) and
+:class:`ColumnarWorld` (`mpi/flatworld.py`) runs the whole world as
+batched columnar passes without rank threads (flat backend).
 """
 
-from .comm import Comm, Request, World, payload_nbytes
+from .comm import Comm, Request, SimWorld, payload_nbytes
 from .context import AbortFlag, Channel, CommContext
 from .engine import SpmdPool, SpmdResult, default_pool, run_spmd
 from .errors import MessageLostError, RankFailure, SimAbort
-from .flatworld import FlatAbort, FlatRun, make_world_comms, run_spmd_flat
+from .flatworld import (
+    ColumnarWorld,
+    FlatAbort,
+    make_world_comms,
+    run_spmd_flat,
+)
 from .procpool import ProcPool, default_proc_pool
+from .world import LANE, LaneWorld, World
 
 __all__ = [
     "Comm",
     "Request",
-    "World",
+    "SimWorld",
     "payload_nbytes",
     "AbortFlag",
     "Channel",
     "CommContext",
+    "ColumnarWorld",
     "FlatAbort",
-    "FlatRun",
+    "LANE",
+    "LaneWorld",
+    "World",
     "SpmdPool",
     "SpmdResult",
     "ProcPool",

@@ -72,7 +72,7 @@ def _max_clock(stage: Sequence[tuple[Any, float]]) -> float:
 
 
 def split_contexts(stage: Sequence[tuple[Any, float]], ctx: CommContext,
-                   world: "World") -> dict:
+                   world: "SimWorld") -> dict:
     """Designated-rank compute of :meth:`Comm.split` (shared with flat).
 
     ``stage[r]`` carries ``((color, key), clock)``; returns the
@@ -92,7 +92,7 @@ def split_contexts(stage: Sequence[tuple[Any, float]], ctx: CommContext,
     return contexts
 
 
-class World:
+class SimWorld:
     """Process-global state of one simulated run."""
 
     def __init__(self, p: int, machine: MachineSpec,
@@ -194,7 +194,7 @@ class Request:
 class Comm:
     """Communicator handle of one rank (mirrors the mpi4py surface)."""
 
-    def __init__(self, world: World, ctx: CommContext, rank: int):
+    def __init__(self, world: SimWorld, ctx: CommContext, rank: int):
         self._world = world
         self._ctx = ctx
         self.rank = rank
@@ -728,7 +728,18 @@ class Comm:
 
         shared, received = self.staged((list(batches), sizes),
                                         self._size_scan, reader)
+        self._finish_alltoallv(shared, sizes)
+        return received
+
+    def _finish_alltoallv(self, shared: tuple, sizes: Sequence[int]) -> None:
+        """Per-rank alltoallv epilogue over a ``_size_scan`` result.
+
+        Shared with the columnar backend: memory charge for the
+        received bytes, LogGP cost application (or its traced twin with
+        the per-destination ``sizes`` edge matrix), operation counters.
+        """
         t, max_send, max_recv, total_bytes, send_tot, recv_tot, _ = shared
+        me = self.rank
         recv_bytes = int(recv_tot[me])
         self.mem.alloc(recv_bytes)
         dt = self.cost.alltoallv_time(
@@ -745,7 +756,6 @@ class Comm:
         self.count("coll.alltoallv")
         self.count("bytes.recv", recv_bytes)
         self.count("bytes.sent", int(send_tot[me]))
-        return received
 
     def alltoallv_async(self, batches: Sequence[RecordBatch]
                         ) -> list[tuple[int, RecordBatch, float]]:

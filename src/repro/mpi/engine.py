@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence
 
 from ..machine import LAPTOP, MachineSpec
-from .comm import Comm, World
+from .comm import Comm, SimWorld
 from .errors import RankFailure, SimAbort
 
 #: Per-thread stack size; rank programs are shallow, so a small stack
@@ -334,7 +334,7 @@ def run_spmd(fn: Callable[..., Any], p: int, *,
     elif backend != "thread":
         raise ValueError(f"unknown backend {backend!r}; "
                          "options: 'thread', 'proc', 'flat'")
-    world = World(p, machine, mem_capacity=mem_capacity, faults=faults,
+    world = SimWorld(p, machine, mem_capacity=mem_capacity, faults=faults,
                   tracer=tracer)
     results: list[Any] = [None] * p
     failures: list[tuple[int, BaseException]] = []

@@ -45,7 +45,7 @@ from typing import Any, Callable, Sequence
 
 import multiprocessing as mp
 
-from .comm import Comm, World
+from .comm import Comm, SimWorld
 from .context import _SAFETY_TIMEOUT, AbortFlag, _CondBarrier
 from .engine import _COARSE_SWITCH_RANKS, SpmdPool, SpmdResult
 from .errors import RankFailure, SimAbort
@@ -304,7 +304,7 @@ class ProcCommContext:
             self._cond.notify_all()
 
 
-class ProcWorld(World):
+class ProcWorld(SimWorld):
     """World of one worker process: local state for owned ranks, proxies
     and context identities for everything else."""
 

@@ -15,16 +15,20 @@ from typing import Any, Callable
 from .baselines import (
     HykParams,
     bitonic_sort_batch,
+    bitonic_sort_batch_world,
     hyksort,
     hyksort_secondary_key,
+    hyksort_secondary_key_world,
+    hyksort_world,
     psrs_sort,
+    psrs_sort_world,
     radix_sort,
+    radix_sort_world,
 )
-from .core import SdsParams, sds_sort
-from .core.sdssort import sds_sort_flat
+from .core import SdsParams, sds_sort, sds_sort_world
 from .machine import EDISON, MachineSpec
 from .metrics import check_sorted, rdfa, tb_per_min
-from .mpi import Comm, run_spmd
+from .mpi import ColumnarWorld, Comm, run_spmd
 from .records import RecordBatch, tag_provenance
 from .workloads import Workload
 
@@ -46,6 +50,10 @@ class AlgorithmSpec:
     arguments.  ``stable`` declares that equal-key output order is
     guaranteed stable — the runner validates accordingly and benches /
     the CLI no longer need a separate stable-algorithm set.
+    ``world_ctor`` is the algorithm's world-form entry point
+    ``(world, comms, batches, ...)`` — the single implementation behind
+    ``ctor`` that the columnar flat engine drives whole-world; an
+    algorithm without one cannot run on ``backend="flat"``.
     """
 
     name: str
@@ -54,6 +62,7 @@ class AlgorithmSpec:
     defaults: dict[str, Any] = field(default_factory=dict)
     stable: bool = False
     summary: str = ""
+    world_ctor: Callable[..., Any] | None = None
 
     def invoke(self, comm: Comm, batch: RecordBatch,
                opts: dict[str, Any] | None = None) -> Any:
@@ -63,32 +72,47 @@ class AlgorithmSpec:
             return self.ctor(comm, batch, self.params_type(**merged))
         return self.ctor(comm, batch, **merged)
 
+    def invoke_world(self, world: Any, comms: list[Comm], batches: list,
+                     opts: dict[str, Any] | None = None) -> list:
+        """Run the algorithm's world form over every rank of ``world``."""
+        if self.world_ctor is None:
+            raise TypeError(f"algorithm {self.name!r} has no world-form "
+                            "entry point")
+        merged = {**self.defaults, **(opts or {})}
+        if self.params_type is not None:
+            return self.world_ctor(world, comms, batches,
+                                   self.params_type(**merged))
+        return self.world_ctor(world, comms, batches, **merged)
+
 
 ALGORITHMS: dict[str, AlgorithmSpec] = {
     spec.name: spec
     for spec in (
         AlgorithmSpec(
             "sds", sds_sort, params_type=SdsParams,
+            world_ctor=sds_sort_world,
             summary="SDS-Sort (the paper): skew-aware adaptive samplesort"),
         AlgorithmSpec(
             "sds-stable", sds_sort, params_type=SdsParams,
             defaults={"stable": True}, stable=True,
+            world_ctor=sds_sort_world,
             summary="SDS-Sort with the stable partition/merge pipeline"),
         AlgorithmSpec(
-            "psrs", psrs_sort,
+            "psrs", psrs_sort, world_ctor=psrs_sort_world,
             summary="classic PSRS: regular sampling, no skew handling"),
         AlgorithmSpec(
             "hyksort", hyksort, params_type=HykParams,
+            world_ctor=hyksort_world,
             summary="HykSort: k-way hypercube samplesort (comparator)"),
         AlgorithmSpec(
             "hyksort-sk", hyksort_secondary_key, params_type=HykParams,
-            stable=True,
+            stable=True, world_ctor=hyksort_secondary_key_world,
             summary="HykSort on (key, provenance): stability workaround"),
         AlgorithmSpec(
-            "bitonic", bitonic_sort_batch,
+            "bitonic", bitonic_sort_batch, world_ctor=bitonic_sort_batch_world,
             summary="full bitonic sort network (small-p baseline)"),
         AlgorithmSpec(
-            "radix", radix_sort,
+            "radix", radix_sort, world_ctor=radix_sort_world,
             summary="distributed LSD radix sort (integer keys)"),
     )
 }
@@ -146,10 +170,11 @@ def resolve_backend(backend: str, algorithm: str,
     """Resolve ``backend`` (possibly ``"auto"``) to a concrete engine.
 
     Returns ``(resolved, reason)``.  ``"auto"`` picks the columnar flat
-    engine whenever the algorithm is the SDS-Sort pipeline and its
-    configuration has a whole-world batched path (everything except
-    histogram pivot selection), and the thread engine otherwise.
-    Unknown names raise a ``ValueError`` listing the choices.
+    engine whenever the algorithm has a world-form entry point (every
+    registered algorithm does — the flat engine drives the same
+    implementation the rank threads run), and the thread engine
+    otherwise.  Unknown names raise a ``ValueError`` listing the
+    choices.
     """
     if backend != "auto":
         if backend not in BACKENDS:
@@ -158,16 +183,28 @@ def resolve_backend(backend: str, algorithm: str,
                 + ", ".join(repr(b) for b in BACKENDS))
         return backend, "explicitly requested"
     spec = ALGORITHMS.get(algorithm)
-    if (spec is not None and spec.ctor is sds_sort
-            and spec.params_type is SdsParams):
-        merged = {**spec.defaults, **(algo_opts or {})}
-        if merged.get("pivot_method", "bitonic") != "histogram":
-            return "flat", ("sds pipeline with a whole-world batched path: "
-                            "columnar flat engine")
-        return "thread", ("histogram pivot selection has no flat execution "
-                          "path: thread engine")
-    return "thread", (f"algorithm {algorithm!r} has no whole-world batched "
-                      "path: thread engine")
+    if spec is not None and spec.world_ctor is not None:
+        return "flat", ("world-form implementation drives the whole-world "
+                        "batched path: columnar flat engine")
+    return "thread", (f"algorithm {algorithm!r} has no world-form entry "
+                      "point: thread engine")
+
+
+def eligible_backends(algorithm: str) -> list[str]:
+    """Concrete engines that can run ``algorithm`` (``auto`` excluded).
+
+    ``thread`` and ``proc`` accept any per-rank callable; ``flat``
+    needs the algorithm's world-form entry point; ``hybrid`` needs an
+    analytic count-space load model in :mod:`repro.simfast`.
+    """
+    out = ["thread", "proc"]
+    spec = ALGORITHMS.get(algorithm)
+    if spec is not None and spec.world_ctor is not None:
+        out.append("flat")
+    from .simfast.scaling import _LOAD_METHODS
+    if algorithm in _LOAD_METHODS:
+        out.append("hybrid")
+    return out
 
 
 @dataclass(frozen=True)
@@ -196,26 +233,26 @@ class _SortProgram:
     def flat_run(self, comms: list[Comm]):
         """Whole-world entry point for ``backend="flat"``.
 
-        Only the SDS-Sort pipeline has a batched flat execution path;
-        other algorithms must run on the per-rank backends.
+        Drives the algorithm's world-form implementation over a
+        columnar view of the world — the same code the rank threads
+        execute, minus the threads.
         """
         spec = ALGORITHMS[self.algorithm]
-        if spec.ctor is not sds_sort or spec.params_type is not SdsParams:
+        if spec.world_ctor is None:
             raise TypeError(
-                "backend='flat' runs the SDS-Sort pipeline only; algorithm "
-                f"{self.algorithm!r} has no whole-world batched path (use "
-                "backend='thread' or 'proc', or 'auto' to pick "
-                "automatically)")
-        params = SdsParams(**{**spec.defaults, **self.opts})
+                "backend='flat' needs an algorithm with a world-form entry "
+                f"point; {self.algorithm!r} has none (use backend='thread' "
+                "or 'proc', or 'auto' to pick automatically)")
+        world = ColumnarWorld(comms[0]._world)
         shards = []
         for c in comms:
             shard = self.workload.shard(self.n_per_rank, c.size, c.rank,
                                         self.seed)
             shards.append(tag_provenance(shard, c.rank))
-        outcomes, failures = sds_sort_flat(comms, shards, params)
+        outcomes = spec.invoke_world(world, comms, shards, self.opts)
         results = [None if o is None else (shards[i], o)
                    for i, o in enumerate(outcomes)]
-        return results, failures
+        return results, world.failures
 
 
 def run_sort(algorithm: str, workload: Workload, *, n_per_rank: int, p: int,
@@ -250,11 +287,11 @@ def run_sort(algorithm: str, workload: Workload, *, n_per_rank: int, p: int,
         functional engine — bit-for-bit identical results, with ranks
         hosted in this process, sharded over worker processes, or
         executed as whole-world columnar phases with zero rank threads
-        respectively (``"flat"`` requires an algorithm with a batched
-        path — the SDS-Sort pipeline).  ``"auto"`` resolves to
+        respectively (every registered algorithm has the world-form
+        entry point ``"flat"`` drives).  ``"auto"`` resolves to
         ``"flat"`` when the algorithm supports it and ``"thread"``
-        otherwise; the resolution is recorded in
-        ``extras["backend"]``.  ``"hybrid"`` computes the point
+        otherwise; the resolution and the per-algorithm eligibility
+        list are recorded in ``extras["backend"]``.  ``"hybrid"`` computes the point
         analytically at any ``p`` (up to 128Ki+) while functionally
         executing a deterministic rank sample for validation; see
         :func:`repro.simfast.hybrid_scaling_point`.
@@ -263,7 +300,8 @@ def run_sort(algorithm: str, workload: Workload, *, n_per_rank: int, p: int,
     requested = backend
     backend, why = resolve_backend(backend, algorithm, algo_opts)
     backend_info = {"requested": requested, "resolved": backend,
-                    "reason": why}
+                    "reason": why,
+                    "eligible": eligible_backends(algorithm)}
     if backend == "hybrid":
         res = _run_hybrid(algorithm, workload, n_per_rank=n_per_rank, p=p,
                           machine=machine, seed=seed, mem_factor=mem_factor,

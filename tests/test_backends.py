@@ -1,0 +1,397 @@
+"""Cross-backend equivalence: every engine is bit-for-bit the thread one.
+
+One suite, parametrized over the alternative execution backends:
+
+* ``proc`` — rank blocks hosted in worker processes, staged-collective
+  deposits carried through shared memory;
+* ``flat`` — the columnar engine: no rank threads at all, each phase
+  runs as one batched numpy invocation over the whole world through
+  the :class:`~repro.mpi.flatworld.ColumnarWorld` view of the
+  ``World`` protocol.
+
+None of that machinery may be observable in the results.  These tests
+pin the determinism contract: virtual clocks, outputs, phase times,
+deterministic counters, memory peaks, decision traces, chaos report
+hashes and trace reports are identical to the thread backend — only
+the host-wall counters (``coll.sync_wait``, ``p2p.wait``), which a
+threadless engine never accrues (and which differ between *any* two
+threaded runs), are excluded.
+
+Because every registered algorithm is now written in world form, the
+flat leg extends beyond SDS: PSRS, HykSort (plain and secondary-key),
+bitonic, radix and histogram-pivot SDS all run columnar and must match
+their thread twins bit-for-bit.
+
+Backend resolution (``--backend auto``) and the per-algorithm
+eligibility report are covered here too, as are the hybrid backend's
+runner-level contracts and the engine's coarse-switch hygiene.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine import EDISON
+from repro.mpi import run_spmd
+from repro.mpi.procpool import shard_bounds
+from repro.runner import (
+    ALGORITHMS,
+    eligible_backends,
+    resolve_backend,
+    run_sort,
+)
+from repro.workloads import by_name
+
+from .test_engine_golden import GOLDEN, WORKLOADS, _prog
+
+#: Host-wall-clock counters, excluded from the determinism contract.
+WALL_COUNTERS = ("coll.sync_wait", "p2p.wait")
+
+#: The alternative backends under test (thread is the reference).
+BACKENDS = ("proc", "flat")
+
+
+def _strip_wall(counters):
+    return [{k: v for k, v in c.items() if k not in WALL_COUNTERS}
+            for c in counters]
+
+
+def _backend_kw(backend):
+    """Extra ``run_sort``/``run_chaos``/``run_spmd`` backend kwargs."""
+    return ({"backend": "proc", "procs": 2} if backend == "proc"
+            else {"backend": "flat"})
+
+
+class _WorldProg:
+    """``_prog`` as a program object with a ``flat_run`` columnar path."""
+
+    def __init__(self, n, workload, params):
+        self.n, self.workload, self.params = n, workload, params
+
+    def __call__(self, comm):
+        return _prog(comm, self.n, self.workload, self.params)
+
+    def flat_run(self, comms):
+        from repro.core import SdsParams, sds_sort_world
+        from repro.mpi import ColumnarWorld
+        from repro.records import tag_provenance
+        shards = []
+        for c in comms:
+            shard = WORKLOADS[self.workload]().shard(self.n, c.size,
+                                                     c.rank, 0)
+            shards.append(tag_provenance(shard, c.rank))
+        world = ColumnarWorld(comms[0]._world)
+        outs = sds_sort_world(
+            world, comms, shards,
+            SdsParams(node_merge_enabled=False, **self.params))
+        results = [None if o is None else
+                   (float(o.batch.keys.sum()), len(o.batch))
+                   for o in outs]
+        return results, world.failures
+
+
+class _FlatOnlyProg(_WorldProg):
+    """A program whose per-rank path must never be entered."""
+
+    def __call__(self, comm):  # pragma: no cover - must never run
+        raise AssertionError("flat backend must not spawn rank threads")
+
+
+def _spmd(backend, ref, prog_cls=_WorldProg):
+    prog = prog_cls(ref["n_per_rank"], ref.get("workload", "uniform"),
+                    ref.get("params", {}))
+    return run_spmd(prog, ref["p"], machine=EDISON, **_backend_kw(backend))
+
+
+# ---------------------------------------------------------------------------
+# sharding arithmetic
+# ---------------------------------------------------------------------------
+
+def test_shard_bounds_contiguous_and_complete():
+    for p, nprocs in [(8, 2), (10, 3), (7, 7), (64, 8), (5, 1)]:
+        b = shard_bounds(p, nprocs)
+        assert b[0] == 0 and b[-1] == p and len(b) == nprocs + 1
+        sizes = [b[i + 1] - b[i] for i in range(nprocs)]
+        assert sum(sizes) == p
+        assert max(sizes) - min(sizes) <= 1  # balanced blocks
+
+
+# ---------------------------------------------------------------------------
+# golden equivalence (the acceptance bar: same numbers as the seed engine)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("case", ["p64_n2000", "p64_n2000_stable_zipf",
+                                  "p256_n2000"])
+def test_matches_golden(backend, case):
+    ref = GOLDEN[case]
+    res = _spmd(backend, ref)
+    assert res.ok
+    assert res.clocks == ref["clocks"]
+    assert res.elapsed == ref["elapsed"]
+    assert res.phase_breakdown() == ref["phase_breakdown"]
+    assert [r[0] for r in res.results] == ref["keysums"]
+    assert [r[1] for r in res.results] == ref["out_lens"]
+
+
+def test_proc_worker_count_is_unobservable():
+    ref = GOLDEN["p64_n2000"]
+    args = (ref["n_per_rank"], "uniform", ref.get("params", {}))
+    clocks = None
+    for procs in (2, 3):
+        res = run_spmd(_prog, ref["p"], machine=EDISON, args=args,
+                       backend="proc", procs=procs)
+        assert res.clocks == ref["clocks"]
+        clocks = clocks or res.clocks
+        assert res.clocks == clocks
+
+
+def test_flat_never_spawns_rank_threads():
+    res = _spmd("flat", GOLDEN["p64_n2000"], prog_cls=_FlatOnlyProg)
+    assert res.ok
+
+
+# ---------------------------------------------------------------------------
+# full-run equivalence through the runner (counters, faults, traces)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_run_sort_equals_thread(backend):
+    wl = by_name("zipf")
+    kw = dict(n_per_rank=300, p=64, mem_factor=None)
+    t = run_sort("sds", wl, **kw)
+    b = run_sort("sds", wl, **kw, **_backend_kw(backend))
+    assert t.ok and b.ok
+    assert t.elapsed == b.elapsed
+    assert t.loads == b.loads
+    assert t.phase_times == b.phase_times
+    assert t.extras["bytes_sent"] == b.extras["bytes_sent"]
+    assert t.extras["messages"] == b.extras["messages"]
+    assert t.extras["decisions"] == b.extras["decisions"]
+    assert t.extras["mem_peaks"] == b.extras["mem_peaks"]
+
+
+#: Algorithms newly eligible for the columnar engine, with a workload
+#: and options that exercise their distinctive code paths.
+CROSS_CASES = [
+    ("psrs", "zipf", None),
+    ("hyksort", "zipf", None),
+    ("hyksort-sk", "zipf", None),
+    ("bitonic", "uniform", None),
+    ("radix", "staggered", None),
+    ("sds", "zipf", {"pivot_method": "histogram"}),
+]
+
+
+@pytest.mark.parametrize(
+    "algorithm,workload,opts", CROSS_CASES,
+    ids=[f"{a}-histogram" if o else a for a, _, o in CROSS_CASES])
+def test_flat_equals_thread_newly_eligible(algorithm, workload, opts):
+    kw = dict(n_per_rank=200, p=16, mem_factor=None, algo_opts=opts)
+    t = run_sort(algorithm, by_name(workload), **kw)
+    f = run_sort(algorithm, by_name(workload), **kw, backend="flat")
+    assert t.ok and f.ok
+    assert t.elapsed == f.elapsed
+    assert t.loads == f.loads
+    assert t.phase_times == f.phase_times
+    assert t.extras["bytes_sent"] == f.extras["bytes_sent"]
+    assert t.extras["messages"] == f.extras["messages"]
+    assert t.extras["decisions"] == f.extras["decisions"]
+    assert t.extras["mem_peaks"] == f.extras["mem_peaks"]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_chaos_hash_is_backend_invariant(backend):
+    from repro.faults.chaos import run_chaos
+    kw = dict(p=32, n_per_rank=128, seeds=[0],
+              specs=["drop", "crash-exchange"], algorithms=["sds"])
+    rt = run_chaos(**kw)
+    rb = run_chaos(**kw, **_backend_kw(backend))
+    assert rt.report_hash == rb.report_hash
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_trace_report_is_backend_invariant(backend):
+    wl = by_name("uniform")
+    kw = dict(n_per_rank=200, p=64, mem_factor=None, trace=True)
+    t = run_sort("sds", wl, **kw)
+    b = run_sort("sds", wl, **kw, **_backend_kw(backend))
+    dt = t.extras["trace"].as_dict()
+    db = b.extras["trace"].as_dict()
+    dt["engine_counters"] = _strip_wall(dt["engine_counters"])
+    db["engine_counters"] = _strip_wall(db["engine_counters"])
+    assert dt == db
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_failure_surfaces_identically(backend):
+    # Simultaneous multi-rank OOM: *which* rank records its failure
+    # before siblings unwind is host-scheduling dependent on the
+    # threaded backends (the flat ordering is deterministic — ranks
+    # fail in collective order), so the cross-backend contract covers
+    # the failure's kind and shape, not the reporting rank.
+    wl = by_name("uniform")
+    kw = dict(n_per_rank=500, p=64, mem_factor=1.0)
+    t = run_sort("sds", wl, **kw)
+    b = run_sort("sds", wl, **kw, **_backend_kw(backend))
+    assert not t.ok and not b.ok
+    assert t.oom and b.oom
+    assert "SimOOMError" in t.failure and "SimOOMError" in b.failure
+    assert "would exceed capacity" in b.failure  # repr survives transport
+
+
+# ---------------------------------------------------------------------------
+# extras metadata
+# ---------------------------------------------------------------------------
+
+def test_extras_report_backend_topology():
+    ref = GOLDEN["p64_n2000"]
+    args = (ref["n_per_rank"], "uniform", ref.get("params", {}))
+    t = run_spmd(_prog, 64, machine=EDISON, args=args)
+    assert t.extras["backend"] == "thread"
+    assert t.extras["workers"] == 1
+    assert t.extras["shards"] == [[0, 64]]
+    assert t.extras["coarse_switch"] is True
+    p = run_spmd(_prog, 64, machine=EDISON, args=args,
+                 backend="proc", procs=2)
+    assert p.extras["backend"] == "proc"
+    assert p.extras["workers"] == 2
+    assert p.extras["shards"] == [[0, 32], [32, 64]]
+    assert p.extras["pool_threads"] == 32
+    f = _spmd("flat", ref)
+    assert f.extras["backend"] == "flat"
+    assert f.extras["workers"] == 0
+    assert f.extras["pool_threads"] == 0
+    assert f.extras["shards"] == [[0, 64]]
+    assert f.extras["coarse_switch"] is False
+
+
+def test_flat_requires_flat_run():
+    with pytest.raises(TypeError, match="flat_run"):
+        run_spmd(lambda comm: None, 2, backend="flat")
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ValueError, match="unknown backend"):
+        run_spmd(lambda comm: None, 2, backend="mpi")
+
+
+# ---------------------------------------------------------------------------
+# backend resolution (--backend auto) and eligibility
+# ---------------------------------------------------------------------------
+
+def test_resolve_backend_auto_routes_every_algorithm_to_flat():
+    # every registered algorithm is written in world form, so auto
+    # always picks the columnar engine — including the once-excluded
+    # histogram pivot method
+    for algorithm in ALGORITHMS:
+        resolved, reason = resolve_backend("auto", algorithm)
+        assert resolved == "flat", algorithm
+        assert "batched" in reason
+    resolved, _ = resolve_backend(
+        "auto", "sds", algo_opts={"pivot_method": "histogram"})
+    assert resolved == "flat"
+
+
+def test_resolve_backend_rejects_unknown():
+    with pytest.raises(ValueError, match="unknown backend"):
+        resolve_backend("mpi", "sds")
+
+
+def test_eligible_backends_per_algorithm():
+    for algorithm in ALGORITHMS:
+        elig = eligible_backends(algorithm)
+        assert elig[:2] == ["thread", "proc"]
+        assert "flat" in elig
+    # hybrid needs an analytic count-space load model
+    assert "hybrid" in eligible_backends("sds")
+    assert "hybrid" in eligible_backends("sds-stable")
+    assert "hybrid" in eligible_backends("hyksort")
+    assert "hybrid" not in eligible_backends("psrs")
+    assert "hybrid" not in eligible_backends("bitonic")
+
+
+def test_run_sort_auto_records_resolution():
+    wl = by_name("uniform")
+    kw = dict(n_per_rank=100, p=32, mem_factor=None)
+    a = run_sort("sds", wl, **kw, backend="auto")
+    assert a.ok
+    assert a.extras["engine"]["backend"] == "flat"
+    assert a.extras["backend"] == {
+        "requested": "auto", "resolved": "flat",
+        "reason": a.extras["backend"]["reason"],
+        "eligible": ["thread", "proc", "flat", "hybrid"]}
+    t = run_sort("sds", wl, **kw)
+    assert t.extras["backend"]["requested"] == "thread"
+    assert t.extras["backend"]["resolved"] == "thread"
+    assert t.extras["backend"]["reason"] == "explicitly requested"
+    assert a.elapsed == t.elapsed  # auto's flat run is still bit-equal
+
+
+def test_run_sort_auto_routes_psrs_to_flat():
+    wl = by_name("zipf")
+    kw = dict(n_per_rank=150, p=16, mem_factor=None)
+    a = run_sort("psrs", wl, **kw, backend="auto")
+    assert a.ok
+    assert a.extras["engine"]["backend"] == "flat"
+    assert a.extras["backend"]["resolved"] == "flat"
+    assert a.extras["backend"]["eligible"] == ["thread", "proc", "flat"]
+    t = run_sort("psrs", wl, **kw)
+    assert a.elapsed == t.elapsed
+
+
+# ---------------------------------------------------------------------------
+# hybrid backend through the runner
+# ---------------------------------------------------------------------------
+
+def test_hybrid_point_validates_and_reports():
+    r = run_sort("sds", by_name("zipf"), n_per_rank=2000, p=4096,
+                 backend="hybrid", mem_factor=None)
+    assert r.ok
+    assert r.elapsed > 0
+    hyb = r.extras["hybrid"]
+    assert hyb["local_sort_ok"] and hyb["deterministic"]
+    assert hyb["max_load_rel_err"] <= hyb["tolerance"]
+    assert len(hyb["sampled_ranks"]) >= 2
+    assert r.extras["engine"]["backend"] == "hybrid"
+    # phase breakdown has the paper's stacked-bar categories
+    assert set(r.phase_times) == {"pivot_selection", "exchange",
+                                  "local_ordering", "other"}
+
+
+def test_hybrid_rejects_functional_only_features():
+    from repro.faults.spec import FaultSpec, MessageFaults
+    wl = by_name("uniform")
+    with pytest.raises(ValueError, match="cannot honour"):
+        run_sort("sds", wl, n_per_rank=100, p=4096, backend="hybrid",
+                 trace=True)
+    with pytest.raises(ValueError, match="cannot honour"):
+        run_sort("sds", wl, n_per_rank=100, p=4096, backend="hybrid",
+                 faults=FaultSpec(messages=MessageFaults(drop_rate=0.1)))
+
+
+def test_hybrid_matches_analytic_model():
+    # the analytic leg of a hybrid point is exactly weak_scaling_point
+    from repro.simfast import UniverseModel, weak_scaling_point
+    r = run_sort("sds", by_name("uniform"), n_per_rank=2000, p=4096,
+                 backend="hybrid", mem_factor=None)
+    pt = weak_scaling_point("sds", UniverseModel.uniform(), 2000, 4096,
+                            machine=EDISON, record_bytes=r.record_bytes)
+    assert r.elapsed == pt.total
+
+
+# ---------------------------------------------------------------------------
+# engine hygiene satellites
+# ---------------------------------------------------------------------------
+
+def test_coarse_switch_refcount_restores_interval():
+    import sys
+    from repro.mpi.engine import _coarse_enter, _coarse_exit
+    before = sys.getswitchinterval()
+    _coarse_enter()
+    _coarse_enter()  # nested (two pools running concurrently)
+    assert sys.getswitchinterval() >= 0.045
+    _coarse_exit()
+    assert sys.getswitchinterval() >= 0.045  # still held by outer
+    _coarse_exit()
+    assert sys.getswitchinterval() == before

@@ -129,7 +129,7 @@ class TestCliTrace:
         )
         assert code == 0
         doc = json.loads(out)
-        assert doc["schema"] == "sdssort.sort/v2"
+        assert doc["schema"] == "sdssort.sort/v3"
         assert doc["ok"] is True
         for key in ("algorithm", "workload", "p", "n_per_rank", "elapsed",
                     "throughput_tb_min", "rdfa", "phases", "decisions",
@@ -137,11 +137,30 @@ class TestCliTrace:
             assert key in doc, key
         assert doc["engine"]["resolved_backend"] == {
             "requested": "thread", "resolved": "thread",
-            "reason": "explicitly requested"}
+            "reason": "explicitly requested",
+            "eligible": ["thread", "proc", "flat", "hybrid"]}
+        assert doc["engine"]["eligible_backends"] == [
+            "thread", "proc", "flat", "hybrid"]
         assert doc["elapsed"] > 0
         assert doc["decisions"] and "choice" in doc["decisions"][0]
         assert doc["trace"]["spans"] > 0
         assert doc["trace"]["reconciliation"]["max_cost_gap"] < 1e-9
+
+    def test_sort_backend_auto_routes_psrs_to_flat(self, capsys):
+        import json
+
+        code, out = run_cli(
+            capsys, "sort", "--algorithm", "psrs", "--p", "8", "--n", "200",
+            "--backend", "auto", "--json",
+        )
+        assert code == 0
+        doc = json.loads(out)
+        assert doc["engine"]["backend"] == "flat"
+        resolved = doc["engine"]["resolved_backend"]
+        assert resolved["requested"] == "auto"
+        assert resolved["resolved"] == "flat"
+        assert doc["engine"]["eligible_backends"] == [
+            "thread", "proc", "flat"]
 
     def test_sort_json_failure(self, capsys):
         import json
