@@ -36,7 +36,11 @@ other's sections and all v3 baselines.  Schema v5 adds the
 sections and baselines carry over unchanged.  Schema v6 adds the
 ``backend_scaling`` section written by ``bench_backend_scaling.py``
 (thread vs proc wall-clock at p in {1Ki, 4Ki, 16Ki}, hybrid points at
-64Ki/128Ki); all v5 sections carry over unchanged.
+64Ki/128Ki); all v5 sections carry over unchanged.  Schema v9 adds the
+``service_throughput`` section written by
+``bench_service_throughput.py`` (jobs/min and latency percentiles
+through the sort service, warm vs cold engine pools); all prior
+sections carry over unchanged.
 
 Run directly (``python benchmarks/bench_engine_walltime.py``) or via
 pytest.  ``REPRO_BENCH_QUICK`` drops the p=1024 point.
@@ -136,14 +140,15 @@ def write_report(runs: dict) -> list[str]:
     existing = (json.loads(JSON_PATH.read_text())
                 if JSON_PATH.exists() else {})
     payload = {
-        "schema": "bench_engine_walltime/v8",
+        "schema": "bench_engine_walltime/v9",
         "machine": "EDISON cost model, uniform workload, node_merge off",
         "seed_issue": SEED_ISSUE,
         "seed_host": SEED_HOST,
         "pre_fusion": PRE_FUSION,
         "runs": runs,
     }
-    for section in ("chaos", "trace_overhead", "backend_scaling"):
+    for section in ("chaos", "trace_overhead", "backend_scaling",
+                    "service_throughput"):
         if section in existing:
             payload[section] = existing[section]
     JSON_PATH.write_text(json.dumps(payload, indent=1) + "\n")

@@ -125,36 +125,16 @@ def _fault_spec(text: str):
 
 
 def _sort_json_doc(args: argparse.Namespace, machine, r) -> dict:
-    """The ``sort --json`` document (schema ``sdssort.sort/v3``)."""
-    report = r.extras.get("trace")
-    engine = dict(r.extras.get("engine") or {})
-    resolved = r.extras.get("backend") or {}
-    engine["resolved_backend"] = resolved
-    # v3: the engines this algorithm could run on, not just the one used
-    engine["eligible_backends"] = resolved.get("eligible") or []
-    return {
-        "schema": "sdssort.sort/v3",
-        "algorithm": r.algorithm,
-        "workload": r.workload,
-        "machine": machine.name,
-        "p": r.p,
-        "n_per_rank": r.n_per_rank,
-        "seed": args.seed,
-        "fault_seed": args.fault_seed,
-        "ok": r.ok,
-        "oom": r.oom,
-        "failure": r.failure,
-        "elapsed": r.elapsed if r.ok else None,
-        "throughput_tb_min": r.throughput_tb_min if r.ok else None,
-        "rdfa": r.rdfa if r.ok else None,
-        "phases": r.phase_times,
-        "decisions": r.extras.get("decisions") or [],
-        "faults": r.extras.get("faults"),
-        "crashed_ranks": r.extras.get("crashed_ranks"),
-        "trace": report.summary() if report is not None else None,
-        "engine": engine,
-        "hybrid": r.extras.get("hybrid"),
-    }
+    """The ``sort --json`` document (schema ``sdssort.sort/v4``).
+
+    One builder (`repro.service.jsondoc.sort_doc`) serves both this
+    direct path and service job results; direct runs carry zero
+    queue/run latency in the v4 ``timing`` block.
+    """
+    from .service.jsondoc import sort_doc
+
+    return sort_doc(r, machine=machine.name, seed=args.seed,
+                    fault_seed=args.fault_seed)
 
 
 def cmd_sort(args: argparse.Namespace) -> int:
@@ -475,6 +455,102 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if summary["recovery_rate"] == 1.0 else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .service import SortService, serve_socket, serve_stdio
+
+    service = SortService(
+        workers=args.workers,
+        max_queue_depth=args.max_queue_depth,
+        mem_budget_bytes=(None if args.no_mem_budget
+                          else int(args.mem_budget_mb * 2**20)),
+        warm_pools=not args.cold_pools,
+        max_pools=args.max_pools)
+    if args.socket:
+        def _ready() -> None:
+            print(f"sdssort service listening on {args.socket}",
+                  file=sys.stderr, flush=True)
+        serve_socket(service, args.socket, ready=_ready)
+    else:
+        # stdio transport: stdout carries only protocol lines
+        serve_stdio(service, sys.stdin, sys.stdout)
+    return 0
+
+
+def _submit_spec(args: argparse.Namespace) -> dict:
+    """The JobSpec wire dict a ``submit`` invocation describes."""
+    import json
+
+    if args.spec is not None:
+        doc = json.loads(args.spec)
+        if not isinstance(doc, dict):
+            raise SystemExit("--spec must be a JSON object")
+        return doc
+    algo_opts = {}
+    if args.algorithm.startswith("sds"):
+        if args.no_node_merge:
+            algo_opts["node_merge_enabled"] = False
+        if args.sync:
+            algo_opts["tau_o"] = 0
+    workload_opts = {"alpha": args.alpha} if args.workload == "zipf" else {}
+    faults = None
+    if args.fault_spec is not None:
+        faults = args.fault_spec.as_dict()
+    return {
+        "algorithm": args.algorithm,
+        "workload": args.workload,
+        "workload_opts": workload_opts,
+        "p": args.p,
+        "n_per_rank": args.n,
+        "backend": args.backend,
+        "procs": args.procs,
+        "machine": args.machine,
+        "seed": args.seed,
+        "mem_factor": None if args.no_mem_limit else args.mem_factor,
+        "algo_opts": algo_opts,
+        "faults": faults,
+        "fault_seed": args.fault_seed,
+        "trace": args.job_trace,
+        "explain": args.explain,
+    }
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from .service import ServiceError, SocketClient
+
+    try:
+        client = SocketClient(args.socket)
+    except OSError as exc:
+        raise SystemExit(f"cannot reach daemon at {args.socket}: {exc}")
+    with client:
+        try:
+            if args.stats:
+                print(json.dumps(client.stats(), indent=2, sort_keys=True))
+                return 0
+            if args.drain:
+                out = client.drain()
+                print(json.dumps(out["stats"], indent=2, sort_keys=True))
+                return 0
+            if args.status is not None:
+                env = client.status(args.status)
+            elif args.cancel is not None:
+                env = client.cancel(args.cancel)
+            else:
+                env = client.submit(_submit_spec(args),
+                                    priority=args.priority,
+                                    timeout_s=args.timeout_s)
+                if env["status"] == "rejected":
+                    print(json.dumps(env, indent=2, sort_keys=True))
+                    return 2
+                if not args.no_wait:
+                    env = client.result(env["job_id"])
+        except ServiceError as exc:
+            raise SystemExit(f"daemon error: {exc}")
+        print(json.dumps(env, indent=2, sort_keys=True))
+        return 0 if env["status"] in ("done", "queued", "running") else 1
+
+
 def cmd_info(args: argparse.Namespace) -> int:
     print("algorithms:")
     for name in sorted(ALGORITHMS):
@@ -543,7 +619,7 @@ def build_parser() -> argparse.ArgumentParser:
                          "print the phase-flame / comm-heat summary")
     ps.add_argument("--json", action="store_true",
                     help="machine-readable JSON result on stdout "
-                         "(schema sdssort.sort/v3; implies tracing)")
+                         "(schema sdssort.sort/v4; implies tracing)")
     ps.set_defaults(fn=cmd_sort)
 
     ptr = sub.add_parser(
@@ -630,6 +706,81 @@ def build_parser() -> argparse.ArgumentParser:
     px.add_argument("--json", default=None, metavar="PATH",
                     help="also write the full report as JSON")
     px.set_defaults(fn=cmd_chaos)
+
+    pv = sub.add_parser(
+        "serve",
+        help="run the sort service daemon (JSON-lines over stdio or a "
+             "Unix socket; see docs/service.md)")
+    pv.add_argument("--socket", default=None, metavar="PATH",
+                    help="serve on a Unix socket instead of stdio")
+    pv.add_argument("--workers", type=_positive_int, default=2,
+                    help="concurrent jobs (scheduler threads)")
+    pv.add_argument("--max-queue-depth", type=_positive_int, default=64,
+                    help="queued-job bound; beyond it submissions get a "
+                         "typed queue-full rejection")
+    pv.add_argument("--mem-budget-mb", type=_positive_float, default=4096,
+                    help="admission memory budget: total modelled engine "
+                         "peak across queued+running jobs (MiB)")
+    pv.add_argument("--no-mem-budget", action="store_true",
+                    help="disable the memory admission gate")
+    pv.add_argument("--cold-pools", action="store_true",
+                    help="disable warm-pool reuse (every job cold-starts "
+                         "its engine pool)")
+    pv.add_argument("--max-pools", type=_positive_int, default=8,
+                    help="idle engine pools retained by the warm cache")
+    pv.set_defaults(fn=cmd_serve)
+
+    pm = sub.add_parser(
+        "submit",
+        help="submit a job to a running serve daemon and print the "
+             "sdssort.job/v1 envelope")
+    pm.add_argument("--socket", required=True, metavar="PATH",
+                    help="Unix socket of the serve daemon")
+    pm.add_argument("--spec", default=None, metavar="JSON",
+                    help="full JobSpec as inline JSON (overrides the "
+                         "per-field flags)")
+    pm.add_argument("--algorithm", default="sds", choices=sorted(ALGORITHMS))
+    pm.add_argument("--workload", default="uniform")
+    pm.add_argument("--alpha", type=float, default=0.7)
+    pm.add_argument("--n", type=_nonneg_int, default=2000,
+                    help="records per rank")
+    pm.add_argument("--p", type=_positive_int, default=16,
+                    help="simulated ranks")
+    pm.add_argument("--machine", default="edison")
+    pm.add_argument("--backend", default="thread",
+                    choices=["thread", "proc", "hybrid", "flat", "auto"])
+    pm.add_argument("--procs", type=_positive_int, default=None)
+    pm.add_argument("--seed", type=int, default=0)
+    pm.add_argument("--mem-factor", type=_positive_float, default=6.7)
+    pm.add_argument("--no-mem-limit", action="store_true")
+    pm.add_argument("--no-node-merge", action="store_true")
+    pm.add_argument("--sync", action="store_true")
+    pm.add_argument("--fault-spec", type=_fault_spec, default=None,
+                    metavar="PRESET|JSON")
+    pm.add_argument("--fault-seed", type=int, default=0)
+    pm.add_argument("--job-trace", action="store_true",
+                    help="record a virtual-time trace; its digest rides "
+                         "in the result document")
+    pm.add_argument("--explain", action="store_true",
+                    help="include the decision explanation in the result")
+    pm.add_argument("--priority", default="batch",
+                    choices=["interactive", "batch", "bulk"])
+    pm.add_argument("--timeout-s", type=_positive_float, default=None,
+                    help="cancel the job if not finished in this many "
+                         "wall seconds")
+    pm.add_argument("--no-wait", action="store_true",
+                    help="print the queued envelope instead of blocking "
+                         "for the result")
+    pm.add_argument("--status", default=None, metavar="JOB_ID",
+                    help="query one job instead of submitting")
+    pm.add_argument("--cancel", default=None, metavar="JOB_ID",
+                    help="cancel one job instead of submitting")
+    pm.add_argument("--stats", action="store_true",
+                    help="print service stats instead of submitting")
+    pm.add_argument("--drain", action="store_true",
+                    help="drain the daemon (finish queued+running jobs, "
+                         "then it exits)")
+    pm.set_defaults(fn=cmd_submit)
 
     pi = sub.add_parser("info", help="list algorithms, workloads, machines")
     pi.set_defaults(fn=cmd_info)

@@ -26,7 +26,7 @@ from typing import Any, Callable, Iterable, Sequence
 
 from ..machine import LAPTOP, MachineSpec
 from .comm import Comm, SimWorld
-from .errors import RankFailure, SimAbort
+from .errors import RankFailure, RunCancelled, SimAbort
 
 #: Per-thread stack size; rank programs are shallow, so a small stack
 #: lets runs with thousands of ranks stay cheap.
@@ -137,18 +137,56 @@ class SpmdPool:
     shrinks; workers are daemon threads with small stacks that sleep
     between runs, so an idle pool costs memory only.  One pool runs one
     world at a time (``run`` holds the pool lock for the whole
-    invocation); nested ``run_spmd`` calls from inside a rank program
-    must pass their own pool (or rely on the p==1 inline path).
+    invocation), so two worlds sharing a pool serialize rather than
+    corrupt each other; nested ``run_spmd`` calls from inside a rank
+    program must pass their own pool (or rely on the p==1 inline path).
+
+    Concurrent borrowers (the sort-as-a-service warm-pool cache hands
+    pools to scheduler threads) coordinate through the lease refcount:
+    :meth:`lease`/:meth:`release` are thread-safe, ``leases`` tells a
+    cache whether a pool is idle, and :meth:`shutdown` refuses while
+    any lease is outstanding — a job can never have its rank threads
+    torn down under it by another job's cleanup.
     """
 
     def __init__(self) -> None:
         self._workers: list[_Worker] = []
         self._lock = threading.Lock()
+        self._lease_lock = threading.Lock()
+        self._leases = 0
+        self._down = False
 
     @property
     def size(self) -> int:
         """Current number of pool threads."""
         return len(self._workers)
+
+    @property
+    def leases(self) -> int:
+        """Outstanding lease count (0 = idle, safe to shut down)."""
+        with self._lease_lock:
+            return self._leases
+
+    def lease(self) -> "SpmdPool":
+        """Register a borrower; returns ``self`` for chaining.
+
+        Leasing is advisory refcounting, not mutual exclusion: two
+        borrowers may hold leases at once (their runs serialize on the
+        run lock).  It exists so a pool cache can tell idle pools from
+        busy ones and so :meth:`shutdown` cannot fire mid-job.
+        """
+        with self._lease_lock:
+            if self._down:
+                raise RuntimeError("pool has been shut down")
+            self._leases += 1
+        return self
+
+    def release(self) -> None:
+        """Drop one lease taken with :meth:`lease`."""
+        with self._lease_lock:
+            if self._leases <= 0:
+                raise RuntimeError("release() without a matching lease()")
+            self._leases -= 1
 
     def _grow(self, p: int) -> None:
         if len(self._workers) >= p:
@@ -192,7 +230,18 @@ class SpmdPool:
                     _coarse_exit()
 
     def shutdown(self) -> None:
-        """Stop and join all pool threads (mainly for tests)."""
+        """Stop and join all pool threads (tests / pool-cache eviction).
+
+        Refuses while leases are outstanding: a warm-pool cache evicting
+        this pool must not tear the rank threads down under a job that
+        is still borrowing them.
+        """
+        with self._lease_lock:
+            if self._leases:
+                raise RuntimeError(
+                    f"cannot shut down pool with {self._leases} outstanding "
+                    "lease(s)")
+            self._down = True
         with self._lock:
             for w in self._workers:
                 w.stop()
@@ -256,11 +305,12 @@ def run_spmd(fn: Callable[..., Any], p: int, *,
              args: Sequence[Any] = (),
              kwargs: dict[str, Any] | None = None,
              check: bool = True,
-             pool: SpmdPool | None = None,
+             pool: Any = None,
              faults: Any = None,
              tracer: Any = None,
              backend: str = "thread",
-             procs: int | None = None) -> SpmdResult:
+             procs: int | None = None,
+             cancel: Any = None) -> SpmdResult:
     """Execute ``fn(comm, *args, **kwargs)`` on ``p`` simulated ranks.
 
     Parameters
@@ -281,8 +331,12 @@ def run_spmd(fn: Callable[..., Any], p: int, *,
         if False, return the partial :class:`SpmdResult` with
         ``failure`` set instead.
     pool:
-        Rank-thread pool to run on (default: the process-wide
-        :func:`default_pool`, reused across invocations).
+        Pool to run on: an :class:`SpmdPool` for the thread backend
+        (default: the process-wide :func:`default_pool`) or a
+        :class:`~repro.mpi.procpool.ProcPool` for the proc backend
+        (default: :func:`~repro.mpi.procpool.default_proc_pool`).  The
+        sort-as-a-service scheduler injects warm cached pools here so
+        concurrent jobs never contend on the shared defaults.
     faults:
         Optional compiled :class:`~repro.faults.plan.FaultPlan` (for
         ``p`` ranks) injected at the Comm hook points.  ``None`` — the
@@ -306,6 +360,13 @@ def run_spmd(fn: Callable[..., Any], p: int, *,
     procs:
         Worker-process count for ``backend="proc"`` (default: a scale-
         dependent heuristic).  Ignored by the thread backend.
+    cancel:
+        Optional :class:`threading.Event`; when it fires mid-run (a
+        service timeout or an explicit cancel), the world aborts and
+        the result carries a :class:`RankFailure` whose cause is
+        :class:`RunCancelled`.  Honoured by the thread backend (and the
+        shared p==1 inline path); the proc and flat backends check it
+        only between runs.
     """
     if p < 1:
         raise ValueError("p must be >= 1")
@@ -315,11 +376,12 @@ def run_spmd(fn: Callable[..., Any], p: int, *,
     kwargs = dict(kwargs or {})
     if backend == "proc":
         if p > 1:
-            from .procpool import run_spmd_proc
+            from .procpool import ProcPool, run_spmd_proc
             return run_spmd_proc(
                 fn, p, machine=machine, mem_capacity=mem_capacity,
                 args=args, kwargs=kwargs, check=check, faults=faults,
-                tracer=tracer, procs=procs)
+                tracer=tracer, procs=procs,
+                pool=pool if isinstance(pool, ProcPool) else None)
         # p == 1 shares the inline path below (identical semantics,
         # nothing to shard)
     elif backend == "flat":
@@ -351,13 +413,45 @@ def run_spmd(fn: Callable[..., Any], p: int, *,
                 failures.append((rank, exc))
             world.abort.set()
 
-    if p == 1:
-        runner(0)
-        pool_threads = 0
-    else:
-        run_pool = pool or default_pool()
-        run_pool.run(runner, p)
-        pool_threads = run_pool.size
+    done = threading.Event()
+
+    def _cancel_watch() -> None:
+        # Poll-free wait on the cancel event; ``done`` bounds the watch
+        # so a completed run never keeps a thread pinned on an event
+        # that may never fire.
+        while not done.is_set():
+            if cancel.wait(0.01):
+                if not done.is_set():
+                    with failures_lock:
+                        failures.append((0, RunCancelled(
+                            "run cancelled while in flight")))
+                    world.abort.set()
+                return
+
+    watcher = None
+    if cancel is not None:
+        if cancel.is_set():  # cancelled before the world even started
+            failures.append((0, RunCancelled("run cancelled before start")))
+            world.abort.set()
+        else:
+            watcher = threading.Thread(target=_cancel_watch,
+                                       name="spmd-cancel-watch", daemon=True)
+            watcher.start()
+
+    try:
+        if world.abort.is_set:
+            pool_threads = 0  # cancelled pre-start: nothing to run
+        elif p == 1:
+            runner(0)
+            pool_threads = 0
+        else:
+            run_pool = pool if isinstance(pool, SpmdPool) else default_pool()
+            run_pool.run(runner, p)
+            pool_threads = run_pool.size
+    finally:
+        done.set()
+        if watcher is not None:
+            watcher.join()
 
     failure: RankFailure | None = None
     if failures:

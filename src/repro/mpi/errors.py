@@ -26,6 +26,17 @@ class MessageLostError(RuntimeError):
     """
 
 
+class RunCancelled(RuntimeError):
+    """A run was cancelled from outside (service timeout or cancel op).
+
+    Injected by the engine's cancel watcher as a rank-0 failure so the
+    world unwinds through the normal abort machinery and the caller
+    sees an ordinary :class:`RankFailure` whose cause is this type —
+    the sort-as-a-service scheduler maps it to the job's
+    ``cancelled``/``timeout`` status.
+    """
+
+
 class RankFailure(RuntimeError):
     """A simulated run failed; aggregates every rank's exception.
 

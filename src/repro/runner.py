@@ -262,7 +262,8 @@ def run_sort(algorithm: str, workload: Workload, *, n_per_rank: int, p: int,
              algo_opts: dict[str, Any] | None = None,
              faults: Any = None, fault_seed: int = 0,
              trace: bool = False,
-             backend: str = "thread", procs: int | None = None) -> RunResult:
+             backend: str = "thread", procs: int | None = None,
+             pool: Any = None, cancel: Any = None) -> RunResult:
     """Run one distributed sort end to end on the simulated machine.
 
     Parameters
@@ -296,6 +297,15 @@ def run_sort(algorithm: str, workload: Workload, *, n_per_rank: int, p: int,
         executing a deterministic rank sample for validation; see
         :func:`repro.simfast.hybrid_scaling_point`.
     procs: worker-process count for ``backend="proc"``.
+    pool: optional warm pool to host the run — an
+        :class:`~repro.mpi.engine.SpmdPool` (thread backend) or
+        :class:`~repro.mpi.procpool.ProcPool` (proc backend).  The
+        sort-as-a-service scheduler leases pools from its cache and
+        injects them here so concurrent jobs reuse rank threads /
+        worker interpreters across requests instead of cold-starting.
+    cancel: optional :class:`threading.Event`; firing it mid-run aborts
+        the world with a ``RunCancelled`` failure (thread backend; the
+        other backends honour it at run boundaries).
     """
     requested = backend
     backend, why = resolve_backend(backend, algorithm, algo_opts)
@@ -339,7 +349,7 @@ def run_sort(algorithm: str, workload: Workload, *, n_per_rank: int, p: int,
 
     res = run_spmd(prog, p, machine=machine, mem_capacity=capacity,
                    check=False, faults=fplan, tracer=tracer,
-                   backend=backend, procs=procs)
+                   backend=backend, procs=procs, pool=pool, cancel=cancel)
 
     if res.failure is not None:
         cause = res.failure.cause

@@ -1,0 +1,31 @@
+"""Sort-as-a-service: job queue, admission control, warm-pool scheduling.
+
+The subsystem behind ``sdssort serve`` / ``sdssort submit`` and the
+in-process :class:`ServiceClient`.  See ``docs/service.md`` for the
+protocol, the admission-control math, and the drain state machine.
+"""
+
+from .admission import (ADMISSION_CODES, DEFAULT_MEM_BUDGET,
+                        DEFAULT_QUEUE_DEPTH, AdmissionController,
+                        AdmissionDecision, estimate_job_bytes)
+from .client import ServiceClient, ServiceError, SocketClient
+from .daemon import serve_socket, serve_stdio
+from .jsondoc import JOB_SCHEMA, SORT_SCHEMA, comparable, job_envelope, \
+    sort_doc
+from .pools import WarmPoolCache, make_cold_lease, pool_key
+from .queue import JOB_STATES, TERMINAL_STATES, Job, JobQueue
+from .scheduler import Scheduler, ServiceState, SortService
+from .spec import (DEFAULT_PRIORITY, PRIORITIES, JobSpec,
+                   JobValidationError)
+
+__all__ = [
+    "ADMISSION_CODES", "DEFAULT_MEM_BUDGET", "DEFAULT_PRIORITY",
+    "DEFAULT_QUEUE_DEPTH", "JOB_SCHEMA", "JOB_STATES", "PRIORITIES",
+    "SORT_SCHEMA", "TERMINAL_STATES", "AdmissionController",
+    "AdmissionDecision", "Job", "JobQueue", "JobSpec",
+    "JobValidationError", "Scheduler", "ServiceClient", "ServiceError",
+    "ServiceState", "SocketClient", "SortService", "WarmPoolCache",
+    "comparable", "estimate_job_bytes", "job_envelope",
+    "make_cold_lease", "pool_key", "serve_socket", "serve_stdio",
+    "sort_doc",
+]

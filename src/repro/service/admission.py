@@ -1,0 +1,206 @@
+"""Admission control: bounded queue depth + a memory-budget gate.
+
+The engine enforces per-rank memory (`repro.machine.memory`) *inside* a
+run — a single over-committed rank OOMs deterministically.  A service
+hosting many concurrent worlds has a second failure mode the paper
+never had: the *sum* of well-behaved jobs exhausting the host.  The
+admission gate closes that hole with the same arithmetic the per-run
+model uses (`repro.simfast.scaling._oom`): a job's modelled peak is
+
+    peak_per_rank = shard_bytes + max_load * record_bytes
+
+with ``max_load`` from the count-space load model when the workload has
+one (`analytic_model_for` + `countspace_loads`) and a conservative
+2x-skew assumption otherwise, clamped to the engine's enforced
+capacity ``mem_factor * shard_bytes + shard_bytes`` (past that the run
+OOMs before using more).  A job is admitted only while
+
+    committed_bytes + estimate <= budget_bytes
+
+where ``committed_bytes`` sums the estimates of every queued + running
+job; otherwise the submitter gets a typed backpressure decision
+(``over-budget``) instead of the host OOM-ing mid-run.  Decisions are
+deterministic in the submission order — the same stream of specs
+always draws the same admit/reject sequence.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import asdict, dataclass
+from typing import Any
+
+from ..simfast import countspace_loads
+from ..simfast.scaling import analytic_model_for
+from .spec import JobSpec
+
+#: Typed decision codes (``AdmissionDecision.code``).
+ADMISSION_CODES = ("admitted", "queue-full", "over-budget", "draining",
+                   "invalid")
+
+#: Default service memory budget: 4 GiB of modelled engine peak.
+DEFAULT_MEM_BUDGET = 4 << 30
+
+#: Default bound on jobs waiting in the queue (running jobs excluded).
+DEFAULT_QUEUE_DEPTH = 64
+
+#: Skew assumption for workloads without a count-space model: the
+#: heaviest rank holds at most 2x the average (SDS-Sort's partition
+#: bounds are far tighter; this errs on the safe side for admission).
+FALLBACK_SKEW = 2.0
+
+
+def estimate_job_bytes(spec: JobSpec) -> int:
+    """Modelled peak engine memory of one job, summed over ranks.
+
+    Uses the exact probe :func:`repro.runner.run_sort` uses for the
+    record size (shard probe + 12 provenance bytes), the count-space
+    load model for the heaviest rank, and the engine's enforced
+    capacity as a ceiling.  The hybrid backend executes only a rank
+    sample functionally, so its charge is that sample's, not ``p``'s.
+    """
+    workload = spec.build_workload()
+    probe = workload.shard(max(1, min(spec.n_per_rank, 64)), spec.p, 0,
+                           spec.seed)
+    record_bytes = probe.record_bytes + 12
+    shard = spec.n_per_rank * record_bytes
+
+    model = analytic_model_for(workload)
+    if model is not None and spec.p > 1 and spec.n_per_rank > 0:
+        if spec.algorithm.startswith("hyksort"):
+            method = "hyksort"  # histogram splitters: the OOM-prone one
+        elif spec.algorithm == "sds-stable":
+            method = "stable"
+        else:
+            method = "fast"
+        loads = countspace_loads(model, spec.n_per_rank, spec.p,
+                                 method=method, seed=spec.seed)
+        max_load = int(loads.max())
+    else:
+        max_load = int(FALLBACK_SKEW * spec.n_per_rank)
+    peak_per_rank = shard + max_load * record_bytes
+    if spec.mem_factor is not None:
+        # the engine OOMs the rank before it can use more than this
+        capacity = int(spec.mem_factor * shard)
+        peak_per_rank = min(peak_per_rank, shard + capacity)
+
+    ranks_hosted = spec.p
+    if spec.backend == "hybrid":
+        # hybrid_scaling_point executes a deterministic sample of ~8
+        # ranks; the analytic leg allocates count-space vectors only
+        ranks_hosted = min(spec.p, 8)
+    return ranks_hosted * peak_per_rank
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """The typed outcome of one admission check (wire-safe).
+
+    ``admitted=False`` decisions are the backpressure response: ``code``
+    says which gate refused (see :data:`ADMISSION_CODES`), ``reason``
+    is the human-readable sentence, and the byte fields carry the
+    arithmetic so a client can decide whether to shrink the job, wait,
+    or route elsewhere.
+    """
+
+    admitted: bool
+    code: str
+    reason: str
+    estimated_bytes: int
+    committed_bytes: int
+    budget_bytes: int | None
+    queue_depth: int
+    max_queue_depth: int
+
+    def as_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+
+class AdmissionController:
+    """Thread-safe gate tracking committed memory across jobs.
+
+    :meth:`admit` atomically checks both gates and, on success, commits
+    the job's estimate; :meth:`release` returns it when the job leaves
+    the system (done, failed, cancelled, or timed out).  The queue
+    depth is supplied by the caller (the service holds the submit lock,
+    so depth cannot race the decision).
+    """
+
+    def __init__(self, *, max_queue_depth: int = DEFAULT_QUEUE_DEPTH,
+                 mem_budget_bytes: int | None = DEFAULT_MEM_BUDGET):
+        if max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        if mem_budget_bytes is not None and mem_budget_bytes < 1:
+            raise ValueError("mem_budget_bytes must be None or >= 1")
+        self.max_queue_depth = max_queue_depth
+        self.mem_budget_bytes = mem_budget_bytes
+        self._lock = threading.Lock()
+        self._committed = 0
+        self._in_flight = 0
+
+    @property
+    def committed_bytes(self) -> int:
+        with self._lock:
+            return self._committed
+
+    def _decision(self, admitted: bool, code: str, reason: str,
+                  estimate: int, queue_depth: int) -> AdmissionDecision:
+        return AdmissionDecision(
+            admitted=admitted, code=code, reason=reason,
+            estimated_bytes=estimate, committed_bytes=self._committed,
+            budget_bytes=self.mem_budget_bytes, queue_depth=queue_depth,
+            max_queue_depth=self.max_queue_depth)
+
+    def admit(self, spec: JobSpec, *, queue_depth: int,
+              draining: bool = False) -> AdmissionDecision:
+        """Decide one submission; commits the estimate when admitted."""
+        estimate = estimate_job_bytes(spec)
+        with self._lock:
+            if draining:
+                return self._decision(
+                    False, "draining",
+                    "service is draining and no longer admits jobs",
+                    estimate, queue_depth)
+            if queue_depth >= self.max_queue_depth:
+                return self._decision(
+                    False, "queue-full",
+                    f"queue depth {queue_depth} is at the bound "
+                    f"{self.max_queue_depth}; retry after jobs drain",
+                    estimate, queue_depth)
+            budget = self.mem_budget_bytes
+            if budget is not None and self._committed + estimate > budget:
+                headroom = budget - self._committed
+                return self._decision(
+                    False, "over-budget",
+                    f"job needs ~{estimate:,} B of modelled engine peak "
+                    f"but only {headroom:,} B of the {budget:,} B budget "
+                    f"is uncommitted; shrink the job or retry after "
+                    f"{self._in_flight} in-flight job(s) release",
+                    estimate, queue_depth)
+            self._committed += estimate
+            self._in_flight += 1
+            return self._decision(
+                True, "admitted",
+                f"committed ~{estimate:,} B of {budget:,} B budget"
+                if budget is not None else
+                f"committed ~{estimate:,} B (no budget configured)",
+                estimate, queue_depth)
+
+    def release(self, decision: AdmissionDecision) -> None:
+        """Return an admitted job's committed estimate to the budget."""
+        if not decision.admitted:
+            return
+        with self._lock:
+            self._committed -= decision.estimated_bytes
+            self._in_flight -= 1
+            if self._committed < 0 or self._in_flight < 0:
+                raise RuntimeError("admission release without matching admit")
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "committed_bytes": self._committed,
+                "in_flight": self._in_flight,
+                "budget_bytes": self.mem_budget_bytes,
+                "max_queue_depth": self.max_queue_depth,
+            }

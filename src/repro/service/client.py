@@ -1,0 +1,159 @@
+"""Clients for the sort service: in-process and over the wire.
+
+:class:`ServiceClient` talks to a :class:`~repro.service.scheduler.
+SortService` living in the same interpreter — the zero-copy embedding
+used by the tests, the benchmark, and anything that wants a job queue
+without a daemon.  :class:`SocketClient` speaks the same JSON-lines
+protocol as ``sdssort serve`` over a Unix socket (one request line,
+one response line per call) and backs ``sdssort submit``.
+
+Both return plain dict envelopes (``sdssort.job/v1``) so callers never
+need to know which transport they are on.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any
+
+from .jsondoc import job_envelope
+from .scheduler import SortService
+from .spec import DEFAULT_PRIORITY, JobSpec
+
+
+class ServiceClient:
+    """In-process facade over a :class:`SortService`.
+
+    Owns the service it creates (and closes it on exit) unless one is
+    passed in, in which case the caller keeps lifecycle control.
+    """
+
+    def __init__(self, service: SortService | None = None, **service_opts: Any):
+        self._owned = service is None
+        self.service = service if service is not None \
+            else SortService(**service_opts)
+
+    def submit(self, spec: JobSpec | dict[str, Any], *,
+               priority: str = DEFAULT_PRIORITY,
+               timeout_s: float | None = None) -> dict[str, Any]:
+        """Submit a job; returns its envelope (maybe already rejected)."""
+        job = self.service.submit(spec, priority=priority,
+                                  timeout_s=timeout_s)
+        return job_envelope(job, include_result=False)
+
+    def status(self, job_id: str) -> dict[str, Any]:
+        """The job's envelope without the (possibly large) result."""
+        return job_envelope(self.service.get(job_id), include_result=False)
+
+    def result(self, job_id: str, *, wait: bool = True,
+               timeout: float | None = None) -> dict[str, Any]:
+        """The full envelope, blocking for completion by default."""
+        job = self.service.wait(job_id, timeout) if wait \
+            else self.service.get(job_id)
+        return job_envelope(job)
+
+    def run(self, spec: JobSpec | dict[str, Any], *,
+            priority: str = DEFAULT_PRIORITY,
+            timeout_s: float | None = None) -> dict[str, Any]:
+        """Submit and wait: one call, the completed envelope."""
+        job = self.service.submit(spec, priority=priority,
+                                  timeout_s=timeout_s)
+        if not job.terminal:
+            job.done_event.wait()
+        return job_envelope(job)
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        return job_envelope(self.service.cancel(job_id),
+                            include_result=False)
+
+    def stats(self) -> dict[str, Any]:
+        return self.service.stats()
+
+    def drain(self, timeout: float | None = None) -> bool:
+        return self.service.drain(timeout)
+
+    def close(self) -> None:
+        if self._owned:
+            self.service.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+class ServiceError(RuntimeError):
+    """The daemon answered ``{"ok": false}`` to a request."""
+
+
+class SocketClient:
+    """JSON-lines client for a ``sdssort serve --socket PATH`` daemon.
+
+    One connection, request/response in lock step; every method mirrors
+    a protocol op and returns the daemon's payload (raising
+    :class:`ServiceError` on ``ok: false``).
+    """
+
+    def __init__(self, path: str, *, connect_timeout: float = 5.0):
+        self.path = path
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.settimeout(connect_timeout)
+        self._sock.connect(path)
+        self._sock.settimeout(None)
+        self._rfile = self._sock.makefile("r", encoding="utf-8")
+
+    def request(self, op: str, **payload: Any) -> dict[str, Any]:
+        """Send one op; return the response dict (checked for ok)."""
+        line = json.dumps({"op": op, **payload}, sort_keys=True)
+        self._sock.sendall(line.encode("utf-8") + b"\n")
+        reply = self._rfile.readline()
+        if not reply:
+            raise ServiceError(f"daemon at {self.path} closed the "
+                               f"connection mid-request ({op})")
+        doc = json.loads(reply)
+        if not doc.get("ok"):
+            raise ServiceError(doc.get("error") or "daemon request failed")
+        return doc
+
+    def submit(self, spec: JobSpec | dict[str, Any], *,
+               priority: str = DEFAULT_PRIORITY,
+               timeout_s: float | None = None) -> dict[str, Any]:
+        spec_doc = spec.as_dict() if isinstance(spec, JobSpec) else spec
+        req: dict[str, Any] = {"spec": spec_doc, "priority": priority}
+        if timeout_s is not None:
+            req["timeout_s"] = timeout_s
+        return self.request("submit", **req)["job"]
+
+    def status(self, job_id: str) -> dict[str, Any]:
+        return self.request("status", job_id=job_id)["job"]
+
+    def result(self, job_id: str, *, wait: bool = True,
+               timeout: float | None = None) -> dict[str, Any]:
+        req: dict[str, Any] = {"job_id": job_id, "wait": wait}
+        if timeout is not None:
+            req["timeout"] = timeout
+        return self.request("result", **req)["job"]
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        return self.request("cancel", job_id=job_id)["job"]
+
+    def stats(self) -> dict[str, Any]:
+        return self.request("stats")["stats"]
+
+    def drain(self) -> dict[str, Any]:
+        """Ask the daemon to drain and exit once idle."""
+        return self.request("drain")
+
+    def close(self) -> None:
+        try:
+            self._rfile.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "SocketClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

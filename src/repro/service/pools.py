@@ -1,0 +1,163 @@
+"""Keyed warm-pool cache: persistent engine pools reused across jobs.
+
+The engine's pools already survive runs (``SpmdPool`` rank threads,
+``ProcPool`` worker interpreters) — until now only benchmark sweeps
+exploited that.  The cache makes pool survival a service feature: jobs
+lease a pool keyed by ``(backend, p, procs)`` and return it warm, so a
+stream of same-shaped requests pays thread/process start-up once, not
+per job.  Leases are exclusive — a pool is handed to one job at a time
+(concurrent same-key jobs get their own pools, created on demand), and
+the lease refcount on :class:`~repro.mpi.engine.SpmdPool` guarantees
+eviction can never tear a pool down under a borrower.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from ..mpi.engine import SpmdPool
+from ..mpi.procpool import ProcPool, _auto_procs
+
+#: Pool-backed engine backends; flat and hybrid run pool-less.
+POOLED_BACKENDS = ("thread", "proc")
+
+#: Default cap on idle pools retained across all keys.
+DEFAULT_MAX_POOLS = 8
+
+
+def pool_key(backend: str, p: int, procs: int | None
+             ) -> tuple[Any, ...] | None:
+    """Cache key of a job's pool, or ``None`` for pool-less backends.
+
+    Thread pools are keyed by ``p`` (a pool grown to 4Ki threads is
+    wasted on p=16 jobs and vice versa); proc pools additionally by
+    the resolved worker count, which fixes the shard topology.
+    """
+    if backend == "thread":
+        return ("thread", p)
+    if backend == "proc":
+        nprocs = min(procs if procs is not None else _auto_procs(p), p)
+        return ("proc", p, nprocs)
+    return None
+
+
+class PoolLease:
+    """One job's exclusive hold on a cached (or throwaway) pool."""
+
+    def __init__(self, cache: "WarmPoolCache | None", key: tuple | None,
+                 pool: Any, throwaway: bool = False):
+        self._cache = cache
+        self.key = key
+        self.pool = pool
+        self._throwaway = throwaway
+        self._released = False
+
+    def release(self) -> None:
+        """Return the pool to the cache (idempotent)."""
+        if self._released:
+            return
+        self._released = True
+        if self.pool is None:
+            return
+        if isinstance(self.pool, SpmdPool):
+            self.pool.release()
+        if self._throwaway or self._cache is None:
+            _shutdown_pool(self.pool)
+        else:
+            self._cache._return(self.key, self.pool)
+
+    def __enter__(self) -> "PoolLease":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.release()
+
+
+def _shutdown_pool(pool: Any) -> None:
+    pool.shutdown()
+
+
+def make_cold_lease(backend: str, p: int, procs: int | None) -> PoolLease:
+    """A fresh single-use pool, shut down on release (cold start).
+
+    The throughput benchmark's ``cold`` arm and ``warm_pools=False``
+    services use this so every job pays full thread/process start-up —
+    the baseline the cache is measured against.
+    """
+    key = pool_key(backend, p, procs)
+    if key is None:
+        return PoolLease(None, None, None)
+    if key[0] == "thread":
+        return PoolLease(None, key, SpmdPool().lease(), throwaway=True)
+    return PoolLease(None, key, ProcPool(key[2]), throwaway=True)
+
+
+class WarmPoolCache:
+    """Bounded cache of idle engine pools, keyed by job shape.
+
+    ``lease`` hands out an idle pool for the key (hit) or creates one
+    (miss); ``_return`` re-shelves it unless the idle set is at
+    ``max_pools``, in which case the pool is shut down (eviction —
+    safe, because a just-released pool holds no leases).  All
+    bookkeeping is under one lock; pool *use* happens outside it.
+    """
+
+    def __init__(self, max_pools: int = DEFAULT_MAX_POOLS):
+        if max_pools < 1:
+            raise ValueError("max_pools must be >= 1")
+        self.max_pools = max_pools
+        self._lock = threading.Lock()
+        self._idle: dict[tuple, list[Any]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def lease(self, backend: str, p: int, procs: int | None) -> PoolLease:
+        key = pool_key(backend, p, procs)
+        if key is None:
+            return PoolLease(self, None, None)
+        with self._lock:
+            shelf = self._idle.get(key)
+            if shelf:
+                pool = shelf.pop()
+                self.hits += 1
+                if isinstance(pool, SpmdPool):
+                    pool.lease()
+                return PoolLease(self, key, pool)
+            self.misses += 1
+        # creation happens outside the lock: ProcPool spawn is slow
+        if key[0] == "thread":
+            return PoolLease(self, key, SpmdPool().lease())
+        return PoolLease(self, key, ProcPool(key[2]))
+
+    def _return(self, key: tuple, pool: Any) -> None:
+        if isinstance(pool, ProcPool) and pool._broken:
+            return  # a broken proc pool refuses further runs
+        with self._lock:
+            total_idle = sum(len(s) for s in self._idle.values())
+            if total_idle >= self.max_pools:
+                self.evictions += 1
+            else:
+                self._idle.setdefault(key, []).append(pool)
+                return
+        _shutdown_pool(pool)
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "idle": {"/".join(map(str, k)): len(v)
+                         for k, v in sorted(self._idle.items())},
+                "max_pools": self.max_pools,
+            }
+
+    def shutdown(self) -> None:
+        """Shut down every idle pool (service close)."""
+        with self._lock:
+            pools = [pool for shelf in self._idle.values() for pool in shelf]
+            self._idle.clear()
+        for pool in pools:
+            _shutdown_pool(pool)

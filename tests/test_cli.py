@@ -129,12 +129,14 @@ class TestCliTrace:
         )
         assert code == 0
         doc = json.loads(out)
-        assert doc["schema"] == "sdssort.sort/v3"
+        assert doc["schema"] == "sdssort.sort/v4"
         assert doc["ok"] is True
         for key in ("algorithm", "workload", "p", "n_per_rank", "elapsed",
                     "throughput_tb_min", "rdfa", "phases", "decisions",
-                    "faults", "trace", "engine"):
+                    "faults", "trace", "engine", "timing"):
             assert key in doc, key
+        # v4: wall-latency split is always present; zero for direct runs
+        assert doc["timing"] == {"queue_ms": 0.0, "run_ms": 0.0}
         assert doc["engine"]["resolved_backend"] == {
             "requested": "thread", "resolved": "thread",
             "reason": "explicitly requested",
