@@ -54,7 +54,7 @@ from _helpers import emit, fmt_time, quick  # noqa: E402
 
 ROOT = Path(__file__).resolve().parent.parent
 JSON_PATH = ROOT / "BENCH_engine.json"
-SCHEMA = "bench_engine_walltime/v9"
+SCHEMA = "bench_engine_walltime/v10"
 
 #: (name, p, n_per_rank, measure_thread, reps).  The p=16Ki proc point
 #: runs once (a repetition costs tens of minutes: at that scale both

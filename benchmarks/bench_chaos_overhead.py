@@ -35,7 +35,7 @@ from _helpers import emit, fmt_time, quick  # noqa: E402
 
 ROOT = Path(__file__).resolve().parent.parent
 JSON_PATH = ROOT / "BENCH_engine.json"
-SCHEMA = "bench_engine_walltime/v9"
+SCHEMA = "bench_engine_walltime/v10"
 
 #: (name, spec) — one scenario per recovery path.  Node merging is
 #: disabled throughout so every rank stays crash-eligible and the p2p

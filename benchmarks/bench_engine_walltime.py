@@ -140,7 +140,7 @@ def write_report(runs: dict) -> list[str]:
     existing = (json.loads(JSON_PATH.read_text())
                 if JSON_PATH.exists() else {})
     payload = {
-        "schema": "bench_engine_walltime/v9",
+        "schema": "bench_engine_walltime/v10",
         "machine": "EDISON cost model, uniform workload, node_merge off",
         "seed_issue": SEED_ISSUE,
         "seed_host": SEED_HOST,

@@ -19,7 +19,7 @@ is effectively the max — it is recorded as a tail indicator, not a
 stable quantile.
 
 Results land in the ``service_throughput`` section of
-``BENCH_engine.json`` (schema v9).  Like the other engine benches this
+``BENCH_engine.json`` (schema v10).  Like the other engine benches this
 read-modify-writes the file, preserving every other section.
 
 Run directly (``python benchmarks/bench_service_throughput.py``) or
@@ -41,7 +41,7 @@ from _helpers import emit, quick  # noqa: E402
 
 ROOT = Path(__file__).resolve().parent.parent
 JSON_PATH = ROOT / "BENCH_engine.json"
-SCHEMA = "bench_engine_walltime/v9"
+SCHEMA = "bench_engine_walltime/v10"
 
 P = 128
 N_PER_RANK = 200

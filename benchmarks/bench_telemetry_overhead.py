@@ -1,0 +1,141 @@
+"""Telemetry overhead: service throughput with metrics on vs off.
+
+The telemetry layer (``docs/observability.md`` §Service telemetry)
+promises the tracer's bargain at service scale: hooks that are a
+single ``is None`` check when off, and a handful of dict-lookup
+counter bumps per job when on — never anything on the engine's
+per-message hot path.  This bench pins the "on" side of that bargain:
+a fixed stream of identical-shape ``sds`` jobs runs through an
+in-process ``ServiceClient`` at worker concurrency in {1, 4, 16},
+once with telemetry enabled (the default) and once with
+``telemetry=False``, recording throughput and latency percentiles
+exactly like ``bench_service_throughput.py``.
+
+The job shape (p=128, n/rank=200, warm pools) keeps per-job engine
+work small, which *maximises* the relative weight of the per-job
+bookkeeping — a worst-case framing for telemetry.  The assertions are
+deliberately loose (on ≥ 0.7× off per cell, ≤ 1.2× aggregate wall):
+per-job cost is a few microseconds against ~40 ms jobs, so a real
+hook leaked into a hot path shows up as an integer factor, while
+scheduler mood on a loaded host moves cells ±20% either way.
+
+Results land in the ``telemetry_overhead`` section of
+``BENCH_engine.json`` (schema v10), read-modify-write like the other
+engine benches.
+
+Run directly (``python benchmarks/bench_telemetry_overhead.py``) or
+via pytest.  ``REPRO_BENCH_QUICK`` drops the concurrency-16 cell and
+shrinks the stream.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.service import ServiceClient
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _helpers import emit, quick  # noqa: E402
+
+ROOT = Path(__file__).resolve().parent.parent
+JSON_PATH = ROOT / "BENCH_engine.json"
+SCHEMA = "bench_engine_walltime/v10"
+
+P = 128
+N_PER_RANK = 200
+CONCURRENCY = (1, 4) if quick() else (1, 4, 16)
+JOBS = 8 if quick() else 20
+
+
+def _spec(seed: int) -> dict:
+    # same shape as bench_service_throughput.py (node merging off:
+    # at this tiny n/rank the node gather would OOM the leader)
+    return {"algorithm": "sds", "workload": "uniform", "backend": "thread",
+            "p": P, "n_per_rank": N_PER_RANK, "seed": seed,
+            "algo_opts": {"node_merge_enabled": False}}
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    ordered = sorted(samples)
+    idx = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[idx]
+
+
+def _run_stream(workers: int, telemetry: bool) -> dict:
+    """Submit JOBS jobs, wait for all, return throughput + latency."""
+    with ServiceClient(workers=workers, telemetry=telemetry) as client:
+        client.run(_spec(seed=10_000))   # warm the pool cache
+        t0 = time.perf_counter()
+        ids = [client.submit(_spec(seed=s))["job_id"] for s in range(JOBS)]
+        envs = [client.result(job_id) for job_id in ids]
+        wall = time.perf_counter() - t0
+    assert all(e["status"] == "done" for e in envs), (
+        [e["error"] for e in envs if e["status"] != "done"])
+    lat = [e["timing"]["total_ms"] for e in envs]
+    return {
+        "workers": workers,
+        "telemetry": telemetry,
+        "jobs": JOBS,
+        "wall_seconds": round(wall, 4),
+        "jobs_per_min": round(JOBS / wall * 60.0, 1),
+        "latency_ms": {"p50": round(_percentile(lat, 0.50), 2),
+                       "p99": round(_percentile(lat, 0.99), 2),
+                       "mean": round(sum(lat) / len(lat), 2)},
+    }
+
+
+def measure() -> dict:
+    out: dict[str, dict] = {}
+    for workers in CONCURRENCY:
+        for telemetry in (True, False):
+            key = f"c{workers}_{'on' if telemetry else 'off'}"
+            out[key] = _run_stream(workers, telemetry)
+    return out
+
+
+def write_report(runs: dict) -> list[str]:
+    existing = (json.loads(JSON_PATH.read_text())
+                if JSON_PATH.exists() else {})
+    existing["schema"] = SCHEMA
+    existing["telemetry_overhead"] = {
+        "machine": "in-process ServiceClient, sds uniform "
+                   f"p={P} n/rank={N_PER_RANK}, thread backend, warm "
+                   f"pools, {JOBS}-job stream per cell "
+                   "(1 warm-up discarded), telemetry on vs off",
+        "runs": runs,
+    }
+    JSON_PATH.write_text(json.dumps(existing, indent=1) + "\n")
+
+    rows = [f"{'config':>8s} {'jobs/min':>9s} {'p50(ms)':>8s} "
+            f"{'p99(ms)':>8s}"]
+    for name, r in runs.items():
+        rows.append(f"{name:>8s} {r['jobs_per_min']:>9.1f} "
+                    f"{r['latency_ms']['p50']:>8.2f} "
+                    f"{r['latency_ms']['p99']:>8.2f}")
+    return rows
+
+
+def test_telemetry_overhead():
+    runs = measure()
+    rows = write_report(runs)
+    emit("telemetry_overhead", rows)
+    # per-cell: telemetry must stay inside scheduler noise (a leak
+    # into a hot path would show up as an integer-factor regression)
+    for workers in CONCURRENCY:
+        on, off = runs[f"c{workers}_on"], runs[f"c{workers}_off"]
+        assert on["jobs_per_min"] > off["jobs_per_min"] * 0.7, (
+            workers, on["jobs_per_min"], off["jobs_per_min"])
+    # and in aggregate across the matrix
+    on_wall = sum(r["wall_seconds"] for r in runs.values()
+                  if r["telemetry"])
+    off_wall = sum(r["wall_seconds"] for r in runs.values()
+                   if not r["telemetry"])
+    assert on_wall < off_wall * 1.2, (on_wall, off_wall)
+
+
+if __name__ == "__main__":
+    test_telemetry_overhead()
+    print(f"wrote {JSON_PATH}")

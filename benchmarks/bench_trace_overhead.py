@@ -33,7 +33,7 @@ from _helpers import emit, fmt_time, quick  # noqa: E402
 
 ROOT = Path(__file__).resolve().parent.parent
 JSON_PATH = ROOT / "BENCH_engine.json"
-SCHEMA = "bench_engine_walltime/v9"
+SCHEMA = "bench_engine_walltime/v10"
 
 N_PER_RANK = 500
 REPS = 2

@@ -456,20 +456,22 @@ def cmd_chaos(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    from .service import SortService, serve_socket, serve_stdio
+    from .service import (SortService, configure_logging, serve_socket,
+                          serve_stdio)
 
+    # structured logging to stderr (stdout belongs to the protocol);
+    # the daemon's "listening" event replaces the old ready print
+    configure_logging(args.log_level, json_lines=args.log_json)
     service = SortService(
         workers=args.workers,
         max_queue_depth=args.max_queue_depth,
         mem_budget_bytes=(None if args.no_mem_budget
                           else int(args.mem_budget_mb * 2**20)),
         warm_pools=not args.cold_pools,
-        max_pools=args.max_pools)
+        max_pools=args.max_pools,
+        telemetry=not args.no_telemetry)
     if args.socket:
-        def _ready() -> None:
-            print(f"sdssort service listening on {args.socket}",
-                  file=sys.stderr, flush=True)
-        serve_socket(service, args.socket, ready=_ready)
+        serve_socket(service, args.socket)
     else:
         # stdio transport: stdout carries only protocol lines
         serve_stdio(service, sys.stdin, sys.stdout)
@@ -528,9 +530,21 @@ def cmd_submit(args: argparse.Namespace) -> int:
             if args.stats:
                 print(json.dumps(client.stats(), indent=2, sort_keys=True))
                 return 0
+            if args.metrics is not None:
+                out = client.metrics(format=args.metrics)
+                if args.metrics == "prometheus":
+                    print(out, end="")
+                else:
+                    print(json.dumps(out, indent=2, sort_keys=True))
+                return 0
             if args.drain:
                 out = client.drain()
-                print(json.dumps(out["stats"], indent=2, sort_keys=True))
+                # the daemon exits after replying, so this response is
+                # the final stats report and the last possible scrape
+                final = {"stats": out["stats"]}
+                if "metrics" in out:
+                    final["metrics"] = out["metrics"]
+                print(json.dumps(final, indent=2, sort_keys=True))
                 return 0
             if args.status is not None:
                 env = client.status(args.status)
@@ -549,6 +563,120 @@ def cmd_submit(args: argparse.Namespace) -> int:
             raise SystemExit(f"daemon error: {exc}")
         print(json.dumps(env, indent=2, sort_keys=True))
         return 0 if env["status"] in ("done", "queued", "running") else 1
+
+
+def _metric_value(doc: dict, kind: str, name: str, **labels: str) -> float:
+    """One sample's value from a metrics/v1 doc (0 when absent)."""
+    want = {k: str(v) for k, v in labels.items()}
+    for row in doc[kind]:
+        if row["name"] == name and row["labels"] == want:
+            return row["value"]
+    return 0.0
+
+
+def _metric_group(doc: dict, kind: str, name: str) -> list[dict]:
+    return [row for row in doc[kind] if row["name"] == name]
+
+
+def top_lines(stats: dict, metrics: dict) -> list[str]:
+    """Render one ``sdssort top`` frame from a stats + metrics scrape."""
+    counts = stats["counts"]
+    lines = [
+        f"sdssort top — state={stats['state']}  "
+        f"queued={stats['queued']}  running={stats['running']}",
+        "jobs: " + "  ".join(
+            f"{k}={counts.get(k, 0)}"
+            for k in ("submitted", "done", "failed", "cancelled",
+                      "timeout", "rejected")),
+        "",
+        f"{'queue':<13s} {'depth':>5s} {'waits':>6s} {'q p50':>8s} "
+        f"{'q p99':>8s} {'r p50':>8s} {'r p99':>8s}  (wall ms)",
+    ]
+    latency = stats.get("latency") or {}
+    for priority in ("interactive", "batch", "bulk"):
+        depth = _metric_value(metrics, "gauges", "sdssort_queue_depth",
+                              priority=priority)
+        lat = latency.get(priority) or {}
+        q = lat.get("queue_ms") or {}
+        r = lat.get("run_ms") or {}
+        lines.append(
+            f"  {priority:<11s} {int(depth):>5d} {q.get('count', 0):>6d} "
+            f"{q.get('p50', 0.0):>8.2f} {q.get('p99', 0.0):>8.2f} "
+            f"{r.get('p50', 0.0):>8.2f} {r.get('p99', 0.0):>8.2f}")
+
+    runs = _metric_group(metrics, "counters", "sdssort_runs_total")
+    if any(row["value"] for row in runs):
+        lines += ["", f"{'runs':<24s} {'outcome':>10s} {'count':>6s}"]
+        for row in sorted(runs, key=lambda r: sorted(r["labels"].items())):
+            if not row["value"]:
+                continue
+            lbl = row["labels"]
+            lines.append(f"  {lbl['algorithm'] + '/' + lbl['backend']:<22s} "
+                         f"{lbl['outcome']:>10s} {int(row['value']):>6d}")
+
+    adm = stats["admission"]
+    lines += [
+        "",
+        "admission: " + "  ".join(
+            f"{row['labels']['code']}={int(row['value'])}"
+            for row in _metric_group(metrics, "counters",
+                                     "sdssort_admission_decisions_total")),
+        f"committed: {adm['committed_bytes']:,} B of "
+        + (f"{adm['budget_bytes']:,} B" if adm["budget_bytes"] is not None
+           else "(no budget)")
+        + "   pools: " + "  ".join(
+            f"{row['labels']['event']}={int(row['value'])}"
+            for row in _metric_group(metrics, "counters",
+                                     "sdssort_pool_events_total")),
+    ]
+
+    rollup = metrics["rollup"]
+    if rollup["traced_jobs"]:
+        cost = rollup["totals"]["cost"]
+        lines += [
+            "",
+            f"fleet cost rollup ({rollup['traced_jobs']} traced job(s), "
+            f"virtual seconds):",
+            "  " + "  ".join(f"{k.removeprefix('cost.')}={v:.3f}"
+                             for k, v in cost.items()),
+        ]
+        for group in rollup["groups"]:
+            lines.append(f"  {group['algorithm']}/{group['workload']}: "
+                         f"{group['jobs']} job(s), "
+                         f"elapsed={group['elapsed']:.3f}s")
+            phases = sorted(group["phases"], key=lambda ph: -ph["share"])
+            for ph in phases[:6]:
+                lines.append(f"    {ph['name']:<28s} "
+                             f"{ph['total_seconds']:>10.3f}s "
+                             f"{ph['share'] * 100:>5.1f}%")
+    return lines
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from .service import ServiceError, SocketClient
+
+    frame = 0
+    while True:
+        try:
+            with SocketClient(args.socket) as client:
+                stats = client.stats()
+                metrics = client.metrics()
+        except OSError as exc:
+            raise SystemExit(f"cannot reach daemon at {args.socket}: {exc}")
+        except ServiceError as exc:
+            raise SystemExit(f"daemon error: {exc}")
+        if frame:
+            print()
+        print("\n".join(top_lines(stats, metrics)))
+        frame += 1
+        if args.iterations is not None and frame >= args.iterations:
+            return 0
+        try:
+            _time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
 
 
 def cmd_info(args: argparse.Namespace) -> int:
@@ -728,6 +856,14 @@ def build_parser() -> argparse.ArgumentParser:
                          "its engine pool)")
     pv.add_argument("--max-pools", type=_positive_int, default=8,
                     help="idle engine pools retained by the warm cache")
+    pv.add_argument("--no-telemetry", action="store_true",
+                    help="disable the metrics registry and cost rollup "
+                         "(the metrics op reports telemetry disabled)")
+    pv.add_argument("--log-level", default="info",
+                    choices=["debug", "info", "warning", "error"],
+                    help="structured-log threshold (records go to stderr)")
+    pv.add_argument("--log-json", action="store_true",
+                    help="emit log records as JSON lines instead of text")
     pv.set_defaults(fn=cmd_serve)
 
     pm = sub.add_parser(
@@ -777,10 +913,28 @@ def build_parser() -> argparse.ArgumentParser:
                     help="cancel one job instead of submitting")
     pm.add_argument("--stats", action="store_true",
                     help="print service stats instead of submitting")
+    pm.add_argument("--metrics", default=None, nargs="?", const="json",
+                    choices=["json", "prometheus"],
+                    help="scrape telemetry instead of submitting "
+                         "(sdssort.metrics/v1 JSON, or Prometheus text)")
     pm.add_argument("--drain", action="store_true",
                     help="drain the daemon (finish queued+running jobs, "
                          "then it exits)")
     pm.set_defaults(fn=cmd_submit)
+
+    pp = sub.add_parser(
+        "top",
+        help="live dashboard for a running serve daemon: queue depth, "
+             "latency percentiles, run outcomes and the fleet phase-"
+             "cost rollup")
+    pp.add_argument("--socket", required=True, metavar="PATH",
+                    help="Unix socket of the serve daemon")
+    pp.add_argument("--interval", type=_positive_float, default=2.0,
+                    help="seconds between frames")
+    pp.add_argument("--iterations", type=_positive_int, default=None,
+                    help="render this many frames then exit "
+                         "(default: until interrupted)")
+    pp.set_defaults(fn=cmd_top)
 
     pi = sub.add_parser("info", help="list algorithms, workloads, machines")
     pi.set_defaults(fn=cmd_info)

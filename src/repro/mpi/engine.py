@@ -310,7 +310,8 @@ def run_spmd(fn: Callable[..., Any], p: int, *,
              tracer: Any = None,
              backend: str = "thread",
              procs: int | None = None,
-             cancel: Any = None) -> SpmdResult:
+             cancel: Any = None,
+             metrics: Any = None) -> SpmdResult:
     """Execute ``fn(comm, *args, **kwargs)`` on ``p`` simulated ranks.
 
     Parameters
@@ -367,6 +368,12 @@ def run_spmd(fn: Callable[..., Any], p: int, *,
         :class:`RunCancelled`.  Honoured by the thread backend (and the
         shared p==1 inline path); the proc and flat backends check it
         only between runs.
+    metrics:
+        Optional telemetry sink (duck-typed: ``record_world(backend=,
+        p=, cancelled=)``) counting worlds launched per executing
+        backend and cancellations the watcher delivered.  ``None`` —
+        the default — is a single ``is None`` check, like ``tracer``:
+        clocks and results are bit-for-bit identical either way.
     """
     if p < 1:
         raise ValueError("p must be >= 1")
@@ -377,6 +384,8 @@ def run_spmd(fn: Callable[..., Any], p: int, *,
     if backend == "proc":
         if p > 1:
             from .procpool import ProcPool, run_spmd_proc
+            if metrics is not None:
+                metrics.record_world(backend="proc", p=p)
             return run_spmd_proc(
                 fn, p, machine=machine, mem_capacity=mem_capacity,
                 args=args, kwargs=kwargs, check=check, faults=faults,
@@ -387,6 +396,8 @@ def run_spmd(fn: Callable[..., Any], p: int, *,
     elif backend == "flat":
         if p > 1:
             from .flatworld import run_spmd_flat
+            if metrics is not None:
+                metrics.record_world(backend="flat", p=p)
             return run_spmd_flat(
                 fn, p, machine=machine, mem_capacity=mem_capacity,
                 args=args, kwargs=kwargs, check=check, faults=faults,
@@ -457,8 +468,13 @@ def run_spmd(fn: Callable[..., Any], p: int, *,
     if failures:
         failures.sort(key=lambda rf: rf[0])
         failure = RankFailure(failures)
-        if check:
-            raise failure from failure.cause
+    if metrics is not None:
+        metrics.record_world(
+            backend="thread", p=p,
+            cancelled=any(isinstance(exc, RunCancelled)
+                          for _, exc in failures))
+    if failure is not None and check:
+        raise failure from failure.cause
 
     return SpmdResult(
         p=p,

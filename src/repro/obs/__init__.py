@@ -9,6 +9,14 @@ The subsystem has three stages, one module each:
 * :mod:`repro.obs.export` / :mod:`repro.obs.viz` — Chrome/Perfetto
   trace-event JSON and the terminal renderings.
 
+Two service-facing modules ride on the same contracts:
+
+* :mod:`repro.obs.telemetry` — :class:`MetricsRegistry`
+  (counters/gauges/histograms with label sets, deterministic
+  snapshots, Prometheus text exposition);
+* :mod:`repro.obs.rollup` — :class:`CostRollup`, the cross-job fold
+  of per-job LogGP cost splits into fleet-level attribution.
+
 See ``docs/observability.md`` for the span model and the counter
 taxonomy, and ``tests/test_obs.py`` for the contracts (determinism,
 reconciliation, off-path bit-equality).
@@ -23,6 +31,14 @@ from .export import (
     write_chrome_trace,
 )
 from .report import PhaseStat, TraceReport
+from .rollup import CostRollup
+from .telemetry import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    MetricError,
+    MetricsRegistry,
+    parse_prometheus,
+    render_prometheus,
+)
 from .tracer import COST_COUNTERS, SPAN_CATEGORIES, Tracer
 from .viz import comm_heat, phase_flame, rank_timeline
 
@@ -32,6 +48,12 @@ __all__ = [
     "SPAN_CATEGORIES",
     "TraceReport",
     "PhaseStat",
+    "MetricsRegistry",
+    "MetricError",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "render_prometheus",
+    "parse_prometheus",
+    "CostRollup",
     "to_chrome_trace",
     "write_chrome_trace",
     "load_trace",

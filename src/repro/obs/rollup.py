@@ -1,0 +1,150 @@
+"""Cross-job cost rollup: fleet-level attribution from per-job traces.
+
+PR 5's :class:`~repro.obs.report.TraceReport` attributes every virtual
+microsecond of *one* run to a phase and a LogGP cost bucket
+(``cost.compute`` / ``wait`` / ``latency`` / ``bandwidth`` /
+``fault_debt``).  The service runs many jobs; :class:`CostRollup`
+folds each traced job's split into a running fleet view, so skew
+hot-spots ("``exchange`` wait dominates the zipf batch tier") show up
+across jobs, not just inside one.
+
+Determinism contract: every folded quantity is virtual-time, and the
+snapshot sorts the per-job records by a canonical signature before
+summing with :func:`math.fsum` — so two services that ran the same
+job set, in any completion order and at any worker concurrency,
+serialise bit-identical rollups, and the fleet totals equal the sum
+of the jobs' traced totals exactly (fsum is exact over the same
+multiset of doubles).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any
+
+from .report import TraceReport
+from .tracer import COST_COUNTERS
+
+__all__ = ["CostRollup"]
+
+# keep at most this many per-job records; beyond it the rollup keeps
+# counting jobs but stops retaining per-job detail (reported as
+# ``dropped`` so a snapshot is never silently partial)
+DEFAULT_MAX_JOBS = 4096
+
+
+def _signature(rec: dict[str, Any]) -> tuple:
+    """Canonical per-job ordering key — spec identity, then totals."""
+    return (rec["algorithm"], rec["workload"], rec["backend"],
+            rec["p"], rec["n_per_rank"], rec["seed"], rec["fault_seed"],
+            rec["elapsed"])
+
+
+class CostRollup:
+    """Accumulates traced jobs; snapshots deterministic aggregates."""
+
+    def __init__(self, max_jobs: int = DEFAULT_MAX_JOBS) -> None:
+        self._lock = threading.Lock()
+        self._max_jobs = max_jobs
+        self._jobs: list[dict[str, Any]] = []
+        self._dropped = 0
+
+    def fold(self, *, algorithm: str, workload: str, backend: str,
+             p: int, n_per_rank: int, seed: int, fault_seed: int,
+             report: TraceReport) -> None:
+        """Fold one traced job's report into the rollup."""
+        rec = {
+            "algorithm": algorithm,
+            "workload": workload,
+            "backend": backend,
+            "p": int(p),
+            "n_per_rank": int(n_per_rank),
+            "seed": int(seed),
+            "fault_seed": int(fault_seed),
+            "elapsed": float(report.elapsed),
+            "cost": {k: float(v) for k, v in report.cost_split().items()},
+            "phases": {s.name: {"total_seconds": float(s.total_seconds),
+                                "max_seconds": float(s.max_seconds)}
+                       for s in report.phase_stats()},
+        }
+        with self._lock:
+            if len(self._jobs) >= self._max_jobs:
+                self._dropped += 1
+            else:
+                self._jobs.append(rec)
+
+    @property
+    def traced_jobs(self) -> int:
+        with self._lock:
+            return len(self._jobs) + self._dropped
+
+    def snapshot(self) -> dict[str, Any]:
+        """Deterministic fleet aggregate (see module docstring).
+
+        Shape::
+
+            {"traced_jobs": N, "dropped": D,
+             "totals": {"elapsed": fsum, "cost": {bucket: fsum}},
+             "groups": [{"algorithm", "workload", "jobs",
+                         "elapsed", "cost": {...},
+                         "phases": [{"name", "total_seconds",
+                                     "max_seconds", "share"}, ...]},
+                        ...]}
+        """
+        with self._lock:
+            jobs = [dict(j) for j in self._jobs]
+            dropped = self._dropped
+        jobs.sort(key=_signature)
+
+        totals_cost = {k: math.fsum(j["cost"][k] for j in jobs)
+                       for k in COST_COUNTERS}
+        grouped: dict[tuple[str, str], list[dict]] = {}
+        for j in jobs:
+            grouped.setdefault((j["algorithm"], j["workload"]),
+                               []).append(j)
+
+        groups = []
+        for (algorithm, workload), members in sorted(grouped.items()):
+            cost = {k: math.fsum(m["cost"][k] for m in members)
+                    for k in COST_COUNTERS}
+            phase_names = sorted({name for m in members
+                                  for name in m["phases"]})
+            group_elapsed = math.fsum(m["elapsed"] for m in members)
+            phases = []
+            for name in phase_names:
+                tot = math.fsum(m["phases"][name]["total_seconds"]
+                                for m in members if name in m["phases"])
+                mx = max(m["phases"][name]["max_seconds"]
+                         for m in members if name in m["phases"])
+                phases.append({"name": name,
+                               "total_seconds": tot,
+                               "max_seconds": mx})
+            # share of the group's critical-path seconds each phase
+            # explains (max-over-ranks summed over jobs)
+            crit_total = math.fsum(
+                m["phases"][name]["max_seconds"]
+                for m in members for name in m["phases"])
+            for ph in phases:
+                crit = math.fsum(
+                    m["phases"][ph["name"]]["max_seconds"]
+                    for m in members if ph["name"] in m["phases"])
+                ph["share"] = (crit / crit_total) if crit_total > 0 else 0.0
+            groups.append({
+                "algorithm": algorithm,
+                "workload": workload,
+                "jobs": len(members),
+                "elapsed": group_elapsed,
+                "cost": cost,
+                "phases": phases,
+            })
+
+        return {
+            "traced_jobs": len(jobs) + dropped,
+            "dropped": dropped,
+            "totals": {
+                "elapsed": math.fsum(j["elapsed"] for j in jobs),
+                "cost": totals_cost,
+            },
+            "groups": groups,
+        }

@@ -29,6 +29,7 @@ from .core import SdsParams, sds_sort, sds_sort_world
 from .machine import EDISON, MachineSpec
 from .metrics import check_sorted, rdfa, tb_per_min
 from .mpi import ColumnarWorld, Comm, run_spmd
+from .mpi.errors import RunCancelled
 from .records import RecordBatch, tag_provenance
 from .workloads import Workload
 
@@ -263,7 +264,8 @@ def run_sort(algorithm: str, workload: Workload, *, n_per_rank: int, p: int,
              faults: Any = None, fault_seed: int = 0,
              trace: bool = False,
              backend: str = "thread", procs: int | None = None,
-             pool: Any = None, cancel: Any = None) -> RunResult:
+             pool: Any = None, cancel: Any = None,
+             metrics: Any = None) -> RunResult:
     """Run one distributed sort end to end on the simulated machine.
 
     Parameters
@@ -306,6 +308,13 @@ def run_sort(algorithm: str, workload: Workload, *, n_per_rank: int, p: int,
     cancel: optional :class:`threading.Event`; firing it mid-run aborts
         the world with a ``RunCancelled`` failure (thread backend; the
         other backends honour it at run boundaries).
+    metrics: optional telemetry sink (duck-typed — any object with
+        ``record_run`` / ``record_world``, e.g.
+        :class:`repro.service.metrics.ServiceMetrics`).  Records the
+        run's algorithm/backend/outcome (``ok``, ``oom``,
+        ``cancelled``, ``failed``) and its abort cause.  ``None`` — the
+        default — keeps the hooks single ``is None`` checks, so direct
+        runs are bit-for-bit unaffected (the tracer's contract).
     """
     requested = backend
     backend, why = resolve_backend(backend, algorithm, algo_opts)
@@ -318,6 +327,11 @@ def run_sort(algorithm: str, workload: Workload, *, n_per_rank: int, p: int,
                           algo_opts=algo_opts, faults=faults, trace=trace,
                           keep_outputs=keep_outputs)
         res.extras["backend"] = backend_info
+        if metrics is not None:
+            metrics.record_run(
+                algorithm=algorithm, backend=backend,
+                outcome="ok" if res.ok else
+                ("oom" if res.oom else "failed"))
         return res
     try:
         spec = ALGORITHMS[algorithm]
@@ -349,10 +363,18 @@ def run_sort(algorithm: str, workload: Workload, *, n_per_rank: int, p: int,
 
     res = run_spmd(prog, p, machine=machine, mem_capacity=capacity,
                    check=False, faults=fplan, tracer=tracer,
-                   backend=backend, procs=procs, pool=pool, cancel=cancel)
+                   backend=backend, procs=procs, pool=pool, cancel=cancel,
+                   metrics=metrics)
 
     if res.failure is not None:
         cause = res.failure.cause
+        if metrics is not None:
+            metrics.record_run(
+                algorithm=algorithm, backend=backend,
+                outcome=("cancelled" if isinstance(cause, RunCancelled)
+                         else "oom" if isinstance(cause, MemoryError)
+                         else "failed"),
+                cause=cause)
         return RunResult(
             algorithm=algorithm, workload=workload.name, p=p,
             n_per_rank=n_per_rank, record_bytes=record_bytes,
@@ -360,6 +382,10 @@ def run_sort(algorithm: str, workload: Workload, *, n_per_rank: int, p: int,
             failure=f"rank {res.failure.rank}: {cause!r}",
             extras={"backend": backend_info},
         )
+
+    if metrics is not None:
+        metrics.record_run(algorithm=algorithm, backend=backend,
+                           outcome="ok")
 
     inputs = [r[0] for r in res.results]
     outcomes = [r[1] for r in res.results]

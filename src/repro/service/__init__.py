@@ -10,22 +10,27 @@ from .admission import (ADMISSION_CODES, DEFAULT_MEM_BUDGET,
                         AdmissionDecision, estimate_job_bytes)
 from .client import ServiceClient, ServiceError, SocketClient
 from .daemon import serve_socket, serve_stdio
-from .jsondoc import JOB_SCHEMA, SORT_SCHEMA, comparable, job_envelope, \
-    sort_doc
+from .jsondoc import (JOB_SCHEMA, METRICS_SCHEMA, SORT_SCHEMA,
+                      comparable, job_envelope, metrics_doc, sort_doc)
+from .metrics import POOL_EVENTS, RUN_OUTCOMES, ServiceMetrics
 from .pools import WarmPoolCache, make_cold_lease, pool_key
 from .queue import JOB_STATES, TERMINAL_STATES, Job, JobQueue
 from .scheduler import Scheduler, ServiceState, SortService
+from .slog import LOG_LEVELS, configure_logging, log_event, \
+    service_logger
 from .spec import (DEFAULT_PRIORITY, PRIORITIES, JobSpec,
                    JobValidationError)
 
 __all__ = [
     "ADMISSION_CODES", "DEFAULT_MEM_BUDGET", "DEFAULT_PRIORITY",
-    "DEFAULT_QUEUE_DEPTH", "JOB_SCHEMA", "JOB_STATES", "PRIORITIES",
+    "DEFAULT_QUEUE_DEPTH", "JOB_SCHEMA", "JOB_STATES", "LOG_LEVELS",
+    "METRICS_SCHEMA", "POOL_EVENTS", "PRIORITIES", "RUN_OUTCOMES",
     "SORT_SCHEMA", "TERMINAL_STATES", "AdmissionController",
     "AdmissionDecision", "Job", "JobQueue", "JobSpec",
     "JobValidationError", "Scheduler", "ServiceClient", "ServiceError",
-    "ServiceState", "SocketClient", "SortService", "WarmPoolCache",
-    "comparable", "estimate_job_bytes", "job_envelope",
-    "make_cold_lease", "pool_key", "serve_socket", "serve_stdio",
-    "sort_doc",
+    "ServiceMetrics", "ServiceState", "SocketClient", "SortService",
+    "WarmPoolCache", "comparable", "configure_logging",
+    "estimate_job_bytes", "job_envelope", "log_event",
+    "make_cold_lease", "metrics_doc", "pool_key", "serve_socket",
+    "serve_stdio", "service_logger", "sort_doc",
 ]

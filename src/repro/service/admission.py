@@ -100,7 +100,13 @@ class AdmissionDecision:
     says which gate refused (see :data:`ADMISSION_CODES`), ``reason``
     is the human-readable sentence, and the byte fields carry the
     arithmetic so a client can decide whether to shrink the job, wait,
-    or route elsewhere.
+    or route elsewhere.  ``headroom_bytes`` is the uncommitted budget
+    at decision time (``budget - committed``; ``None`` without a
+    budget) — together with ``estimated_bytes`` it reconstructs the
+    over-budget inequality exactly.  The decision is frozen onto the
+    job, so ``status``/``result`` responses replay the full arithmetic
+    long after submit — post-hoc debugging works from the daemon
+    protocol alone.
     """
 
     admitted: bool
@@ -111,6 +117,7 @@ class AdmissionDecision:
     budget_bytes: int | None
     queue_depth: int
     max_queue_depth: int
+    headroom_bytes: int | None = None
 
     def as_dict(self) -> dict[str, Any]:
         return asdict(self)
@@ -149,7 +156,9 @@ class AdmissionController:
             admitted=admitted, code=code, reason=reason,
             estimated_bytes=estimate, committed_bytes=self._committed,
             budget_bytes=self.mem_budget_bytes, queue_depth=queue_depth,
-            max_queue_depth=self.max_queue_depth)
+            max_queue_depth=self.max_queue_depth,
+            headroom_bytes=(None if self.mem_budget_bytes is None
+                            else self.mem_budget_bytes - self._committed))
 
     def admit(self, spec: JobSpec, *, queue_depth: int,
               draining: bool = False) -> AdmissionDecision:

@@ -17,7 +17,7 @@ import json
 import socket
 from typing import Any
 
-from .jsondoc import job_envelope
+from .jsondoc import job_envelope, metrics_doc
 from .scheduler import SortService
 from .spec import DEFAULT_PRIORITY, JobSpec
 
@@ -69,6 +69,10 @@ class ServiceClient:
 
     def stats(self) -> dict[str, Any]:
         return self.service.stats()
+
+    def metrics(self) -> dict[str, Any]:
+        """The ``sdssort.metrics/v1`` telemetry scrape."""
+        return metrics_doc(self.service)
 
     def drain(self, timeout: float | None = None) -> bool:
         return self.service.drain(timeout)
@@ -142,8 +146,17 @@ class SocketClient:
     def stats(self) -> dict[str, Any]:
         return self.request("stats")["stats"]
 
+    def metrics(self, *, format: str = "json") -> dict[str, Any] | str:
+        """Scrape telemetry: the metrics/v1 doc, or Prometheus text."""
+        out = self.request("metrics", format=format)
+        return out["text"] if format == "prometheus" else out["metrics"]
+
     def drain(self) -> dict[str, Any]:
-        """Ask the daemon to drain and exit once idle."""
+        """Ask the daemon to drain and exit once idle.
+
+        The response carries the final ``stats`` and (telemetry on)
+        the final ``metrics`` document — the last possible scrape.
+        """
         return self.request("drain")
 
     def close(self) -> None:

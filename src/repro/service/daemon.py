@@ -11,11 +11,17 @@ dead daemon.  Ops:
     result  {"job_id", "wait"?: true, "timeout"?}      -> {"job": env}
     cancel  {"job_id"}                                 -> {"job": env}
     stats   {}                                         -> {"stats": {...}}
-    drain   {}          -> {"drained": true, "stats"} and the daemon exits
+    metrics {"format"?: "json"|"prometheus"}
+            -> {"metrics": doc} or {"text": exposition}
+    drain   {}          -> {"drained": true, "stats", "metrics"?}
+                           and the daemon exits
 
-where ``env`` is the ``sdssort.job/v1`` envelope.  ``drain`` finishes
-queued + running work first, so its response doubles as the barrier a
-scripted client (the CI smoke job) waits on.
+where ``env`` is the ``sdssort.job/v1`` envelope and ``doc`` the
+``sdssort.metrics/v1`` telemetry document.  ``drain`` finishes queued
++ running work first, so its response doubles as the barrier a
+scripted client (the CI smoke job) waits on — and carries the final
+metrics scrape (when telemetry is on), since no further request can
+reach the daemon after it.
 
 Transports: ``serve_stdio`` serves exactly one client on stdin/stdout
 (pipes, ``subprocess``); ``serve_socket`` binds a Unix socket and
@@ -26,16 +32,21 @@ never stall other clients.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import socket
 import threading
 from typing import Any, Callable, TextIO
 
-from .jsondoc import job_envelope
+from .jsondoc import job_envelope, metrics_doc
 from .scheduler import SortService
+from .slog import log_event, service_logger
 
 #: Ops a request may name (anything else is an error response).
-OPS = ("submit", "status", "result", "cancel", "stats", "drain")
+OPS = ("submit", "status", "result", "cancel", "stats", "metrics",
+       "drain")
+
+_LOG = service_logger("service.daemon")
 
 
 def handle_request(service: SortService, doc: dict[str, Any],
@@ -69,10 +80,28 @@ def handle_request(service: SortService, doc: dict[str, Any],
                     "job": job_envelope(job, include_result=False)}, False
         if op == "stats":
             return {"ok": True, "stats": service.stats()}, False
+        if op == "metrics":
+            fmt = doc.get("format", "json")
+            if fmt == "prometheus":
+                from ..obs.telemetry import render_prometheus
+                metrics_doc(service)  # raises if telemetry is off
+                return {"ok": True,
+                        "content_type": "text/plain; version=0.0.4",
+                        "text": render_prometheus(
+                            service.metrics.registry)}, False
+            if fmt != "json":
+                raise ValueError(f"unknown metrics format {fmt!r}; "
+                                 "options: 'json', 'prometheus'")
+            return {"ok": True, "metrics": metrics_doc(service)}, False
         if op == "drain":
             service.drain()
-            return {"ok": True, "drained": True,
-                    "stats": service.stats()}, True
+            response = {"ok": True, "drained": True,
+                        "stats": service.stats()}
+            if service.metrics is not None:
+                # the daemon exits after this line hits the wire, so
+                # the drain response is the last possible scrape
+                response["metrics"] = metrics_doc(service)
+            return response, True
         return {"ok": False,
                 "error": f"unknown op {op!r}; options: {list(OPS)}"}, False
     except Exception as exc:  # noqa: BLE001 - protocol error boundary
@@ -97,7 +126,10 @@ def _dispatch_line(service: SortService, line: str
         return {"ok": False, "error": f"bad JSON: {exc}"}, False
     if not isinstance(doc, dict):
         return {"ok": False, "error": "request must be a JSON object"}, False
-    return handle_request(service, doc)
+    response, should_exit = handle_request(service, doc)
+    log_event(_LOG, "request", level=logging.DEBUG, op=doc.get("op"),
+              ok=bool(response.get("ok")), job_id=doc.get("job_id"))
+    return response, should_exit
 
 
 def serve_stdio(service: SortService, rfile: TextIO, wfile: TextIO) -> None:
@@ -136,6 +168,7 @@ def serve_socket(service: SortService, path: str, *,
         listener.bind(path)
         listener.listen()
         listener.settimeout(0.2)
+        log_event(_LOG, "listening", socket=path)
         if ready is not None:
             ready()
         while not stop.is_set():
@@ -143,6 +176,8 @@ def serve_socket(service: SortService, path: str, *,
                 conn, _ = listener.accept()
             except socket.timeout:
                 continue
+            log_event(_LOG, "connection_opened", level=logging.DEBUG,
+                      socket=path)
             t = threading.Thread(target=_serve_connection,
                                  args=(service, conn, stop),
                                  name="sort-service-conn", daemon=True)
@@ -155,6 +190,7 @@ def serve_socket(service: SortService, path: str, *,
         if os.path.exists(path):
             os.unlink(path)
         service.close()
+        log_event(_LOG, "daemon_exit", socket=path)
 
 
 def _serve_connection(service: SortService, conn: socket.socket,

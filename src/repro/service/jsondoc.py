@@ -23,12 +23,16 @@ from ..runner import RunResult
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .queue import Job
+    from .scheduler import SortService
 
 #: Result document schema (``sort --json`` and job envelopes).
 SORT_SCHEMA = "sdssort.sort/v4"
 
 #: Service response envelope schema.
 JOB_SCHEMA = "sdssort.job/v1"
+
+#: Telemetry scrape schema (the ``metrics`` op's JSON form).
+METRICS_SCHEMA = "sdssort.metrics/v1"
 
 
 def sort_doc(r: RunResult, *, machine: str, seed: int,
@@ -105,6 +109,33 @@ def job_envelope(job: "Job", *, include_result: bool = True
             queue_ms=round(job.queue_ms, 3), run_ms=round(job.run_ms, 3),
             explain=job.spec.explain)
     return doc
+
+
+def metrics_doc(service: "SortService") -> dict[str, Any]:
+    """The ``sdssort.metrics/v1`` telemetry document.
+
+    Registry snapshot (counters / gauges / histograms, fully sorted)
+    plus the cross-job cost rollup.  Everything but histogram ``sum``
+    fields and the latency gauges' wall values is deterministic for a
+    given job stream — see ``docs/observability.md`` for which fields
+    the determinism contract covers.
+
+    Raises ``ValueError`` when the service was built with
+    ``telemetry=False`` (the daemon maps that to an error response).
+    """
+    m = service.metrics
+    if m is None:
+        raise ValueError("telemetry is disabled on this service "
+                         "(built with telemetry=False / --no-telemetry)")
+    snap = m.registry.snapshot()
+    return {
+        "schema": METRICS_SCHEMA,
+        "state": service.state.value,
+        "counters": snap["counters"],
+        "gauges": snap["gauges"],
+        "histograms": snap["histograms"],
+        "rollup": m.rollup.snapshot(),
+    }
 
 
 #: ``(path, key)`` pairs :func:`comparable` removes: wall-clock

@@ -103,7 +103,8 @@ class WarmPoolCache:
     bookkeeping is under one lock; pool *use* happens outside it.
     """
 
-    def __init__(self, max_pools: int = DEFAULT_MAX_POOLS):
+    def __init__(self, max_pools: int = DEFAULT_MAX_POOLS,
+                 metrics: Any = None):
         if max_pools < 1:
             raise ValueError("max_pools must be >= 1")
         self.max_pools = max_pools
@@ -112,6 +113,9 @@ class WarmPoolCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        # optional ServiceMetrics (duck-typed): mirrors the three
+        # counters into the registry; None keeps the cache standalone
+        self._metrics = metrics
 
     def lease(self, backend: str, p: int, procs: int | None) -> PoolLease:
         key = pool_key(backend, p, procs)
@@ -122,10 +126,14 @@ class WarmPoolCache:
             if shelf:
                 pool = shelf.pop()
                 self.hits += 1
+                if self._metrics is not None:
+                    self._metrics.record_pool_event("hit")
                 if isinstance(pool, SpmdPool):
                     pool.lease()
                 return PoolLease(self, key, pool)
             self.misses += 1
+            if self._metrics is not None:
+                self._metrics.record_pool_event("miss")
         # creation happens outside the lock: ProcPool spawn is slow
         if key[0] == "thread":
             return PoolLease(self, key, SpmdPool().lease())
@@ -138,6 +146,8 @@ class WarmPoolCache:
             total_idle = sum(len(s) for s in self._idle.values())
             if total_idle >= self.max_pools:
                 self.evictions += 1
+                if self._metrics is not None:
+                    self._metrics.record_pool_event("evict")
             else:
                 self._idle.setdefault(key, []).append(pool)
                 return

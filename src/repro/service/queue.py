@@ -112,6 +112,15 @@ class JobQueue:
         with self._cond:
             return sum(1 for _, _, j in self._heap if j.status == "queued")
 
+    def depth_by_class(self) -> dict[str, int]:
+        """Waiting jobs per priority class (telemetry gauges)."""
+        out = {priority: 0 for priority in PRIORITIES}
+        with self._cond:
+            for _, _, j in self._heap:
+                if j.status == "queued":
+                    out[j.priority] += 1
+        return out
+
     def push(self, job: Job) -> None:
         rank = PRIORITIES.index(job.priority)
         with self._cond:

@@ -28,14 +28,20 @@ import time
 from enum import Enum
 from typing import Any
 
+import logging
+
 from ..runner import resolve_backend
 from .admission import AdmissionController, AdmissionDecision
+from .metrics import ServiceMetrics
 from .pools import PoolLease, WarmPoolCache, make_cold_lease
 from .queue import Job, JobQueue
+from .slog import log_event, service_logger
 from .spec import DEFAULT_PRIORITY, PRIORITIES, JobSpec, JobValidationError
 
 #: Default scheduler concurrency (worker threads draining the queue).
 DEFAULT_WORKERS = 2
+
+_LOG = service_logger("service.scheduler")
 
 
 class ServiceState(Enum):
@@ -80,13 +86,21 @@ class SortService:
         every job cold-starts a fresh pool — the benchmark baseline.
     max_pools:
         Idle-pool retention bound of the warm cache.
+    telemetry:
+        Keep a :class:`~repro.service.metrics.ServiceMetrics` (metric
+        registry + cross-job cost rollup) updated through the job
+        lifecycle and the engine boundary.  On by default — telemetry
+        never touches result documents, so golden equivalence holds
+        either way; ``False`` removes every hook (``self.metrics`` is
+        ``None`` and the ``metrics`` op reports it as disabled).
     """
 
     def __init__(self, *, workers: int = DEFAULT_WORKERS,
                  max_queue_depth: int | None = None,
                  mem_budget_bytes: int | None = ...,  # type: ignore[assignment]
                  warm_pools: bool = True,
-                 max_pools: int | None = None):
+                 max_pools: int | None = None,
+                 telemetry: bool = True):
         admission_kwargs: dict[str, Any] = {}
         if max_queue_depth is not None:
             admission_kwargs["max_queue_depth"] = max_queue_depth
@@ -94,10 +108,12 @@ class SortService:
             admission_kwargs["mem_budget_bytes"] = mem_budget_bytes
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        self.metrics = ServiceMetrics() if telemetry else None
         self.queue = JobQueue()
         self.admission = AdmissionController(**admission_kwargs)
         self.pools = (WarmPoolCache(**({} if max_pools is None
-                                       else {"max_pools": max_pools}))
+                                       else {"max_pools": max_pools}),
+                                    metrics=self.metrics)
                       if warm_pools else None)
         self.state = ServiceState.ACCEPTING
         self._jobs: dict[str, Job] = {}
@@ -139,6 +155,8 @@ class SortService:
                 self._jobs[job.id] = job
                 self._counts["submitted"] += 1
                 draining = self.state is not ServiceState.ACCEPTING
+            if self.metrics is not None:
+                self.metrics.job_submitted(priority)
             try:
                 if isinstance(spec, dict):
                     spec = JobSpec.from_dict(spec)
@@ -152,7 +170,11 @@ class SortService:
                     committed_bytes=self.admission.committed_bytes,
                     budget_bytes=self.admission.mem_budget_bytes,
                     queue_depth=self.queue.depth(),
-                    max_queue_depth=self.admission.max_queue_depth))
+                    max_queue_depth=self.admission.max_queue_depth,
+                    headroom_bytes=(
+                        None if self.admission.mem_budget_bytes is None
+                        else self.admission.mem_budget_bytes
+                        - self.admission.committed_bytes)))
                 return job
             job.spec = spec
             decision = self.admission.admit(
@@ -161,7 +183,15 @@ class SortService:
             if not decision.admitted:
                 self._reject(job, decision)
                 return job
+            if self.metrics is not None:
+                self.metrics.admission_decision(decision.code)
             self.queue.push(job)
+            self._refresh_gauges()
+            log_event(_LOG, "job_queued", job_id=job.id,
+                      priority=priority, algorithm=spec.algorithm,
+                      workload=spec.workload, backend=spec.backend,
+                      p=spec.p, n_per_rank=spec.n_per_rank,
+                      estimated_bytes=decision.estimated_bytes)
             return job
 
     def _reject(self, job: Job, decision: AdmissionDecision) -> None:
@@ -169,6 +199,14 @@ class SortService:
         with self._lock:
             self._counts["rejected"] += 1
         job.finish("rejected", error=decision.reason)
+        if self.metrics is not None:
+            self.metrics.admission_decision(decision.code)
+            self.metrics.job_finished(job, was_running=False)
+        log_event(_LOG, "job_rejected", level=logging.WARNING,
+                  job_id=job.id, priority=job.priority,
+                  code=decision.code, reason=decision.reason,
+                  estimated_bytes=decision.estimated_bytes,
+                  headroom_bytes=decision.headroom_bytes)
 
     # -- execution (worker threads) -----------------------------------
     def _execute(self, job: Job) -> None:
@@ -188,6 +226,11 @@ class SortService:
         if expired is not None:
             self._finalize(job, expired[0], error=expired[1])
             return
+        if self.metrics is not None:
+            self.metrics.job_started(job)
+        self._refresh_gauges()
+        log_event(_LOG, "job_started", job_id=job.id,
+                  priority=job.priority, queue_ms=round(job.queue_ms, 3))
 
         resolved, _ = resolve_backend(job.spec.backend, job.spec.algorithm)
         lease: PoolLease
@@ -206,8 +249,13 @@ class SortService:
             watchdog.start()
 
         try:
-            result = job.spec.run(pool=lease.pool, cancel=job.cancel_event)
+            result = job.spec.run(pool=lease.pool, cancel=job.cancel_event,
+                                  metrics=self.metrics)
             job.result = result
+            if self.metrics is not None and result.ok:
+                report = result.extras.get("trace")
+                if report is not None:
+                    self.metrics.fold_job_trace(job.spec, report)
             if result.ok:
                 status, error = "done", None
             elif job.timed_out:
@@ -237,12 +285,41 @@ class SortService:
                 self._running -= 1
                 self._idle.notify_all()
             if job.done_event.is_set():
+                self._refresh_gauges_locked()
                 return
             self._counts[status] = self._counts.get(status, 0) + 1
             job.finish(status, error=error)
             self._idle.notify_all()
         if job.admission is not None:
             self.admission.release(job.admission)
+        if self.metrics is not None:
+            self.metrics.job_finished(job, was_running=was_running)
+        self._refresh_gauges()
+        log_event(_LOG, "job_finished",
+                  level=(logging.INFO if status == "done"
+                         else logging.WARNING),
+                  job_id=job.id, status=status, priority=job.priority,
+                  error=error, queue_ms=round(job.queue_ms, 3),
+                  run_ms=round(job.run_ms, 3))
+
+    def _refresh_gauges(self) -> None:
+        """Re-derive the point-in-time gauges from the ground truth."""
+        if self.metrics is None:
+            return
+        with self._lock:
+            running = self._running
+        self.metrics.update_queue_gauges(
+            depth_by_class=self.queue.depth_by_class(), running=running,
+            committed_bytes=self.admission.committed_bytes)
+
+    def _refresh_gauges_locked(self) -> None:
+        """Gauge refresh for call sites already holding ``_lock``."""
+        if self.metrics is None:
+            return
+        self.metrics.update_queue_gauges(
+            depth_by_class=self.queue.depth_by_class(),
+            running=self._running,
+            committed_bytes=self.admission.committed_bytes)
 
     # -- queries ------------------------------------------------------
     def get(self, job_id: str) -> Job:
@@ -284,6 +361,11 @@ class SortService:
             "admission": self.admission.stats(),
             "pools": self.pools.stats() if self.pools is not None
             else {"warm_pools": False},
+            "telemetry": self.metrics is not None,
+            # p50/p99 wall latency per priority class, from the
+            # telemetry histograms (None with telemetry off)
+            "latency": (self.metrics.latency_summary()
+                        if self.metrics is not None else None),
         }
 
     # -- lifecycle ----------------------------------------------------
@@ -296,6 +378,8 @@ class SortService:
         with self._lock:
             if self.state is ServiceState.ACCEPTING:
                 self.state = ServiceState.DRAINING
+                log_event(_LOG, "draining",
+                          queued=self.queue.depth(), running=self._running)
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._idle:
             while self.queue.depth() or self._running:
@@ -309,8 +393,13 @@ class SortService:
         self.queue.wake_all()
         for w in self._workers:
             w.join()
+        stopped = False
         with self._lock:
+            stopped = self.state is not ServiceState.STOPPED
             self.state = ServiceState.STOPPED
+        self._refresh_gauges()
+        if stopped:
+            log_event(_LOG, "stopped", counts=dict(self._counts))
         return True
 
     def close(self) -> None:

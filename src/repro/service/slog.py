@@ -1,0 +1,117 @@
+"""Structured logging for the service: JSON-lines or key=value text.
+
+The service logs *events*, not prose: every record is an event name
+plus typed fields (``job_id``, ``status``, ``code``, …).  Modules emit
+through :func:`log_event` on their own child of the ``sdssort``
+logger; nothing is printed unless the process opts in with
+:func:`configure_logging` (``sdssort serve --log-level info
+[--log-json]``), so library use of the service stays silent — there
+are no ad-hoc ``print``\\ s anywhere in the subsystem.
+
+Records always go to **stderr**: stdout belongs to the JSON-lines
+protocol (stdio transport) and to command output.
+
+JSON-lines shape (one object per record, sorted keys)::
+
+    {"event": "job_finished", "job_id": "j-000003", "level": "info",
+     "logger": "sdssort.service.scheduler", "status": "done",
+     "ts": 1723045000.123}
+
+Text shape: the stdlib prefix followed by ``key=value`` pairs::
+
+    2026-08-07 12:00:00 INFO sdssort.service.scheduler job_finished \
+job_id=j-000003 status=done
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import Any, TextIO
+
+__all__ = ["LOG_LEVELS", "configure_logging", "log_event", "service_logger"]
+
+#: Root logger of the subsystem; modules use children of it.
+ROOT_LOGGER = "sdssort"
+
+#: ``--log-level`` choices.
+LOG_LEVELS = ("debug", "info", "warning", "error")
+
+#: The attribute structured fields travel on inside a ``LogRecord``.
+_FIELDS_ATTR = "sdssort_fields"
+
+# library silence: without this, stdlib's lastResort handler would
+# print WARNING+ events (job rejections) from embedded services that
+# never opted into logging.  Records still propagate to any root
+# handlers an application configures.
+logging.getLogger(ROOT_LOGGER).addHandler(logging.NullHandler())
+
+
+def service_logger(name: str) -> logging.Logger:
+    """The subsystem logger for one module (a child of ``sdssort``)."""
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+def log_event(logger: logging.Logger, event: str, *,
+              level: int = logging.INFO, **fields: Any) -> None:
+    """Emit one structured event (cheap no-op below the logger level)."""
+    if logger.isEnabledFor(level):
+        logger.log(level, event, extra={_FIELDS_ATTR: fields})
+
+
+class JsonLineFormatter(logging.Formatter):
+    """One JSON object per record, deterministic key order."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        doc: dict[str, Any] = {
+            "ts": round(record.created, 3),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        doc.update(getattr(record, _FIELDS_ATTR, None) or {})
+        if record.exc_info:
+            doc["exc"] = self.formatException(record.exc_info)
+        return json.dumps(doc, sort_keys=True, default=repr)
+
+
+class KeyValueFormatter(logging.Formatter):
+    """Human-readable text with the structured fields as key=value."""
+
+    def __init__(self) -> None:
+        super().__init__("%(asctime)s %(levelname)s %(name)s %(message)s",
+                         datefmt="%Y-%m-%d %H:%M:%S")
+
+    def format(self, record: logging.LogRecord) -> str:
+        line = super().format(record)
+        fields = getattr(record, _FIELDS_ATTR, None) or {}
+        if fields:
+            line += " " + " ".join(f"{k}={fields[k]}"
+                                   for k in sorted(fields))
+        return line
+
+
+def configure_logging(level: str = "info", *, json_lines: bool = False,
+                      stream: TextIO | None = None) -> logging.Logger:
+    """Attach one stderr handler to the ``sdssort`` logger.
+
+    Idempotent: reconfiguring replaces the previous subsystem handler
+    instead of stacking a second one.  Returns the configured logger.
+    """
+    if level not in LOG_LEVELS:
+        raise ValueError(f"unknown log level {level!r}; "
+                         f"options: {list(LOG_LEVELS)}")
+    logger = logging.getLogger(ROOT_LOGGER)
+    handler = logging.StreamHandler(stream if stream is not None
+                                    else sys.stderr)
+    handler.setFormatter(JsonLineFormatter() if json_lines
+                         else KeyValueFormatter())
+    handler.sdssort_handler = True  # type: ignore[attr-defined]
+    for old in [h for h in logger.handlers
+                if getattr(h, "sdssort_handler", False)]:
+        logger.removeHandler(old)
+    logger.addHandler(handler)
+    logger.setLevel(getattr(logging, level.upper()))
+    logger.propagate = False
+    return logger
